@@ -1,0 +1,34 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench bench-tiny examples loc clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	python -m pytest tests/ -q
+
+test-verbose:
+	python -m pytest tests/ -v
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only
+
+bench-tiny:
+	REPRO_BENCH_PROFILE=tiny REPRO_BENCH_TIME_LIMIT=30 \
+		python -m pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/debug_nonequivalence.py
+	python examples/engine_comparison.py
+	python examples/architectural_cec.py
+	python examples/sdc_analysis.py
+	python examples/reproduce_table2.py --profile tiny --skip-fig7
+
+loc:
+	find src tests benchmarks examples -name "*.py" | xargs wc -l | tail -1
+
+clean:
+	rm -rf benchmarks/.cache .pytest_cache build *.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,153 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_PROFILE``
+    Suite profile: ``default`` (Table II shape, minutes) or ``tiny``
+    (seconds; used in CI smoke runs).
+``REPRO_BENCH_CASES``
+    Comma-separated case subset, e.g. ``multiplier,voter``.
+``REPRO_BENCH_TIME_LIMIT``
+    Per-engine wall-clock budget in seconds for the SAT baselines
+    (default 120).  Mirrors the paper's timeout handling (ABC timed out
+    after 122 days on log2_10xd; speed-ups there use the timeout value).
+
+Suite construction (generation + resyn2) is cached on disk under
+``benchmarks/.cache`` so repeated benchmark runs skip synthesis.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List
+
+import pytest
+
+from repro.aig.aiger import read_aiger, write_aiger
+from repro.bench.suite import (
+    SUITE_PROFILES,
+    SUITE_VERSION,
+    BenchmarkCase,
+    default_suite,
+)
+
+CACHE_DIR = Path(__file__).parent / ".cache"
+
+
+def bench_profile() -> str:
+    return os.environ.get("REPRO_BENCH_PROFILE", "default")
+
+
+def bench_time_limit() -> float:
+    return float(os.environ.get("REPRO_BENCH_TIME_LIMIT", "120"))
+
+
+def bench_case_names() -> List[str]:
+    profile = bench_profile()
+    names = list(SUITE_PROFILES[profile])
+    subset = os.environ.get("REPRO_BENCH_CASES")
+    if subset:
+        wanted = {n.strip() for n in subset.split(",")}
+        names = [n for n in names if n in wanted]
+    return names
+
+
+def _cache_paths(profile: str, name: str):
+    base = CACHE_DIR / f"{profile}_v{SUITE_VERSION}"
+    return base / f"{name}_orig.aig", base / f"{name}_opt.aig"
+
+
+def _load_or_build(profile: str, name: str) -> BenchmarkCase:
+    from repro.aig.transform import double
+
+    factory, doublings = SUITE_PROFILES[profile][name]
+    orig_path, opt_path = _cache_paths(profile, name)
+    case_name = f"{name}_{doublings}xd" if doublings else name
+    if orig_path.exists() and opt_path.exists():
+        original = read_aiger(orig_path)
+        optimized = read_aiger(opt_path)
+        original.name = f"{case_name}_orig"
+        optimized.name = f"{case_name}_opt"
+        return BenchmarkCase(
+            name=case_name,
+            original=original,
+            optimized=optimized,
+            doublings=doublings,
+        )
+    case = default_suite(profile, only=[name])[0]
+    orig_path.parent.mkdir(parents=True, exist_ok=True)
+    write_aiger(case.original, orig_path)
+    write_aiger(case.optimized, opt_path)
+    return case
+
+
+_CASE_CACHE: Dict[str, BenchmarkCase] = {}
+
+
+def get_case(name: str) -> BenchmarkCase:
+    """Fetch (and memoise) one suite case by its profile-local name."""
+    profile = bench_profile()
+    key = f"{profile}:{name}"
+    if key not in _CASE_CACHE:
+        _CASE_CACHE[key] = _load_or_build(profile, name)
+    return _CASE_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def time_limit() -> float:
+    return bench_time_limit()
+
+
+class ResultBoard:
+    """Collects per-case results and prints a report at session end."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self.rows: Dict[str, object] = {}
+
+    def add(self, name: str, row) -> None:
+        self.rows[name] = row
+
+
+_BOARDS: List[ResultBoard] = []
+
+
+def get_board(title: str) -> ResultBoard:
+    for board in _BOARDS:
+        if board.title == title:
+            return board
+    board = ResultBoard(title)
+    _BOARDS.append(board)
+    return board
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Print the assembled experiment tables and dump them as JSON."""
+    import dataclasses
+    import json
+    import re
+    import sys
+
+    results_dir = Path(__file__).parent / "results"
+    for board in _BOARDS:
+        if not board.rows:
+            continue
+        formatter = getattr(board, "formatter", None)
+        print(f"\n===== {board.title} =====", file=sys.stderr)
+        if formatter:
+            print(formatter(list(board.rows.values())), file=sys.stderr)
+        else:
+            for name, row in board.rows.items():
+                print(f"{name}: {row}", file=sys.stderr)
+        # Machine-readable copy for EXPERIMENTS.md regeneration.
+        results_dir.mkdir(exist_ok=True)
+        slug = re.sub(r"[^a-z0-9]+", "_", board.title.lower()).strip("_")
+        payload = {}
+        for name, row in board.rows.items():
+            if dataclasses.is_dataclass(row):
+                payload[name] = dataclasses.asdict(row)
+            else:
+                payload[name] = row
+        with open(results_dir / f"{slug}.json", "w") as handle:
+            json.dump(payload, handle, indent=2, default=str)

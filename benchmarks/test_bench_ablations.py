@@ -1,0 +1,214 @@
+"""Ablations of the design choices the paper calls out.
+
+- **Window merging** (§III-B3): merging overlapping global-checking
+  windows cuts the simulation-table slot count; disabled, the P/G phases
+  simulate shared logic repeatedly.
+- **Similarity-driven cut selection** (§III-C1): without it the cuts of
+  a pair tend not to overlap, so fewer common cuts of size ≤ k_l exist
+  and local checking proves less per pass.
+- **Table I pass diversity**: any single pass proves less than the
+  three-pass rotation.
+- **EC transfer** (§V): carrying the engine's pattern pool into the SAT
+  back end avoids re-disproving pairs the engine already refuted.
+- **Adaptive pass disabling** (§V): passes that prove nothing stop
+  being run in later local phases.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.portfolio.checker import CombinedChecker
+from repro.sat.sweeping import SatSweepChecker
+from repro.simulation.exhaustive import ExhaustiveSimulator
+from repro.simulation.merging import merge_windows, total_simulation_slots
+from repro.simulation.window import Pair, build_window
+from repro.sweep.config import EngineConfig
+from repro.sweep.engine import CecStatus, SimSweepEngine
+
+from conftest import get_board, get_case
+
+
+def _mergeable_case():
+    """square has many overlapping PO cones — the merging showcase."""
+    return get_case("square")
+
+
+def test_window_merging_ablation(benchmark):
+    """Merging must reduce simulation slots and not change the verdict."""
+    case = _mergeable_case()
+    miter = case.miter
+    from repro.aig.traversal import supports_capped
+
+    supports = supports_capped(miter, 24)
+    windows = []
+    for i, po in enumerate(miter.pos):
+        supp = supports[po >> 1]
+        if supp is None or not supp:
+            continue
+        roots = [po >> 1] if (po >> 1) not in supp else []
+        windows.append(
+            build_window(miter, sorted(supp), roots, [Pair(po, 0, tag=i)])
+        )
+    merged = benchmark(merge_windows, miter, windows, 24)
+    plain_slots = total_simulation_slots(windows)
+    merged_slots = total_simulation_slots(merged)
+    board = get_board("Ablation — window merging (slots)")
+    board.add(case.name, {
+        "windows": f"{len(windows)} -> {len(merged)}",
+        "slots": f"{plain_slots} -> {merged_slots}",
+    })
+    assert merged_slots <= plain_slots
+    assert len(merged) <= len(windows)
+    # Verdicts unchanged on a sample of the batch.
+    sim = ExhaustiveSimulator()
+    sample = windows[:4]
+    sample_tags = {p.tag for w in sample for p in w.pairs}
+    plain = {
+        o.pair.tag: o.status for o in sim.run(miter, sample)
+    }
+    merged_sample = [
+        w for w in merge_windows(miter, sample, 24)
+    ]
+    again = {
+        o.pair.tag: o.status
+        for o in sim.run(miter, merged_sample)
+        if o.pair.tag in sample_tags
+    }
+    assert plain == again
+
+
+def test_window_merging_engine_speed(benchmark):
+    """Engine wall-clock with merging on vs off (P-phase heavy case)."""
+    case = _mergeable_case()
+    with_merge = SimSweepEngine(EngineConfig(window_merging=True))
+    without_merge = SimSweepEngine(EngineConfig(window_merging=False))
+
+    result_on = benchmark.pedantic(
+        lambda: with_merge.check_miter(case.miter), rounds=1, iterations=1
+    )
+    import time
+
+    start = time.perf_counter()
+    result_off = without_merge.check_miter(case.miter)
+    off_seconds = time.perf_counter() - start
+    assert result_on.status == result_off.status
+    board = get_board("Ablation — window merging (engine seconds)")
+    board.add(case.name, {
+        "merged": round(result_on.report.total_seconds, 2),
+        "unmerged": round(off_seconds, 2),
+    })
+
+
+def test_similarity_ablation(benchmark):
+    """Similarity-driven selection should not prove fewer pairs."""
+    case = get_case("multiplier")
+    config_on = EngineConfig(similarity_selection=True, max_local_phases=4)
+    config_off = EngineConfig(similarity_selection=False, max_local_phases=4)
+
+    result_on = benchmark.pedantic(
+        lambda: SimSweepEngine(config_on).check_miter(case.miter),
+        rounds=1,
+        iterations=1,
+    )
+    result_off = SimSweepEngine(config_off).check_miter(case.miter)
+
+    def local_proved(result):
+        return sum(p.proved for p in result.report.phases if p.kind == "L")
+
+    board = get_board("Ablation — similarity-driven cut selection")
+    board.add(case.name, {
+        "proved_with_similarity": local_proved(result_on),
+        "proved_without": local_proved(result_off),
+    })
+    assert result_on.status is not CecStatus.NONEQUIVALENT
+    assert result_off.status is not CecStatus.NONEQUIVALENT
+
+
+@pytest.mark.parametrize("passes", [(1,), (2,), (3,), (1, 2, 3)])
+def test_cut_pass_ablation(benchmark, passes):
+    """Each Table I pass alone vs the three-pass rotation."""
+    case = get_case("voter")
+    config = EngineConfig(passes=passes, max_local_phases=4)
+    result = benchmark.pedantic(
+        lambda: SimSweepEngine(config).check_miter(case.miter),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.status is not CecStatus.NONEQUIVALENT
+    board = get_board("Ablation — Table I pass selection (voter)")
+    board.add(f"passes={passes}", {
+        "reduction_percent": round(result.report.reduction_percent, 1),
+    })
+
+
+def test_ec_transfer_ablation(benchmark, time_limit):
+    """§V: transferring the pattern pool to the SAT back end."""
+    case = get_case("vga_lcd")
+    sat = lambda: SatSweepChecker(time_limit=time_limit)
+
+    with_transfer = CombinedChecker(sat_checker=sat(), transfer_ecs=True)
+    without_transfer = CombinedChecker(sat_checker=sat(), transfer_ecs=False)
+
+    result_on = benchmark.pedantic(
+        lambda: with_transfer.check_miter(case.miter), rounds=1, iterations=1
+    )
+    result_off = without_transfer.check_miter(case.miter)
+    assert result_on.status is not CecStatus.NONEQUIVALENT
+    assert result_off.status is not CecStatus.NONEQUIVALENT
+    board = get_board("Ablation — EC transfer to the SAT back end")
+    board.add(case.name, {
+        "sat_disproved_with_transfer": with_transfer.sat_checker.stats.disproved_pairs,
+        "sat_disproved_without": without_transfer.sat_checker.stats.disproved_pairs,
+        "sat_seconds_with": round(with_transfer.timings.sat_seconds, 2),
+        "sat_seconds_without": round(without_transfer.timings.sat_seconds, 2),
+    })
+    # Pairs the engine already refuted need not be re-disproved by SAT.
+    assert (
+        with_transfer.sat_checker.stats.disproved_pairs
+        <= without_transfer.sat_checker.stats.disproved_pairs
+    )
+
+
+@pytest.mark.parametrize("strategy", ["random", "counting", "walking", "mixed"])
+def test_pattern_strategy_ablation(benchmark, strategy):
+    """Initial-pattern quality ([3],[20]): effect on class refinement.
+
+    Better patterns split spurious classes earlier, so the engine wastes
+    fewer exhaustive checks on pairs that are not equivalent (visible as
+    fewer G-phase CEXs and fewer candidates overall).
+    """
+    case = get_case("voter")
+    config = EngineConfig(pattern_strategy=strategy, max_local_phases=2)
+    result = benchmark.pedantic(
+        lambda: SimSweepEngine(config).check_miter(case.miter),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.status is not CecStatus.NONEQUIVALENT
+    board = get_board("Ablation — initial pattern strategy (voter)")
+    candidates = sum(p.candidates for p in result.report.phases)
+    cexs = sum(p.cex for p in result.report.phases)
+    board.add(strategy, {"candidates": candidates, "cex": cexs})
+
+
+def test_adaptive_passes_ablation(benchmark):
+    """§V: disabling unproductive passes cannot change soundness."""
+    case = get_case("sqrt")
+    adaptive = EngineConfig(adaptive_passes=True)
+    fixed = EngineConfig(adaptive_passes=False)
+    result_adaptive = benchmark.pedantic(
+        lambda: SimSweepEngine(adaptive).check_miter(case.miter),
+        rounds=1,
+        iterations=1,
+    )
+    result_fixed = SimSweepEngine(fixed).check_miter(case.miter)
+    assert result_adaptive.status is not CecStatus.NONEQUIVALENT
+    assert result_fixed.status is not CecStatus.NONEQUIVALENT
+    board = get_board("Ablation — adaptive pass disabling (sqrt)")
+    board.add(case.name, {
+        "adaptive_seconds": round(result_adaptive.report.total_seconds, 2),
+        "fixed_seconds": round(result_fixed.report.total_seconds, 2),
+        "adaptive_reduction": round(result_adaptive.report.reduction_percent, 1),
+        "fixed_reduction": round(result_fixed.report.reduction_percent, 1),
+    })

@@ -1,0 +1,80 @@
+"""Fig. 6: runtime breakdown of the simulation-based engine.
+
+One engine run per case; the P/G/L wall-clock fractions are collected
+and printed as the Fig. 6 table at session end.  Expected shape (paper):
+log2 and sin are pure P; control logic is P-dominated; arithmetic
+needing sweeping is L-dominated with a visible G share.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import Fig6Row, format_fig6
+from repro.sweep.engine import CecStatus, SimSweepEngine
+
+from conftest import bench_case_names, get_board, get_case
+
+CASES = bench_case_names()
+
+
+def _board():
+    board = get_board("Fig. 6 — engine phase breakdown")
+    board.formatter = format_fig6
+    return board
+
+
+@pytest.mark.parametrize("case_name", CASES)
+def test_fig6_phase_breakdown(benchmark, case_name):
+    case = get_case(case_name)
+    engine = SimSweepEngine()
+
+    def run():
+        return engine.check_miter(case.miter)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.status is not CecStatus.NONEQUIVALENT
+    fractions = result.report.phase_fractions()
+    total = sum(fractions.values())
+    assert total == pytest.approx(1.0, abs=1e-6) or total == 0.0
+    _board().add(
+        case.name,
+        Fig6Row(
+            name=case.name,
+            fractions=fractions,
+            seconds=result.report.phase_seconds(),
+        ),
+    )
+
+
+def test_fig6_shapes(benchmark):
+    """Phase-attribution shapes that should match the paper.
+
+    (Wrapped in a trivial benchmark so ``--benchmark-only`` runs it.)
+    """
+
+    def verify():
+        rows = {row.name: row for row in _board().rows.values()}
+
+        def frac(name, kind):
+            for full_name, row in rows.items():
+                if full_name.startswith(name):
+                    return row.fractions.get(kind, 0.0)
+            return None
+
+        # log2 and sin are proved outright by PO checking (paper Fig. 6).
+        for case in ("log2", "sin"):
+            p = frac(case, "P")
+            if p is not None:
+                assert p > 0.9, f"{case} should be P-dominated (got {p:.2f})"
+        # At default scale the multiplier needs the local phases
+        # (G initialises classes, L proves the pairs); the tiny-profile
+        # multiplier is small enough for PO checking, so skip there.
+        from conftest import bench_profile
+
+        l_mult = frac("multiplier", "L")
+        if l_mult is not None and bench_profile() == "default":
+            assert l_mult > 0.5, f"multiplier should be L-dominated ({l_mult:.2f})"
+        return len(rows)
+
+    benchmark.pedantic(verify, rounds=1, iterations=1)

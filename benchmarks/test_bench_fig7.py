@@ -1,0 +1,55 @@
+"""Fig. 7: SAT time on intermediate miters, normalised.
+
+For each case the engine is stopped after P, after PG, and run in full
+(PGL); the SAT sweeping baseline then proves each residual miter.  Times
+are normalised by the SAT time on the *original* miter, reproducing the
+paper's bars.  The defining property is monotonicity: more engine phases
+can only shrink the residue, so normalised times must not increase
+along P → PG → PGL.
+
+The paper plots this for the cases the engine meaningfully reduces
+(hyp, multiplier, square, voter, ac97_ctrl, vga_lcd) and omits the
+P-proved (log2, sin) and barely-reduced (sqrt) ones; the same subset is
+used here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import format_fig7, run_fig7
+
+from conftest import bench_case_names, get_board, get_case
+
+FIG7_FAMILIES = ("hyp", "multiplier", "square", "voter", "ac97", "vga")
+CASES = [
+    name
+    for name in bench_case_names()
+    if any(name.startswith(f) for f in FIG7_FAMILIES)
+]
+
+
+def _board():
+    board = get_board("Fig. 7 — SAT time on intermediate miters (normalised)")
+    board.formatter = format_fig7
+    return board
+
+
+@pytest.mark.parametrize("case_name", CASES)
+def test_fig7_intermediate_miters(benchmark, case_name, time_limit):
+    case = get_case(case_name)
+
+    def run():
+        return run_fig7(
+            [case], sat_conflict_limit=100_000, time_limit=time_limit
+        )[0]
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Monotone improvement: each additional engine phase leaves SAT a
+    # smaller (or equal) problem.
+    assert (
+        row.reduced_ands["P"]
+        >= row.reduced_ands["PG"]
+        >= row.reduced_ands["PGL"]
+    )
+    _board().add(case.name, row)

@@ -1,0 +1,117 @@
+"""Micro-benchmarks of the engine's kernels.
+
+These measure the substrate throughputs the paper's GPU kernels provide
+(word-parallel simulation, window planning, cut enumeration, CDCL
+queries), so regressions in the hot paths show up independently of the
+end-to-end experiment numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aig.miter import build_miter
+from repro.aig.traversal import supports_capped
+from repro.bench import generators as gen
+from repro.cuts.enumeration import CutEnumerator
+from repro.cuts.selection import CutSelector
+from repro.sat.cnf import CnfBuilder
+from repro.sat.solver import SatSolver
+from repro.simulation.exhaustive import ExhaustiveSimulator
+from repro.simulation.partial import simulate_words
+from repro.simulation.window import Pair, build_window
+from repro.synth.resyn import compress2
+
+
+@pytest.fixture(scope="module")
+def mult_miter():
+    original = gen.multiplier(8)
+    return build_miter(original, compress2(original))
+
+
+def test_kernel_partial_simulation(benchmark, mult_miter):
+    """Whole-miter random simulation, 64 words (4096 patterns)."""
+    rng = np.random.default_rng(1)
+    pi_words = rng.integers(
+        0, 1 << 64, size=(mult_miter.num_pis, 64), dtype=np.uint64
+    )
+    tables = benchmark(simulate_words, mult_miter, pi_words)
+    assert tables.shape == (mult_miter.num_nodes, 64)
+
+
+def test_kernel_exhaustive_simulation(benchmark, mult_miter):
+    """One merged 16-input window over the full miter (2^16 patterns)."""
+    supports = supports_capped(mult_miter, 16)
+    pairs = []
+    inputs = set()
+    roots = []
+    for i, po in enumerate(mult_miter.pos):
+        supp = supports[po >> 1]
+        if supp is None:
+            continue
+        inputs |= supp
+        roots.append(po >> 1)
+        pairs.append(Pair(po, 0, tag=i))
+    window = build_window(mult_miter, sorted(inputs), roots, pairs)
+    simulator = ExhaustiveSimulator()
+
+    outcomes = benchmark(simulator.run, mult_miter, [window])
+    assert len(outcomes) == len(pairs)
+
+
+def test_kernel_cut_enumeration(benchmark, mult_miter):
+    """One full priority-cut pass (k_l=8, C=8) over the miter."""
+    selector = CutSelector(
+        1, mult_miter.fanout_counts(), mult_miter.levels()
+    )
+
+    def run():
+        enum = CutEnumerator(mult_miter, 8, 8, selector)
+        count = 0
+        for _level, nodes in enum.run({}):
+            count += len(nodes)
+        return count
+
+    count = benchmark(run)
+    assert count == mult_miter.num_ands
+
+
+def test_kernel_sat_equivalence_queries(benchmark, mult_miter):
+    """CDCL equivalence queries on PO pairs of the miter cone."""
+
+    def run():
+        solver = SatSolver()
+        cnf = CnfBuilder(mult_miter, solver)
+        unsat = 0
+        for po in mult_miter.pos[:4]:
+            selector = solver.new_var()
+            sel = selector << 1
+            solver.add_clause([sel ^ 1, cnf.literal(po)])
+            from repro.sat.solver import SolveStatus
+
+            if solver.solve(assumptions=[sel]) is SolveStatus.UNSAT:
+                unsat += 1
+            solver.add_clause([sel ^ 1])
+        return unsat
+
+    unsat = benchmark(run)
+    assert unsat == 4  # every miter PO is constant false
+
+
+def test_kernel_window_merging(benchmark, mult_miter):
+    """Sort-and-merge heuristic over all global-checking windows."""
+    from repro.simulation.merging import merge_windows
+
+    supports = supports_capped(mult_miter, 16)
+    windows = []
+    for i, po in enumerate(mult_miter.pos):
+        supp = supports[po >> 1]
+        if supp is None or not supp:
+            continue
+        roots = [po >> 1] if (po >> 1) not in supp else []
+        windows.append(
+            build_window(mult_miter, sorted(supp), roots, [Pair(po, 0, i)])
+        )
+    merged = benchmark(merge_windows, mult_miter, windows, 16)
+    assert sum(len(w.pairs) for w in merged) == len(windows)

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""LUT mapping with priority cuts, verified by our own CEC engine.
+
+The paper's cut generator comes straight from LUT-mapping technology
+(priority cuts, ICCAD'07).  This example closes the loop: map a circuit
+onto 6-input LUTs, re-synthesise the LUT network back into an AIG, and
+prove the round trip equivalent with the simulation-based engine.
+
+Run:  python examples/lut_mapping.py
+"""
+
+from repro import check_equivalence
+from repro.bench.generators import kogge_stone_adder, multiplier
+from repro.map import lut_network_to_aig, map_luts
+
+
+def demo(label, aig, k):
+    network = map_luts(aig, k=k)
+    print(f"\n{label}: {aig.num_ands} ANDs, depth {aig.depth()}")
+    print(f"  mapped -> {network.num_luts} LUT{k}s, depth {network.depth()}")
+    remade = lut_network_to_aig(network)
+    print(f"  re-synthesised -> {remade.num_ands} ANDs")
+    result = check_equivalence(aig, remade)
+    print(f"  CEC verdict: {result.status.value} "
+          f"(engine reduced {result.report.reduction_percent:.1f}%)")
+    assert result.is_equivalent
+
+
+def main() -> None:
+    demo("multiplier(6)", multiplier(6), k=6)
+    demo("kogge_stone_adder(16)", kogge_stone_adder(16), k=4)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Table II (and print Fig. 6 / Fig. 7 data).
+
+Builds the benchmark suite (original vs resyn2-optimised, enlarged by
+``double``), runs the three checkers per case and prints the Table II
+layout, then the Fig. 6 phase breakdown and the Fig. 7 normalised
+intermediate-miter times.
+
+Run:  python examples/reproduce_table2.py --profile tiny          # ~1 min
+      python examples/reproduce_table2.py --profile default       # long
+      python examples/reproduce_table2.py --cases multiplier,voter
+"""
+
+import argparse
+
+from repro.bench.harness import (
+    format_fig6,
+    format_fig7,
+    format_table2,
+    run_fig6,
+    run_fig7,
+    run_table2,
+)
+from repro.bench.suite import default_suite
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="tiny",
+                        choices=["tiny", "default"])
+    parser.add_argument("--cases", default=None,
+                        help="comma-separated subset of case names")
+    parser.add_argument("--time-limit", type=float, default=120.0,
+                        help="per-baseline wall clock budget (seconds)")
+    parser.add_argument("--skip-fig7", action="store_true")
+    args = parser.parse_args()
+
+    only = args.cases.split(",") if args.cases else None
+    print(f"building suite (profile={args.profile}) ...")
+    cases = default_suite(args.profile, only=only)
+    for case in cases:
+        stats = case.stats()
+        print(f"  {case.name:<18} miter {stats['miter_nodes']:>7} ANDs, "
+              f"{stats['miter_levels']:>4} levels")
+
+    print("\nrunning Table II comparison ...")
+    rows = run_table2(cases, baseline_time_limit=args.time_limit)
+    print(format_table2(rows))
+
+    print("\nFig. 6 — engine phase breakdown:")
+    print(format_fig6(run_fig6(cases)))
+
+    if not args.skip_fig7:
+        print("\nFig. 7 — SAT time on intermediate miters (normalised):")
+        fig7_cases = [c for c in cases
+                      if not c.name.startswith(("log2", "sin", "sqrt"))]
+        print(format_fig7(run_fig7(fig7_cases, time_limit=args.time_limit)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Why cut selection matters: measuring SDCs at candidate cuts.
+
+Local function checking (paper §III-C) proves a pair only when the
+local truth tables match; satisfiability don't-cares (SDCs) at the cut
+can mask a real equivalence.  The paper's Table I criteria are designed
+to pick cuts with few SDCs — small cuts that pull reconvergence inside
+the cone, and high-fanout nodes as cut points.
+
+This script enumerates cuts for nodes of a multiplier and reports, per
+Table I pass, the average SDC ratio and reconvergence of the selected
+cuts, empirically backing the §III-C1 design discussion.
+
+Run:  python examples/sdc_analysis.py
+"""
+
+from repro import multiplier
+from repro.analysis import reconvergent_node_count, sdc_ratio
+from repro.cuts.enumeration import CutEnumerator
+from repro.cuts.selection import CutSelector
+
+
+def main() -> None:
+    aig = multiplier(5)
+    fanouts = aig.fanout_counts()
+    levels = aig.levels()
+
+    print(f"circuit: {aig.name} ({aig.num_ands} ANDs)\n")
+    print(f"{'pass':<6}{'cuts':>6}{'avg size':>10}{'avg SDC%':>10}"
+          f"{'avg reconv':>12}")
+    for pass_id in (1, 2, 3):
+        selector = CutSelector(pass_id, fanouts, levels)
+        enumerator = CutEnumerator(aig, k_l=5, num_priority=4,
+                                   selector=selector)
+        sizes, sdcs, reconv, count = 0.0, 0.0, 0.0, 0
+        for _level, nodes in enumerator.run({}):
+            for node in nodes:
+                if levels[node] < 3:    # skip trivial shallow cones
+                    continue
+                for cut in enumerator.priority_cuts(node)[:2]:
+                    if len(cut) < 2:
+                        continue
+                    try:
+                        ratio = sdc_ratio(aig, cut, max_support=12)
+                    except ValueError:
+                        continue
+                    sizes += len(cut)
+                    sdcs += ratio
+                    reconv += reconvergent_node_count(aig, node, cut)
+                    count += 1
+        if count:
+            print(f"{pass_id:<6}{count:>6}{sizes / count:>10.2f}"
+                  f"{100 * sdcs / count:>10.2f}{reconv / count:>12.2f}")
+
+    print("\ninterpretation: passes preferring small, high-fanout cuts")
+    print("(pass 1) keep SDC ratios low, which is exactly why identical")
+    print("local functions at those cuts usually exist for true equivalences.")
+
+
+if __name__ == "__main__":
+    main()

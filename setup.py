@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, which modern
+``pip install -e .`` needs to build a PEP-660 editable wheel.  This shim
+lets ``python setup.py develop`` perform the equivalent legacy editable
+install; all real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""And-Inverter Graph (AIG) substrate.
+
+This subpackage provides the circuit representation used throughout the
+engine: an array-based AIG with AIGER-style literal encoding, a structural
+hashing builder, topological utilities (levels, cones, supports), AIGER
+file I/O, miter construction and the network transforms (``double``,
+cleanup, cone extraction) needed by the experimental protocol.
+"""
+
+from repro.aig.literals import (
+    CONST0,
+    CONST1,
+    lit,
+    lit_cpl,
+    lit_is_const,
+    lit_not,
+    lit_regular,
+    lit_var,
+)
+from repro.aig.network import Aig
+from repro.aig.builder import AigBuilder
+from repro.aig.miter import build_miter, split_miter_po_cones
+from repro.aig.traversal import (
+    collect_cone,
+    collect_tfo,
+    node_levels,
+    support,
+    support_sizes,
+    supports,
+)
+from repro.aig.transform import cleanup, cone_aig, double, relabel_compact
+from repro.aig.aiger import read_aiger, write_aiger
+
+__all__ = [
+    "CONST0",
+    "CONST1",
+    "Aig",
+    "AigBuilder",
+    "build_miter",
+    "cleanup",
+    "collect_cone",
+    "collect_tfo",
+    "cone_aig",
+    "double",
+    "lit",
+    "lit_cpl",
+    "lit_is_const",
+    "lit_not",
+    "lit_regular",
+    "lit_var",
+    "node_levels",
+    "read_aiger",
+    "relabel_compact",
+    "split_miter_po_cones",
+    "support",
+    "support_sizes",
+    "supports",
+    "write_aiger",
+]

@@ -1,0 +1,245 @@
+"""AIGER file I/O (ASCII ``.aag`` and binary ``.aig``).
+
+Implements the combinational subset of the AIGER 1.9 format: latches are
+rejected (this package is about combinational equivalence checking).
+The binary writer/reader uses the standard delta varint encoding.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import BinaryIO, List, Union
+
+from repro.aig.network import Aig
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def write_aiger(
+    aig: Aig,
+    path: PathLike,
+    binary: bool = True,
+    pi_names=None,
+    po_names=None,
+    comments=(),
+) -> None:
+    """Write ``aig`` to an AIGER file.
+
+    Binary (``aig``) format is the default; pass ``binary=False`` for the
+    human-readable ASCII (``aag``) format.  ``pi_names``/``po_names``
+    optionally emit the AIGER symbol table (``i<pos> name`` /
+    ``o<pos> name`` lines); ``comments`` go into the comment section.
+    """
+    with open(path, "wb") as handle:
+        if binary:
+            _write_binary(aig, handle)
+        else:
+            _write_ascii(aig, handle)
+        _write_symbols(handle, aig, pi_names, po_names, comments)
+
+
+def read_symbols(path: PathLike):
+    """Read the symbol table of an AIGER file.
+
+    Returns ``(pi_names, po_names)`` dictionaries keyed by position.
+    The binary AND section is skipped by decoding it, so stray ``i``/
+    ``o`` bytes inside the delta encoding cannot be misread as symbols.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    header_end = data.find(b"\n")
+    header = data[:header_end].split()
+    magic = header[0]
+    i, _l, o, a = (int(x) for x in header[2:6])
+    cursor = header_end + 1
+    if magic == b"aag":
+        lines_to_skip = i + o + a
+        for _ in range(lines_to_skip):
+            cursor = data.find(b"\n", cursor) + 1
+    else:
+        for _ in range(o):
+            cursor = data.find(b"\n", cursor) + 1
+        decoded = 0
+        while decoded < 2 * a:
+            if data[cursor] < 0x80:
+                decoded += 1
+            cursor += 1
+    pi_names = {}
+    po_names = {}
+    for raw in data[cursor:].split(b"\n"):
+        if raw.startswith(b"c"):
+            break
+        if raw[:1] in (b"i", b"o") and b" " in raw:
+            kind = raw[:1]
+            head, name = raw.split(b" ", 1)
+            try:
+                position = int(head[1:])
+            except ValueError:
+                continue
+            target = pi_names if kind == b"i" else po_names
+            target[position] = name.decode("utf-8")
+    return pi_names, po_names
+
+
+def _write_symbols(handle, aig, pi_names, po_names, comments) -> None:
+    lines = []
+    if pi_names:
+        for position in sorted(pi_names):
+            if not 0 <= position < aig.num_pis:
+                raise ValueError(f"PI symbol position {position} out of range")
+            lines.append(f"i{position} {pi_names[position]}")
+    if po_names:
+        for position in sorted(po_names):
+            if not 0 <= position < aig.num_pos:
+                raise ValueError(f"PO symbol position {position} out of range")
+            lines.append(f"o{position} {po_names[position]}")
+    if comments:
+        lines.append("c")
+        lines.extend(str(c) for c in comments)
+    if lines:
+        handle.write(("\n".join(lines) + "\n").encode("utf-8"))
+
+
+def read_aiger(path: PathLike) -> Aig:
+    """Read a combinational AIGER file (ASCII or binary, autodetected)."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    header_end = data.find(b"\n")
+    if header_end < 0:
+        raise ValueError("truncated AIGER file: no header line")
+    header = data[:header_end].split()
+    if not header or header[0] not in (b"aag", b"aig"):
+        raise ValueError("not an AIGER file (missing aag/aig magic)")
+    if len(header) < 6:
+        raise ValueError("malformed AIGER header")
+    m, i, l, o, a = (int(x) for x in header[1:6])
+    if l != 0:
+        raise ValueError("sequential AIGER files are not supported")
+    if m != i + a:
+        raise ValueError(f"inconsistent AIGER header: M={m}, I={i}, A={a}")
+    body = data[header_end + 1 :]
+    if header[0] == b"aag":
+        return _parse_ascii(body, i, o, a)
+    return _parse_binary(body, i, o, a)
+
+
+# ----------------------------------------------------------------------
+# ASCII format
+# ----------------------------------------------------------------------
+
+
+def _write_ascii(aig: Aig, handle: BinaryIO) -> None:
+    m = aig.num_pis + aig.num_ands
+    lines = [f"aag {m} {aig.num_pis} 0 {aig.num_pos} {aig.num_ands}"]
+    for pi in aig.pis():
+        lines.append(str(2 * pi))
+    for p in aig.pos:
+        lines.append(str(p))
+    f0s, f1s = aig.fanin_literals()
+    base = aig.first_and
+    for idx in range(aig.num_ands):
+        node = base + idx
+        lines.append(f"{2 * node} {int(f0s[idx])} {int(f1s[idx])}")
+    handle.write(("\n".join(lines) + "\n").encode("ascii"))
+
+
+def _parse_ascii(body: bytes, num_pis: int, num_pos: int, num_ands: int) -> Aig:
+    lines = body.decode("ascii").splitlines()
+    cursor = 0
+
+    def next_line() -> str:
+        nonlocal cursor
+        if cursor >= len(lines):
+            raise ValueError("truncated ASCII AIGER body")
+        line = lines[cursor]
+        cursor += 1
+        return line
+
+    for expected_pi in range(1, num_pis + 1):
+        literal = int(next_line())
+        if literal != 2 * expected_pi:
+            raise ValueError(
+                f"non-canonical PI literal {literal}; expected {2 * expected_pi}"
+            )
+    pos = [int(next_line()) for _ in range(num_pos)]
+    fanin0: List[int] = []
+    fanin1: List[int] = []
+    for idx in range(num_ands):
+        parts = next_line().split()
+        if len(parts) != 3:
+            raise ValueError(f"malformed AND line: {parts}")
+        lhs, rhs0, rhs1 = (int(x) for x in parts)
+        expected = 2 * (1 + num_pis + idx)
+        if lhs != expected:
+            raise ValueError(f"non-canonical AND literal {lhs}; expected {expected}")
+        fanin0.append(rhs0)
+        fanin1.append(rhs1)
+    return Aig(num_pis, fanin0, fanin1, pos)
+
+
+# ----------------------------------------------------------------------
+# Binary format
+# ----------------------------------------------------------------------
+
+
+def _encode_varint(value: int, out: bytearray) -> None:
+    while value >= 0x80:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _write_binary(aig: Aig, handle: BinaryIO) -> None:
+    m = aig.num_pis + aig.num_ands
+    header = f"aig {m} {aig.num_pis} 0 {aig.num_pos} {aig.num_ands}\n"
+    handle.write(header.encode("ascii"))
+    handle.write(("\n".join(str(p) for p in aig.pos) + "\n").encode("ascii") if aig.pos else b"")
+    payload = bytearray()
+    f0s, f1s = aig.fanin_literals()
+    base = aig.first_and
+    for idx in range(aig.num_ands):
+        lhs = 2 * (base + idx)
+        a, b = int(f0s[idx]), int(f1s[idx])
+        if a < b:
+            a, b = b, a
+        _encode_varint(lhs - a, payload)
+        _encode_varint(a - b, payload)
+    handle.write(bytes(payload))
+
+
+def _parse_binary(body: bytes, num_pis: int, num_pos: int, num_ands: int) -> Aig:
+    cursor = 0
+    pos: List[int] = []
+    for _ in range(num_pos):
+        end = body.find(b"\n", cursor)
+        if end < 0:
+            raise ValueError("truncated binary AIGER output section")
+        pos.append(int(body[cursor:end]))
+        cursor = end + 1
+
+    def next_varint() -> int:
+        nonlocal cursor
+        value, shift = 0, 0
+        while True:
+            if cursor >= len(body):
+                raise ValueError("truncated binary AIGER AND section")
+            byte = body[cursor]
+            cursor += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+
+    fanin0: List[int] = []
+    fanin1: List[int] = []
+    for idx in range(num_ands):
+        lhs = 2 * (1 + num_pis + idx)
+        delta0 = next_varint()
+        delta1 = next_varint()
+        a = lhs - delta0
+        b = a - delta1
+        if a < 0 or b < 0:
+            raise ValueError("invalid delta encoding in binary AIGER")
+        fanin0.append(b)
+        fanin1.append(a)
+    return Aig(num_pis, fanin0, fanin1, pos)

@@ -1,0 +1,249 @@
+"""Structurally hashed AIG construction.
+
+:class:`AigBuilder` is the only way networks are created in this code
+base.  It interns AND gates by their ordered fanin pair (structural
+hashing, "strashing") and applies the standard constant/identity
+simplifications, so trivially equal structures share nodes from the
+start — exactly what ABC's AIG manager does on construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.aig.literals import CONST0, CONST1, lit, lit_not
+from repro.aig.network import Aig
+
+
+class AigBuilder:
+    """Incremental builder for :class:`~repro.aig.network.Aig`.
+
+    Example
+    -------
+    >>> b = AigBuilder()
+    >>> x, y = b.add_pi(), b.add_pi()
+    >>> f = b.add_and(x, b.lit_not(y))
+    >>> b.add_po(f)
+    0
+    >>> aig = b.build("xandnoty")
+    >>> aig.evaluate([1, 0])
+    [1]
+    """
+
+    def __init__(self, num_pis: int = 0, name: str = "aig") -> None:
+        self.name = name
+        self._num_pis = 0
+        self._fanin0: List[int] = []
+        self._fanin1: List[int] = []
+        self._pos: List[int] = []
+        self._strash: Dict[Tuple[int, int], int] = {}
+        for _ in range(num_pis):
+            self.add_pi()
+
+    # ------------------------------------------------------------------
+    # Node creation
+    # ------------------------------------------------------------------
+
+    @property
+    def num_pis(self) -> int:
+        """Number of PIs added so far."""
+        return self._num_pis
+
+    @property
+    def num_ands(self) -> int:
+        """Number of AND nodes added so far."""
+        return len(self._fanin0)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count (constant + PIs + ANDs)."""
+        return 1 + self._num_pis + len(self._fanin0)
+
+    def add_pi(self) -> int:
+        """Append a primary input; returns its (non-inverted) literal."""
+        if self._fanin0:
+            raise RuntimeError("all PIs must be added before AND nodes")
+        self._num_pis += 1
+        return lit(self._num_pis)
+
+    def add_pis(self, count: int) -> List[int]:
+        """Append ``count`` PIs; returns their literals."""
+        return [self.add_pi() for _ in range(count)]
+
+    def add_and(self, a: int, b: int) -> int:
+        """Return the literal of ``a AND b``, creating a node if needed.
+
+        Applies the one-level simplification rules (x·x = x, x·x' = 0,
+        x·1 = x, x·0 = 0) and structural hashing, so the returned literal
+        may refer to an existing node or a constant.
+        """
+        if a > b:
+            a, b = b, a
+        if a == CONST0:
+            return CONST0
+        if a == CONST1:
+            return b
+        if a == b:
+            return a
+        if a == (b ^ 1):
+            return CONST0
+        key = (a, b)
+        node = self._strash.get(key)
+        if node is None:
+            node = 1 + self._num_pis + len(self._fanin0)
+            self._fanin0.append(a)
+            self._fanin1.append(b)
+            self._strash[key] = node
+        return lit(node)
+
+    def find_and(self, a: int, b: int) -> Optional[int]:
+        """Like :meth:`add_and` but never creates a node.
+
+        Returns the literal the conjunction would resolve to via
+        simplification or structural hashing, or ``None`` when a new node
+        would be needed.  Used by rewriting to estimate candidate costs
+        without mutating the builder.
+        """
+        if a > b:
+            a, b = b, a
+        if a == CONST0:
+            return CONST0
+        if a == CONST1:
+            return b
+        if a == b:
+            return a
+        if a == (b ^ 1):
+            return CONST0
+        node = self._strash.get((a, b))
+        return None if node is None else lit(node)
+
+    # ------------------------------------------------------------------
+    # Derived gates
+    # ------------------------------------------------------------------
+
+    def lit_not(self, a: int) -> int:
+        """Complement a literal (free in an AIG)."""
+        return lit_not(a)
+
+    def add_or(self, a: int, b: int) -> int:
+        """Return the literal of ``a OR b``."""
+        return lit_not(self.add_and(lit_not(a), lit_not(b)))
+
+    def add_xor(self, a: int, b: int) -> int:
+        """Return the literal of ``a XOR b`` (two-level AIG expansion)."""
+        return lit_not(
+            self.add_and(
+                lit_not(self.add_and(a, lit_not(b))),
+                lit_not(self.add_and(lit_not(a), b)),
+            )
+        )
+
+    def add_xnor(self, a: int, b: int) -> int:
+        """Return the literal of ``a XNOR b``."""
+        return lit_not(self.add_xor(a, b))
+
+    def add_mux(self, sel: int, then_lit: int, else_lit: int) -> int:
+        """Return ``sel ? then_lit : else_lit``."""
+        t = self.add_and(sel, then_lit)
+        e = self.add_and(lit_not(sel), else_lit)
+        return self.add_or(t, e)
+
+    def add_and_multi(self, literals: Iterable[int]) -> int:
+        """Balanced conjunction of an arbitrary number of literals."""
+        lits = list(literals)
+        if not lits:
+            return CONST1
+        while len(lits) > 1:
+            nxt = []
+            for i in range(0, len(lits) - 1, 2):
+                nxt.append(self.add_and(lits[i], lits[i + 1]))
+            if len(lits) % 2:
+                nxt.append(lits[-1])
+            lits = nxt
+        return lits[0]
+
+    def add_or_multi(self, literals: Iterable[int]) -> int:
+        """Balanced disjunction of an arbitrary number of literals."""
+        return lit_not(self.add_and_multi(lit_not(x) for x in literals))
+
+    def add_xor_multi(self, literals: Iterable[int]) -> int:
+        """Balanced parity of an arbitrary number of literals."""
+        lits = list(literals)
+        if not lits:
+            return CONST0
+        while len(lits) > 1:
+            nxt = []
+            for i in range(0, len(lits) - 1, 2):
+                nxt.append(self.add_xor(lits[i], lits[i + 1]))
+            if len(lits) % 2:
+                nxt.append(lits[-1])
+            lits = nxt
+        return lits[0]
+
+    def add_maj3(self, a: int, b: int, c: int) -> int:
+        """Return the 3-input majority ``ab + ac + bc``."""
+        return self.add_or(
+            self.add_and(a, b),
+            self.add_or(self.add_and(a, c), self.add_and(b, c)),
+        )
+
+    def add_full_adder(self, a: int, b: int, cin: int) -> Tuple[int, int]:
+        """Return the ``(sum, carry)`` literals of a full adder."""
+        s = self.add_xor(self.add_xor(a, b), cin)
+        c = self.add_maj3(a, b, cin)
+        return s, c
+
+    # ------------------------------------------------------------------
+    # Outputs and finalisation
+    # ------------------------------------------------------------------
+
+    def add_po(self, literal: int) -> int:
+        """Register a primary output; returns its PO index."""
+        if literal < 0 or (literal >> 1) >= self.num_nodes:
+            raise ValueError(f"PO literal {literal} out of range")
+        self._pos.append(literal)
+        return len(self._pos) - 1
+
+    def add_pos(self, literals: Sequence[int]) -> None:
+        """Register a sequence of primary outputs."""
+        for literal in literals:
+            self.add_po(literal)
+
+    def build(self, name: Optional[str] = None) -> Aig:
+        """Freeze the builder into an :class:`Aig`."""
+        return Aig(
+            self._num_pis,
+            list(self._fanin0),
+            list(self._fanin1),
+            list(self._pos),
+            name=name if name is not None else self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Importing logic from an existing network
+    # ------------------------------------------------------------------
+
+    def import_cone(self, aig: Aig, leaf_map: Dict[int, int]) -> Dict[int, int]:
+        """Copy logic from ``aig`` into this builder.
+
+        ``leaf_map`` maps node ids of ``aig`` (typically its PIs, but any
+        cut works) to literals of this builder.  Every AND node of ``aig``
+        reachable through the map is rebuilt here with strashing.  Returns
+        the completed node-id → literal map, which includes every AND of
+        ``aig`` whose fanin cone is covered by ``leaf_map``.
+        """
+        mapping = dict(leaf_map)
+        mapping[0] = CONST0
+        f0s, f1s = aig.fanin_literals()
+        base = aig.first_and
+        for i in range(aig.num_ands):
+            node = base + i
+            if node in mapping:
+                continue
+            v0, v1 = int(f0s[i]) >> 1, int(f1s[i]) >> 1
+            if v0 not in mapping or v1 not in mapping:
+                continue
+            a = mapping[v0] ^ (int(f0s[i]) & 1)
+            b = mapping[v1] ^ (int(f1s[i]) & 1)
+            mapping[node] = self.add_and(a, b)
+        return mapping

@@ -1,0 +1,68 @@
+"""Graphviz DOT export for visual debugging.
+
+Small networks (counter-example cones, windows, failing cuts) are much
+easier to reason about as pictures.  The exporter draws PIs as boxes,
+ANDs as circles, POs as double circles; complemented edges are dashed —
+the conventional AIG rendering.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional, Set, Union
+
+from repro.aig.network import Aig
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def to_dot(
+    aig: Aig,
+    highlight: Iterable[int] = (),
+    title: Optional[str] = None,
+) -> str:
+    """Render a network as a DOT string.
+
+    ``highlight`` node ids are filled (e.g. a window's cut or a pair of
+    candidate nodes under investigation).
+    """
+    highlighted: Set[int] = set(highlight)
+    lines = ["digraph aig {", "  rankdir=BT;"]
+    if title or aig.name:
+        lines.append(f'  label="{title or aig.name}";')
+    lines.append('  node [fontname="monospace"];')
+    for pi in aig.pis():
+        style = ', style=filled, fillcolor="#ffd27f"' if pi in highlighted else ""
+        lines.append(f'  n{pi} [label="x{pi}", shape=box{style}];')
+    f0s, f1s = aig.fanin_literals()
+    base = aig.first_and
+    for i in range(aig.num_ands):
+        node = base + i
+        style = (
+            ', style=filled, fillcolor="#9fd4ff"'
+            if node in highlighted
+            else ""
+        )
+        lines.append(f'  n{node} [label="{node}", shape=circle{style}];')
+        for edge in (int(f0s[i]), int(f1s[i])):
+            dashed = ", style=dashed" if edge & 1 else ""
+            lines.append(f"  n{edge >> 1} -> n{node} [dir=none{dashed}];")
+    for idx, po in enumerate(aig.pos):
+        lines.append(
+            f'  o{idx} [label="po{idx}", shape=doublecircle];'
+        )
+        dashed = ", style=dashed" if po & 1 else ""
+        lines.append(f"  n{po >> 1} -> o{idx} [dir=none{dashed}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(
+    aig: Aig,
+    path: PathLike,
+    highlight: Iterable[int] = (),
+    title: Optional[str] = None,
+) -> None:
+    """Write the DOT rendering to a file."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(to_dot(aig, highlight=highlight, title=title) + "\n")

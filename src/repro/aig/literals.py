@@ -1,0 +1,49 @@
+"""AIGER-style literal encoding.
+
+A *literal* encodes a node reference together with an optional inversion:
+``lit = 2 * var + phase`` where ``var`` is the node id and ``phase`` is 1
+when the edge is complemented.  Node 0 is the constant-false node, hence
+literal 0 is constant false and literal 1 is constant true.
+
+These helpers are deliberately tiny, free functions so that hot loops can
+inline the arithmetic directly when needed; they exist to give names to the
+bit tricks at API boundaries.
+"""
+
+from __future__ import annotations
+
+#: Literal of the constant-false function (node 0, non-inverted).
+CONST0 = 0
+
+#: Literal of the constant-true function (node 0, inverted).
+CONST1 = 1
+
+
+def lit(var: int, phase: int = 0) -> int:
+    """Return the literal referring to node ``var`` with the given phase."""
+    return (var << 1) | phase
+
+
+def lit_var(literal: int) -> int:
+    """Return the node id a literal refers to."""
+    return literal >> 1
+
+
+def lit_cpl(literal: int) -> int:
+    """Return 1 if the literal is complemented, else 0."""
+    return literal & 1
+
+
+def lit_not(literal: int) -> int:
+    """Return the complement of a literal."""
+    return literal ^ 1
+
+
+def lit_regular(literal: int) -> int:
+    """Return the non-complemented literal of the same node."""
+    return literal & ~1
+
+
+def lit_is_const(literal: int) -> bool:
+    """Return True if the literal refers to the constant node."""
+    return (literal >> 1) == 0

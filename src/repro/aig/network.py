@@ -1,0 +1,305 @@
+"""Array-based And-Inverter Graph.
+
+The :class:`Aig` stores the whole network in flat arrays indexed by node id:
+
+- node 0 is the constant-false node,
+- nodes ``1 .. num_pis`` are the primary inputs,
+- the remaining nodes are two-input AND gates whose fanins are literals
+  (see :mod:`repro.aig.literals`) of *strictly smaller* node ids.
+
+The strict id ordering means node ids form a valid topological order, which
+the simulators exploit: every bottom-up pass is a single sweep over the
+fanin arrays, and per-level batches can be formed with one ``numpy`` pass.
+
+Instances are append-only; structural rewrites (merging equivalent nodes,
+removing dangling logic) produce *new* networks via
+:mod:`repro.aig.transform`.  This immutability-by-convention keeps the
+sweeping engine honest about when node ids are remapped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.aig.literals import lit_cpl, lit_not, lit_var
+
+
+class Aig:
+    """A combinational And-Inverter Graph.
+
+    Parameters
+    ----------
+    num_pis:
+        Number of primary inputs.
+    fanin0, fanin1:
+        Fanin literals of the AND nodes, one entry per AND node in id
+        order (the AND with id ``num_pis + 1 + i`` has fanins
+        ``fanin0[i]`` and ``fanin1[i]``).  Both fanins must refer to
+        nodes with smaller ids.
+    pos:
+        Primary output literals.
+    name:
+        Optional display name used by reports and benchmarks.
+    """
+
+    __slots__ = (
+        "num_pis",
+        "_fanin0",
+        "_fanin1",
+        "pos",
+        "name",
+        "_levels",
+        "_fanin_lists",
+    )
+
+    def __init__(
+        self,
+        num_pis: int,
+        fanin0: Sequence[int],
+        fanin1: Sequence[int],
+        pos: Sequence[int],
+        name: str = "aig",
+    ) -> None:
+        if num_pis < 0:
+            raise ValueError("num_pis must be non-negative")
+        if len(fanin0) != len(fanin1):
+            raise ValueError("fanin arrays must have equal length")
+        self.num_pis = num_pis
+        self._fanin0 = np.asarray(fanin0, dtype=np.int64)
+        self._fanin1 = np.asarray(fanin1, dtype=np.int64)
+        self.pos: List[int] = list(int(p) for p in pos)
+        self.name = name
+        self._levels: Optional[np.ndarray] = None
+        self._fanin_lists: Optional[tuple] = None
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_ands(self) -> int:
+        """Number of AND nodes."""
+        return int(self._fanin0.shape[0])
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes including the constant node and PIs."""
+        return 1 + self.num_pis + self.num_ands
+
+    @property
+    def num_pos(self) -> int:
+        """Number of primary outputs."""
+        return len(self.pos)
+
+    @property
+    def first_and(self) -> int:
+        """Id of the first AND node."""
+        return 1 + self.num_pis
+
+    def is_const(self, node: int) -> bool:
+        """Return True if ``node`` is the constant-false node."""
+        return node == 0
+
+    def is_pi(self, node: int) -> bool:
+        """Return True if ``node`` is a primary input."""
+        return 1 <= node <= self.num_pis
+
+    def is_and(self, node: int) -> bool:
+        """Return True if ``node`` is an AND gate."""
+        return self.first_and <= node < self.num_nodes
+
+    def fanins(self, node: int) -> tuple:
+        """Return the two fanin literals of an AND node."""
+        if not self.is_and(node):
+            raise ValueError(f"node {node} is not an AND gate")
+        i = node - self.first_and
+        return int(self._fanin0[i]), int(self._fanin1[i])
+
+    def fanin_literals(self) -> tuple:
+        """Return the raw ``(fanin0, fanin1)`` arrays (AND nodes only)."""
+        return self._fanin0, self._fanin1
+
+    def fanin_lists(self) -> tuple:
+        """Fanin literals as plain Python lists indexed by *node id*.
+
+        Entries for the constant node and PIs are 0.  Cached — NumPy
+        scalar indexing is an order of magnitude slower than list
+        indexing, and the cut/window machinery reads fanins millions of
+        times per sweep.
+        """
+        if self._fanin_lists is None:
+            pad = [0] * self.first_and
+            self._fanin_lists = (
+                pad + self._fanin0.tolist(),
+                pad + self._fanin1.tolist(),
+            )
+        return self._fanin_lists
+
+    def ands(self) -> Iterator[int]:
+        """Iterate over AND node ids in topological order."""
+        return iter(range(self.first_and, self.num_nodes))
+
+    def pis(self) -> Iterator[int]:
+        """Iterate over PI node ids."""
+        return iter(range(1, self.num_pis + 1))
+
+    # ------------------------------------------------------------------
+    # Derived information
+    # ------------------------------------------------------------------
+
+    def levels(self) -> np.ndarray:
+        """Return the level of every node (PIs and constant are level 0).
+
+        The level of an AND node is ``1 + max(level of fanins)``; the level
+        of the network (see :meth:`depth`) is the maximum PO level.  The
+        result is cached — the network is append-only so levels never
+        change once computed.
+        """
+        if self._levels is None or self._levels.shape[0] != self.num_nodes:
+            levels = np.zeros(self.num_nodes, dtype=np.int64)
+            f0, f1 = self._fanin0, self._fanin1
+            base = self.first_and
+            for i in range(self.num_ands):
+                l0 = levels[f0[i] >> 1]
+                l1 = levels[f1[i] >> 1]
+                levels[base + i] = (l0 if l0 >= l1 else l1) + 1
+            self._levels = levels
+        return self._levels
+
+    def depth(self) -> int:
+        """Return the level of the network (max level over the POs)."""
+        if not self.pos:
+            return 0
+        levels = self.levels()
+        return int(max(levels[lit_var(p)] for p in self.pos))
+
+    def fanout_counts(self) -> np.ndarray:
+        """Return the number of fanouts of every node.
+
+        PO references count as fanouts, matching the fanout-based cut
+        selection heuristic of the paper (§III-C1), where highly observed
+        nodes make good cut points.
+        """
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        np.add.at(counts, self._fanin0 >> 1, 1)
+        np.add.at(counts, self._fanin1 >> 1, 1)
+        for p in self.pos:
+            counts[lit_var(p)] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Evaluation (reference semantics, used by tests and CEX replay)
+    # ------------------------------------------------------------------
+
+    def evaluate(self, pi_values: Sequence[int]) -> List[int]:
+        """Evaluate the network under a single input assignment.
+
+        Parameters
+        ----------
+        pi_values:
+            One 0/1 value per primary input, in PI order.
+
+        Returns
+        -------
+        list of int
+            One 0/1 value per primary output.
+
+        This is the *reference* evaluator: simple, obviously correct and
+        used to cross-check the word-parallel simulators and to replay
+        counter-examples.
+        """
+        values = self.evaluate_all(pi_values)
+        return [int(values[p >> 1] ^ (p & 1)) for p in self.pos]
+
+    def evaluate_all(self, pi_values: Sequence[int]) -> np.ndarray:
+        """Evaluate every node under one assignment; returns 0/1 per node."""
+        if len(pi_values) != self.num_pis:
+            raise ValueError(
+                f"expected {self.num_pis} input values, got {len(pi_values)}"
+            )
+        values = np.zeros(self.num_nodes, dtype=np.uint8)
+        for i, v in enumerate(pi_values):
+            values[1 + i] = 1 if v else 0
+        f0, f1 = self._fanin0, self._fanin1
+        base = self.first_and
+        for i in range(self.num_ands):
+            a = values[f0[i] >> 1] ^ (f0[i] & 1)
+            b = values[f1[i] >> 1] ^ (f1[i] & 1)
+            values[base + i] = a & b
+        return values
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+
+    def lit_level(self, literal: int) -> int:
+        """Return the level of the node referred to by a literal."""
+        return int(self.levels()[lit_var(literal)])
+
+    def copy(self, name: Optional[str] = None) -> "Aig":
+        """Return a deep copy (fresh fanin arrays and PO list)."""
+        return Aig(
+            self.num_pis,
+            self._fanin0.copy(),
+            self._fanin1.copy(),
+            list(self.pos),
+            name=name if name is not None else self.name,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Aig(name={self.name!r}, pis={self.num_pis}, "
+            f"ands={self.num_ands}, pos={self.num_pos})"
+        )
+
+    def __getstate__(self):
+        """Pickle support (``__slots__`` classes need this explicitly).
+
+        Caches are dropped; they rebuild lazily after unpickling.  Used
+        by the multiprocessing portfolio checker.
+        """
+        return {
+            "num_pis": self.num_pis,
+            "fanin0": self._fanin0,
+            "fanin1": self._fanin1,
+            "pos": self.pos,
+            "name": self.name,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.__init__(
+            state["num_pis"],
+            state["fanin0"],
+            state["fanin1"],
+            state["pos"],
+            name=state["name"],
+        )
+
+    def _validate(self) -> None:
+        base = self.first_and
+        f0, f1 = self._fanin0, self._fanin1
+        if self.num_ands:
+            ids = np.arange(base, base + self.num_ands, dtype=np.int64)
+            if np.any((f0 >> 1) >= ids) or np.any((f1 >> 1) >= ids):
+                raise ValueError("fanin ids must be smaller than the node id")
+            if np.any(f0 < 0) or np.any(f1 < 0):
+                raise ValueError("fanin literals must be non-negative")
+        for p in self.pos:
+            if p < 0 or (p >> 1) >= self.num_nodes:
+                raise ValueError(f"PO literal {p} out of range")
+
+
+def negate_outputs(aig: Aig, which: Optional[Iterable[int]] = None) -> Aig:
+    """Return a copy of ``aig`` with the selected POs complemented.
+
+    ``which`` is an iterable of PO indices; all POs are complemented when
+    it is omitted.  Used by tests to construct near-miss miters.
+    """
+    result = aig.copy()
+    indices = range(len(result.pos)) if which is None else which
+    for i in indices:
+        result.pos[i] = lit_not(result.pos[i])
+    return result

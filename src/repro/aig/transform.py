@@ -1,0 +1,181 @@
+"""Whole-network transforms: cleanup, node merging, ``double``, cones.
+
+These are the structural operations the sweeping engine and the
+experimental protocol need:
+
+- :func:`cleanup` removes logic not reachable from the POs and re-hashes
+  the rest (ABC ``cleanup`` + implicit strash);
+- :func:`rebuild_with_replacements` applies a batch of "node → equivalent
+  literal" merges, which is how proved equivalences reduce the miter;
+- :func:`double` duplicates a network with fresh PIs/POs, reproducing the
+  ABC ``double`` command the paper uses to enlarge benchmarks;
+- :func:`cone_aig` extracts the fanin cone of selected POs as a standalone
+  network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.aig.builder import AigBuilder
+from repro.aig.literals import CONST0, lit, lit_var
+from repro.aig.network import Aig
+
+
+def cleanup(aig: Aig, name: Optional[str] = None) -> Aig:
+    """Return a copy without dangling logic, structurally hashed.
+
+    Only AND nodes in the transitive fanin of some PO survive.  PIs are
+    always kept (the interface of the network must not change).  Node ids
+    are compacted but the relative order is preserved, so the result is
+    still topologically sorted.
+    """
+    new_aig, _ = relabel_compact(aig, name=name)
+    return new_aig
+
+
+def relabel_compact(
+    aig: Aig, name: Optional[str] = None
+) -> Tuple[Aig, Dict[int, int]]:
+    """Like :func:`cleanup` but also return the old-node → new-literal map.
+
+    Nodes that were swept away do not appear in the map.
+    """
+    builder = AigBuilder(aig.num_pis, name=name or aig.name)
+    reachable = _reachable_from_pos(aig)
+    new_lit: Dict[int, int] = {0: CONST0}
+    for pi in aig.pis():
+        new_lit[pi] = lit(pi)
+    f0s, f1s = aig.fanin_literals()
+    base = aig.first_and
+    for i in range(aig.num_ands):
+        node = base + i
+        if not reachable[node]:
+            continue
+        a = new_lit[int(f0s[i]) >> 1] ^ (int(f0s[i]) & 1)
+        b = new_lit[int(f1s[i]) >> 1] ^ (int(f1s[i]) & 1)
+        new_lit[node] = builder.add_and(a, b)
+    for p in aig.pos:
+        builder.add_po(new_lit[lit_var(p)] ^ (p & 1))
+    return builder.build(), new_lit
+
+
+def rebuild_with_replacements(
+    aig: Aig,
+    replacements: Dict[int, int],
+    name: Optional[str] = None,
+) -> Tuple[Aig, Dict[int, int]]:
+    """Merge equivalent nodes and rebuild the network.
+
+    ``replacements`` maps a node id to the literal it is equivalent to
+    (possibly complemented).  Every replacement target must refer to a
+    node with a *smaller* id — the sweeping engine guarantees this because
+    class representatives have the minimum id of their class.  Chains
+    (a → b, b → c) are resolved transitively.
+
+    Returns the reduced, cleaned-up network together with the old-node →
+    new-literal map (missing entries were swept away).
+    """
+    for node, target in replacements.items():
+        if lit_var(target) >= node:
+            raise ValueError(
+                f"replacement target {target} of node {node} must have a smaller id"
+            )
+    builder = AigBuilder(aig.num_pis, name=name or aig.name)
+    new_lit: Dict[int, int] = {0: CONST0}
+    for pi in aig.pis():
+        if pi in replacements:
+            # A PI can only be replaced by the constant or an earlier PI.
+            target = replacements[pi]
+            new_lit[pi] = new_lit[lit_var(target)] ^ (target & 1)
+        else:
+            new_lit[pi] = lit(pi)
+    f0s, f1s = aig.fanin_literals()
+    base = aig.first_and
+    for i in range(aig.num_ands):
+        node = base + i
+        target = replacements.get(node)
+        if target is not None:
+            new_lit[node] = new_lit[lit_var(target)] ^ (target & 1)
+        else:
+            a = new_lit[int(f0s[i]) >> 1] ^ (int(f0s[i]) & 1)
+            b = new_lit[int(f1s[i]) >> 1] ^ (int(f1s[i]) & 1)
+            new_lit[node] = builder.add_and(a, b)
+    for p in aig.pos:
+        builder.add_po(new_lit[lit_var(p)] ^ (p & 1))
+    reduced = builder.build()
+    cleaned, compact_map = relabel_compact(reduced, name=name or aig.name)
+    final_map = {
+        node: compact_map[lit_var(l)] ^ (l & 1)
+        for node, l in new_lit.items()
+        if lit_var(l) in compact_map
+    }
+    return cleaned, final_map
+
+
+def double(aig: Aig, times: int = 1) -> Aig:
+    """Duplicate the network ``times`` times (ABC ``double``).
+
+    Each application produces a network with two disjoint copies of the
+    input: twice the PIs, twice the POs and twice the AND nodes.  This is
+    the enlargement protocol used by the paper's experiments ("nxd" in
+    benchmark names means n applications of ``double``).
+    """
+    result = aig
+    for _ in range(times):
+        builder = AigBuilder(2 * result.num_pis, name=result.name)
+        maps = []
+        for copy_idx in range(2):
+            offset = copy_idx * result.num_pis
+            leaf_map = {
+                pi: lit(pi + offset) for pi in result.pis()
+            }
+            maps.append(builder.import_cone(result, leaf_map))
+        for copy_idx in range(2):
+            mapping = maps[copy_idx]
+            for p in result.pos:
+                builder.add_po(mapping[lit_var(p)] ^ (p & 1))
+        result = builder.build(f"{aig.name}")
+    return result
+
+
+def cone_aig(
+    aig: Aig, po_indices: Sequence[int], name: Optional[str] = None
+) -> Aig:
+    """Extract the fanin cone of the selected POs as a standalone network.
+
+    The result keeps *all* PIs of the original network (so PI indices stay
+    meaningful for counter-example replay) but contains only the AND logic
+    feeding the selected POs.
+    """
+    selected = [aig.pos[i] for i in po_indices]
+    trimmed = Aig(
+        aig.num_pis,
+        aig.fanin_literals()[0],
+        aig.fanin_literals()[1],
+        selected,
+        name=name or f"{aig.name}_cone",
+    )
+    return cleanup(trimmed, name=name or f"{aig.name}_cone")
+
+
+def compose_pipeline(transforms: Iterable, aig: Aig) -> Aig:
+    """Apply a sequence of ``Aig -> Aig`` transforms left to right."""
+    result = aig
+    for transform in transforms:
+        result = transform(result)
+    return result
+
+
+def _reachable_from_pos(aig: Aig) -> List[bool]:
+    reachable = [False] * aig.num_nodes
+    stack = [lit_var(p) for p in aig.pos]
+    while stack:
+        node = stack.pop()
+        if reachable[node] or not aig.is_and(node):
+            continue
+        reachable[node] = True
+        f0, f1 = aig.fanins(node)
+        stack.append(f0 >> 1)
+        stack.append(f1 >> 1)
+    return reachable

@@ -1,0 +1,62 @@
+"""Structural invariant checking.
+
+``check_invariants`` audits the representation-level properties the rest
+of the code base assumes.  Transform tests call it after every rewrite;
+it is intentionally strict — violations indicate a bug in whatever
+produced the network, not a recoverable condition.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.aig.network import Aig
+
+
+class InvariantViolation(AssertionError):
+    """A structural invariant of the AIG representation is broken."""
+
+
+def check_invariants(aig: Aig, strashed: bool = True) -> None:
+    """Raise :class:`InvariantViolation` on any broken invariant.
+
+    Checked properties:
+
+    1. fanin ids strictly smaller than the node id (topological ids);
+    2. no AND node references the constant node (the builder's
+       simplification rules make that impossible);
+    3. no two AND nodes share an ordered fanin pair (structural
+       hashing), unless ``strashed=False``;
+    4. PO literals reference existing nodes.
+    """
+    problems = list(iter_violations(aig, strashed=strashed))
+    if problems:
+        raise InvariantViolation("; ".join(problems))
+
+
+def iter_violations(aig: Aig, strashed: bool = True) -> List[str]:
+    """Collect violation descriptions instead of raising (for tests)."""
+    problems: List[str] = []
+    f0s, f1s = aig.fanin_literals()
+    base = aig.first_and
+    seen_pairs = {}
+    for i in range(aig.num_ands):
+        node = base + i
+        f0, f1 = int(f0s[i]), int(f1s[i])
+        if (f0 >> 1) >= node or (f1 >> 1) >= node:
+            problems.append(f"node {node} has a non-topological fanin")
+        if (f0 >> 1) == 0 or (f1 >> 1) == 0:
+            problems.append(f"node {node} references the constant node")
+        if strashed:
+            key = (f0, f1) if f0 <= f1 else (f1, f0)
+            other = seen_pairs.get(key)
+            if other is not None:
+                problems.append(
+                    f"nodes {other} and {node} duplicate fanin pair {key}"
+                )
+            else:
+                seen_pairs[key] = node
+    for idx, po in enumerate(aig.pos):
+        if po < 0 or (po >> 1) >= aig.num_nodes:
+            problems.append(f"PO {idx} literal {po} out of range")
+    return problems

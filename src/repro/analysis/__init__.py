@@ -1,0 +1,42 @@
+"""Analysis utilities: satisfiability don't-cares and cut quality.
+
+Local function checking (§III-C) is inconclusive exactly when a cut
+carries satisfiability don't-cares (SDCs) that make equal global
+functions look locally different.  This subpackage measures those SDCs —
+exactly, when the cut's global support is small, or statistically via
+random simulation otherwise — and quantifies the reconvergence the paper
+identifies as their main cause, which is what motivates the cut
+selection criteria of Table I.
+"""
+
+from repro.analysis.brute import (
+    exhaustive_equivalent,
+    exhaustive_po_signatures,
+)
+from repro.analysis.cex_min import (
+    care_count,
+    distinguishes,
+    format_care_pattern,
+    minimize_cex,
+)
+from repro.analysis.sdc import (
+    cut_support,
+    exact_cut_patterns,
+    observed_cut_patterns,
+    reconvergent_node_count,
+    sdc_ratio,
+)
+
+__all__ = [
+    "care_count",
+    "cut_support",
+    "distinguishes",
+    "exact_cut_patterns",
+    "exhaustive_equivalent",
+    "exhaustive_po_signatures",
+    "format_care_pattern",
+    "minimize_cex",
+    "observed_cut_patterns",
+    "reconvergent_node_count",
+    "sdc_ratio",
+]

@@ -1,0 +1,62 @@
+"""Counter-example minimisation.
+
+A raw CEX from a checker assigns every PI, but usually only a handful of
+values matter.  Reporting the *care set* makes debugging a disproved
+netlist much faster: the don't-care inputs can be struck from the
+failure report, and the care pattern often points straight at the buggy
+cone.
+
+``minimize_cex`` greedily tests each input against the reference
+pattern: an input is a *don't-care* when flipping it alone (all other
+inputs at their reference values) preserves the mismatch.  This
+single-flip semantics is well-defined and linear in PI count; true
+minimum care-set extraction is NP-hard and rarely needed for debugging.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.aig.network import Aig
+
+
+def distinguishes(aig_a: Aig, aig_b: Aig, pattern: Sequence[int]) -> bool:
+    """True when the two circuits differ on the pattern."""
+    return aig_a.evaluate(list(pattern)) != aig_b.evaluate(list(pattern))
+
+
+def minimize_cex(
+    aig_a: Aig, aig_b: Aig, pattern: Sequence[int]
+) -> List[Optional[int]]:
+    """Return the care pattern: 0/1 for required values, None for
+    don't-cares.
+
+    Raises ``ValueError`` if ``pattern`` is not actually a
+    counter-example for the pair.
+    """
+    pattern = list(pattern)
+    if len(pattern) != aig_a.num_pis:
+        raise ValueError(
+            f"pattern has {len(pattern)} values, expected {aig_a.num_pis}"
+        )
+    if not distinguishes(aig_a, aig_b, pattern):
+        raise ValueError("pattern is not a counter-example for this pair")
+    care: List[Optional[int]] = list(pattern)
+    for i in range(len(pattern)):
+        flipped = list(pattern)
+        flipped[i] ^= 1
+        if distinguishes(aig_a, aig_b, flipped):
+            # The mismatch survives either value of input i (with every
+            # other input at its reference value) → i is a don't-care.
+            care[i] = None
+    return care
+
+
+def care_count(care: Sequence[Optional[int]]) -> int:
+    """Number of inputs whose value actually matters."""
+    return sum(1 for v in care if v is not None)
+
+
+def format_care_pattern(care: Sequence[Optional[int]]) -> str:
+    """Render like ``1--0---1`` (MSB-agnostic, PI order)."""
+    return "".join("-" if v is None else str(v) for v in care)

@@ -1,0 +1,118 @@
+"""Satisfiability don't-care measurement at cuts.
+
+An SDC of a cut is a combination of cut-node values that no primary
+input assignment can produce (§II-A).  The fraction of SDC patterns at a
+cut bounds how often local function checking can be fooled: with zero
+SDCs, local equality is equivalent to global equality on the cone.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.aig.network import Aig
+from repro.aig.traversal import support
+from repro.simulation.bitops import projection_segment, random_words
+from repro.simulation.partial import simulate_words
+
+
+def cut_support(aig: Aig, cut: Sequence[int]) -> Tuple[int, ...]:
+    """Union of the structural supports of the cut nodes (sorted PI ids)."""
+    pis: Set[int] = set()
+    for node in cut:
+        pis.update(support(aig, node))
+    return tuple(sorted(pis))
+
+
+def observed_cut_patterns(
+    aig: Aig, cut: Sequence[int], pi_words: np.ndarray
+) -> Set[int]:
+    """Cut patterns occurring under the given simulation words.
+
+    Patterns are encoded as integers: bit ``i`` is the value of
+    ``cut[i]``.  This is the *statistical* view — a subset of the truly
+    producible patterns.
+    """
+    tables = simulate_words(aig, pi_words)
+    return _pattern_set(tables, cut)
+
+
+def exact_cut_patterns(
+    aig: Aig, cut: Sequence[int], max_support: int = 20
+) -> Tuple[Set[int], int]:
+    """All producible cut patterns, by exhaustive simulation.
+
+    Returns ``(observed, total)`` where ``total = 2**len(cut)``; the
+    SDCs are the ``total - len(observed)`` missing patterns.  Requires
+    the cut's global support to be at most ``max_support`` (the pattern
+    space is ``2**support`` — the same exponential wall that motivates
+    the paper's local function checking in the first place).
+    """
+    supp = cut_support(aig, cut)
+    if len(supp) > max_support:
+        raise ValueError(
+            f"cut support {len(supp)} exceeds max_support={max_support}"
+        )
+    total_patterns = 1 << len(supp)
+    num_words = max(1, total_patterns // 64)
+    pi_words = np.zeros((aig.num_pis, num_words), dtype=np.uint64)
+    for position, pi in enumerate(supp):
+        pi_words[pi - 1] = projection_segment(position, 0, num_words)
+    tables = simulate_words(aig, pi_words)
+    return _pattern_set(tables, cut), 1 << len(cut)
+
+
+def sdc_ratio(aig: Aig, cut: Sequence[int], max_support: int = 20) -> float:
+    """Fraction of cut patterns that are SDCs (0.0 = none, ideal cut)."""
+    observed, total = exact_cut_patterns(aig, cut, max_support=max_support)
+    return 1.0 - len(observed) / total
+
+
+def reconvergent_node_count(aig: Aig, root: int, cut: Sequence[int]) -> int:
+    """Nodes in the cone of ``root`` (w.r.t. ``cut``) with reconvergence.
+
+    A cone node is *reconvergent* when both of its fanin cones reach a
+    common cut leaf — the structure the paper blames for SDCs (§II-A,
+    [17], [18]).  More reconvergence inside the cone (rather than across
+    the cut) means fewer SDCs at the cut, which is what the "small cut
+    size" criterion of Table I is chasing.
+    """
+    cut_set = set(cut)
+    reach = {leaf: frozenset((leaf,)) for leaf in cut_set}
+    cone = []
+    stack = [root]
+    seen = set()
+    while stack:
+        node = stack.pop()
+        if node in seen or node in cut_set or not aig.is_and(node):
+            continue
+        seen.add(node)
+        f0, f1 = aig.fanins(node)
+        stack.append(f0 >> 1)
+        stack.append(f1 >> 1)
+    count = 0
+    for node in sorted(seen):
+        f0, f1 = aig.fanins(node)
+        r0 = _leaves_reached(f0 >> 1, reach)
+        r1 = _leaves_reached(f1 >> 1, reach)
+        reach[node] = r0 | r1
+        if r0 & r1:
+            count += 1
+    return count
+
+
+def _leaves_reached(node: int, reach) -> frozenset:
+    return reach.get(node, frozenset())
+
+
+def _pattern_set(tables: np.ndarray, cut: Sequence[int]) -> Set[int]:
+    """Distinct cut patterns present in a simulation table."""
+    rows = tables[list(cut)]  # (k, W) uint64
+    bits = np.unpackbits(
+        rows.view(np.uint8), axis=1, bitorder="little"
+    )  # (k, W*64)
+    weights = (1 << np.arange(len(cut), dtype=np.int64))[:, None]
+    indices = (bits.astype(np.int64) * weights).sum(axis=0)
+    return set(np.unique(indices).tolist())

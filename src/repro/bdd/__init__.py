@@ -1,0 +1,19 @@
+"""Reduced ordered binary decision diagrams (BDD substrate).
+
+BDDs were the pre-SAT workhorse of equivalence checking ([5], [6] in the
+paper) and commercial checkers still run a BDD engine inside their
+portfolios.  This subpackage provides a classic ROBDD package (unique
+table, computed table, ITE) and a node-limited BDD-based CEC engine used
+by the :mod:`repro.portfolio` Conformal substitute.
+"""
+
+from repro.bdd.manager import BddLimitExceeded, BddManager
+from repro.bdd.cec import BddChecker
+from repro.bdd.sweeping import BddSweepChecker
+
+__all__ = [
+    "BddChecker",
+    "BddLimitExceeded",
+    "BddManager",
+    "BddSweepChecker",
+]

@@ -1,0 +1,126 @@
+"""BDD-based combinational equivalence checking.
+
+Builds the BDDs of all miter POs bottom-up (one ITE per AND node, in
+topological order) and checks each against the ZERO terminal.  Canonical
+form makes the final check trivial; the cost is all in construction,
+which the node limit bounds: on BDD-hostile structures (multipliers) the
+engine gives up quickly with UNDECIDED, which is exactly the behaviour a
+portfolio wants from its BDD member.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.aig.literals import CONST0
+from repro.aig.miter import build_miter, miter_is_trivially_unsat
+from repro.aig.network import Aig
+from repro.aig.transform import cleanup
+from repro.bdd.manager import ONE, ZERO, BddLimitExceeded, BddManager
+from repro.sweep.engine import CecResult, CecStatus
+from repro.sweep.report import EngineReport, PhaseRecord, PhaseTimer
+
+
+class BddChecker:
+    """Node-limited BDD equivalence checker.
+
+    Parameters
+    ----------
+    node_limit:
+        BDD node budget; exceeding it yields UNDECIDED (with the original
+        miter as the residue — BDDs do not reduce miters).
+    time_limit:
+        Optional wall-clock budget in seconds.
+    """
+
+    def __init__(
+        self,
+        node_limit: int = 500_000,
+        time_limit: Optional[float] = None,
+    ) -> None:
+        self.node_limit = node_limit
+        self.time_limit = time_limit
+
+    def check(self, aig_a: Aig, aig_b: Aig) -> CecResult:
+        """Check two networks for equivalence (builds the miter)."""
+        return self.check_miter(build_miter(aig_a, aig_b))
+
+    def check_miter(self, miter: Aig) -> CecResult:
+        """Run the BDD engine on a miter."""
+        start = time.perf_counter()
+        report = EngineReport(initial_ands=miter.num_ands)
+        record = PhaseRecord("BDD")
+        miter = cleanup(miter)
+
+        def finish(result: CecResult) -> CecResult:
+            record.miter_ands_after = (
+                result.reduced_miter.num_ands if result.reduced_miter else 0
+            )
+            report.final_ands = record.miter_ands_after
+            report.phases.append(record)
+            report.total_seconds = time.perf_counter() - start
+            result.report = report
+            return result
+
+        deadline = (
+            start + self.time_limit if self.time_limit is not None else None
+        )
+        with PhaseTimer(record):
+            result = self._run(miter, deadline, record)
+        return finish(result)
+
+    # ------------------------------------------------------------------
+
+    def _run(
+        self,
+        miter: Aig,
+        deadline: Optional[float],
+        record: PhaseRecord,
+    ) -> CecResult:
+        if miter_is_trivially_unsat(miter):
+            return CecResult(CecStatus.EQUIVALENT)
+        if any(po == 1 for po in miter.pos):
+            return CecResult(
+                CecStatus.NONEQUIVALENT, cex=[0] * miter.num_pis
+            )
+        manager = BddManager(node_limit=self.node_limit)
+        node_bdds: List[int] = [ZERO] * miter.num_nodes
+        for pi in miter.pis():
+            node_bdds[pi] = manager.var(pi - 1)
+        f0s, f1s = miter.fanin_literals()
+        base = miter.first_and
+        try:
+            for i in range(miter.num_ands):
+                if deadline is not None and i % 256 == 0:
+                    if time.perf_counter() > deadline:
+                        return CecResult(
+                            CecStatus.UNDECIDED, reduced_miter=miter
+                        )
+                b0 = node_bdds[f0s[i] >> 1]
+                if f0s[i] & 1:
+                    b0 = manager.apply_not(b0)
+                b1 = node_bdds[f1s[i] >> 1]
+                if f1s[i] & 1:
+                    b1 = manager.apply_not(b1)
+                node_bdds[base + i] = manager.apply_and(b0, b1)
+        except BddLimitExceeded:
+            return CecResult(CecStatus.UNDECIDED, reduced_miter=miter)
+        record.candidates = miter.num_pos
+        for po in miter.pos:
+            if po == CONST0:
+                record.proved += 1
+                continue
+            bdd = node_bdds[po >> 1]
+            if po & 1:
+                bdd = manager.apply_not(bdd)
+            if bdd != ZERO:
+                assignment = manager.any_sat(bdd)
+                assert assignment is not None
+                pattern = [
+                    assignment.get(i, 0) for i in range(miter.num_pis)
+                ]
+                record.cex += 1
+                return CecResult(CecStatus.NONEQUIVALENT, cex=pattern)
+            record.proved += 1
+        return CecResult(CecStatus.EQUIVALENT)

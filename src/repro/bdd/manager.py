@@ -1,0 +1,194 @@
+"""ROBDD manager: unique table, computed table, ITE.
+
+Nodes are integers: 0 and 1 are the terminals, larger ids index the node
+table.  Reduction invariants (no redundant tests, no duplicate nodes)
+are maintained by :meth:`BddManager._mk`, so equality of functions is
+pointer equality of node ids — which is exactly what makes BDD-based
+equivalence checking a constant-time comparison after construction.
+
+No complement edges: simpler, and the CEC use case is insensitive to the
+factor-of-two size difference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: Terminal node ids.
+ZERO = 0
+ONE = 1
+
+
+class BddLimitExceeded(Exception):
+    """Raised when the node table outgrows the configured limit."""
+
+
+class BddManager:
+    """A reduced ordered BDD manager over variables ``0 .. num_vars-1``.
+
+    Parameters
+    ----------
+    node_limit:
+        Maximum number of nodes; exceeded → :class:`BddLimitExceeded`.
+        The portfolio checker relies on this to abandon BDD construction
+        on BDD-hostile circuits (e.g. multipliers) and fall through to
+        SAT.
+    """
+
+    def __init__(self, node_limit: Optional[int] = None) -> None:
+        # nodes[i] = (var, low, high); entries 0/1 are terminal placeholders.
+        self._nodes: List[Tuple[int, int, int]] = [
+            (-1, ZERO, ZERO),
+            (-1, ONE, ONE),
+        ]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self.node_limit = node_limit
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total nodes in the table (including both terminals)."""
+        return len(self._nodes)
+
+    def var(self, index: int) -> int:
+        """The BDD of projection variable ``index``."""
+        if index < 0:
+            raise ValueError("variable index must be non-negative")
+        return self._mk(index, ZERO, ONE)
+
+    def var_of(self, node: int) -> int:
+        """The decision variable of a non-terminal node."""
+        return self._nodes[node][0]
+
+    def cofactors(self, node: int) -> Tuple[int, int]:
+        """The (low, high) children of a non-terminal node."""
+        entry = self._nodes[node]
+        return entry[1], entry[2]
+
+    # ------------------------------------------------------------------
+    # Boolean operations (all via ITE)
+    # ------------------------------------------------------------------
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: the BDD of ``f·g + f'·h``."""
+        if f == ONE:
+            return g
+        if f == ZERO:
+            return h
+        if g == h:
+            return g
+        if g == ONE and h == ZERO:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        top = self._top_var(f, g, h)
+        f0, f1 = self._cofactor(f, top)
+        g0, g1 = self._cofactor(g, top)
+        h0, h1 = self._cofactor(h, top)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def apply_and(self, f: int, g: int) -> int:
+        """Conjunction."""
+        return self.ite(f, g, ZERO)
+
+    def apply_or(self, f: int, g: int) -> int:
+        """Disjunction."""
+        return self.ite(f, ONE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_not(self, f: int) -> int:
+        """Negation."""
+        return self.ite(f, ZERO, ONE)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def evaluate(self, node: int, assignment: Dict[int, int]) -> int:
+        """Evaluate under a variable assignment (missing vars read as 0)."""
+        while node > ONE:
+            var, low, high = self._nodes[node]
+            node = high if assignment.get(var, 0) else low
+        return node
+
+    def any_sat(self, node: int) -> Optional[Dict[int, int]]:
+        """A satisfying assignment, or None for the ZERO function.
+
+        In a reduced BDD every non-ZERO node reaches ONE, so a greedy
+        walk suffices.
+        """
+        if node == ZERO:
+            return None
+        assignment: Dict[int, int] = {}
+        while node > ONE:
+            var, low, high = self._nodes[node]
+            if low != ZERO:
+                assignment[var] = 0
+                node = low
+            else:
+                assignment[var] = 1
+                node = high
+        return assignment
+
+    def size(self, node: int) -> int:
+        """Number of distinct nodes reachable from ``node``."""
+        seen = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in seen or current <= ONE:
+                continue
+            seen.add(current)
+            _, low, high = self._nodes[current]
+            stack.append(low)
+            stack.append(high)
+        return len(seen) + 2
+
+    # ------------------------------------------------------------------
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            if (
+                self.node_limit is not None
+                and len(self._nodes) >= self.node_limit
+            ):
+                raise BddLimitExceeded(
+                    f"BDD node limit of {self.node_limit} exceeded"
+                )
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def _top_var(self, f: int, g: int, h: int) -> int:
+        top = None
+        for node in (f, g, h):
+            if node > ONE:
+                var = self._nodes[node][0]
+                if top is None or var < top:
+                    top = var
+        assert top is not None
+        return top
+
+    def _cofactor(self, node: int, var: int) -> Tuple[int, int]:
+        if node <= ONE:
+            return node, node
+        node_var, low, high = self._nodes[node]
+        if node_var == var:
+            return low, high
+        return node, node

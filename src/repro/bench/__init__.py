@@ -1,0 +1,71 @@
+"""Benchmarks: circuit generators, the Table II suite, experiment harness.
+
+The paper evaluates on EPFL arithmetic benchmarks (hyp, log2, multiplier,
+sqrt, square, sin, voter) and IWLS'05 control designs (ac97_ctrl,
+vga_lcd), enlarged with ABC ``double`` and optimised with ``resyn2``.
+This subpackage generates the same circuit *families* from scratch at
+interpreter-friendly sizes and reproduces the experimental protocol (see
+DESIGN.md §2 for the substitution rationale).
+"""
+
+from repro.bench.generators import (
+    adder,
+    barrel_shifter,
+    carry_select_adder,
+    control_circuit,
+    decoder,
+    divider,
+    hyp,
+    int2float,
+    kogge_stone_adder,
+    log2,
+    max_circuit,
+    multiplier,
+    priority_encoder,
+    sin_cordic,
+    sqrt,
+    square,
+    voter,
+    wallace_multiplier,
+)
+from repro.bench.suite import BenchmarkCase, build_case, default_suite
+from repro.bench.harness import (
+    Fig6Row,
+    Fig7Row,
+    Table2Row,
+    run_fig6,
+    run_fig7,
+    run_table2,
+    run_table2_case,
+)
+
+__all__ = [
+    "BenchmarkCase",
+    "Fig6Row",
+    "Fig7Row",
+    "Table2Row",
+    "adder",
+    "barrel_shifter",
+    "build_case",
+    "carry_select_adder",
+    "control_circuit",
+    "decoder",
+    "default_suite",
+    "divider",
+    "hyp",
+    "int2float",
+    "kogge_stone_adder",
+    "log2",
+    "max_circuit",
+    "multiplier",
+    "priority_encoder",
+    "wallace_multiplier",
+    "run_fig6",
+    "run_fig7",
+    "run_table2",
+    "run_table2_case",
+    "sin_cordic",
+    "sqrt",
+    "square",
+    "voter",
+]

@@ -1,0 +1,492 @@
+"""Benchmark circuit generators.
+
+One generator per benchmark family of the paper's Table II:
+
+==============  =====================================================
+Paper case      Generator here
+==============  =====================================================
+hyp             :func:`hyp` — ``sqrt(x² + y²)`` (EPFL hypotenuse)
+log2            :func:`log2` — priority encoder + normalised mantissa
+multiplier      :func:`multiplier` — unsigned array multiplier
+sqrt            :func:`sqrt` — restoring integer square root
+square          :func:`square` — ``x²`` with shared operand
+sin             :func:`sin_cordic` — fixed-point CORDIC sine
+voter           :func:`voter` — n-input majority via popcount
+ac97_ctrl       :func:`control_circuit` (shallow, register-mux style)
+vga_lcd         :func:`control_circuit` (different seed/profile)
+==============  =====================================================
+
+Every generator returns an :class:`~repro.aig.network.Aig` whose
+functional semantics are documented and unit-tested against Python
+integer arithmetic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.aig.builder import AigBuilder
+from repro.aig.literals import CONST0, lit_not
+from repro.aig.network import Aig
+from repro.bench.wordlib import (
+    barrel_shift_left,
+    constant_word,
+    equals_const,
+    greater_than_const,
+    multiply,
+    mux_word,
+    popcount,
+    ripple_add,
+    ripple_sub,
+    shift_left_const,
+    zero_extend,
+)
+
+
+def adder(width: int) -> Aig:
+    """Unsigned ripple-carry adder: ``2*width`` PIs, ``width+1`` POs."""
+    b = AigBuilder(name=f"adder{width}")
+    xs = b.add_pis(width)
+    ys = b.add_pis(width)
+    total, carry = ripple_add(b, xs, ys)
+    b.add_pos(total + [carry])
+    return b.build()
+
+
+def multiplier(width: int) -> Aig:
+    """Unsigned array multiplier: ``2*width`` PIs, ``2*width`` POs."""
+    b = AigBuilder(name=f"multiplier{width}")
+    xs = b.add_pis(width)
+    ys = b.add_pis(width)
+    b.add_pos(multiply(b, xs, ys))
+    return b.build()
+
+
+def square(width: int) -> Aig:
+    """Squarer ``x²``: ``width`` PIs, ``2*width`` POs (shared operand)."""
+    b = AigBuilder(name=f"square{width}")
+    xs = b.add_pis(width)
+    b.add_pos(multiply(b, xs, xs))
+    return b.build()
+
+
+def sqrt(width: int) -> Aig:
+    """Restoring integer square root: ``width`` PIs, ``ceil(width/2)`` POs.
+
+    Classic digit-recurrence: two radicand bits enter the partial
+    remainder per iteration; a trial subtraction of ``(root << 2) | 1``
+    decides each root bit.  The borrow chains make this the deepest
+    generator — matching the paper's sqrt being the hardest case for
+    every engine.
+    """
+    if width % 2:
+        width += 1
+    b = AigBuilder(name=f"sqrt{width}")
+    xs = b.add_pis(width)
+    b.add_pos(_sqrt_word(b, list(xs)))
+    return b.build()
+
+
+def log2(width: int) -> Aig:
+    """Integer log2 with normalised mantissa.
+
+    POs: ``ceil(log2(width))`` exponent bits (position of the most
+    significant set bit; 0 when the input is 0) followed by ``width``
+    mantissa bits (the input shifted left so its MSB is at the top).
+    Substitutes EPFL's fixed-point log2 with the same structure class:
+    priority encoding feeding a barrel shifter.
+    """
+    b = AigBuilder(name=f"log2_{width}")
+    xs = b.add_pis(width)
+    exp_bits = max(1, (width - 1).bit_length())
+    # Priority encoder: exponent = index of highest set bit.
+    exponent = constant_word(0, exp_bits)
+    found = CONST0
+    for i in range(width - 1, -1, -1):
+        is_msb = b.add_and(xs[i], lit_not(found))
+        value = constant_word(i, exp_bits)
+        exponent = mux_word(b, is_msb, value, exponent)
+        found = b.add_or(found, xs[i])
+    # Normalised mantissa: shift left by (width - 1 - exponent).
+    comp = constant_word(width - 1, exp_bits)
+    shift, _ = ripple_sub(b, comp, exponent)
+    mantissa = barrel_shift_left(b, xs, shift)
+    b.add_pos(exponent + mantissa)
+    return b.build()
+
+
+def sin_cordic(width: int, iterations: int = 0) -> Aig:
+    """Fixed-point CORDIC sine: ``width`` PIs (angle), ``width+2`` POs.
+
+    Rotation-mode CORDIC over ``iterations`` stages (default ``width``):
+    signed registers x, y start at (K, 0) and rotate by ±arctan(2^-i)
+    until the residual angle is exhausted; the y register is the sine.
+    Not bit-accurate against math.sin (fixed-point CORDIC never is) —
+    tests check the CORDIC recurrence itself in integer arithmetic.
+    """
+    if iterations <= 0:
+        iterations = width
+    b = AigBuilder(name=f"sin{width}")
+    theta = b.add_pis(width)
+    reg_width = width + 2
+    # K ≈ 0.607253 scaled to the register width (positive constant).
+    k_value = int(0.6072529350088812 * (1 << width))
+    x = constant_word(k_value, reg_width)
+    y = constant_word(0, reg_width)
+    z = [t for t in theta] + [CONST0, CONST0]  # zero-extended angle
+    from repro.bench.wordlib import arith_shift_right_const
+
+    for i in range(iterations):
+        atan_value = int(round((1 << width) * _atan_pow2(i)))
+        atan_word = constant_word(atan_value, reg_width)
+        sign = z[-1]  # 1 when z is negative → rotate clockwise
+        x_shift = arith_shift_right_const(x, i)
+        y_shift = arith_shift_right_const(y, i)
+        x_plus, _ = ripple_add(b, x, y_shift)
+        x_minus, _ = ripple_sub(b, x, y_shift)
+        y_plus, _ = ripple_add(b, y, x_shift)
+        y_minus, _ = ripple_sub(b, y, x_shift)
+        z_plus, _ = ripple_add(b, z, atan_word)
+        z_minus, _ = ripple_sub(b, z, atan_word)
+        x = mux_word(b, sign, x_plus, x_minus)
+        y = mux_word(b, sign, y_minus, y_plus)
+        z = mux_word(b, sign, z_plus, z_minus)
+    b.add_pos(y)
+    return b.build()
+
+
+def hyp(width: int) -> Aig:
+    """Hypotenuse ``sqrt(x² + y²)``: ``2*width`` PIs (EPFL hyp family).
+
+    Combines both multiplier structure and the sqrt digit recurrence, so
+    the miter mixes easy (multiplier) and hard (sqrt) regions — mirroring
+    the paper's hyp being only partially reducible.
+    """
+    b = AigBuilder(name=f"hyp{width}")
+    xs = b.add_pis(width)
+    ys = b.add_pis(width)
+    xx = multiply(b, xs, xs)
+    yy = multiply(b, ys, ys)
+    total, carry = ripple_add(b, xx, yy)
+    radicand = total + [carry, CONST0]
+    root = _sqrt_word(b, radicand)
+    b.add_pos(root)
+    return b.build()
+
+
+def voter(num_inputs: int) -> Aig:
+    """Majority voter: 1 PO that is high when more than half the PIs are.
+
+    EPFL's voter is a 1001-input majority; the generator reproduces the
+    structure (popcount reduction tree + threshold comparator) at any
+    width.
+    """
+    b = AigBuilder(name=f"voter{num_inputs}")
+    xs = b.add_pis(num_inputs)
+    count = popcount(b, xs)
+    b.add_po(greater_than_const(b, count, num_inputs // 2))
+    return b.build()
+
+
+def control_circuit(
+    num_inputs: int,
+    num_outputs: int,
+    max_fanin: int = 8,
+    num_registers: int = 16,
+    seed: int = 1,
+    name: str = "control",
+) -> Aig:
+    """Random-but-structured control logic (ac97_ctrl / vga_lcd family).
+
+    Models the flattened next-state/output logic of a register-file
+    controller: an address decoder selects one of ``num_registers``
+    register groups, each output is a mux of a few decoded terms and
+    small random functions of a bounded input subset.  The result is
+    shallow (like the paper's ac97_ctrl at 12 levels), wide, and has many
+    small-support outputs plus a few wide ones — the profile that makes
+    PO checking effective on control designs.
+    """
+    rnd = random.Random(seed)
+    b = AigBuilder(name=name)
+    xs = b.add_pis(num_inputs)
+    addr_bits = max(1, (num_registers - 1).bit_length())
+    addr = xs[:addr_bits]
+    decode = [equals_const(b, addr, v) for v in range(num_registers)]
+
+    def small_function(inputs: List[int], depth: int) -> int:
+        pool = list(inputs)
+        for _ in range(depth * len(inputs)):
+            op = rnd.random()
+            a = rnd.choice(pool) ^ rnd.randint(0, 1)
+            c = rnd.choice(pool) ^ rnd.randint(0, 1)
+            if op < 0.5:
+                pool.append(b.add_and(a, c))
+            elif op < 0.8:
+                pool.append(b.add_or(a, c))
+            else:
+                pool.append(b.add_xor(a, c))
+        return pool[-1]
+
+    outputs = []
+    for _ in range(num_outputs):
+        subset_size = rnd.randint(2, max_fanin)
+        subset = rnd.sample(xs[addr_bits:], min(subset_size, len(xs) - addr_bits))
+        data = small_function(subset, depth=2)
+        select = rnd.choice(decode)
+        alt_subset = rnd.sample(
+            xs[addr_bits:], min(rnd.randint(2, max_fanin), len(xs) - addr_bits)
+        )
+        alt = small_function(alt_subset, depth=1)
+        outputs.append(b.add_mux(select, data, alt))
+    b.add_pos(outputs)
+    return b.build()
+
+
+def barrel_shifter(width: int) -> Aig:
+    """Variable left shifter (the EPFL ``bar`` family).
+
+    PIs: ``width`` data bits then ``ceil(log2(width))`` shift-amount
+    bits; POs: the shifted word (bits shifted past the top are lost).
+    """
+    b = AigBuilder(name=f"bar{width}")
+    data = b.add_pis(width)
+    amount_bits = max(1, (width - 1).bit_length())
+    amount = b.add_pis(amount_bits)
+    b.add_pos(barrel_shift_left(b, data, amount))
+    return b.build()
+
+
+def max_circuit(width: int) -> Aig:
+    """Two-input unsigned maximum (the EPFL ``max`` family).
+
+    PIs: two ``width``-bit operands; POs: ``max(x, y)`` followed by the
+    comparison bit (1 when ``x >= y``).
+    """
+    b = AigBuilder(name=f"max{width}")
+    xs = b.add_pis(width)
+    ys = b.add_pis(width)
+    _, borrow = ripple_sub(b, xs, ys)
+    x_ge_y = lit_not(borrow)  # borrow=1 iff x < y
+    b.add_pos(mux_word(b, x_ge_y, xs, ys) + [x_ge_y])
+    return b.build()
+
+
+def decoder(address_bits: int) -> Aig:
+    """Full binary decoder (the EPFL ``dec`` family).
+
+    PIs: ``address_bits``; POs: ``2**address_bits`` one-hot lines.
+    """
+    b = AigBuilder(name=f"dec{address_bits}")
+    addr = b.add_pis(address_bits)
+    b.add_pos(
+        [equals_const(b, addr, v) for v in range(1 << address_bits)]
+    )
+    return b.build()
+
+
+def priority_encoder(width: int) -> Aig:
+    """Priority encoder (the EPFL ``priority`` family).
+
+    PIs: ``width`` request lines; POs: ``ceil(log2(width))`` index bits
+    of the highest-priority (lowest-index) active request, plus a
+    ``valid`` bit.
+    """
+    b = AigBuilder(name=f"priority{width}")
+    requests = b.add_pis(width)
+    index_bits = max(1, (width - 1).bit_length())
+    index = constant_word(0, index_bits)
+    found = CONST0
+    for i, request in enumerate(requests):
+        take = b.add_and(request, lit_not(found))
+        index = mux_word(b, take, constant_word(i, index_bits), index)
+        found = b.add_or(found, request)
+    b.add_pos(index + [found])
+    return b.build()
+
+
+def divider(width: int) -> Aig:
+    """Restoring unsigned divider (the EPFL ``div`` family).
+
+    PIs: dividend then divisor (``width`` bits each); POs: quotient then
+    remainder.  Division by zero yields quotient = all-ones and
+    remainder = dividend, as the restoring recurrence naturally produces.
+    """
+    b = AigBuilder(name=f"div{width}")
+    dividend = b.add_pis(width)
+    divisor = b.add_pis(width)
+    rem: List[int] = constant_word(0, width + 1)
+    quotient: List[int] = []
+    divisor_ext = zero_extend(divisor, width + 1)
+    for step in range(width - 1, -1, -1):
+        rem = [dividend[step]] + rem[: width]
+        diff, borrow = ripple_sub(b, rem, divisor_ext)
+        fits = lit_not(borrow)
+        rem = mux_word(b, fits, diff, rem)
+        quotient = [fits] + quotient
+    b.add_pos(quotient + rem[:width])
+    return b.build()
+
+
+def int2float(width: int = 16, mantissa_bits: int = 7) -> Aig:
+    """Integer to tiny-float conversion (the EPFL ``int2float`` family).
+
+    Normalises a ``width``-bit unsigned integer into (exponent,
+    mantissa): exponent = position of the MSB (0 for zero input),
+    mantissa = the next ``mantissa_bits`` bits after the implicit
+    leading one.  Mirrors the shape of int→float conversion logic:
+    priority encoding + barrel shifting + truncation.
+    """
+    b = AigBuilder(name=f"int2float{width}")
+    xs = b.add_pis(width)
+    exp_bits = max(1, (width - 1).bit_length())
+    exponent = constant_word(0, exp_bits)
+    found = CONST0
+    for i in range(width - 1, -1, -1):
+        is_msb = b.add_and(xs[i], lit_not(found))
+        exponent = mux_word(
+            b, is_msb, constant_word(i, exp_bits), exponent
+        )
+        found = b.add_or(found, xs[i])
+    shift, _ = ripple_sub(b, constant_word(width - 1, exp_bits), exponent)
+    normalised = barrel_shift_left(b, xs, shift)
+    mantissa = normalised[width - 1 - mantissa_bits : width - 1]
+    b.add_pos(exponent + mantissa + [found])
+    return b.build()
+
+
+def carry_select_adder(width: int, block: int = 4) -> Aig:
+    """Carry-select adder: same function as :func:`adder`, different
+    architecture.
+
+    Each block computes both carry-in hypotheses in parallel and muxes
+    on the incoming carry — shallower than ripple, structurally very
+    different, and functionally identical: the classic architectural
+    CEC scenario.
+    """
+    if block < 1:
+        raise ValueError("block size must be positive")
+    b = AigBuilder(name=f"csel_adder{width}")
+    xs = b.add_pis(width)
+    ys = b.add_pis(width)
+    outs: List[int] = []
+    carry = CONST0
+    for start in range(0, width, block):
+        end = min(start + block, width)
+        seg_x = xs[start:end]
+        seg_y = ys[start:end]
+        sum0, carry0 = ripple_add(b, seg_x, seg_y, CONST0)
+        sum1, carry1 = ripple_add(b, seg_x, seg_y, b.lit_not(CONST0))
+        outs.extend(mux_word(b, carry, sum1, sum0))
+        carry = b.add_mux(carry, carry1, carry0)
+    b.add_pos(outs + [carry])
+    return b.build()
+
+
+def kogge_stone_adder(width: int) -> Aig:
+    """Kogge–Stone parallel-prefix adder (log-depth carries).
+
+    Third adder architecture: generate/propagate prefix network.  Same
+    interface and function as :func:`adder`.
+    """
+    b = AigBuilder(name=f"ks_adder{width}")
+    xs = b.add_pis(width)
+    ys = b.add_pis(width)
+    generate = [b.add_and(x, y) for x, y in zip(xs, ys)]
+    propagate = [b.add_xor(x, y) for x, y in zip(xs, ys)]
+    g = list(generate)
+    p = list(propagate)
+    distance = 1
+    while distance < width:
+        new_g = list(g)
+        new_p = list(p)
+        for i in range(distance, width):
+            new_g[i] = b.add_or(g[i], b.add_and(p[i], g[i - distance]))
+            new_p[i] = b.add_and(p[i], p[i - distance])
+        g, p = new_g, new_p
+        distance *= 2
+    carries = [CONST0] + g[:-1]
+    sums = [b.add_xor(prop, c) for prop, c in zip(propagate, carries)]
+    b.add_pos(sums + [g[-1]])
+    return b.build()
+
+
+def wallace_multiplier(width: int) -> Aig:
+    """Wallace-tree multiplier: same function as :func:`multiplier`.
+
+    Partial products are reduced with 3:2 compressors (full adders)
+    until two rows remain, then summed with one ripple adder — the
+    standard fast-multiplier topology and a much harder CEC partner for
+    the array multiplier than any resynthesised variant.
+    """
+    b = AigBuilder(name=f"wallace{width}")
+    xs = b.add_pis(width)
+    ys = b.add_pis(width)
+    out_width = 2 * width
+    columns: List[List[int]] = [[] for _ in range(out_width)]
+    for i, x in enumerate(xs):
+        for j, y in enumerate(ys):
+            columns[i + j].append(b.add_and(x, y))
+    # 3:2 compression until every column has at most two bits.
+    while any(len(col) > 2 for col in columns):
+        next_columns: List[List[int]] = [[] for _ in range(out_width)]
+        for c, col in enumerate(columns):
+            index = 0
+            while len(col) - index >= 3:
+                s, carry = b.add_full_adder(
+                    col[index], col[index + 1], col[index + 2]
+                )
+                next_columns[c].append(s)
+                if c + 1 < out_width:
+                    next_columns[c + 1].append(carry)
+                index += 3
+            if len(col) - index == 2:
+                s = b.add_xor(col[index], col[index + 1])
+                carry = b.add_and(col[index], col[index + 1])
+                next_columns[c].append(s)
+                if c + 1 < out_width:
+                    next_columns[c + 1].append(carry)
+            elif len(col) - index == 1:
+                next_columns[c].append(col[index])
+        columns = next_columns
+    row_a = [col[0] if col else CONST0 for col in columns]
+    row_b = [col[1] if len(col) > 1 else CONST0 for col in columns]
+    total, _ = ripple_add(b, row_a, row_b)
+    b.add_pos(total)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+
+
+def _sqrt_word(b: AigBuilder, radicand: List[int]) -> List[int]:
+    """Restoring square root of a literal word (shared by sqrt and hyp)."""
+    width = len(radicand)
+    if width % 2:
+        radicand = radicand + [CONST0]
+        width += 1
+    steps = width // 2
+    rem_width = width + 2
+    rem: List[int] = constant_word(0, rem_width)
+    root: List[int] = []
+    for step in range(steps):
+        hi = width - 2 * step
+        incoming = [radicand[hi - 2], radicand[hi - 1]]
+        rem = incoming + rem[: rem_width - 2]
+        trial_bits: List[int] = [CONST0] * rem_width
+        trial_bits[0] = 1  # the constant-one literal
+        for i, bit in enumerate(root):
+            if 2 + i < rem_width:
+                trial_bits[2 + i] = bit
+        diff, borrow = ripple_sub(b, rem, trial_bits)
+        fits = lit_not(borrow)
+        rem = mux_word(b, fits, diff, rem)
+        root = [fits] + root
+    return root
+
+
+def _atan_pow2(i: int) -> float:
+    """arctan(2^-i) without importing math at module import time."""
+    import math
+
+    return math.atan(2.0 ** -i)

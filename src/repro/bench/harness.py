@@ -1,0 +1,293 @@
+"""Experiment harness: regenerates Table II, Fig. 6 and Fig. 7.
+
+Each ``run_*`` function produces plain dataclass rows mirroring the
+paper's columns/series, plus text formatters that print them the way the
+paper tabulates them.  Absolute times differ from the paper (NumPy vs
+CUDA, Python CDCL vs ABC's solver); the claims under reproduction are the
+*relative* ones — who wins per case, reduction percentages, phase
+breakdown shapes, and the monotone P → PG → PGL improvement.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.suite import BenchmarkCase
+from repro.portfolio.checker import CombinedChecker, PortfolioChecker
+from repro.sat.sweeping import SatSweepChecker
+from repro.sweep.config import EngineConfig
+from repro.sweep.engine import CecStatus, SimSweepEngine
+
+
+@dataclass
+class Table2Row:
+    """One benchmark line of Table II."""
+
+    name: str
+    pis: int
+    pos: int
+    miter_nodes: int
+    miter_levels: int
+    abc_seconds: float
+    abc_status: str
+    cfm_seconds: float
+    cfm_status: str
+    gpu_seconds: float
+    reduced_percent: float
+    residue_sat_seconds: float
+    total_seconds: float
+    ours_status: str
+
+    @property
+    def speedup_vs_abc(self) -> float:
+        """Speed-up of the combined checker over standalone SAT sweeping."""
+        return self.abc_seconds / self.total_seconds if self.total_seconds else 0.0
+
+    @property
+    def speedup_vs_cfm(self) -> float:
+        """Speed-up of the combined checker over the portfolio checker."""
+        return self.cfm_seconds / self.total_seconds if self.total_seconds else 0.0
+
+
+@dataclass
+class Fig6Row:
+    """Phase runtime fractions of the simulation engine (Fig. 6)."""
+
+    name: str
+    fractions: Dict[str, float]
+    seconds: Dict[str, float]
+
+
+@dataclass
+class Fig7Row:
+    """Normalised SAT time on intermediate miters (Fig. 7).
+
+    ``normalized[flow]`` is (SAT time on the miter left after ``flow``) /
+    (SAT time on the original miter); ``flow`` ∈ {"P", "PG", "PGL"}.
+    """
+
+    name: str
+    standalone_seconds: float
+    normalized: Dict[str, float]
+    reduced_ands: Dict[str, int]
+
+
+def run_table2_case(
+    case: BenchmarkCase,
+    config: Optional[EngineConfig] = None,
+    sat_conflict_limit: int = 100_000,
+    baseline_time_limit: Optional[float] = None,
+    run_portfolio: bool = True,
+) -> Table2Row:
+    """Run all three checkers of Table II on one case.
+
+    Raises ``AssertionError`` if any conclusive verdicts disagree — the
+    harness doubles as an end-to-end cross-check of every engine.
+    """
+    stats = case.stats()
+    miter = case.miter
+
+    abc = SatSweepChecker(
+        conflict_limit=sat_conflict_limit, time_limit=baseline_time_limit
+    )
+    start = time.perf_counter()
+    abc_result = abc.check_miter(miter)
+    abc_seconds = time.perf_counter() - start
+
+    if run_portfolio:
+        cfm = PortfolioChecker(
+            sat_checker=SatSweepChecker(
+                conflict_limit=sat_conflict_limit,
+                time_limit=baseline_time_limit,
+            )
+        )
+        start = time.perf_counter()
+        cfm_result = cfm.check_miter(miter)
+        cfm_seconds = time.perf_counter() - start
+        cfm_status = cfm_result.status.value
+    else:
+        cfm_seconds = float("nan")
+        cfm_status = "skipped"
+        cfm_result = None
+
+    ours = CombinedChecker(
+        config=config,
+        sat_checker=SatSweepChecker(conflict_limit=sat_conflict_limit),
+    )
+    ours_result = ours.check_miter(miter)
+
+    verdicts = {
+        v
+        for v in (
+            abc_result.status,
+            ours_result.status,
+            cfm_result.status if cfm_result else None,
+        )
+        if v is not None and v is not CecStatus.UNDECIDED
+    }
+    assert len(verdicts) <= 1, (
+        f"engines disagree on {case.name}: abc={abc_result.status}, "
+        f"cfm={cfm_status}, ours={ours_result.status}"
+    )
+
+    return Table2Row(
+        name=case.name,
+        pis=stats["pis"],
+        pos=stats["pos"],
+        miter_nodes=stats["miter_nodes"],
+        miter_levels=stats["miter_levels"],
+        abc_seconds=abc_seconds,
+        abc_status=abc_result.status.value,
+        cfm_seconds=cfm_seconds,
+        cfm_status=cfm_status,
+        gpu_seconds=ours.timings.engine_seconds,
+        reduced_percent=ours.timings.reduction_percent,
+        residue_sat_seconds=ours.timings.sat_seconds,
+        total_seconds=ours.timings.total_seconds,
+        ours_status=ours_result.status.value,
+    )
+
+
+def run_table2(
+    cases: Sequence[BenchmarkCase],
+    config: Optional[EngineConfig] = None,
+    **kwargs,
+) -> List[Table2Row]:
+    """Run the Table II comparison over a suite."""
+    return [run_table2_case(case, config=config, **kwargs) for case in cases]
+
+
+def run_fig6(
+    cases: Sequence[BenchmarkCase],
+    config: Optional[EngineConfig] = None,
+) -> List[Fig6Row]:
+    """Phase runtime breakdown of the simulation engine (Fig. 6)."""
+    rows = []
+    for case in cases:
+        engine = SimSweepEngine(config)
+        result = engine.check_miter(case.miter)
+        rows.append(
+            Fig6Row(
+                name=case.name,
+                fractions=result.report.phase_fractions(),
+                seconds=result.report.phase_seconds(),
+            )
+        )
+    return rows
+
+
+def run_fig7(
+    cases: Sequence[BenchmarkCase],
+    config: Optional[EngineConfig] = None,
+    sat_conflict_limit: int = 100_000,
+    time_limit: Optional[float] = None,
+) -> List[Fig7Row]:
+    """SAT time on intermediate miters, normalised (Fig. 7).
+
+    For each case the engine is stopped after P, after PG, and run fully
+    (PGL); each residual miter is then proved by the SAT sweeper, and
+    times are normalised by the SAT time on the *original* miter.
+    """
+    rows = []
+    for case in cases:
+        standalone = _sat_seconds(
+            case.miter, sat_conflict_limit, time_limit
+        )
+        normalized: Dict[str, float] = {}
+        reduced: Dict[str, int] = {}
+        for flow in ("P", "PG", "PGL"):
+            engine = SimSweepEngine(config)
+            result = engine.check_miter(
+                case.miter, stop_after=None if flow == "PGL" else flow
+            )
+            if result.status is CecStatus.UNDECIDED:
+                residue = result.reduced_miter
+                seconds = _sat_seconds(
+                    residue, sat_conflict_limit, time_limit
+                )
+                reduced[flow] = residue.num_ands
+            else:
+                seconds = 0.0
+                reduced[flow] = 0
+            normalized[flow] = (
+                seconds / standalone if standalone > 0 else 0.0
+            )
+        rows.append(
+            Fig7Row(
+                name=case.name,
+                standalone_seconds=standalone,
+                normalized=normalized,
+                reduced_ands=reduced,
+            )
+        )
+    return rows
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (ignores non-positive entries, like the paper's table)."""
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    """Render Table II rows as the paper lays them out."""
+    header = (
+        f"{'Benchmark':<16}{'#PIs':>7}{'#POs':>7}{'#Nodes':>9}{'Lvl':>6}"
+        f"{'SAT(s)':>9}{'Pf(s)':>9}{'Eng(s)':>9}{'Red%':>7}"
+        f"{'Res(s)':>9}{'Tot(s)':>9}{'xSAT':>7}{'xPf':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<16}{row.pis:>7}{row.pos:>7}{row.miter_nodes:>9}"
+            f"{row.miter_levels:>6}{row.abc_seconds:>9.2f}"
+            f"{row.cfm_seconds:>9.2f}{row.gpu_seconds:>9.2f}"
+            f"{row.reduced_percent:>7.1f}{row.residue_sat_seconds:>9.2f}"
+            f"{row.total_seconds:>9.2f}{row.speedup_vs_abc:>7.2f}"
+            f"{row.speedup_vs_cfm:>7.2f}"
+        )
+    lines.append(
+        f"{'Geomean':<16}{'':>47}{'':>25}"
+        f"{geomean([r.speedup_vs_abc for r in rows]):>16.2f}"
+        f"{geomean([r.speedup_vs_cfm for r in rows if not math.isnan(r.cfm_seconds)]):>7.2f}"
+    )
+    return "\n".join(lines)
+
+
+def format_fig6(rows: Sequence[Fig6Row]) -> str:
+    """Render the Fig. 6 phase breakdown as a text table."""
+    lines = [f"{'Benchmark':<16}{'P%':>8}{'G%':>8}{'L%':>8}"]
+    for row in rows:
+        p = 100 * row.fractions.get("P", 0.0)
+        g = 100 * row.fractions.get("G", 0.0)
+        l = 100 * row.fractions.get("L", 0.0)
+        lines.append(f"{row.name:<16}{p:>8.1f}{g:>8.1f}{l:>8.1f}")
+    return "\n".join(lines)
+
+
+def format_fig7(rows: Sequence[Fig7Row]) -> str:
+    """Render the Fig. 7 normalised residue-proving times."""
+    lines = [
+        f"{'Benchmark':<16}{'SAT(s)':>9}{'P':>8}{'PG':>8}{'PGL':>8}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:<16}{row.standalone_seconds:>9.2f}"
+            f"{row.normalized['P']:>8.2f}{row.normalized['PG']:>8.2f}"
+            f"{row.normalized['PGL']:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def _sat_seconds(miter, conflict_limit: int, time_limit: Optional[float]):
+    checker = SatSweepChecker(
+        conflict_limit=conflict_limit, time_limit=time_limit
+    )
+    start = time.perf_counter()
+    checker.check_miter(miter)
+    return time.perf_counter() - start

@@ -1,0 +1,153 @@
+"""Word-level construction helpers for the benchmark generators.
+
+A *word* is a list of AIG literals, least-significant bit first.  All
+helpers take the builder as their first argument and return literal
+words; widths are explicit — nothing is implicitly truncated except
+where documented.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.aig.builder import AigBuilder
+from repro.aig.literals import CONST0, CONST1, lit_not
+
+Word = List[int]
+
+
+def constant_word(value: int, width: int) -> Word:
+    """Word holding a constant value."""
+    return [CONST1 if (value >> i) & 1 else CONST0 for i in range(width)]
+
+
+def zero_extend(word: Sequence[int], width: int) -> Word:
+    """Pad a word with constant-0 bits up to ``width``."""
+    if len(word) > width:
+        raise ValueError("cannot zero-extend to a smaller width")
+    return list(word) + [CONST0] * (width - len(word))
+
+
+def ripple_add(
+    b: AigBuilder, xs: Sequence[int], ys: Sequence[int], cin: int = CONST0
+) -> Tuple[Word, int]:
+    """Ripple-carry addition; returns ``(sum_word, carry_out)``.
+
+    Operands must have equal width (zero-extend first if needed).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("operand widths differ")
+    out: Word = []
+    carry = cin
+    for x, y in zip(xs, ys):
+        s, carry = b.add_full_adder(x, y, carry)
+        out.append(s)
+    return out, carry
+
+
+def ripple_sub(
+    b: AigBuilder, xs: Sequence[int], ys: Sequence[int]
+) -> Tuple[Word, int]:
+    """Two's complement subtraction ``xs - ys``.
+
+    Returns ``(difference, borrow)`` where ``borrow = 1`` iff
+    ``xs < ys`` (unsigned).
+    """
+    diff, carry = ripple_add(b, xs, [lit_not(y) for y in ys], CONST1)
+    return diff, lit_not(carry)
+
+
+def mux_word(
+    b: AigBuilder, sel: int, then_word: Sequence[int], else_word: Sequence[int]
+) -> Word:
+    """Bitwise 2:1 mux: ``sel ? then_word : else_word``."""
+    if len(then_word) != len(else_word):
+        raise ValueError("mux operand widths differ")
+    return [
+        b.add_mux(sel, t, e) for t, e in zip(then_word, else_word)
+    ]
+
+
+def shift_left_const(word: Sequence[int], amount: int, width: int) -> Word:
+    """Logical left shift by a constant, truncated to ``width``."""
+    shifted = [CONST0] * amount + list(word)
+    return zero_extend(shifted[:width], width)
+
+
+def shift_right_const(word: Sequence[int], amount: int, width: int) -> Word:
+    """Logical right shift by a constant, zero filled to ``width``."""
+    shifted = list(word[amount:])
+    return zero_extend(shifted[:width], width)
+
+
+def arith_shift_right_const(word: Sequence[int], amount: int) -> Word:
+    """Arithmetic right shift by a constant (sign bit replicated)."""
+    if amount == 0:
+        return list(word)
+    sign = word[-1]
+    kept = list(word[min(amount, len(word)) :])
+    return kept + [sign] * (len(word) - len(kept))
+
+
+def barrel_shift_left(
+    b: AigBuilder, word: Sequence[int], amount_bits: Sequence[int]
+) -> Word:
+    """Variable left shift: ``word << amount`` truncated to input width."""
+    width = len(word)
+    current = list(word)
+    for i, bit in enumerate(amount_bits):
+        shifted = shift_left_const(current, 1 << i, width)
+        current = mux_word(b, bit, shifted, current)
+    return current
+
+
+def multiply(
+    b: AigBuilder, xs: Sequence[int], ys: Sequence[int]
+) -> Word:
+    """Array multiplication; result width is ``len(xs) + len(ys)``."""
+    width = len(xs) + len(ys)
+    acc = constant_word(0, width)
+    for i, y_bit in enumerate(ys):
+        partial = [b.add_and(x, y_bit) for x in xs]
+        padded = shift_left_const(partial, i, width)
+        acc, _ = ripple_add(b, acc, padded)
+    return acc
+
+
+def popcount(b: AigBuilder, bits: Sequence[int]) -> Word:
+    """Population count via a full-adder reduction tree.
+
+    Returns a word of width ``ceil(log2(len(bits)+1))``.
+    """
+    if not bits:
+        return [CONST0]
+    words: List[Word] = [[bit] for bit in bits]
+    while len(words) > 1:
+        ordered = sorted(words, key=len)
+        a = ordered[0]
+        c = ordered[1]
+        rest = ordered[2:]
+        width = max(len(a), len(c)) + 1
+        total, carry = ripple_add(
+            b, zero_extend(a, width - 1), zero_extend(c, width - 1)
+        )
+        words = rest + [total + [carry]]
+    return words[0]
+
+
+def greater_than_const(
+    b: AigBuilder, word: Sequence[int], value: int
+) -> int:
+    """Literal of the comparison ``word > value`` (unsigned)."""
+    threshold = constant_word(value, len(word))
+    _, borrow = ripple_sub(b, threshold, list(word))
+    # borrow = 1 iff value < word.
+    return borrow
+
+
+def equals_const(b: AigBuilder, word: Sequence[int], value: int) -> int:
+    """Literal of the comparison ``word == value``."""
+    terms = []
+    for i, bit in enumerate(word):
+        terms.append(bit if (value >> i) & 1 else lit_not(bit))
+    return b.add_and_multi(terms)

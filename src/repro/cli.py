@@ -1,0 +1,207 @@
+"""Command-line interface.
+
+Subcommands
+-----------
+``cec A.aig B.aig``
+    Check two AIGER files for equivalence.  ``--engine`` selects the
+    checker: ``combined`` (default, the paper's flow), ``sim`` (the
+    simulation engine alone), ``sat``, ``bdd`` or ``portfolio``.
+``stats X.aig``
+    Print size/depth/interface statistics of a network.
+``opt IN.aig OUT.aig``
+    Optimise with a synthesis script (``--script resyn2|compress2|balance``).
+``gen FAMILY WIDTH OUT.aig``
+    Generate a benchmark circuit (``multiplier``, ``square``, ``sqrt``,
+    ``log2``, ``sin``, ``hyp``, ``voter``, ``adder``).
+``miter A.aig B.aig OUT.aig``
+    Write the miter of two networks.
+
+Exit status for ``cec``: 0 equivalent, 1 nonequivalent, 2 undecided.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from repro.aig.aiger import read_aiger, write_aiger
+from repro.aig.miter import build_miter
+from repro.aig.network import Aig
+from repro.bdd.cec import BddChecker
+from repro.bench import generators as gen
+from repro.portfolio.checker import CombinedChecker, PortfolioChecker
+from repro.sat.sweeping import SatSweepChecker
+from repro.sweep.config import EngineConfig
+from repro.sweep.engine import CecStatus, SimSweepEngine
+from repro.synth.balance import balance
+from repro.synth.resyn import compress2, resyn2
+
+_GENERATORS: Dict[str, Callable[[int], Aig]] = {
+    "adder": gen.adder,
+    "bar": gen.barrel_shifter,
+    "csel_adder": gen.carry_select_adder,
+    "dec": gen.decoder,
+    "div": gen.divider,
+    "hyp": gen.hyp,
+    "int2float": gen.int2float,
+    "ks_adder": gen.kogge_stone_adder,
+    "log2": gen.log2,
+    "max": gen.max_circuit,
+    "multiplier": gen.multiplier,
+    "priority": gen.priority_encoder,
+    "sin": gen.sin_cordic,
+    "sqrt": gen.sqrt,
+    "square": gen.square,
+    "voter": gen.voter,
+    "wallace": gen.wallace_multiplier,
+}
+
+_SCRIPTS: Dict[str, Callable[[Aig], Aig]] = {
+    "resyn2": resyn2,
+    "compress2": compress2,
+    "balance": balance,
+}
+
+
+def _phase_printer(record) -> None:
+    print(
+        f"  phase {record.kind}: {record.seconds:.2f}s, "
+        f"{record.proved}/{record.candidates} proved, "
+        f"miter -> {record.miter_ands_after} ANDs"
+    )
+
+
+def _make_checker(engine: str, time_limit: Optional[float], verbose: bool = False):
+    on_phase = _phase_printer if verbose else None
+    if engine == "combined":
+        checker = CombinedChecker(
+            sat_checker=SatSweepChecker(time_limit=time_limit)
+        )
+        checker.engine.on_phase = on_phase
+        return checker
+    if engine == "sim":
+        return SimSweepEngine(EngineConfig(), on_phase=on_phase)
+    if engine == "sat":
+        return SatSweepChecker(time_limit=time_limit)
+    if engine == "bdd":
+        return BddChecker(time_limit=time_limit)
+    if engine == "portfolio":
+        return PortfolioChecker(
+            sat_checker=SatSweepChecker(time_limit=time_limit)
+        )
+    raise ValueError(f"unknown engine {engine!r}")
+
+
+def cmd_cec(args: argparse.Namespace) -> int:
+    aig_a = read_aiger(args.a)
+    aig_b = read_aiger(args.b)
+    checker = _make_checker(args.engine, args.time_limit, args.verbose)
+    result = checker.check_miter(build_miter(aig_a, aig_b))
+    print(f"verdict: {result.status.value}")
+    if result.status is CecStatus.NONEQUIVALENT and result.cex is not None:
+        print("cex:", "".join(str(b) for b in result.cex))
+    if result.status is CecStatus.UNDECIDED and result.reduced_miter:
+        print(f"residue: {result.reduced_miter.num_ands} AND gates")
+    report = result.report
+    if report.phases:
+        print(
+            f"time: {report.total_seconds:.2f}s, "
+            f"reduction: {report.reduction_percent:.1f}%"
+        )
+    return {
+        CecStatus.EQUIVALENT: 0,
+        CecStatus.NONEQUIVALENT: 1,
+        CecStatus.UNDECIDED: 2,
+    }[result.status]
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    aig = read_aiger(args.input)
+    print(f"pis:    {aig.num_pis}")
+    print(f"pos:    {aig.num_pos}")
+    print(f"ands:   {aig.num_ands}")
+    print(f"levels: {aig.depth()}")
+    return 0
+
+
+def cmd_opt(args: argparse.Namespace) -> int:
+    aig = read_aiger(args.input)
+    optimized = _SCRIPTS[args.script](aig)
+    write_aiger(optimized, args.output)
+    print(
+        f"{args.script}: {aig.num_ands} -> {optimized.num_ands} ANDs, "
+        f"depth {aig.depth()} -> {optimized.depth()}"
+    )
+    return 0
+
+
+def cmd_gen(args: argparse.Namespace) -> int:
+    factory = _GENERATORS[args.family]
+    aig = factory(args.width)
+    write_aiger(aig, args.output)
+    print(f"{aig.name}: {aig.num_pis} PIs, {aig.num_pos} POs, {aig.num_ands} ANDs")
+    return 0
+
+
+def cmd_miter(args: argparse.Namespace) -> int:
+    miter = build_miter(read_aiger(args.a), read_aiger(args.b))
+    write_aiger(miter, args.output)
+    print(f"miter: {miter.num_ands} ANDs, {miter.num_pos} POs")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="simulation-based parallel sweeping CEC"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    cec = sub.add_parser("cec", help="check two AIGER files for equivalence")
+    cec.add_argument("a")
+    cec.add_argument("b")
+    cec.add_argument(
+        "--engine",
+        default="combined",
+        choices=["combined", "sim", "sat", "bdd", "portfolio"],
+    )
+    cec.add_argument("--time-limit", type=float, default=None)
+    cec.add_argument(
+        "--verbose", action="store_true",
+        help="print engine phases as they complete",
+    )
+    cec.set_defaults(func=cmd_cec)
+
+    stats = sub.add_parser("stats", help="print network statistics")
+    stats.add_argument("input")
+    stats.set_defaults(func=cmd_stats)
+
+    opt = sub.add_parser("opt", help="optimise a network")
+    opt.add_argument("input")
+    opt.add_argument("output")
+    opt.add_argument("--script", default="resyn2", choices=sorted(_SCRIPTS))
+    opt.set_defaults(func=cmd_opt)
+
+    genp = sub.add_parser("gen", help="generate a benchmark circuit")
+    genp.add_argument("family", choices=sorted(_GENERATORS))
+    genp.add_argument("width", type=int)
+    genp.add_argument("output")
+    genp.set_defaults(func=cmd_gen)
+
+    miter = sub.add_parser("miter", help="build a miter of two networks")
+    miter.add_argument("a")
+    miter.add_argument("b")
+    miter.add_argument("output")
+    miter.set_defaults(func=cmd_miter)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

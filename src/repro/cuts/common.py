@@ -1,0 +1,106 @@
+"""Common cuts of candidate pairs and the bounded cut buffer.
+
+The common cuts of a pair ``(a, b)`` are Eq. 1 evaluated on the pair's
+priority cut sets (without the trivial cuts): every ``u ∪ v`` with
+``u ∈ P(a)``, ``v ∈ P(b)`` and ``|u ∪ v| ≤ k_l``.  A cut of ``a`` union a
+cut of ``b`` cuts every PI path of both nodes, so each result is a valid
+common cut.
+
+:class:`CommonCutBuffer` is the constant-size buffer of Algorithm 2: the
+engine inserts the common-cut windows produced at each enumeration level
+and flushes a checking batch whenever the next insertion would not fit,
+bounding the memory held between exhaustive-simulation calls.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.cuts.cut import Cut
+from repro.simulation.window import Window
+
+
+def common_cuts(
+    priority_a: Sequence[Cut],
+    priority_b: Sequence[Cut],
+    k_l: int,
+    max_cuts: int = 0,
+) -> List[Cut]:
+    """Valid common cuts of a pair from its priority cut sets.
+
+    When the pair's representative is the constant node, callers pass its
+    priority set as empty and the member's own cuts act as the common
+    cuts (a constant-zero local function proves constant-zero globally);
+    this is handled by treating an empty ``priority_a`` as the neutral
+    element.
+
+    ``max_cuts`` optionally truncates the result (0 = unlimited); cuts
+    are returned smallest-first so truncation keeps the cheapest checks.
+    """
+    if not priority_a:
+        unions = {tuple(c) for c in priority_b if len(c) <= k_l}
+    elif not priority_b:
+        unions = {tuple(c) for c in priority_a if len(c) <= k_l}
+    else:
+        unions = set()
+        for u in priority_a:
+            u_set = set(u)
+            for v in priority_b:
+                merged = u_set | set(v)
+                if len(merged) <= k_l:
+                    unions.add(tuple(sorted(merged)))
+    ordered = sorted(unions, key=lambda c: (len(c), c))
+    if max_cuts and len(ordered) > max_cuts:
+        ordered = ordered[:max_cuts]
+    return ordered
+
+
+class CommonCutBuffer:
+    """Constant-capacity buffer of local-checking windows (Algorithm 2).
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of buffered windows.
+    flush:
+        Callback invoked with the buffered windows when space runs out
+        (and by :meth:`drain` for the final partial batch).
+    """
+
+    def __init__(
+        self, capacity: int, flush: Callable[[List[Window]], None]
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("buffer capacity must be positive")
+        self.capacity = capacity
+        self._flush = flush
+        self._windows: List[Window] = []
+        self.flushes = 0
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def insert(self, windows: Sequence[Window]) -> None:
+        """Insert a batch, flushing first if it would not fit.
+
+        A batch larger than the whole capacity is flushed immediately in
+        one oversized call rather than dropped — correctness over strict
+        memory bounds, matching the spirit of Algorithm 2 line 13.
+        """
+        windows = list(windows)
+        if not windows:
+            return
+        if len(windows) > self.capacity - len(self._windows):
+            self.drain()
+        self._windows.extend(windows)
+        if len(self._windows) >= self.capacity:
+            self.drain()
+
+    def drain(self) -> None:
+        """Flush whatever is buffered (Algorithm 2 lines 17-18)."""
+        if not self._windows:
+            return
+        batch = self._windows
+        self._windows = []
+        self.flushes += 1
+        self._flush(batch)

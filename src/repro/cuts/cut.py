@@ -1,0 +1,47 @@
+"""Cut representation.
+
+A cut of a node ``n`` is a set of nodes such that every path from a PI to
+``n`` passes through the set (§II-A).  Cuts are stored as sorted tuples of
+node ids — hashable (for dedup), ordered (truth-table variable order is
+increasing node id, §III-B1) and cheap to merge.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: A cut: sorted tuple of node ids.
+Cut = Tuple[int, ...]
+
+
+def merge_cuts(u: Cut, v: Cut) -> Cut:
+    """Sorted union of two cuts."""
+    if u == v:
+        return u
+    return tuple(sorted(set(u) | set(v)))
+
+
+def cut_metrics(cut: Cut, fanout_counts, levels) -> Tuple[float, int, float]:
+    """Return the (avg_fanout, size, avg_level) metric triple of §III-C1.
+
+    - *avg_fanout*: average fanout count of the cut nodes; large values
+      mark good cut points (highly observed signals);
+    - *size*: cut cardinality; small cuts keep enumeration bounded and
+      pull more reconvergence inside the cone (fewer SDCs);
+    - *avg_level*: average node level; low levels widen the cone, high
+      levels shrink the cut.
+
+    ``fanout_counts``/``levels`` may be any indexable sequence; hot
+    callers pass plain lists (see :class:`repro.cuts.selection.CutSelector`).
+    """
+    size = len(cut)
+    if size == 0:
+        return 0.0, 0, 0.0
+    total_fanout = 0
+    total_level = 0
+    for node in cut:
+        total_fanout += fanout_counts[node]
+        total_level += levels[node]
+    return total_fanout / size, size, total_level / size

@@ -1,0 +1,172 @@
+"""Cut enumeration with priority cuts (Eq. 1) and enumeration levels (Eq. 2).
+
+For each AND node ``n`` with fanins ``n0, n1`` the candidate cuts are
+
+    E(n) = { u ∪ v : u ∈ P(n0) ∪ {{n0}}, v ∈ P(n1) ∪ {{n1}}, |u ∪ v| ≤ k_l }
+
+and the priority cuts ``P(n)`` are the best ``C`` candidates under the
+active :class:`~repro.cuts.selection.CutSelector`.  PIs get their trivial
+cut as the sole priority cut.
+
+Enumeration is scheduled by *enumeration levels* rather than plain
+topological levels: a non-representative node additionally depends on its
+class representative (Eq. 2), because similarity-driven selection needs
+the representative's priority cuts to exist first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.aig.network import Aig
+from repro.cuts.cut import Cut
+from repro.cuts.selection import CutSelector
+
+
+def enumeration_levels(aig: Aig, repr_of: Dict[int, int]) -> np.ndarray:
+    """Per-node enumeration levels (Eq. 2).
+
+    ``repr_of`` maps each classed node to its class representative; nodes
+    absent from the map are treated as representatives.  Representatives
+    always have smaller ids than their class members, so a single pass in
+    id order computes the recurrence.
+    """
+    levels = np.zeros(aig.num_nodes, dtype=np.int64)
+    f0s, f1s = aig.fanin_literals()
+    base = aig.first_and
+    for i in range(aig.num_ands):
+        node = base + i
+        level = max(levels[f0s[i] >> 1], levels[f1s[i] >> 1])
+        repr_node = repr_of.get(node, node)
+        if repr_node != node:
+            level = max(level, levels[repr_node])
+        levels[node] = level + 1
+    return levels
+
+
+class CutEnumerator:
+    """Single-pass priority-cut enumeration over a network.
+
+    Parameters
+    ----------
+    aig:
+        The network (usually the current miter).
+    k_l:
+        Maximum cut size; oversized unions are dropped during
+        enumeration, bounding the truth-table work of local checking.
+    num_priority:
+        The ``C`` parameter: how many priority cuts each node keeps.
+    selector:
+        The criteria of the active pass (Table I) plus the similarity
+        preference for non-representatives.
+    """
+
+    def __init__(
+        self,
+        aig: Aig,
+        k_l: int,
+        num_priority: int,
+        selector: CutSelector,
+    ) -> None:
+        if k_l < 2:
+            raise ValueError("k_l must be at least 2")
+        if num_priority < 1:
+            raise ValueError("need at least one priority cut per node")
+        self.aig = aig
+        self.k_l = k_l
+        self.num_priority = num_priority
+        self.selector = selector
+        self._priority: List[List[Cut]] = [[] for _ in range(aig.num_nodes)]
+        for pi in aig.pis():
+            self._priority[pi] = [(pi,)]
+
+    def priority_cuts(self, node: int) -> List[Cut]:
+        """Priority cuts computed so far for ``node`` (empty for const)."""
+        return self._priority[node]
+
+    def run(
+        self,
+        repr_of: Dict[int, int],
+        only: Optional[set] = None,
+    ) -> Iterator[Tuple[int, List[int]]]:
+        """Enumerate nodes, yielding ``(level, nodes)`` per level.
+
+        After a level is yielded, the priority cuts of every node up to
+        and including that enumeration level are available — in
+        particular the representative/non-representative ordering of
+        Eq. 2 holds, so callers can generate common cuts for the pairs
+        completed at this level (Algorithm 2 lines 6-16).
+
+        ``only`` optionally restricts enumeration to a TFI-closed node
+        set (every fanin of a member is a member, a PI, or the constant).
+        The engine passes the fanin cones of the surviving candidate
+        pairs, which makes late local phases — where few candidates
+        remain — much cheaper than enumerating the whole miter.
+        """
+        levels = enumeration_levels(self.aig, repr_of)
+        if only is not None:
+            and_nodes = np.asarray(
+                sorted(n for n in only if self.aig.is_and(n)), dtype=np.int64
+            )
+        else:
+            and_nodes = np.arange(self.aig.first_and, self.aig.num_nodes)
+        if and_nodes.size == 0:
+            return
+        order = np.argsort(levels[and_nodes], kind="stable")
+        sorted_nodes = and_nodes[order]
+        sorted_levels = levels[and_nodes][order]
+        start = 0
+        while start < sorted_nodes.size:
+            level = int(sorted_levels[start])
+            end = start
+            while end < sorted_nodes.size and sorted_levels[end] == level:
+                end += 1
+            batch = [int(n) for n in sorted_nodes[start:end]]
+            for node in batch:
+                reference = None
+                repr_node = repr_of.get(node, node)
+                if repr_node != node and repr_node != 0:
+                    reference = self._priority[repr_node]
+                self._priority[node] = self._enumerate_node(node, reference)
+            yield level, batch
+            start = end
+
+    # ------------------------------------------------------------------
+
+    def _enumerate_node(
+        self, node: int, reference: Optional[List[Cut]]
+    ) -> List[Cut]:
+        f0l, f1l = self.aig.fanin_lists()
+        f0, f1 = f0l[node], f1l[node]
+        candidates = _merge_cut_sets(
+            self._cut_choices(f0 >> 1),
+            self._cut_choices(f1 >> 1),
+            self.k_l,
+        )
+        if not candidates:
+            return []
+        return self.selector.select(candidates, self.num_priority, reference)
+
+    def _cut_choices(self, node: int) -> List[Cut]:
+        """``P(node) ∪ {{node}}`` — the ``u``/``v`` domain of Eq. 1."""
+        if node == 0:
+            # The constant node never occurs as a fanin of a strashed AND,
+            # but stay safe: its only cut is empty.
+            return [()]
+        return self._priority[node] + [(node,)]
+
+
+def _merge_cut_sets(
+    cuts_a: List[Cut], cuts_b: List[Cut], k_l: int
+) -> List[Cut]:
+    """All pairwise unions of two cut families, bounded by ``k_l``."""
+    result = set()
+    for u in cuts_a:
+        u_set = set(u)
+        for v in cuts_b:
+            union = u_set | set(v)
+            if len(union) <= k_l:
+                result.add(tuple(sorted(union)))
+    return list(result)

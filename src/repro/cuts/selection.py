@@ -1,0 +1,127 @@
+"""Priority-cut selection criteria (Table I) and the similarity metric.
+
+The three cut-generation passes rank cuts with different priorities to
+diversify the cuts the checker sees:
+
+====  ===========  ===================  ===================
+Pass  Main metric  Tie-breaker 1        Tie-breaker 2
+====  ===========  ===================  ===================
+1     fanout ↑     cut size ↓           level ↓
+2     level ↓      cut size ↓           fanout ↑
+3     level ↑      cut size ↓           fanout ↑
+====  ===========  ===================  ===================
+
+Non-representative nodes additionally prefer cuts *similar* to the
+priority cuts of their class representative (§III-C1), which maximises
+the number of usable (≤ k_l) common cuts of the pair; the Table I
+criteria then break similarity ties.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cuts.cut import Cut, cut_metrics
+
+#: Criteria of Table I: pass id → ordered metric names.  ``fanout`` and
+#: ``large level`` are maximised, ``cut size`` and ``small level`` are
+#: minimised.
+PASS_CRITERIA: Dict[int, Tuple[str, str, str]] = {
+    1: ("fanout", "size", "small_level"),
+    2: ("small_level", "size", "fanout"),
+    3: ("large_level", "size", "fanout"),
+}
+
+
+def similarity(cut: Cut, priority_cuts: Sequence[Cut]) -> float:
+    """Jaccard-sum similarity ``s(c, P) = Σ_{c'∈P} |c∩c'| / |c∪c'|``."""
+    cut_set = set(cut)
+    score = 0.0
+    for other in priority_cuts:
+        other_set = set(other)
+        union = len(cut_set | other_set)
+        if union:
+            score += len(cut_set & other_set) / union
+    return score
+
+
+class CutSelector:
+    """Ranks candidate cuts for one enumeration pass.
+
+    Parameters
+    ----------
+    pass_id:
+        Which Table I pass (1, 2 or 3) supplies the criteria.
+    fanout_counts, levels:
+        Per-node arrays of the network being enumerated.
+    use_similarity:
+        When False the similarity preference for non-representatives is
+        disabled (the ablation knob for the §III-C1 design choice).
+    """
+
+    def __init__(
+        self,
+        pass_id: int,
+        fanout_counts: np.ndarray,
+        levels: np.ndarray,
+        use_similarity: bool = True,
+    ) -> None:
+        if pass_id not in PASS_CRITERIA:
+            raise ValueError(f"unknown pass id {pass_id}")
+        self.pass_id = pass_id
+        self.criteria = PASS_CRITERIA[pass_id]
+        # Plain lists: scalar indexing into numpy arrays dominates the
+        # profile otherwise (millions of metric lookups per sweep).
+        self.fanout_counts = (
+            fanout_counts.tolist()
+            if hasattr(fanout_counts, "tolist")
+            else list(fanout_counts)
+        )
+        self.levels = (
+            levels.tolist() if hasattr(levels, "tolist") else list(levels)
+        )
+        self.use_similarity = use_similarity
+
+    def sort_key(self, cut: Cut) -> Tuple[float, ...]:
+        """Ascending sort key implementing the pass criteria.
+
+        Lower keys are better, so maximised metrics are negated.
+        """
+        avg_fanout, size, avg_level = cut_metrics(
+            cut, self.fanout_counts, self.levels
+        )
+        key: List[float] = []
+        for criterion in self.criteria:
+            if criterion == "fanout":
+                key.append(-avg_fanout)
+            elif criterion == "size":
+                key.append(float(size))
+            elif criterion == "small_level":
+                key.append(avg_level)
+            elif criterion == "large_level":
+                key.append(-avg_level)
+            else:  # pragma: no cover - guarded by PASS_CRITERIA
+                raise AssertionError(criterion)
+        return tuple(key)
+
+    def select(
+        self,
+        candidates: Sequence[Cut],
+        count: int,
+        reference_cuts: Optional[Sequence[Cut]] = None,
+    ) -> List[Cut]:
+        """Pick the best ``count`` cuts.
+
+        ``reference_cuts`` are the representative's priority cuts when the
+        node being enumerated is a non-representative: similarity to them
+        becomes the primary criterion (ties broken by the pass criteria).
+        """
+        if reference_cuts is not None and self.use_similarity:
+            def key(cut: Cut):
+                return (-similarity(cut, reference_cuts),) + self.sort_key(cut)
+        else:
+            key = self.sort_key
+        ranked = sorted(set(candidates), key=key)
+        return ranked[:count]

@@ -1,0 +1,13 @@
+"""K-LUT technology mapping.
+
+The paper's cut generator descends from LUT-mapping technology
+([26] cut enumeration, [27] priority cuts, [28] FineMap); this
+subpackage closes the loop by implementing a depth-oriented k-LUT mapper
+on the same cut machinery.  Mapping also supplies a further realistic
+CEC workload: a mapped network re-expressed as an AIG must verify
+against the original (see ``examples``/tests).
+"""
+
+from repro.map.lutmap import LutMapper, LutNetwork, lut_network_to_aig, map_luts
+
+__all__ = ["LutMapper", "LutNetwork", "lut_network_to_aig", "map_luts"]

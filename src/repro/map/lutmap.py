@@ -1,0 +1,225 @@
+"""Depth-oriented k-LUT mapping with priority cuts.
+
+The classic FlowMap-style two-phase algorithm on enumerated cuts:
+
+1. **Forward pass** — for every AND node, enumerate k-feasible cuts
+   (bounded merge of fanin cuts, as in [26]/[27]) and pick the *best*
+   cut minimising mapped depth, breaking ties by estimated area (leaf
+   count, then cone size).
+2. **Cover extraction** — walk back from the POs; every visited node
+   instantiates one LUT over its best cut, and the cut leaves are
+   visited in turn.
+
+The result is a :class:`LutNetwork` whose LUT functions are truth-table
+integers over the cut leaves (computed exactly, in the convention of
+:mod:`repro.synth.isop`).  ``lut_network_to_aig`` re-synthesises each LUT
+back into AND gates via ISOP + factoring, which lets the package's own
+CEC engines verify the mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aig.builder import AigBuilder
+from repro.aig.literals import CONST0, lit, lit_var
+from repro.aig.network import Aig
+from repro.synth.rewrite import _local_tt, factored_expression
+from repro.synth.factor import expr_to_aig
+
+Cut = Tuple[int, ...]
+
+
+@dataclass
+class Lut:
+    """One LUT: output node id, input node ids, truth table."""
+
+    output: int
+    inputs: Tuple[int, ...]
+    table: int
+
+
+@dataclass
+class LutNetwork:
+    """A mapped network.
+
+    ``luts`` are in topological order (inputs of a LUT are PIs or
+    outputs of earlier LUTs).  ``pos`` are (node id, phase) pairs into
+    the original AIG's node space.
+    """
+
+    num_pis: int
+    luts: List[Lut] = field(default_factory=list)
+    pos: List[Tuple[int, int]] = field(default_factory=list)
+    name: str = "lutnet"
+
+    @property
+    def num_luts(self) -> int:
+        """LUT count (the area metric)."""
+        return len(self.luts)
+
+    def depth(self) -> int:
+        """Mapped depth in LUT levels."""
+        level: Dict[int, int] = {}
+        best = 0
+        for lut in self.luts:
+            lvl = 1 + max((level.get(i, 0) for i in lut.inputs), default=0)
+            level[lut.output] = lvl
+            best = max(best, lvl)
+        return best
+
+    def evaluate(self, pattern: Sequence[int]) -> List[int]:
+        """Reference evaluation under one input assignment."""
+        if len(pattern) != self.num_pis:
+            raise ValueError(
+                f"expected {self.num_pis} inputs, got {len(pattern)}"
+            )
+        values: Dict[int, int] = {0: 0}
+        for i, bit in enumerate(pattern):
+            values[i + 1] = 1 if bit else 0
+        for lut in self.luts:
+            index = 0
+            for pos, node in enumerate(lut.inputs):
+                index |= values[node] << pos
+            values[lut.output] = (lut.table >> index) & 1
+        return [values[node] ^ phase for node, phase in self.pos]
+
+
+class LutMapper:
+    """Configurable mapper (see :func:`map_luts` for the one-call API).
+
+    ``mode="depth"`` minimises mapped depth (FlowMap-style);
+    ``mode="area"`` minimises *area flow* — each cut's cost is
+    ``(1 + Σ flow(leaf)) / fanout(root)``, the standard shared-cost
+    estimate of priority-cut area mapping [27] — breaking ties by depth.
+    """
+
+    def __init__(
+        self, k: int = 6, cuts_per_node: int = 8, mode: str = "depth"
+    ) -> None:
+        if k < 2:
+            raise ValueError("LUT size must be at least 2")
+        if cuts_per_node < 1:
+            raise ValueError("need at least one cut per node")
+        if mode not in ("depth", "area"):
+            raise ValueError(f"unknown mapping mode {mode!r}")
+        self.k = k
+        self.cuts_per_node = cuts_per_node
+        self.mode = mode
+
+    def map(self, aig: Aig) -> LutNetwork:
+        """Map a network; returns the LUT cover."""
+        best_cut, depth = self._forward_pass(aig)
+        return self._extract_cover(aig, best_cut)
+
+    # ------------------------------------------------------------------
+
+    def _forward_pass(self, aig: Aig):
+        k = self.k
+        cuts: List[List[Cut]] = [[] for _ in range(aig.num_nodes)]
+        depth: List[int] = [0] * aig.num_nodes
+        flow: List[float] = [0.0] * aig.num_nodes
+        best_cut: List[Optional[Cut]] = [None] * aig.num_nodes
+        fanout = aig.fanout_counts()
+        for pi in aig.pis():
+            cuts[pi] = [(pi,)]
+        f0l, f1l = aig.fanin_lists()
+        for node in aig.ands():
+            v0 = f0l[node] >> 1
+            v1 = f1l[node] >> 1
+            choices0 = cuts[v0] + [(v0,)]
+            choices1 = cuts[v1] + [(v1,)]
+            merged = set()
+            for u in choices0:
+                u_set = set(u)
+                for v in choices1:
+                    union = u_set | set(v)
+                    if len(union) <= k:
+                        merged.add(tuple(sorted(union)))
+
+            def cut_depth(cut: Cut) -> int:
+                return 1 + max((depth[leaf] for leaf in cut), default=0)
+
+            def cut_flow(cut: Cut) -> float:
+                total = 1.0 + sum(flow[leaf] for leaf in cut)
+                return total / max(1, int(fanout[node]))
+
+            if self.mode == "depth":
+                def cost(cut: Cut):
+                    return (cut_depth(cut), len(cut), cut)
+            else:
+                def cost(cut: Cut):
+                    return (cut_flow(cut), cut_depth(cut), len(cut), cut)
+
+            ranked = sorted(merged, key=cost)
+            cuts[node] = ranked[: self.cuts_per_node]
+            chosen = ranked[0]
+            best_cut[node] = chosen
+            depth[node] = cut_depth(chosen)
+            flow[node] = cut_flow(chosen)
+        return best_cut, depth
+
+    def _extract_cover(self, aig: Aig, best_cut) -> LutNetwork:
+        network = LutNetwork(num_pis=aig.num_pis, name=f"{aig.name}_lut")
+        emitted = set()
+        order: List[int] = []
+
+        def visit(node: int) -> None:
+            stack = [node]
+            while stack:
+                current = stack[-1]
+                if current in emitted or current <= aig.num_pis:
+                    stack.pop()
+                    continue
+                cut = best_cut[current]
+                assert cut is not None
+                pending = [
+                    leaf
+                    for leaf in cut
+                    if leaf not in emitted and leaf > aig.num_pis
+                ]
+                if pending:
+                    stack.extend(pending)
+                    continue
+                order.append(current)
+                emitted.add(current)
+                stack.pop()
+
+        for po in aig.pos:
+            var = lit_var(po)
+            if var != 0:
+                visit(var)
+        for node in order:
+            cut = best_cut[node]
+            table = _local_tt(aig, node, cut)
+            network.luts.append(Lut(output=node, inputs=cut, table=table))
+        for po in aig.pos:
+            network.pos.append((lit_var(po), po & 1))
+        return network
+
+
+def map_luts(
+    aig: Aig, k: int = 6, cuts_per_node: int = 8, mode: str = "depth"
+) -> LutNetwork:
+    """Map ``aig`` onto k-input LUTs (``mode`` = "depth" or "area")."""
+    return LutMapper(k=k, cuts_per_node=cuts_per_node, mode=mode).map(aig)
+
+
+def lut_network_to_aig(network: LutNetwork, name: Optional[str] = None) -> Aig:
+    """Re-synthesise a LUT cover into an AIG (ISOP + factoring per LUT).
+
+    The result is functionally equivalent to the mapped network — and
+    therefore to the original AIG — which the CEC engines can verify.
+    """
+    builder = AigBuilder(network.num_pis, name=name or network.name)
+    literal_of: Dict[int, int] = {0: CONST0}
+    for pi in range(1, network.num_pis + 1):
+        literal_of[pi] = lit(pi)
+    for lut in network.luts:
+        expr = factored_expression(lut.table, len(lut.inputs))
+        leaves = [literal_of[node] for node in lut.inputs]
+        literal_of[lut.output] = expr_to_aig(expr, builder, leaves)
+    for node, phase in network.pos:
+        builder.add_po(literal_of[node] ^ phase)
+    return builder.build()

@@ -1,0 +1,18 @@
+"""Multi-engine checkers.
+
+- :class:`~repro.portfolio.checker.PortfolioChecker` — the commercial-tool
+  (Conformal LEC) substitute: a staged combination of engines with early
+  stop, as described in [33] and §IV-A of the paper;
+- :class:`~repro.portfolio.checker.CombinedChecker` — the paper's own
+  flow: the simulation-based GPU engine followed by SAT sweeping on the
+  residual miter ("Ours (GPU+ABC)" in Table II).
+"""
+
+from repro.portfolio.checker import CombinedChecker, PortfolioChecker
+from repro.portfolio.parallel import ParallelPortfolioChecker
+
+__all__ = [
+    "CombinedChecker",
+    "ParallelPortfolioChecker",
+    "PortfolioChecker",
+]

@@ -1,0 +1,130 @@
+"""Combined and portfolio equivalence checkers.
+
+``CombinedChecker`` is the paper's headline configuration: run the
+simulation-based engine first, then hand the reduced miter to the SAT
+sweeping checker.  ``PortfolioChecker`` stands in for the commercial
+multi-engine tool: try a cheap BDD engine (with a node budget) first,
+fall back to SAT sweeping — "a combination of engines … early stop when
+an engine finishes" (§IV-A).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.aig.miter import build_miter
+from repro.aig.network import Aig
+from repro.bdd.cec import BddChecker
+from repro.sat.sweeping import SatSweepChecker
+from repro.sweep.config import EngineConfig
+from repro.sweep.engine import CecResult, CecStatus, SimSweepEngine
+
+
+@dataclass
+class CombinedTimings:
+    """Timing split of a combined run (the "Ours" columns of Table II)."""
+
+    engine_seconds: float = 0.0
+    sat_seconds: float = 0.0
+    reduction_percent: float = 0.0
+    engine_status: Optional[str] = None
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end runtime."""
+        return self.engine_seconds + self.sat_seconds
+
+
+class CombinedChecker:
+    """Simulation engine + SAT residue checker (the paper's flow).
+
+    Parameters
+    ----------
+    config:
+        Engine configuration for the simulation-based front end.
+    sat_checker:
+        Back end for residual miters; a default SAT sweeper is built if
+        omitted.
+    transfer_ecs:
+        Enable the §V EC-transfer extension: the engine's pattern pool
+        (with all its counter-examples) seeds the SAT sweeper's classes
+        so disproved pairs are never re-checked.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        sat_checker: Optional[SatSweepChecker] = None,
+        transfer_ecs: bool = True,
+    ) -> None:
+        self.engine = SimSweepEngine(config)
+        self.sat_checker = sat_checker or SatSweepChecker()
+        self.transfer_ecs = transfer_ecs
+        self.timings = CombinedTimings()
+
+    def check(self, aig_a: Aig, aig_b: Aig) -> CecResult:
+        """Check two networks (builds the miter)."""
+        return self.check_miter(build_miter(aig_a, aig_b))
+
+    def check_miter(self, miter: Aig) -> CecResult:
+        """Engine first; SAT sweeping on whatever is left."""
+        self.timings = CombinedTimings()
+        start = time.perf_counter()
+        engine_result = self.engine.check_miter(miter)
+        self.timings.engine_seconds = time.perf_counter() - start
+        self.timings.reduction_percent = (
+            engine_result.report.reduction_percent
+        )
+        self.timings.engine_status = engine_result.status.value
+        if engine_result.status is not CecStatus.UNDECIDED:
+            return engine_result
+        residue = engine_result.reduced_miter
+        assert residue is not None
+        state = engine_result.sim_state if self.transfer_ecs else None
+        start = time.perf_counter()
+        sat_result = self.sat_checker.check_miter(residue, state=state)
+        self.timings.sat_seconds = time.perf_counter() - start
+        sat_result.report = engine_result.report  # keep the engine phases
+        return sat_result
+
+
+class PortfolioChecker:
+    """Staged multi-engine checker (commercial-tool substitute).
+
+    Engines run in order with individual budgets; the first conclusive
+    answer wins.  The default staging is BDD (cheap on control logic and
+    majority-style circuits, hopeless on multipliers — the node budget
+    makes it give up fast there) followed by SAT sweeping.
+    """
+
+    def __init__(
+        self,
+        bdd_node_limit: int = 300_000,
+        bdd_time_limit: Optional[float] = 30.0,
+        sat_checker: Optional[SatSweepChecker] = None,
+    ) -> None:
+        self.bdd_checker = BddChecker(
+            node_limit=bdd_node_limit, time_limit=bdd_time_limit
+        )
+        self.sat_checker = sat_checker or SatSweepChecker()
+        #: Per-engine seconds of the last run.
+        self.engine_seconds: Dict[str, float] = {}
+
+    def check(self, aig_a: Aig, aig_b: Aig) -> CecResult:
+        """Check two networks (builds the miter)."""
+        return self.check_miter(build_miter(aig_a, aig_b))
+
+    def check_miter(self, miter: Aig) -> CecResult:
+        """Run the engine cascade with early stop."""
+        self.engine_seconds = {}
+        start = time.perf_counter()
+        bdd_result = self.bdd_checker.check_miter(miter)
+        self.engine_seconds["bdd"] = time.perf_counter() - start
+        if bdd_result.status is not CecStatus.UNDECIDED:
+            return bdd_result
+        start = time.perf_counter()
+        sat_result = self.sat_checker.check_miter(miter)
+        self.engine_seconds["sat"] = time.perf_counter() - start
+        return sat_result

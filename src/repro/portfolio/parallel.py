@@ -1,0 +1,168 @@
+"""Truly concurrent multi-engine checking.
+
+The paper describes commercial checkers as running "different engines
+simultaneously and early stop when an engine finishes" (§IV-A) on up to
+16 CPU threads.  :class:`ParallelPortfolioChecker` reproduces that
+architecture with one OS process per engine: the first conclusive
+verdict wins and the losers are terminated.
+
+Engines are named specs so they pickle cleanly:
+
+- ``("sim", {...EngineConfig kwargs...})`` — the simulation engine;
+- ``("combined", {...})`` — simulation engine + SAT residue;
+- ``("sat", {"conflict_limit": ..., ...})`` — SAT sweeping;
+- ``("bdd", {"node_limit": ...})`` — monolithic BDD;
+- ``("bddsweep", {"node_limit": ...})`` — BDD sweeping.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aig.miter import build_miter
+from repro.aig.network import Aig
+from repro.sweep.engine import CecResult, CecStatus
+
+EngineSpec = Tuple[str, Dict]
+
+#: The default engine line-up: one of each prover family.
+DEFAULT_ENGINES: List[EngineSpec] = [
+    ("combined", {}),
+    ("sat", {}),
+    ("bdd", {"node_limit": 500_000}),
+]
+
+
+def build_checker(spec: EngineSpec):
+    """Instantiate a checker from a picklable spec."""
+    kind, kwargs = spec
+    if kind == "sim":
+        from repro.sweep.config import EngineConfig
+        from repro.sweep.engine import SimSweepEngine
+
+        return SimSweepEngine(EngineConfig(**kwargs))
+    if kind == "combined":
+        from repro.portfolio.checker import CombinedChecker
+        from repro.sweep.config import EngineConfig
+
+        config = EngineConfig(**kwargs) if kwargs else None
+        return CombinedChecker(config=config)
+    if kind == "sat":
+        from repro.sat.sweeping import SatSweepChecker
+
+        return SatSweepChecker(**kwargs)
+    if kind == "bdd":
+        from repro.bdd.cec import BddChecker
+
+        return BddChecker(**kwargs)
+    if kind == "bddsweep":
+        from repro.bdd.sweeping import BddSweepChecker
+
+        return BddSweepChecker(**kwargs)
+    raise ValueError(f"unknown engine spec {kind!r}")
+
+
+def _engine_worker(spec: EngineSpec, miter: Aig, queue: "mp.Queue") -> None:
+    """Run one engine in a child process and post its result."""
+    try:
+        checker = build_checker(spec)
+        result = checker.check_miter(miter)
+        queue.put(
+            (
+                spec[0],
+                result.status.value,
+                result.cex,
+                result.reduced_miter,
+            )
+        )
+    except Exception as error:  # surface crashes as a verdict
+        queue.put((spec[0], "error", repr(error), None))
+
+
+class ParallelPortfolioChecker:
+    """Race engines in separate processes; first conclusive answer wins.
+
+    Parameters
+    ----------
+    engines:
+        Engine specs (see module docstring); defaults to one checker per
+        prover family.
+    time_limit:
+        Overall wall-clock budget; on expiry all engines are terminated
+        and the best residue seen so far (if any) is returned UNDECIDED.
+    """
+
+    def __init__(
+        self,
+        engines: Optional[Sequence[EngineSpec]] = None,
+        time_limit: Optional[float] = None,
+    ) -> None:
+        self.engines = list(engines) if engines is not None else list(
+            DEFAULT_ENGINES
+        )
+        if not self.engines:
+            raise ValueError("need at least one engine spec")
+        self.time_limit = time_limit
+        #: Engine that produced the winning verdict in the last run.
+        self.winner: Optional[str] = None
+
+    def check(self, aig_a: Aig, aig_b: Aig) -> CecResult:
+        """Check two networks for equivalence (builds the miter)."""
+        return self.check_miter(build_miter(aig_a, aig_b))
+
+    def check_miter(self, miter: Aig) -> CecResult:
+        """Race the configured engines on a miter."""
+        context = mp.get_context("fork")
+        queue: mp.Queue = context.Queue()
+        processes = [
+            context.Process(
+                target=_engine_worker, args=(spec, miter, queue), daemon=True
+            )
+            for spec in self.engines
+        ]
+        for process in processes:
+            process.start()
+        deadline = (
+            time.monotonic() + self.time_limit
+            if self.time_limit is not None
+            else None
+        )
+        best_residue: Optional[Aig] = None
+        pending = len(processes)
+        try:
+            while pending > 0:
+                timeout = None
+                if deadline is not None:
+                    timeout = max(0.0, deadline - time.monotonic())
+                    if timeout == 0.0:
+                        break
+                try:
+                    name, status, cex, residue = queue.get(timeout=timeout)
+                except Exception:  # queue.Empty on timeout
+                    break
+                pending -= 1
+                if status == "equivalent":
+                    self.winner = name
+                    return CecResult(CecStatus.EQUIVALENT)
+                if status == "nonequivalent":
+                    self.winner = name
+                    return CecResult(CecStatus.NONEQUIVALENT, cex=cex)
+                if status == "undecided" and residue is not None:
+                    if (
+                        best_residue is None
+                        or residue.num_ands < best_residue.num_ands
+                    ):
+                        best_residue = residue
+            self.winner = None
+            return CecResult(
+                CecStatus.UNDECIDED,
+                reduced_miter=best_residue if best_residue is not None else miter,
+            )
+        finally:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join(timeout=1.0)

@@ -1,0 +1,15 @@
+"""SAT substrate: CDCL solver, AIG-to-CNF encoding, SAT sweeping.
+
+This subpackage is the from-scratch substitute for ABC's ``&cec``
+(DESIGN.md §2): :mod:`repro.sat.solver` implements a CDCL solver with
+watched literals, first-UIP learning, VSIDS branching, phase saving and
+Luby restarts; :mod:`repro.sat.cnf` encodes AIG cones via Tseitin
+transformation; :mod:`repro.sat.sweeping` combines them into a FRAIG-style
+SAT sweeping equivalence checker.
+"""
+
+from repro.sat.solver import SatSolver, SolveStatus
+from repro.sat.cnf import CnfBuilder
+from repro.sat.sweeping import SatSweepChecker
+
+__all__ = ["CnfBuilder", "SatSolver", "SatSweepChecker", "SolveStatus"]

@@ -1,0 +1,78 @@
+"""Lazy Tseitin encoding of AIG cones into a SAT solver.
+
+Each AND node gets the standard three clauses; nodes are encoded on
+demand when a query first touches their cone, so checking a small pair
+deep inside a large miter never pays for the whole network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.aig.network import Aig
+from repro.sat.solver import SatSolver
+
+
+class CnfBuilder:
+    """Incremental AIG → CNF encoder bound to one solver instance."""
+
+    def __init__(self, aig: Aig, solver: SatSolver) -> None:
+        self.aig = aig
+        self.solver = solver
+        self._var_of: Dict[int, int] = {}
+
+    def var_of(self, node: int) -> int:
+        """Solver variable of an AIG node, encoding its cone if needed."""
+        var = self._var_of.get(node)
+        if var is None:
+            self._encode_cone(node)
+            var = self._var_of[node]
+        return var
+
+    def literal(self, aig_literal: int) -> int:
+        """Solver literal corresponding to an AIG literal."""
+        return (self.var_of(aig_literal >> 1) << 1) | (aig_literal & 1)
+
+    def pi_pattern_from_model(self) -> List[int]:
+        """Extract a full PI assignment from the solver's last model.
+
+        PIs never touched by any encoded cone default to 0.
+        """
+        pattern = []
+        for pi in self.aig.pis():
+            var = self._var_of.get(pi)
+            pattern.append(self.solver.model_value(var) if var is not None else 0)
+        return pattern
+
+    # ------------------------------------------------------------------
+
+    def _encode_cone(self, node: int) -> None:
+        stack = [node]
+        while stack:
+            current = stack[-1]
+            if current in self._var_of:
+                stack.pop()
+                continue
+            if self.aig.is_const(current):
+                var = self.solver.new_var()
+                self.solver.add_clause([(var << 1) | 1])  # constant false
+                self._var_of[current] = var
+                stack.pop()
+                continue
+            if self.aig.is_pi(current):
+                self._var_of[current] = self.solver.new_var()
+                stack.pop()
+                continue
+            f0, f1 = self.aig.fanins(current)
+            pending = [
+                v for v in (f0 >> 1, f1 >> 1) if v not in self._var_of
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            var = self.solver.new_var()
+            self._var_of[current] = var
+            lit0 = (self._var_of[f0 >> 1] << 1) | (f0 & 1)
+            lit1 = (self._var_of[f1 >> 1] << 1) | (f1 & 1)
+            self.solver.add_aig_and(var << 1, lit0, lit1)
+            stack.pop()

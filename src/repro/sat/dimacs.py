@@ -1,0 +1,136 @@
+"""DIMACS CNF import/export.
+
+Lets CEC instances produced by this package be cross-checked with
+external SAT solvers, and external CNF benchmarks be run through
+:class:`~repro.sat.solver.SatSolver`.  DIMACS literals are 1-based and
+sign-encoded; the in-memory representation stays the package's
+``2*var + sign`` encoding.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence, Tuple, Union
+
+from repro.aig.literals import CONST0
+from repro.aig.network import Aig
+from repro.sat.cnf import CnfBuilder
+from repro.sat.solver import SatSolver
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def to_dimacs_literal(literal: int) -> int:
+    """Convert an internal literal to a DIMACS literal."""
+    var = (literal >> 1) + 1
+    return -var if literal & 1 else var
+
+
+def from_dimacs_literal(literal: int) -> int:
+    """Convert a DIMACS literal to the internal encoding."""
+    if literal == 0:
+        raise ValueError("0 is the DIMACS clause terminator, not a literal")
+    var = abs(literal) - 1
+    return (var << 1) | (1 if literal < 0 else 0)
+
+
+def write_dimacs(
+    num_vars: int,
+    clauses: Sequence[Sequence[int]],
+    path: PathLike,
+    comments: Sequence[str] = (),
+) -> None:
+    """Write clauses (internal encoding) as a DIMACS CNF file."""
+    lines = [f"c {c}" for c in comments]
+    lines.append(f"p cnf {num_vars} {len(clauses)}")
+    for clause in clauses:
+        lines.append(
+            " ".join(str(to_dimacs_literal(l)) for l in clause) + " 0"
+        )
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+def read_dimacs(path: PathLike) -> Tuple[int, List[List[int]]]:
+    """Read a DIMACS CNF file; returns (num_vars, clauses) internally encoded."""
+    num_vars = None
+    clauses: List[List[int]] = []
+    current: List[int] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "cnf":
+                    raise ValueError(f"malformed problem line: {line!r}")
+                num_vars = int(parts[2])
+                continue
+            for token in line.split():
+                value = int(token)
+                if value == 0:
+                    clauses.append(current)
+                    current = []
+                else:
+                    current.append(from_dimacs_literal(value))
+    if num_vars is None:
+        raise ValueError("missing DIMACS problem line")
+    if current:
+        clauses.append(current)  # tolerate a missing final terminator
+    return num_vars, clauses
+
+
+def miter_to_dimacs(miter: Aig, path: PathLike) -> int:
+    """Export a miter as a CNF satisfiability instance.
+
+    The formula is satisfiable iff the miter output can be 1, i.e. iff
+    the two circuits the miter compares are NOT equivalent.  The first
+    ``num_pis`` DIMACS variables are the miter PIs in order, so a model
+    is directly a counter-example pattern.  Returns the variable count.
+    """
+    solver = _RecordingSolver()
+    cnf = CnfBuilder(miter, solver)
+    # Pin PI variable numbering: PIs first, in order.
+    for pi in miter.pis():
+        cnf.var_of(pi)
+    outputs = []
+    for po in miter.pos:
+        if po == CONST0:
+            continue
+        outputs.append(cnf.literal(po))
+    if outputs:
+        solver.add_clause(outputs)  # some miter PO is 1
+    else:
+        # All POs constant zero: the instance is UNSAT by construction.
+        fresh = solver.new_var()
+        solver.add_clause([fresh << 1])
+        solver.add_clause([(fresh << 1) | 1])
+    write_dimacs(
+        solver.num_vars,
+        solver.recorded,
+        path,
+        comments=[
+            f"miter {miter.name}: SAT model = counter-example",
+            f"first {miter.num_pis} variables are the primary inputs",
+        ],
+    )
+    return solver.num_vars
+
+
+class _RecordingSolver(SatSolver):
+    """A solver that records clauses verbatim for export.
+
+    The base class simplifies clauses against level-0 facts, which is
+    wrong for export (we want the full formula).  Only ``add_clause`` is
+    intercepted; nothing is ever solved.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.recorded: List[List[int]] = []
+
+    def add_clause(self, lits) -> bool:  # type: ignore[override]
+        clause = list(lits)
+        self.recorded.append(clause)
+        return True

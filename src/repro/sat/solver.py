@@ -1,0 +1,456 @@
+"""A CDCL SAT solver.
+
+Implements the standard modern architecture (MiniSat lineage, [10] in the
+paper): two-watched-literal propagation, first-UIP conflict analysis with
+non-chronological backjumping, exponential VSIDS activities, phase
+saving, Luby restarts and activity-based learnt-clause reduction.
+Supports incremental use through assumptions and monotone clause
+addition, which is how the SAT sweeper retires per-pair queries.
+
+Literals use the same encoding as the AIG: ``lit = 2 * var + sign`` with
+``sign = 1`` for negation.  Variables are created with :meth:`new_var`
+and numbered from 0.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class SolveStatus(enum.Enum):
+    """Result of a :meth:`SatSolver.solve` call."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    #: Conflict or propagation budget exhausted before a verdict.
+    UNKNOWN = "unknown"
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,… (1-indexed)."""
+    while True:
+        k = i.bit_length()
+        if i + 1 == (1 << k):
+            return 1 << (k - 1)
+        i -= (1 << (k - 1)) - 1
+
+
+class _Clause:
+    __slots__ = ("lits", "learnt", "activity")
+
+    def __init__(self, lits: List[int], learnt: bool) -> None:
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+
+
+class SatSolver:
+    """Conflict-driven clause-learning solver.
+
+    Example
+    -------
+    >>> s = SatSolver()
+    >>> a, b = s.new_var(), s.new_var()
+    >>> _ = s.add_clause([2 * a, 2 * b])          # a | b
+    >>> _ = s.add_clause([2 * a + 1, 2 * b + 1])  # !a | !b
+    >>> s.solve().value
+    'sat'
+    >>> s.solve(assumptions=[2 * a, 2 * b]).value
+    'unsat'
+    """
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
+        self._watches: List[List[_Clause]] = []
+        self._values: List[int] = []  # -1 unassigned, 0 false, 1 true (per var)
+        self._levels: List[int] = []
+        self._reasons: List[Optional[_Clause]] = []
+        self._trail: List[int] = []  # assigned literals in order
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._activity: List[float] = []
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._saved_phase: List[int] = []
+        # Lazy max-heap of (-activity, var); stale entries are skipped.
+        self._order_heap: List[tuple] = []
+        self._ok = True
+        self._model: List[int] = []
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+
+    def new_var(self) -> int:
+        """Create a fresh variable; returns its index."""
+        var = self.num_vars
+        self.num_vars += 1
+        self._watches.append([])
+        self._watches.append([])
+        self._values.append(-1)
+        self._levels.append(0)
+        self._reasons.append(None)
+        self._activity.append(0.0)
+        self._saved_phase.append(0)
+        heapq.heappush(self._order_heap, (0.0, var))
+        return var
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns False if it makes the formula trivially UNSAT.
+
+        Must be called at decision level 0 (e.g. between solve calls; the
+        solver backtracks to level 0 after every solve).
+        """
+        assert not self._trail_lim, "clauses must be added at level 0"
+        seen: Dict[int, int] = {}
+        simplified: List[int] = []
+        for literal in lits:
+            var = literal >> 1
+            if var >= self.num_vars:
+                raise ValueError(f"unknown variable {var}")
+            value = self._lit_value(literal)
+            if value == 1:
+                return True  # satisfied at level 0
+            if value == 0:
+                continue  # falsified at level 0, drop
+            prev = seen.get(var)
+            if prev is None:
+                seen[var] = literal
+                simplified.append(literal)
+            elif prev != literal:
+                return True  # tautology x | !x
+        if not simplified:
+            self._ok = False
+            return False
+        if len(simplified) == 1:
+            if not self._enqueue(simplified[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        clause = _Clause(simplified, learnt=False)
+        self._clauses.append(clause)
+        self._attach(clause)
+        return True
+
+    def add_aig_and(self, out: int, in0: int, in1: int) -> None:
+        """Convenience: Tseitin clauses of ``out = in0 AND in1``.
+
+        Arguments are solver literals (phases allowed on the inputs).
+        """
+        self.add_clause([out ^ 1, in0])
+        self.add_clause([out ^ 1, in1])
+        self.add_clause([out, in0 ^ 1, in1 ^ 1])
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_limit: Optional[int] = None,
+        propagation_limit: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> SolveStatus:
+        """Solve under assumptions with optional budgets.
+
+        ``deadline`` is an absolute ``time.perf_counter()`` timestamp;
+        it is checked on every conflict, so a single hard query cannot
+        overshoot a caller's wall-clock budget by more than the time
+        between two conflicts.  Returns :attr:`SolveStatus.UNKNOWN` when
+        any budget runs out; the solver stays usable (all state is
+        backtracked to level 0).
+        """
+        if not self._ok:
+            return SolveStatus.UNSAT
+        self._backtrack(0)
+        conflict_budget = conflict_limit
+        start_propagations = self.propagations
+        restart_index = 1
+        restart_budget = 64 * _luby(restart_index)
+        conflicts_here = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if deadline is not None and time.perf_counter() > deadline:
+                    self._backtrack(0)
+                    return SolveStatus.UNKNOWN
+                if conflict_budget is not None:
+                    conflict_budget -= 1
+                    if conflict_budget < 0:
+                        self._backtrack(0)
+                        return SolveStatus.UNKNOWN
+                if self._decision_level() == 0:
+                    self._ok = False
+                    return SolveStatus.UNSAT
+                learnt, backjump = self._analyze(conflict)
+                self._backtrack(backjump)
+                self._record_learnt(learnt)
+                self._decay_activities()
+                if conflicts_here >= restart_budget:
+                    conflicts_here = 0
+                    restart_index += 1
+                    restart_budget = 64 * _luby(restart_index)
+                    self._backtrack(0)
+                if len(self._learnts) > 4000 + 8 * len(self._clauses):
+                    self._reduce_learnts()
+                continue
+            if (
+                propagation_limit is not None
+                and self.propagations - start_propagations > propagation_limit
+            ):
+                self._backtrack(0)
+                return SolveStatus.UNKNOWN
+            # Extend assumptions first, then decide.
+            literal = self._next_assumption(assumptions)
+            if literal == -1:
+                self._backtrack(0)
+                return SolveStatus.UNSAT  # assumption conflicts with level 0
+            if literal is None:
+                literal = self._decide()
+                if literal is None:
+                    # Snapshot the model, then restore level 0 so the
+                    # solver stays incremental (clauses can be added).
+                    self._model = [max(v, 0) for v in self._values]
+                    self._backtrack(0)
+                    return SolveStatus.SAT
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(literal, None)
+
+    def model_value(self, var: int) -> int:
+        """Value of a variable in the last SAT model (0 when unassigned)."""
+        if var < len(self._model):
+            return self._model[var]
+        return 0
+
+    def model(self) -> List[int]:
+        """The full model of the last SAT call (0/1 per variable)."""
+        return [self.model_value(v) for v in range(self.num_vars)]
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+
+    def _lit_value(self, literal: int) -> int:
+        value = self._values[literal >> 1]
+        if value < 0:
+            return -1
+        return value ^ (literal & 1)
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, literal: int, reason: Optional[_Clause]) -> bool:
+        value = self._lit_value(literal)
+        if value == 0:
+            return False
+        if value == 1:
+            return True
+        var = literal >> 1
+        self._values[var] = 1 ^ (literal & 1)
+        self._levels[var] = self._decision_level()
+        self._reasons[var] = reason
+        self._trail.append(literal)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        while self._qhead < len(self._trail):
+            literal = self._trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            falsified = literal ^ 1
+            watchers = self._watches[falsified]
+            self._watches[falsified] = []
+            for idx, clause in enumerate(watchers):
+                lits = clause.lits
+                # Ensure the falsified literal is at position 1.
+                if lits[0] == falsified:
+                    lits[0], lits[1] = lits[1], lits[0]
+                if self._lit_value(lits[0]) == 1:
+                    self._watches[falsified].append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._lit_value(lits[k]) != 0:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[lits[1]].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Unit or conflicting.
+                self._watches[falsified].append(clause)
+                if not self._enqueue(lits[0], clause):
+                    # Conflict: restore remaining watchers and report.
+                    self._watches[falsified].extend(watchers[idx + 1 :])
+                    self._qhead = len(self._trail)
+                    return clause
+        return None
+
+    def _analyze(self, conflict: _Clause) -> tuple:
+        learnt: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * self.num_vars
+        counter = 0
+        literal = -1
+        clause: Optional[_Clause] = conflict
+        index = len(self._trail) - 1
+        level = self._decision_level()
+        while True:
+            assert clause is not None
+            self._bump_clause(clause)
+            for other in clause.lits:
+                if other == literal:
+                    continue
+                var = other >> 1
+                if seen[var] or self._levels[var] == 0:
+                    continue
+                seen[var] = True
+                self._bump_var(var)
+                if self._levels[var] >= level:
+                    counter += 1
+                else:
+                    learnt.append(other)
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            literal = self._trail[index]
+            var = literal >> 1
+            seen[var] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            clause = self._reasons[var]
+        learnt[0] = literal ^ 1
+        if len(learnt) == 1:
+            return learnt, 0
+        # Find backjump level = max level among non-asserting literals.
+        max_i = 1
+        for i in range(2, len(learnt)):
+            if self._levels[learnt[i] >> 1] > self._levels[learnt[max_i] >> 1]:
+                max_i = i
+        learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+        return learnt, self._levels[learnt[1] >> 1]
+
+    def _record_learnt(self, learnt: List[int]) -> None:
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+            return
+        clause = _Clause(learnt, learnt=True)
+        clause.activity = self._cla_inc
+        self._learnts.append(clause)
+        self._attach(clause)
+        self._enqueue(learnt[0], clause)
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[clause.lits[0]].append(clause)
+        self._watches[clause.lits[1]].append(clause)
+
+    def _detach(self, clause: _Clause) -> None:
+        for w in (clause.lits[0], clause.lits[1]):
+            try:
+                self._watches[w].remove(clause)
+            except ValueError:
+                pass
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        boundary = self._trail_lim[level]
+        for literal in reversed(self._trail[boundary:]):
+            var = literal >> 1
+            self._saved_phase[var] = self._values[var]
+            self._values[var] = -1
+            self._reasons[var] = None
+            heapq.heappush(self._order_heap, (-self._activity[var], var))
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _next_assumption(self, assumptions: Sequence[int]):
+        """Next unassigned assumption literal, None if exhausted, -1 on conflict.
+
+        Assumptions are (re-)enqueued in order before any ordinary
+        decision, so a falsified assumption was implied by level-0 facts
+        and *earlier* assumptions — the query is UNSAT under the
+        assumptions (MiniSat's analyzeFinal situation).
+        """
+        for literal in assumptions:
+            value = self._lit_value(literal)
+            if value == 1:
+                continue
+            if value == -1:
+                return literal
+            return -1
+        return None
+
+    def _decide(self) -> Optional[int]:
+        while self._order_heap:
+            _, var = heapq.heappop(self._order_heap)
+            if self._values[var] < 0:
+                self.decisions += 1
+                phase = self._saved_phase[var]
+                return (var << 1) | (1 if phase <= 0 else 0)
+        for var in range(self.num_vars):
+            if self._values[var] < 0:
+                self.decisions += 1
+                phase = self._saved_phase[var]
+                return (var << 1) | (1 if phase <= 0 else 0)
+        return None
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._values[var] < 0:
+            heapq.heappush(self._order_heap, (-self._activity[var], var))
+        if self._activity[var] > 1e100:
+            for v in range(self.num_vars):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        if not clause.learnt:
+            return
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learnts:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+        self._cla_inc /= self._cla_decay
+
+    def _reduce_learnts(self) -> None:
+        locked = set()
+        for var in range(self.num_vars):
+            reason = self._reasons[var]
+            if reason is not None and reason.learnt:
+                locked.add(id(reason))
+        self._learnts.sort(key=lambda c: c.activity)
+        keep_from = len(self._learnts) // 2
+        removed = []
+        kept = []
+        for i, clause in enumerate(self._learnts):
+            if i >= keep_from or id(clause) in locked or len(clause.lits) <= 2:
+                kept.append(clause)
+            else:
+                removed.append(clause)
+        for clause in removed:
+            self._detach(clause)
+        self._learnts = kept

@@ -1,0 +1,294 @@
+"""FRAIG-style SAT sweeping equivalence checker (ABC ``&cec`` substitute).
+
+The classic SAT sweeping loop ([8], [16] in the paper): random simulation
+initialises equivalence classes, candidate pairs are checked by a CDCL
+solver with a conflict limit, SAT answers yield counter-examples that
+split the classes, UNSAT answers merge the pair.  When classes dry up the
+remaining miter POs are proved (or refuted) by final SAT calls.
+
+Differences from the paper's engine are the point of the comparison: the
+prover here is SAT, not exhaustive simulation, and there is no cut-based
+local checking — a pair either succumbs to SAT within the conflict limit
+or stays unresolved.
+
+Proved pairs are additionally asserted as equivalences inside the live
+solver (``a ↔ b`` clauses), so later queries in the same round benefit
+from earlier merges — the incremental behaviour that makes SAT sweeping
+strong in practice.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.aig.literals import CONST0, lit
+from repro.aig.miter import build_miter, miter_is_trivially_unsat
+from repro.aig.network import Aig
+from repro.aig.transform import cleanup
+from repro.sat.cnf import CnfBuilder
+from repro.sat.solver import SatSolver, SolveStatus
+from repro.sweep.classes import SimulationState
+from repro.sweep.engine import CecResult, CecStatus
+from repro.sweep.reduction import reduce_miter
+from repro.sweep.report import EngineReport, PhaseRecord, PhaseTimer
+
+
+@dataclass
+class SatSweepStats:
+    """Solver-level counters of one checking run."""
+
+    rounds: int = 0
+    sat_calls: int = 0
+    proved_pairs: int = 0
+    disproved_pairs: int = 0
+    unknown_pairs: int = 0
+    po_calls: int = 0
+
+
+class SatSweepChecker:
+    """SAT sweeping CEC baseline.
+
+    Parameters
+    ----------
+    conflict_limit:
+        Per-query conflict budget (the ``-C`` option of ABC ``&cec``; the
+        paper uses 100000 when proving residual miters).
+    num_random_words:
+        Random words for class initialisation (64 patterns per word).
+    seed:
+        RNG seed for the random patterns.
+    time_limit:
+        Optional wall-clock budget in seconds; exceeded → UNDECIDED, the
+        partially reduced miter is returned.  Models the timeouts of the
+        paper's Table II (ABC hit a 122-day timeout on log2_10xd).
+    max_rounds:
+        Sweep/refine iterations before giving up on internal pairs.
+    """
+
+    def __init__(
+        self,
+        conflict_limit: int = 100_000,
+        num_random_words: int = 32,
+        seed: int = 2025,
+        time_limit: Optional[float] = None,
+        max_rounds: int = 16,
+        pattern_strategy: str = "random",
+    ) -> None:
+        self.conflict_limit = conflict_limit
+        self.num_random_words = num_random_words
+        self.seed = seed
+        self.time_limit = time_limit
+        self.max_rounds = max_rounds
+        self.pattern_strategy = pattern_strategy
+        self.stats = SatSweepStats()
+
+    # ------------------------------------------------------------------
+
+    def check(self, aig_a: Aig, aig_b: Aig) -> CecResult:
+        """Check two networks for equivalence (builds the miter)."""
+        return self.check_miter(build_miter(aig_a, aig_b))
+
+    def check_miter(
+        self, miter: Aig, state: Optional[SimulationState] = None
+    ) -> CecResult:
+        """Run SAT sweeping on a miter.
+
+        ``state`` optionally transfers a pattern pool from a previous
+        engine (the EC-transfer extension of §V): its counter-examples
+        pre-split the classes, so pairs already disproved elsewhere are
+        never re-checked by SAT.
+        """
+        start = time.perf_counter()
+        self.stats = SatSweepStats()
+        report = EngineReport(initial_ands=miter.num_ands)
+        record = PhaseRecord("SAT")
+        miter = cleanup(miter)
+
+        def finish(result: CecResult) -> CecResult:
+            record.miter_ands_after = (
+                result.reduced_miter.num_ands if result.reduced_miter else 0
+            )
+            report.final_ands = record.miter_ands_after
+            report.phases.append(record)
+            report.total_seconds = time.perf_counter() - start
+            result.report = report
+            return result
+
+        deadline = (
+            start + self.time_limit if self.time_limit is not None else None
+        )
+        with PhaseTimer(record):
+            result = self._sweep(miter, state, record, deadline)
+        return finish(result)
+
+    # ------------------------------------------------------------------
+
+    def _sweep(
+        self,
+        miter: Aig,
+        state: Optional[SimulationState],
+        record: PhaseRecord,
+        deadline: Optional[float],
+    ) -> CecResult:
+        if miter_is_trivially_unsat(miter):
+            return CecResult(CecStatus.EQUIVALENT)
+        if any(po == 1 for po in miter.pos):
+            return CecResult(CecStatus.NONEQUIVALENT, cex=[0] * miter.num_pis)
+        if state is None or state.num_pis != miter.num_pis:
+            state = SimulationState(
+                miter.num_pis,
+                self.num_random_words,
+                self.seed,
+                strategy=self.pattern_strategy,
+            )
+
+        for _ in range(self.max_rounds):
+            if _expired(deadline):
+                return CecResult(CecStatus.UNDECIDED, reduced_miter=miter)
+            tables = state.tables(miter)
+            disproof = _po_disproof(miter, state, tables)
+            if disproof is not None:
+                return disproof
+            classes = state.classes(miter, tables)
+            pairs = [
+                (r, n, phase)
+                for r, n, phase in classes.all_pairs()
+                if miter.is_and(n) or miter.is_pi(n)
+            ]
+            if not pairs:
+                break
+            record.candidates += len(pairs)
+            solver = SatSolver()
+            cnf = CnfBuilder(miter, solver)
+            merges: Dict[int, Tuple[int, int]] = {}
+            cex_patterns: List[List[int]] = []
+            timed_out = False
+            for repr_node, node, phase in pairs:
+                if _expired(deadline):
+                    timed_out = True
+                    break
+                status = self._check_pair(
+                    solver, cnf, lit(repr_node), lit(node, phase), deadline
+                )
+                self.stats.sat_calls += 1
+                if status is SolveStatus.UNSAT:
+                    merges[node] = (repr_node, phase)
+                    self.stats.proved_pairs += 1
+                    record.proved += 1
+                elif status is SolveStatus.SAT:
+                    cex_patterns.append(cnf.pi_pattern_from_model())
+                    self.stats.disproved_pairs += 1
+                    record.cex += 1
+                else:
+                    self.stats.unknown_pairs += 1
+            self.stats.rounds += 1
+            if cex_patterns:
+                state.add_cex_patterns(cex_patterns)
+            if merges:
+                miter, _ = reduce_miter(miter, merges)
+            if miter_is_trivially_unsat(miter):
+                return CecResult(CecStatus.EQUIVALENT)
+            if timed_out:
+                return CecResult(CecStatus.UNDECIDED, reduced_miter=miter)
+            if not merges and not cex_patterns:
+                break
+
+        return self._prove_outputs(miter, deadline, record)
+
+    def _check_pair(
+        self,
+        solver: SatSolver,
+        cnf: CnfBuilder,
+        lit_a: int,
+        lit_b: int,
+        deadline: Optional[float] = None,
+    ) -> SolveStatus:
+        """One equivalence query: SAT ⇔ the pair differs on some pattern."""
+        sol_a = cnf.literal(lit_a)
+        sol_b = cnf.literal(lit_b)
+        selector = solver.new_var()
+        sel = selector << 1
+        solver.add_clause([sel ^ 1, sol_a, sol_b])
+        solver.add_clause([sel ^ 1, sol_a ^ 1, sol_b ^ 1])
+        status = solver.solve(
+            assumptions=[sel],
+            conflict_limit=self.conflict_limit,
+            deadline=deadline,
+        )
+        solver.add_clause([sel ^ 1])  # retire the query
+        if status is SolveStatus.UNSAT:
+            # Assert the proved equivalence so later queries benefit.
+            solver.add_clause([sol_a, sol_b ^ 1])
+            solver.add_clause([sol_a ^ 1, sol_b])
+        return status
+
+    def _prove_outputs(
+        self,
+        miter: Aig,
+        deadline: Optional[float],
+        record: PhaseRecord,
+    ) -> CecResult:
+        solver = SatSolver()
+        cnf = CnfBuilder(miter, solver)
+        new_pos = list(miter.pos)
+        any_unknown = False
+        for i, po in enumerate(miter.pos):
+            if po == CONST0:
+                continue
+            if _expired(deadline):
+                any_unknown = True
+                break
+            sol_po = cnf.literal(po)
+            selector = solver.new_var()
+            sel = selector << 1
+            solver.add_clause([sel ^ 1, sol_po])
+            status = solver.solve(
+                assumptions=[sel],
+                conflict_limit=self.conflict_limit,
+                deadline=deadline,
+            )
+            solver.add_clause([sel ^ 1])
+            self.stats.po_calls += 1
+            record.candidates += 1
+            if status is SolveStatus.SAT:
+                return CecResult(
+                    CecStatus.NONEQUIVALENT, cex=cnf.pi_pattern_from_model()
+                )
+            if status is SolveStatus.UNSAT:
+                new_pos[i] = CONST0
+                solver.add_clause([sol_po ^ 1])
+                record.proved += 1
+            else:
+                any_unknown = True
+        reduced = cleanup(
+            Aig(
+                miter.num_pis,
+                miter.fanin_literals()[0],
+                miter.fanin_literals()[1],
+                new_pos,
+                name=miter.name,
+            )
+        )
+        if not any_unknown and miter_is_trivially_unsat(reduced):
+            return CecResult(CecStatus.EQUIVALENT)
+        return CecResult(CecStatus.UNDECIDED, reduced_miter=reduced)
+
+
+def _expired(deadline: Optional[float]) -> bool:
+    return deadline is not None and time.perf_counter() > deadline
+
+
+def _po_disproof(
+    miter: Aig, state: SimulationState, tables
+) -> Optional[CecResult]:
+    """Random-pattern disproof of the miter (shared with the sim engine)."""
+    from repro.sweep.disproof import find_po_disproof
+
+    pattern = find_po_disproof(miter, state.pi_words, tables)
+    if pattern is None:
+        return None
+    return CecResult(CecStatus.NONEQUIVALENT, cex=pattern)

@@ -1,0 +1,53 @@
+"""Word-parallel simulation kernels.
+
+This subpackage is the NumPy substitute for the paper's CUDA kernels (see
+DESIGN.md §2).  It contains:
+
+- :mod:`repro.simulation.bitops` — 64-bit truth-table word primitives and
+  projection truth tables;
+- :mod:`repro.simulation.partial` — whole-network partial simulation of
+  random / counter-example patterns (initialises and refines equivalence
+  classes);
+- :mod:`repro.simulation.window` — simulation windows (TFI of the roots
+  intersected with the TFO of the inputs);
+- :mod:`repro.simulation.merging` — the window-merging heuristic of
+  §III-B3;
+- :mod:`repro.simulation.exhaustive` — Algorithm 1, the multi-round
+  memory-bounded exhaustive simulator;
+- :mod:`repro.simulation.cex` — counter-example representation and
+  expansion to full PI patterns.
+"""
+
+from repro.simulation.bitops import (
+    WORD_BITS,
+    num_tt_words,
+    pattern_of_index,
+    projection_segment,
+    random_words,
+)
+from repro.simulation.partial import pack_patterns, simulate_words
+from repro.simulation.window import Window, build_window
+from repro.simulation.merging import merge_windows
+from repro.simulation.exhaustive import (
+    ExhaustiveSimulator,
+    PairOutcome,
+    PairStatus,
+)
+from repro.simulation.cex import CounterExample
+
+__all__ = [
+    "WORD_BITS",
+    "CounterExample",
+    "ExhaustiveSimulator",
+    "PairOutcome",
+    "PairStatus",
+    "Window",
+    "build_window",
+    "merge_windows",
+    "num_tt_words",
+    "pack_patterns",
+    "pattern_of_index",
+    "projection_segment",
+    "random_words",
+    "simulate_words",
+]

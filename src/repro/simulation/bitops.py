@@ -1,0 +1,114 @@
+"""Truth-table word primitives.
+
+Truth tables are stored as arrays of 64-bit words; bit ``i`` of a table is
+the function value under the input assignment whose binary encoding is
+``i`` (input 0 is the least significant position, as defined in §II-A of
+the paper).  The *projection truth table* of input ``i`` is the table of
+the projection function ``f(x0..xk-1) = xi``:
+
+- inputs 0..5 live *inside* a word and have fixed periodic patterns;
+- input ``i >= 6`` selects whole words: word ``w`` of its table is all
+  ones iff bit ``i - 6`` of ``w`` is set.
+
+These two facts let the exhaustive simulator generate any segment of any
+projection table in O(words) without materialising full tables.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+#: Number of pattern bits per simulation word.
+WORD_BITS = 64
+
+#: All-ones 64-bit word.
+FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: In-word projection patterns for inputs 0..5.
+_PROJ_WORDS = np.array(
+    [
+        0xAAAAAAAAAAAAAAAA,
+        0xCCCCCCCCCCCCCCCC,
+        0xF0F0F0F0F0F0F0F0,
+        0xFF00FF00FF00FF00,
+        0xFFFF0000FFFF0000,
+        0xFFFFFFFF00000000,
+    ],
+    dtype=np.uint64,
+)
+
+
+def num_tt_words(num_inputs: int) -> int:
+    """Number of 64-bit words in the truth table of a k-input function.
+
+    Functions of fewer than 6 inputs still occupy one word (the pattern
+    space repeats within the word, which keeps comparisons sound — every
+    bit position always corresponds to a well-defined input assignment).
+    """
+    if num_inputs < 0:
+        raise ValueError("num_inputs must be non-negative")
+    return 1 if num_inputs <= 6 else 1 << (num_inputs - 6)
+
+
+def projection_segment(
+    input_position: int, word_start: int, num_words: int
+) -> np.ndarray:
+    """Words ``[word_start, word_start + num_words)`` of a projection table.
+
+    ``input_position`` is the position of the input within the window's
+    ordered input list.  The segment semantics continue past the nominal
+    table length, repeating assignments, so callers never need to mask.
+    """
+    if input_position < 6:
+        return np.full(num_words, _PROJ_WORDS[input_position], dtype=np.uint64)
+    shift = input_position - 6
+    words = np.arange(word_start, word_start + num_words, dtype=np.uint64)
+    selected = (words >> np.uint64(shift)) & np.uint64(1)
+    return selected * FULL_WORD
+
+
+def pattern_of_index(
+    global_word: int, bit: int, num_inputs: int
+) -> List[int]:
+    """Decode a (word, bit) position into an input assignment.
+
+    Inverse of the projection-table encoding: input ``i < 6`` takes bit
+    ``i`` of ``bit``; input ``i >= 6`` takes bit ``i - 6`` of
+    ``global_word``.  Used to turn a mismatching truth-table position into
+    a counter-example pattern.
+    """
+    if not 0 <= bit < WORD_BITS:
+        raise ValueError("bit must be in [0, 64)")
+    pattern = []
+    for i in range(num_inputs):
+        if i < 6:
+            pattern.append((bit >> i) & 1)
+        else:
+            pattern.append((global_word >> (i - 6)) & 1)
+    return pattern
+
+
+def random_words(rows: int, cols: int, rng: np.random.Generator) -> np.ndarray:
+    """A ``rows x cols`` matrix of uniformly random 64-bit words."""
+    return rng.integers(0, 1 << 64, size=(rows, cols), dtype=np.uint64)
+
+
+def popcount_words(words: np.ndarray) -> int:
+    """Total number of set bits in an array of 64-bit words."""
+    return int(np.unpackbits(words.view(np.uint8)).sum())
+
+
+def first_set_bit(words: np.ndarray) -> tuple:
+    """Return ``(word_index, bit_index)`` of the first set bit.
+
+    Raises ``ValueError`` when no bit is set.
+    """
+    nonzero = np.nonzero(words)[0]
+    if nonzero.size == 0:
+        raise ValueError("no set bit")
+    word_index = int(nonzero[0])
+    word = int(words[word_index])
+    bit_index = (word & -word).bit_length() - 1
+    return word_index, bit_index

@@ -1,0 +1,48 @@
+"""Counter-example representation.
+
+A counter-example produced by exhaustive simulation is an assignment to a
+window's inputs that yields different values at the two nodes of a pair.
+When the window inputs are PIs (global function checking) the CEX can be
+expanded to a full primary-input pattern and replayed through the partial
+simulator to refine equivalence classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class CounterExample:
+    """An input assignment that distinguishes a candidate pair.
+
+    Attributes
+    ----------
+    inputs:
+        The window input node ids the pattern refers to.
+    pattern:
+        One 0/1 value per entry of ``inputs``.
+    """
+
+    inputs: Tuple[int, ...]
+    pattern: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != len(self.pattern):
+            raise ValueError("inputs and pattern must have the same length")
+
+    def to_pi_pattern(self, num_pis: int, default: int = 0) -> List[int]:
+        """Expand to a full PI assignment (unconstrained PIs get ``default``).
+
+        Requires every input to be a PI node id (1-based); global-function
+        windows satisfy this by construction.
+        """
+        full = [default] * num_pis
+        for node, value in zip(self.inputs, self.pattern):
+            if not 1 <= node <= num_pis:
+                raise ValueError(
+                    f"window input {node} is not a PI; cannot expand CEX"
+                )
+            full[node - 1] = value
+        return full

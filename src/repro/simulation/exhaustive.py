@@ -1,0 +1,333 @@
+"""Parallel exhaustive simulation (Algorithm 1 of the paper).
+
+Given a batch of candidate pairs and their windows, the simulator compares
+the *entire* truth tables of each pair over the window's input set.  The
+computation is memory-bounded and multi-round: every window slot gets an
+entry of ``E = 2^e`` words, with ``E`` chosen on the fly as the largest
+power of two such that the whole simulation table fits in the provided
+budget (Algorithm 1 line 2); round ``r`` simulates truth-table words
+``[rE, (r+1)E)`` and windows whose tables are exhausted drop out of later
+rounds (line 6).
+
+The paper's three dimensions of parallelism map onto NumPy as follows:
+
+1. *words of one truth table* — axis 1 of the simulation table; every
+   bitwise op processes all ``E`` words of a node at once;
+2. *nodes of one level* — all window-local levels are batched across the
+   entire active set, so one gather/AND/scatter evaluates every node of a
+   level in every active window;
+3. *multiple windows* — windows are flattened into a single simulation
+   table, exactly the ``simt`` of Algorithm 1.
+
+Semantics note: a MISMATCH outcome is a hard disproof only when the window
+inputs are the nodes' supports (global checking).  For local-function
+windows a mismatch is *inconclusive* — the differing patterns may be
+satisfiability don't-cares — and the engine treats it as such.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.aig.network import Aig
+from repro.simulation.bitops import (
+    FULL_WORD,
+    first_set_bit,
+    num_tt_words,
+    pattern_of_index,
+    projection_segment,
+)
+from repro.simulation.cex import CounterExample
+from repro.simulation.window import Pair, Window, window_local_levels
+
+
+class PairStatus(enum.Enum):
+    """Result of exhaustively comparing one candidate pair."""
+
+    #: The two truth tables agree on every pattern.
+    EQUAL = "equal"
+
+    #: A pattern with differing values was found.
+    MISMATCH = "mismatch"
+
+
+@dataclass
+class PairOutcome:
+    """Outcome of one pair, with the distinguishing pattern if requested."""
+
+    pair: Pair
+    status: PairStatus
+    cex: Optional[CounterExample] = None
+
+
+@dataclass
+class SimulatorStats:
+    """Bookkeeping for reports and the window-merging ablation."""
+
+    batches: int = 0
+    windows: int = 0
+    pairs: int = 0
+    slots: int = 0
+    rounds: int = 0
+    words_simulated: int = 0
+
+
+class ExhaustiveSimulator:
+    """Memory-bounded multi-round exhaustive simulator.
+
+    Parameters
+    ----------
+    memory_budget_words:
+        Size of the simulation table in 64-bit words (the ``M`` of
+        Algorithm 1).  The default of ``2**22`` words is 32 MiB.
+    """
+
+    def __init__(self, memory_budget_words: int = 1 << 22) -> None:
+        if memory_budget_words < 1:
+            raise ValueError("memory budget must be positive")
+        self.memory_budget_words = memory_budget_words
+        self.stats = SimulatorStats()
+
+    def run(
+        self,
+        aig: Aig,
+        windows: Sequence[Window],
+        collect_cex: bool = True,
+    ) -> List[PairOutcome]:
+        """Check all pairs of all windows; returns one outcome per pair."""
+        windows = [w for w in windows if w.pairs]
+        if not windows:
+            return []
+        windows = sorted(windows, key=lambda w: w.tt_words, reverse=True)
+        batch = _FlatBatch(aig, windows)
+        max_tt = windows[0].tt_words
+        entry = self._entry_size(batch.num_slots, max_tt)
+        rounds = max(1, max_tt // entry)
+
+        self.stats.batches += 1
+        self.stats.windows += len(windows)
+        self.stats.pairs += batch.num_pairs
+        self.stats.slots += batch.num_slots
+
+        simt = np.zeros((batch.num_slots, entry), dtype=np.uint64)
+        outcomes: List[Optional[PairOutcome]] = [None] * batch.num_pairs
+        unresolved = np.ones(batch.num_pairs, dtype=bool)
+
+        for r in range(rounds):
+            active = batch.active_window_count(r, entry)
+            if active == 0:
+                break
+            plan = batch.plan(active)
+            self._fill_inputs(simt, plan, r * entry, entry)
+            self._simulate_levels(simt, plan)
+            self.stats.rounds += 1
+            self.stats.words_simulated += plan.num_and_slots * entry
+            self._compare_pairs(
+                simt, batch, active, r, entry, unresolved, outcomes, collect_cex
+            )
+        for i in np.nonzero(unresolved)[0]:
+            outcomes[i] = PairOutcome(batch.pairs[i], PairStatus.EQUAL)
+        return [o for o in outcomes if o is not None]
+
+    # ------------------------------------------------------------------
+
+    def _entry_size(self, num_slots: int, max_tt: int) -> int:
+        entry = 1
+        while entry * 2 * num_slots <= self.memory_budget_words:
+            entry *= 2
+        return min(entry, max_tt)
+
+    @staticmethod
+    def _fill_inputs(
+        simt: np.ndarray, plan: "_Plan", word_start: int, entry: int
+    ) -> None:
+        for position, slots in plan.input_groups.items():
+            segment = projection_segment(position, word_start, entry)
+            simt[slots] = segment[None, :]
+
+    @staticmethod
+    def _simulate_levels(simt: np.ndarray, plan: "_Plan") -> None:
+        for tgt, s0, m0, s1, m1 in plan.levels:
+            simt[tgt] = (simt[s0] ^ m0) & (simt[s1] ^ m1)
+
+    def _compare_pairs(
+        self,
+        simt: np.ndarray,
+        batch: "_FlatBatch",
+        active_windows: int,
+        round_index: int,
+        entry: int,
+        unresolved: np.ndarray,
+        outcomes: List[Optional[PairOutcome]],
+        collect_cex: bool,
+    ) -> None:
+        candidates = np.nonzero(
+            unresolved & (batch.pair_window < active_windows)
+        )[0]
+        if candidates.size == 0:
+            return
+        diff = simt[batch.pair_slot_a[candidates]] ^ simt[
+            batch.pair_slot_b[candidates]
+        ]
+        flip = batch.pair_flip[candidates]
+        diff[flip] ^= FULL_WORD
+        has_mismatch = diff.any(axis=1)
+        for local_idx in np.nonzero(has_mismatch)[0]:
+            pair_idx = int(candidates[local_idx])
+            unresolved[pair_idx] = False
+            cex = None
+            if collect_cex:
+                word_idx, bit = first_set_bit(diff[local_idx])
+                window = batch.windows[batch.pair_window[pair_idx]]
+                pattern = pattern_of_index(
+                    round_index * entry + word_idx, bit, window.num_inputs
+                )
+                cex = CounterExample(window.inputs, tuple(pattern))
+            outcomes[pair_idx] = PairOutcome(
+                batch.pairs[pair_idx], PairStatus.MISMATCH, cex
+            )
+        # Pairs whose window finished all its rounds without mismatch are
+        # proved equal; resolve them so later rounds skip the comparison.
+        finished = candidates[
+            batch.window_rounds[batch.pair_window[candidates]]
+            == round_index + 1
+        ]
+        for pair_idx in finished:
+            if unresolved[pair_idx]:
+                unresolved[pair_idx] = False
+                outcomes[pair_idx] = PairOutcome(
+                    batch.pairs[pair_idx], PairStatus.EQUAL
+                )
+
+
+@dataclass
+class _Plan:
+    """Vectorised evaluation plan for a prefix of the window batch."""
+
+    input_groups: Dict[int, np.ndarray]
+    levels: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]
+    num_and_slots: int
+
+
+class _FlatBatch:
+    """Slot layout and pair indexing for a batch of windows.
+
+    Slot 0 is a shared constant-zero entry (never written).  Windows are
+    laid out contiguously in decreasing ``tt_words`` order so that the
+    active set of any round is a prefix, and evaluation plans can be
+    cached per prefix length.
+    """
+
+    def __init__(self, aig: Aig, windows: Sequence[Window]) -> None:
+        self.aig = aig
+        self.windows = list(windows)
+        self.pairs: List[Pair] = []
+        self._plan_cache: Dict[int, _Plan] = {}
+
+        slot = 1  # slot 0 = constant zero
+        self._input_slots: List[Dict[int, int]] = []
+        self._node_slots: List[Dict[int, int]] = []
+        pair_window: List[int] = []
+        pair_slot_a: List[int] = []
+        pair_slot_b: List[int] = []
+        pair_flip: List[bool] = []
+        for w_idx, window in enumerate(self.windows):
+            in_slots = {node: slot + i for i, node in enumerate(window.inputs)}
+            slot += len(window.inputs)
+            nd_slots = {
+                int(node): slot + i for i, node in enumerate(window.nodes)
+            }
+            slot += len(window.nodes)
+            self._input_slots.append(in_slots)
+            self._node_slots.append(nd_slots)
+            for pair in window.pairs:
+                pair_window.append(w_idx)
+                pair_slot_a.append(self._slot_of(w_idx, pair.lit_a >> 1))
+                pair_slot_b.append(self._slot_of(w_idx, pair.lit_b >> 1))
+                pair_flip.append(bool((pair.lit_a ^ pair.lit_b) & 1))
+                self.pairs.append(pair)
+        self.num_slots = slot
+        self.num_pairs = len(self.pairs)
+        self.pair_window = np.asarray(pair_window, dtype=np.int64)
+        self.pair_slot_a = np.asarray(pair_slot_a, dtype=np.int64)
+        self.pair_slot_b = np.asarray(pair_slot_b, dtype=np.int64)
+        self.pair_flip = np.asarray(pair_flip, dtype=bool)
+        self.window_tt = np.asarray(
+            [w.tt_words for w in self.windows], dtype=np.int64
+        )
+        self.window_rounds = np.ones(len(self.windows), dtype=np.int64)
+
+    def active_window_count(self, round_index: int, entry: int) -> int:
+        """Number of leading windows still needing simulation in a round."""
+        if round_index == 0:
+            self.window_rounds = np.maximum(1, self.window_tt // entry)
+        return int(np.count_nonzero(self.window_tt > round_index * entry))
+
+    def plan(self, active: int) -> _Plan:
+        """Build (or fetch) the evaluation plan for the first ``active`` windows."""
+        cached = self._plan_cache.get(active)
+        if cached is not None:
+            return cached
+        input_groups: Dict[int, List[int]] = {}
+        per_level: Dict[int, List[Tuple[int, int, int, int, int]]] = {}
+        num_and_slots = 0
+        for w_idx in range(active):
+            window = self.windows[w_idx]
+            for position, node in enumerate(window.inputs):
+                input_groups.setdefault(position, []).append(
+                    self._input_slots[w_idx][node]
+                )
+            levels = window_local_levels(self.aig, window)
+            num_and_slots += len(window.nodes)
+            f0l, f1l = self.aig.fanin_lists()
+            for node, level in zip(window.nodes.tolist(), levels.tolist()):
+                f0 = f0l[node]
+                f1 = f1l[node]
+                per_level.setdefault(level, []).append(
+                    (
+                        self._node_slots[w_idx][node],
+                        self._slot_of(w_idx, f0 >> 1),
+                        f0 & 1,
+                        self._slot_of(w_idx, f1 >> 1),
+                        f1 & 1,
+                    )
+                )
+        levels_arrays = []
+        for level in sorted(per_level):
+            entries = per_level[level]
+            tgt = np.asarray([e[0] for e in entries], dtype=np.int64)
+            s0 = np.asarray([e[1] for e in entries], dtype=np.int64)
+            m0 = (
+                np.asarray([e[2] for e in entries], dtype=np.uint64) * FULL_WORD
+            )[:, None]
+            s1 = np.asarray([e[3] for e in entries], dtype=np.int64)
+            m1 = (
+                np.asarray([e[4] for e in entries], dtype=np.uint64) * FULL_WORD
+            )[:, None]
+            levels_arrays.append((tgt, s0, m0, s1, m1))
+        plan = _Plan(
+            input_groups={
+                pos: np.asarray(slots, dtype=np.int64)
+                for pos, slots in input_groups.items()
+            },
+            levels=levels_arrays,
+            num_and_slots=num_and_slots,
+        )
+        self._plan_cache[active] = plan
+        return plan
+
+    def _slot_of(self, w_idx: int, var: int) -> int:
+        if var == 0:
+            return 0
+        slot = self._input_slots[w_idx].get(var)
+        if slot is None:
+            slot = self._node_slots[w_idx].get(var)
+        if slot is None:
+            raise ValueError(
+                f"literal node {var} is neither an input nor a member of window {w_idx}"
+            )
+        return slot

@@ -1,0 +1,100 @@
+"""Whole-network partial simulation.
+
+The partial simulator evaluates every node of the miter under a batch of
+patterns packed 64 per word.  It is used twice by the sweeping engine
+(§III-A): with random patterns to *initialise* equivalence classes, and
+with counter-example patterns to *split* the class of a disproved pair.
+
+The kernel is level-wise parallel: nodes are grouped by level and each
+group is evaluated with one vectorised gather/AND/scatter — the NumPy
+rendering of the paper's GPU kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.aig.network import Aig
+from repro.aig.traversal import level_batches
+from repro.simulation.bitops import FULL_WORD, WORD_BITS
+
+
+def simulate_words(aig: Aig, pi_words: np.ndarray) -> np.ndarray:
+    """Simulate the whole network on word-packed input patterns.
+
+    Parameters
+    ----------
+    aig:
+        The network to simulate.
+    pi_words:
+        ``(num_pis, W)`` array of uint64 words; bit ``b`` of word ``w`` of
+        row ``i`` is the value of PI ``i+1`` under pattern ``64*w + b``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(num_nodes, W)`` array with one simulation row per node
+        (constant node row is zero; rows are *non-inverted* node values,
+        literal phases are applied by callers).
+    """
+    pi_words = np.asarray(pi_words, dtype=np.uint64)
+    if pi_words.ndim != 2 or pi_words.shape[0] != aig.num_pis:
+        raise ValueError(
+            f"pi_words must be (num_pis={aig.num_pis}, W); got {pi_words.shape}"
+        )
+    width = pi_words.shape[1]
+    tables = np.zeros((aig.num_nodes, width), dtype=np.uint64)
+    if aig.num_pis:
+        tables[1 : aig.num_pis + 1] = pi_words
+    f0s, f1s = aig.fanin_literals()
+    base = aig.first_and
+    for batch in level_batches(aig, np.arange(base, aig.num_nodes)):
+        idx = batch - base
+        f0 = f0s[idx]
+        f1 = f1s[idx]
+        mask0 = ((f0 & 1).astype(np.uint64) * FULL_WORD)[:, None]
+        mask1 = ((f1 & 1).astype(np.uint64) * FULL_WORD)[:, None]
+        tables[batch] = (tables[f0 >> 1] ^ mask0) & (tables[f1 >> 1] ^ mask1)
+    return tables
+
+
+def pack_patterns(patterns: Sequence[Sequence[int]], num_pis: int) -> np.ndarray:
+    """Pack explicit 0/1 patterns into the word layout of the simulator.
+
+    ``patterns`` is a sequence of assignments, each with one value per PI.
+    Returns a ``(num_pis, ceil(P/64))`` uint64 array.  The tail of the
+    last word repeats the final pattern so no spurious all-zero pattern is
+    introduced.
+    """
+    count = len(patterns)
+    if count == 0:
+        return np.zeros((num_pis, 0), dtype=np.uint64)
+    width = (count + WORD_BITS - 1) // WORD_BITS
+    bit_matrix = np.zeros((num_pis, width * WORD_BITS), dtype=np.uint8)
+    for p, pattern in enumerate(patterns):
+        if len(pattern) != num_pis:
+            raise ValueError(
+                f"pattern {p} has {len(pattern)} values, expected {num_pis}"
+            )
+        for i, value in enumerate(pattern):
+            bit_matrix[i, p] = 1 if value else 0
+    if count < width * WORD_BITS:
+        last = bit_matrix[:, count - 1]
+        bit_matrix[:, count:] = last[:, None]
+    words = np.zeros((num_pis, width), dtype=np.uint64)
+    for w in range(width):
+        chunk = bit_matrix[:, w * WORD_BITS : (w + 1) * WORD_BITS]
+        weights = np.uint64(1) << np.arange(WORD_BITS, dtype=np.uint64)
+        words[:, w] = (chunk.astype(np.uint64) * weights[None, :]).sum(axis=1)
+    return words
+
+
+def po_words(aig: Aig, tables: np.ndarray) -> np.ndarray:
+    """Extract PO simulation rows (phases applied) from node tables."""
+    if not aig.pos:
+        return np.zeros((0, tables.shape[1]), dtype=np.uint64)
+    literals = np.asarray(aig.pos, dtype=np.int64)
+    masks = ((literals & 1).astype(np.uint64) * FULL_WORD)[:, None]
+    return tables[literals >> 1] ^ masks

@@ -1,0 +1,129 @@
+"""Simulation windows.
+
+A *window* (§III-B1) is the set of nodes that must be simulated to obtain
+the truth tables of one or more *root* nodes in terms of a common ordered
+*input* set: formally the intersection of the TFIs of the roots with the
+TFOs of the inputs, plus the roots themselves.  For global function
+checking the inputs are the union of the roots' structural supports; for
+local function checking they are a common cut of the pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.aig.network import Aig
+from repro.simulation.bitops import num_tt_words
+
+
+@dataclass(frozen=True)
+class Pair:
+    """A candidate pair of literals to compare within a window.
+
+    ``tag`` is an opaque caller-side identifier (e.g. the non-representative
+    node id, or a PO index) carried through to the outcome.
+    """
+
+    lit_a: int
+    lit_b: int
+    tag: int = -1
+
+
+@dataclass(eq=False)
+class Window:
+    """A simulation window over a fixed ordered input set.
+
+    Attributes
+    ----------
+    inputs:
+        Window input node ids, sorted in increasing id order (§III-B1:
+        truth-table variable order is the order of increasing node ids).
+    nodes:
+        AND node ids inside the window, in topological (increasing id)
+        order; includes the roots, excludes the inputs.
+    pairs:
+        Candidate pairs whose truth tables this window resolves.  Pair
+        literals must refer to window inputs, window nodes, or the
+        constant node.
+    """
+
+    inputs: Tuple[int, ...]
+    nodes: np.ndarray
+    pairs: List[Pair] = field(default_factory=list)
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of window inputs (truth-table variables)."""
+        return len(self.inputs)
+
+    @property
+    def tt_words(self) -> int:
+        """Length of the roots' truth tables in 64-bit words."""
+        return num_tt_words(self.num_inputs)
+
+    @property
+    def size(self) -> int:
+        """Number of slots the window occupies in the simulation table."""
+        return len(self.inputs) + len(self.nodes)
+
+
+def build_window(
+    aig: Aig,
+    inputs: Sequence[int],
+    roots: Sequence[int],
+    pairs: Sequence[Pair] = (),
+) -> Window:
+    """Construct the window of ``roots`` over the given ``inputs``.
+
+    Performs a backward DFS from the roots that stops at the inputs; the
+    visited AND nodes form the window.  Raises ``ValueError`` if some path
+    escapes the inputs to a PI outside them — that means ``inputs`` is not
+    a valid common cut / support set for the roots.
+    """
+    input_set = set(inputs)
+    seen = set()
+    f0l, f1l = aig.fanin_lists()
+    num_pis = aig.num_pis
+    stack = [r for r in roots if r not in input_set]
+    while stack:
+        node = stack.pop()
+        if node in seen or node in input_set:
+            continue
+        if node <= num_pis:
+            if node == 0:
+                continue
+            raise ValueError(
+                f"window inputs {sorted(input_set)} do not cover PI {node}"
+            )
+        seen.add(node)
+        for fanin_var in (f0l[node] >> 1, f1l[node] >> 1):
+            if fanin_var not in seen and fanin_var not in input_set:
+                stack.append(fanin_var)
+    return Window(
+        inputs=tuple(sorted(input_set)),
+        nodes=np.array(sorted(seen), dtype=np.int64),
+        pairs=list(pairs),
+    )
+
+
+def window_local_levels(aig: Aig, window: Window) -> np.ndarray:
+    """Topological levels of the window nodes, inputs at level zero.
+
+    This is the *topological level* of §III-B2: it differs from the global
+    node level in that window inputs are pinned to level 0 regardless of
+    their depth in the full network.
+    """
+    level_of: Dict[int, int] = {n: 0 for n in window.inputs}
+    level_of[0] = 0
+    f0l, f1l = aig.fanin_lists()
+    levels = np.zeros(len(window.nodes), dtype=np.int64)
+    for i, node in enumerate(window.nodes.tolist()):
+        l0 = level_of[f0l[node] >> 1]
+        l1 = level_of[f1l[node] >> 1]
+        lvl = (l0 if l0 >= l1 else l1) + 1
+        level_of[node] = lvl
+        levels[i] = lvl
+    return levels

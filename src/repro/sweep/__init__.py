@@ -1,0 +1,28 @@
+"""The simulation-based sweeping engine (the paper's core contribution).
+
+Contains the equivalence-class manager fed by partial simulation, the
+phase implementations of the Fig. 5 flow (PO checking → global function
+checking → repeated local function checking), miter reduction, the engine
+configuration, and the per-phase reporting used to regenerate Fig. 6/7.
+"""
+
+from repro.sweep.classes import (
+    EquivalenceClasses,
+    SimulationState,
+    initial_patterns,
+)
+from repro.sweep.config import EngineConfig
+from repro.sweep.engine import CecResult, CecStatus, SimSweepEngine
+from repro.sweep.report import EngineReport, PhaseRecord
+
+__all__ = [
+    "CecResult",
+    "CecStatus",
+    "EngineConfig",
+    "EngineReport",
+    "EquivalenceClasses",
+    "PhaseRecord",
+    "SimSweepEngine",
+    "SimulationState",
+    "initial_patterns",
+]

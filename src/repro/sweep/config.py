@@ -1,0 +1,145 @@
+"""Engine configuration.
+
+The parameter names follow the paper: ``k_P``/``k_p`` bound the PO
+checking phase, ``k_g`` the global function checking phase, ``k_l`` and
+``C`` the cut generator, and ``k_s`` (derived, see
+:meth:`EngineConfig.k_s_for`) the support size of merged windows.
+
+The paper's experiments use ``k_P=32, k_p=k_g=16, k_l=8, C=8`` on a
+48 GB GPU; the defaults here are scaled to interpreter speed (see
+DESIGN.md §2) but every knob is exposed so the paper values can be set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass
+class EngineConfig:
+    """Tuning knobs of :class:`~repro.sweep.engine.SimSweepEngine`."""
+
+    #: One-shot PO checking threshold: if *every* PO support is ≤ k_P the
+    #: P phase checks all POs exhaustively.
+    k_P: int = 20
+
+    #: Per-PO threshold used when the one-shot condition fails: only POs
+    #: with support ≤ k_p are simulatable.
+    k_p: int = 14
+
+    #: Support-size threshold of pairs checked in the global phase.
+    k_g: int = 14
+
+    #: Maximum cut size for local function checking.
+    k_l: int = 8
+
+    #: Number of priority cuts kept per node (the ``C`` parameter).
+    C: int = 8
+
+    #: Random 64-pattern words used to initialise equivalence classes.
+    num_random_words: int = 32
+
+    #: Initial-pattern strategy ("random", "counting", "walking",
+    #: "mixed"); see :func:`repro.sweep.classes.initial_patterns`.
+    pattern_strategy: str = "random"
+
+    #: Memory budget of the exhaustive simulator, in 64-bit words
+    #: (the ``M`` of Algorithm 1).
+    memory_budget_words: int = 1 << 22
+
+    #: Capacity of the common-cut buffer, in windows (Algorithm 2).
+    buffer_capacity: int = 4096
+
+    #: Maximum number of repeated local checking phases; each phase runs
+    #: the configured passes and reduces the miter once at its end.  A
+    #: phase that proves nothing ends the loop early, so this is a cap,
+    #: not a fixed count (multiplier-style miters converge in ~13).
+    max_local_phases: int = 24
+
+    #: Maximum global-phase iterations (check → refine → reduce cycles).
+    max_global_iterations: int = 4
+
+    #: Enable window merging for global function checking (§III-B3).
+    window_merging: bool = True
+
+    #: Enable similarity-driven cut selection for non-representatives.
+    similarity_selection: bool = True
+
+    #: Which Table I passes each local phase runs, in order.
+    passes: Tuple[int, ...] = (1, 2, 3)
+
+    #: Adaptive pass disabling (§V): a pass that proves nothing in a
+    #: local phase is skipped in subsequent phases.
+    adaptive_passes: bool = False
+
+    #: Cap on common cuts generated per pair and pass (0 = unlimited).
+    max_common_cuts_per_pair: int = 0
+
+    #: Distance-1 simulation of counter-examples (§V, [8]): every CEX is
+    #: expanded into its Hamming-1 neighbourhood before refining classes.
+    distance1_cex: bool = False
+
+    #: Interleave sweeping with logic rewriting (§V, [8][14]): apply one
+    #: cut-rewriting pass to the reduced miter between local phases so
+    #: the next phase sees (and cuts) fresh structure.
+    interleave_rewriting: bool = False
+
+    #: RNG seed; the engine is deterministic for a fixed seed.
+    seed: int = 2025
+
+    def k_s_for(self, threshold: int) -> int:
+        """Window-merging support bound for a phase.
+
+        The paper sets ``k_s`` to the support threshold of the running
+        phase (k_P, k_p or k_g), so merged windows never exceed what the
+        phase would simulate anyway.
+        """
+        return threshold
+
+    @classmethod
+    def paper(cls) -> "EngineConfig":
+        """The exact parameter values of §IV (GPU-scale; slow in Python)."""
+        return cls(k_P=32, k_p=16, k_g=16, k_l=8, C=8)
+
+    @classmethod
+    def fast(cls) -> "EngineConfig":
+        """Smaller thresholds for unit tests and quick experiments."""
+        return cls(
+            k_P=12,
+            k_p=10,
+            k_g=10,
+            k_l=6,
+            C=4,
+            num_random_words=8,
+            memory_budget_words=1 << 18,
+            buffer_capacity=512,
+            max_local_phases=4,
+        )
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent parameter combinations."""
+        if self.k_P < self.k_p:
+            raise ValueError("k_P must be >= k_p (one-shot bound is looser)")
+        if self.k_l < 2:
+            raise ValueError("k_l must be at least 2")
+        if self.C < 1:
+            raise ValueError("C must be at least 1")
+        if not self.passes:
+            raise ValueError("at least one cut pass is required")
+        for pass_id in self.passes:
+            if pass_id not in (1, 2, 3):
+                raise ValueError(f"unknown pass id {pass_id}")
+        if self.num_random_words < 1:
+            raise ValueError("num_random_words must be positive")
+        if self.memory_budget_words < 1:
+            raise ValueError("memory budget must be positive")
+        if self.pattern_strategy not in (
+            "random",
+            "counting",
+            "walking",
+            "mixed",
+        ):
+            raise ValueError(
+                f"unknown pattern strategy {self.pattern_strategy!r}"
+            )

@@ -1,0 +1,498 @@
+"""The simulation-based CEC engine (Fig. 5 flow).
+
+The engine proves miters in three kinds of phases:
+
+- **P** (PO checking): exhaustively simulate simulatable miter POs against
+  constant zero, bounded by ``k_P``/``k_p``;
+- **G** (global function checking): initialise equivalence classes by
+  random partial simulation, then exhaustively check candidate pairs
+  whose support union is at most ``k_g``, collecting counter-examples to
+  refine classes and merging proved pairs;
+- **L** (local function checking, repeated): three passes of cut
+  generation with the Table I criteria; pairs are checked over common
+  cuts of size ≤ ``k_l`` — identical local functions prove equivalence,
+  mismatches are inconclusive (SDCs).  Each phase reduces the miter once,
+  so later phases see new structure and new cuts.
+
+If the flow ends with a non-empty miter the result is UNDECIDED and the
+reduced miter is returned for an external checker (the paper hands it to
+ABC ``&cec``; this package hands it to
+:class:`repro.sat.sweeping.SatSweepChecker` via
+:class:`repro.portfolio.checker.CombinedChecker`).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from repro.aig.literals import CONST0, lit
+from repro.aig.miter import build_miter, miter_is_trivially_unsat
+from repro.aig.network import Aig
+from repro.aig.transform import cleanup
+from repro.aig.traversal import collect_cone, supports_capped
+from repro.cuts.common import CommonCutBuffer, common_cuts
+from repro.cuts.enumeration import CutEnumerator
+from repro.cuts.selection import CutSelector
+from repro.simulation.exhaustive import (
+    ExhaustiveSimulator,
+    PairStatus,
+)
+from repro.simulation.merging import merge_windows
+from repro.simulation.window import Pair, Window, build_window
+from repro.sweep.classes import EquivalenceClasses, SimulationState
+from repro.sweep.config import EngineConfig
+from repro.sweep.reduction import reduce_miter
+from repro.sweep.report import EngineReport, PhaseRecord, PhaseTimer
+
+
+class CecStatus(enum.Enum):
+    """Verdict of an equivalence check."""
+
+    EQUIVALENT = "equivalent"
+    NONEQUIVALENT = "nonequivalent"
+    UNDECIDED = "undecided"
+
+
+@dataclass
+class CecResult:
+    """Outcome of a CEC engine run.
+
+    ``cex`` is a full PI assignment witnessing nonequivalence (only for
+    NONEQUIVALENT).  ``reduced_miter`` carries the residual miter for
+    UNDECIDED results so another engine can continue.
+    """
+
+    status: CecStatus
+    cex: Optional[List[int]] = None
+    reduced_miter: Optional[Aig] = None
+    report: EngineReport = field(default_factory=EngineReport)
+    #: Pattern pool of the run (random + CEX patterns).  Carried so a
+    #: downstream checker can reuse the refined equivalence classes —
+    #: the EC-transfer extension of §V.
+    sim_state: Optional["SimulationState"] = None
+
+    @property
+    def is_equivalent(self) -> bool:
+        """True when the check proved equivalence."""
+        return self.status is CecStatus.EQUIVALENT
+
+
+class SimSweepEngine:
+    """Simulation-based parallel sweeping engine.
+
+    Example
+    -------
+    >>> from repro.aig import AigBuilder
+    >>> b = AigBuilder(); x, y = b.add_pis(2)
+    >>> _ = b.add_po(b.add_and(x, y))
+    >>> b2 = AigBuilder(); x2, y2 = b2.add_pis(2)
+    >>> _ = b2.add_po(b2.lit_not(b2.add_or(b2.lit_not(x2), b2.lit_not(y2))))
+    >>> SimSweepEngine().check(b.build(), b2.build()).status.value
+    'equivalent'
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        on_phase=None,
+    ) -> None:
+        """``on_phase`` is an optional callback invoked with each
+        completed :class:`~repro.sweep.report.PhaseRecord` — progress
+        reporting for long runs (the CLI's ``--verbose``)."""
+        self.config = config or EngineConfig()
+        self.config.validate()
+        self.on_phase = on_phase
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def check(self, aig_a: Aig, aig_b: Aig) -> CecResult:
+        """Check two networks for equivalence (builds the miter)."""
+        return self.check_miter(build_miter(aig_a, aig_b))
+
+    def check_miter(
+        self, miter: Aig, stop_after: Optional[str] = None
+    ) -> CecResult:
+        """Run the Fig. 5 flow on a miter.
+
+        ``stop_after`` truncates the flow for the Fig. 7 experiment:
+        ``"P"`` stops after PO checking, ``"PG"`` after the global phase;
+        ``None`` (and ``"PGL"``) run the full flow.
+        """
+        if stop_after not in (None, "P", "PG", "PGL"):
+            raise ValueError(f"unknown stop point {stop_after!r}")
+        start = time.perf_counter()
+        report = EngineReport(initial_ands=miter.num_ands)
+        miter = cleanup(miter)
+        simulator = ExhaustiveSimulator(self.config.memory_budget_words)
+
+        def note(record: PhaseRecord) -> None:
+            report.phases.append(record)
+            if self.on_phase is not None:
+                self.on_phase(record)
+
+        def finish(result: CecResult) -> CecResult:
+            report.final_ands = (
+                result.reduced_miter.num_ands if result.reduced_miter else 0
+            )
+            report.total_seconds = time.perf_counter() - start
+            result.report = report
+            return result
+
+        verdict = self._structural_verdict(miter)
+        if verdict is not None:
+            return finish(verdict)
+
+        # ---- P phase -------------------------------------------------
+        record = PhaseRecord("P")
+        with PhaseTimer(record):
+            outcome = self._po_phase(miter, simulator, record)
+        if isinstance(outcome, CecResult):
+            note(record)
+            return finish(outcome)
+        miter = outcome
+        record.miter_ands_after = miter.num_ands
+        note(record)
+        if miter_is_trivially_unsat(miter):
+            return finish(CecResult(CecStatus.EQUIVALENT))
+        if stop_after == "P":
+            return finish(
+                CecResult(CecStatus.UNDECIDED, reduced_miter=miter)
+            )
+
+        state = SimulationState(
+            miter.num_pis,
+            self.config.num_random_words,
+            self.config.seed,
+            strategy=self.config.pattern_strategy,
+        )
+
+        # ---- G phase -------------------------------------------------
+        record = PhaseRecord("G")
+        with PhaseTimer(record):
+            outcome = self._global_phase(miter, state, simulator, record)
+        if isinstance(outcome, CecResult):
+            note(record)
+            return finish(outcome)
+        miter = outcome
+        record.miter_ands_after = miter.num_ands
+        note(record)
+        if miter_is_trivially_unsat(miter):
+            return finish(CecResult(CecStatus.EQUIVALENT))
+        if stop_after == "PG":
+            return finish(
+                CecResult(
+                    CecStatus.UNDECIDED, reduced_miter=miter, sim_state=state
+                )
+            )
+
+        # ---- repeated L phases ----------------------------------------
+        disabled_passes: Set[int] = set()
+        for _ in range(self.config.max_local_phases):
+            record = PhaseRecord("L")
+            with PhaseTimer(record):
+                outcome, progressed = self._local_phase(
+                    miter, state, simulator, record, disabled_passes
+                )
+            if isinstance(outcome, CecResult):
+                note(record)
+                return finish(outcome)
+            miter = outcome
+            record.miter_ands_after = miter.num_ands
+            note(record)
+            if miter_is_trivially_unsat(miter):
+                return finish(CecResult(CecStatus.EQUIVALENT))
+            if not progressed:
+                break
+            if self.config.interleave_rewriting:
+                # §V extension: restructure the reduced miter so the next
+                # local phase enumerates genuinely new cuts.
+                from repro.synth.rewrite import cut_rewrite
+
+                miter = cut_rewrite(miter, k=4)
+
+        return finish(
+            CecResult(
+                CecStatus.UNDECIDED, reduced_miter=miter, sim_state=state
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    def _structural_verdict(self, miter: Aig) -> Optional[CecResult]:
+        """Verdicts available before any simulation."""
+        if miter_is_trivially_unsat(miter):
+            return CecResult(CecStatus.EQUIVALENT)
+        if any(po == 1 for po in miter.pos):
+            # A constant-true PO is satisfied by every pattern.
+            return CecResult(CecStatus.NONEQUIVALENT, cex=[0] * miter.num_pis)
+        return None
+
+    def _po_phase(
+        self,
+        miter: Aig,
+        simulator: ExhaustiveSimulator,
+        record: PhaseRecord,
+    ) -> Union[CecResult, Aig]:
+        cfg = self.config
+        support_sets = supports_capped(miter, cfg.k_P)
+        nontrivial = [(i, p) for i, p in enumerate(miter.pos) if p != CONST0]
+        po_supports = {
+            i: support_sets[p >> 1] for i, p in nontrivial
+        }
+        one_shot = all(s is not None for s in po_supports.values())
+        threshold = cfg.k_P if one_shot else cfg.k_p
+        windows: List[Window] = []
+        for i, p in nontrivial:
+            supp = po_supports[i]
+            if supp is None or len(supp) > threshold:
+                continue
+            windows.append(
+                build_window(
+                    miter,
+                    sorted(supp),
+                    roots=[p >> 1] if (p >> 1) not in supp else [],
+                    pairs=[Pair(p, CONST0, tag=i)],
+                )
+            )
+        record.candidates = len(windows)
+        if not windows:
+            return miter
+        if cfg.window_merging:
+            windows = merge_windows(miter, windows, cfg.k_s_for(threshold))
+        outcomes = simulator.run(miter, windows, collect_cex=True)
+        new_pos = list(miter.pos)
+        for outcome in outcomes:
+            if outcome.status is PairStatus.MISMATCH:
+                record.cex += 1
+                cex = outcome.cex.to_pi_pattern(miter.num_pis)
+                return CecResult(CecStatus.NONEQUIVALENT, cex=cex)
+            record.proved += 1
+            new_pos[outcome.pair.tag] = CONST0
+        reduced = Aig(
+            miter.num_pis,
+            miter.fanin_literals()[0],
+            miter.fanin_literals()[1],
+            new_pos,
+            name=miter.name,
+        )
+        return cleanup(reduced)
+
+    def _global_phase(
+        self,
+        miter: Aig,
+        state: SimulationState,
+        simulator: ExhaustiveSimulator,
+        record: PhaseRecord,
+    ) -> Union[CecResult, Aig]:
+        cfg = self.config
+        for _ in range(cfg.max_global_iterations):
+            tables = state.tables(miter)
+            disproof = self._po_disproof(miter, state, tables)
+            if disproof is not None:
+                return disproof
+            classes = state.classes(miter, tables)
+            if len(classes) == 0:
+                break
+            support_sets = supports_capped(miter, cfg.k_g)
+            windows: List[Window] = []
+            for repr_node, node, phase in classes.all_pairs():
+                supp_r = support_sets[repr_node]
+                supp_n = support_sets[node]
+                if supp_r is None or supp_n is None:
+                    continue
+                union = supp_r | supp_n
+                if len(union) > cfg.k_g:
+                    continue
+                roots = [
+                    x for x in (repr_node, node) if x != 0 and x not in union
+                ]
+                windows.append(
+                    build_window(
+                        miter,
+                        sorted(union),
+                        roots=roots,
+                        pairs=[Pair(lit(repr_node), lit(node, phase), tag=node)],
+                    )
+                )
+            if not windows:
+                break
+            record.candidates += len(windows)
+            if cfg.window_merging:
+                windows = merge_windows(
+                    miter, windows, cfg.k_s_for(cfg.k_g)
+                )
+            outcomes = simulator.run(miter, windows, collect_cex=True)
+            merges: Dict[int, Tuple[int, int]] = {}
+            cex_patterns: List[List[int]] = []
+            for outcome in outcomes:
+                node = outcome.pair.tag
+                if outcome.status is PairStatus.EQUAL:
+                    target = outcome.pair.lit_a
+                    phase = (outcome.pair.lit_a ^ outcome.pair.lit_b) & 1
+                    merges[node] = (target >> 1, phase)
+                else:
+                    cex_patterns.append(
+                        outcome.cex.to_pi_pattern(miter.num_pis)
+                    )
+            record.proved += len(merges)
+            record.cex += len(cex_patterns)
+            if cex_patterns:
+                state.add_cex_patterns(
+                    cex_patterns, distance1=cfg.distance1_cex
+                )
+            if merges:
+                miter, _ = reduce_miter(miter, merges)
+            if not merges and not cex_patterns:
+                break
+            if miter_is_trivially_unsat(miter):
+                break
+        return miter
+
+    def _local_phase(
+        self,
+        miter: Aig,
+        state: SimulationState,
+        simulator: ExhaustiveSimulator,
+        record: PhaseRecord,
+        disabled_passes: Set[int],
+    ) -> Tuple[Union[CecResult, Aig], bool]:
+        cfg = self.config
+        tables = state.tables(miter)
+        disproof = self._po_disproof(miter, state, tables)
+        if disproof is not None:
+            return disproof, False
+        classes = state.classes(miter, tables)
+        if len(classes) == 0:
+            return miter, False
+        pair_info: Dict[int, Tuple[int, int]] = {}
+        repr_of: Dict[int, int] = {}
+        for eq_class in classes:
+            for member in eq_class.members:
+                repr_of[member] = eq_class.representative
+            for repr_node, node, phase in eq_class.candidate_pairs():
+                if miter.is_and(node):
+                    pair_info[node] = (repr_node, phase)
+        record.candidates += len(pair_info)
+        fanout_counts = miter.fanout_counts()
+        levels = miter.levels()
+        merges: Dict[int, Tuple[int, int]] = {}
+        proved_by_pass: Dict[int, int] = {}
+
+        for pass_id in cfg.passes:
+            if pass_id in disabled_passes:
+                continue
+            proved_before = len(merges)
+            self._run_cut_pass(
+                miter,
+                simulator,
+                pass_id,
+                fanout_counts,
+                levels,
+                repr_of,
+                pair_info,
+                merges,
+            )
+            proved_by_pass[pass_id] = len(merges) - proved_before
+
+        record.proved += len(merges)
+        if cfg.adaptive_passes:
+            for pass_id, proved in proved_by_pass.items():
+                if proved == 0:
+                    disabled_passes.add(pass_id)
+        if not merges:
+            return miter, False
+        miter, _ = reduce_miter(miter, merges)
+        return miter, True
+
+    def _run_cut_pass(
+        self,
+        miter: Aig,
+        simulator: ExhaustiveSimulator,
+        pass_id: int,
+        fanout_counts: np.ndarray,
+        levels: np.ndarray,
+        repr_of: Dict[int, int],
+        pair_info: Dict[int, Tuple[int, int]],
+        merges: Dict[int, Tuple[int, int]],
+    ) -> None:
+        cfg = self.config
+        selector = CutSelector(
+            pass_id, fanout_counts, levels, cfg.similarity_selection
+        )
+        enumerator = CutEnumerator(miter, cfg.k_l, cfg.C, selector)
+        # Only the fanin cones of the surviving pairs (and their
+        # representatives) need cuts; late phases with few candidates
+        # then skip most of the miter.
+        pair_roots = set()
+        for node, (repr_node, _phase) in pair_info.items():
+            if node not in merges:
+                pair_roots.add(node)
+                if repr_node != 0:
+                    pair_roots.add(repr_node)
+        needed = set(collect_cone(miter, pair_roots))
+
+        def flush(windows: List[Window]) -> None:
+            outcomes = simulator.run(miter, windows, collect_cex=False)
+            for outcome in outcomes:
+                node = outcome.pair.tag
+                if (
+                    outcome.status is PairStatus.EQUAL
+                    and node not in merges
+                ):
+                    phase = (outcome.pair.lit_a ^ outcome.pair.lit_b) & 1
+                    merges[node] = (outcome.pair.lit_a >> 1, phase)
+
+        buffer = CommonCutBuffer(cfg.buffer_capacity, flush)
+        for _level, nodes in enumerator.run(repr_of, only=needed):
+            batch: List[Window] = []
+            for node in nodes:
+                info = pair_info.get(node)
+                if info is None or node in merges:
+                    continue
+                repr_node, phase = info
+                if repr_node in merges:
+                    continue
+                priority_r = (
+                    enumerator.priority_cuts(repr_node)
+                    if repr_node != 0
+                    else []
+                )
+                priority_n = enumerator.priority_cuts(node)
+                cuts = common_cuts(
+                    priority_r,
+                    priority_n,
+                    cfg.k_l,
+                    cfg.max_common_cuts_per_pair,
+                )
+                pair = Pair(lit(repr_node), lit(node, phase), tag=node)
+                for cut in cuts:
+                    roots = [
+                        x for x in (repr_node, node) if x != 0 and x not in cut
+                    ]
+                    batch.append(
+                        build_window(miter, cut, roots=roots, pairs=[pair])
+                    )
+            buffer.insert(batch)
+        buffer.drain()
+
+    # ------------------------------------------------------------------
+
+    def _po_disproof(
+        self, miter: Aig, state: SimulationState, tables: np.ndarray
+    ) -> Optional[CecResult]:
+        """Check whether the random pool already satisfies some miter PO."""
+        from repro.sweep.disproof import find_po_disproof
+
+        pattern = find_po_disproof(miter, state.pi_words, tables)
+        if pattern is None:
+            return None
+        return CecResult(CecStatus.NONEQUIVALENT, cex=pattern)

@@ -1,0 +1,46 @@
+"""Miter reduction: applying proved equivalences.
+
+The miter manager's reduction step (§III-A) merges every proved pair into
+its class representative and rebuilds the network with structural hashing
+and dangling-logic removal.  Merging is phase-aware — a pair proved
+equivalent up to complementation merges onto the complemented literal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.aig.literals import lit
+from repro.aig.network import Aig
+from repro.aig.transform import rebuild_with_replacements
+
+
+def reduce_miter(
+    miter: Aig, merges: Dict[int, Tuple[int, int]]
+) -> Tuple[Aig, Dict[int, int]]:
+    """Merge proved pairs and rebuild the miter.
+
+    Parameters
+    ----------
+    miter:
+        The current miter.
+    merges:
+        Maps a proved node to ``(representative, phase)``: the node is
+        functionally equal to ``lit(representative, phase)``.  The
+        representative id must be smaller than the node id (class
+        representatives are class minima, so this always holds).
+
+    Returns
+    -------
+    (reduced, literal_map):
+        The reduced miter and the old-node → new-literal map for nodes
+        that survived (used to carry state across reductions).
+    """
+    if not merges:
+        return miter, {
+            node: lit(node) for node in range(miter.num_nodes)
+        }
+    replacements = {
+        node: lit(target, phase) for node, (target, phase) in merges.items()
+    }
+    return rebuild_with_replacements(miter, replacements, name=miter.name)

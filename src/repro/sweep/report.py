@@ -1,0 +1,91 @@
+"""Per-phase statistics of an engine run.
+
+The report is the data source for the paper's Fig. 6 (runtime breakdown
+by phase) and feeds Table II (reduction percentage, engine runtime).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class PhaseRecord:
+    """Statistics of one engine phase (P, G, or one L phase)."""
+
+    #: Phase kind: ``"P"``, ``"G"`` or ``"L"``.
+    kind: str
+    #: Wall-clock seconds spent in the phase.
+    seconds: float = 0.0
+    #: Candidate pairs (or POs, for P) examined.
+    candidates: int = 0
+    #: Pairs proved equivalent (POs proved constant for P).
+    proved: int = 0
+    #: Counter-examples collected.
+    cex: int = 0
+    #: Miter AND count when the phase finished.
+    miter_ands_after: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for serialisation in benchmark output."""
+        return {
+            "kind": self.kind,
+            "seconds": self.seconds,
+            "candidates": self.candidates,
+            "proved": self.proved,
+            "cex": self.cex,
+            "miter_ands_after": self.miter_ands_after,
+        }
+
+
+@dataclass
+class EngineReport:
+    """Full run record of the simulation-based engine."""
+
+    initial_ands: int = 0
+    final_ands: int = 0
+    phases: List[PhaseRecord] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+    @property
+    def reduction_percent(self) -> float:
+        """Miter size reduction achieved by the engine (Table II column).
+
+        100 % means the engine fully proved the miter on its own.
+        """
+        if self.initial_ands == 0:
+            return 100.0
+        return 100.0 * (1.0 - self.final_ands / self.initial_ands)
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Aggregate wall-clock per phase kind (the Fig. 6 breakdown)."""
+        totals: Dict[str, float] = {}
+        for record in self.phases:
+            totals[record.kind] = totals.get(record.kind, 0.0) + record.seconds
+        return totals
+
+    def phase_fractions(self) -> Dict[str, float]:
+        """Phase runtime fractions normalised to the engine total."""
+        totals = self.phase_seconds()
+        denom = sum(totals.values())
+        if denom <= 0.0:
+            return {kind: 0.0 for kind in totals}
+        return {kind: sec / denom for kind, sec in totals.items()}
+
+
+class PhaseTimer:
+    """Context manager that fills a :class:`PhaseRecord`'s duration."""
+
+    def __init__(self, record: PhaseRecord) -> None:
+        self.record = record
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> PhaseRecord:
+        self._start = time.perf_counter()
+        return self.record
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._start is not None
+        self.record.seconds += time.perf_counter() - self._start

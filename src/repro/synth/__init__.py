@@ -1,0 +1,40 @@
+"""Logic synthesis substrate (the ABC ``resyn2`` substitute).
+
+The paper's experimental protocol compares an original circuit against
+its ABC-``resyn2``-optimised version.  This subpackage provides the
+equivalent transforms built from scratch:
+
+- :mod:`repro.synth.balance` — AND-tree balancing (ABC ``balance``);
+- :mod:`repro.synth.isop` — Minato–Morreale irredundant SOP extraction;
+- :mod:`repro.synth.factor` — algebraic factoring of SOPs;
+- :mod:`repro.synth.rewrite` — cut-based resynthesis (ABC ``rewrite`` /
+  ``refactor``, parameterised by cut size);
+- :mod:`repro.synth.resyn` — the ``resyn2``-like script combining them.
+
+All transforms preserve functional equivalence; tests verify this by
+miter checking and exhaustive evaluation on small circuits.
+"""
+
+from repro.synth.balance import balance
+from repro.synth.isop import isop, sop_to_expr
+from repro.synth.factor import factor_cubes
+from repro.synth.fraig import fraig, fraig_sim
+from repro.synth.npn import npn_canon, npn_equivalent
+from repro.synth.resub import resubstitute
+from repro.synth.rewrite import cut_rewrite
+from repro.synth.resyn import resyn2, compress2
+
+__all__ = [
+    "balance",
+    "compress2",
+    "cut_rewrite",
+    "factor_cubes",
+    "fraig",
+    "fraig_sim",
+    "isop",
+    "npn_canon",
+    "npn_equivalent",
+    "resubstitute",
+    "resyn2",
+    "sop_to_expr",
+]

@@ -1,0 +1,94 @@
+"""AND-tree balancing (ABC ``balance``).
+
+Rebuilds the network bottom-up, flattening chains of single-fanout,
+non-complemented AND nodes into multi-input conjunctions and re-building
+each conjunction as a delay-balanced tree (Huffman-style: always combine
+the two shallowest operands).  Depth drops, functionality is preserved.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Dict, List
+
+from repro.aig.builder import AigBuilder
+from repro.aig.literals import CONST0, lit, lit_var
+from repro.aig.network import Aig
+
+
+def balance(aig: Aig) -> Aig:
+    """Return a functionally equivalent, depth-balanced network."""
+    fanout = aig.fanout_counts()
+    builder = AigBuilder(aig.num_pis, name=aig.name)
+    new_lit: Dict[int, int] = {0: CONST0}
+    level: Dict[int, int] = {0: 0}
+    for pi in aig.pis():
+        new_lit[pi] = lit(pi)
+        level[pi] = 0
+
+    def mk_and(a: int, b: int) -> int:
+        result = builder.add_and(a, b)
+        var = result >> 1
+        if var not in level:
+            level[var] = max(level[a >> 1], level[b >> 1]) + 1
+        return result
+
+    def conjuncts(node: int) -> List[int]:
+        """Leaves of the maximal single-fanout AND tree rooted at ``node``."""
+        leaves: List[int] = []
+        stack = list(aig.fanins(node))
+        while stack:
+            edge = stack.pop()
+            var = edge >> 1
+            if (
+                (edge & 1) == 0
+                and aig.is_and(var)
+                and fanout[var] == 1
+            ):
+                stack.extend(aig.fanins(var))
+            else:
+                leaves.append(edge)
+        return leaves
+
+    # Nodes absorbed into a parent's conjunction never need their own
+    # rebuilt literal; detect them up front (single fanout through a
+    # non-complemented edge into an AND).
+    absorbed = [False] * aig.num_nodes
+    f0s, f1s = aig.fanin_literals()
+    base = aig.first_and
+    for i in range(aig.num_ands):
+        for edge in (int(f0s[i]), int(f1s[i])):
+            var = edge >> 1
+            if (edge & 1) == 0 and aig.is_and(var) and fanout[var] == 1:
+                absorbed[var] = True
+
+    tiebreak = count()
+    for node in aig.ands():
+        if absorbed[node]:
+            continue
+        heap = []
+        for edge in conjuncts(node):
+            mapped = new_lit[edge >> 1] ^ (edge & 1)
+            heapq.heappush(
+                heap, (level[mapped >> 1], next(tiebreak), mapped)
+            )
+        while len(heap) > 1:
+            _, _, a = heapq.heappop(heap)
+            _, _, b = heapq.heappop(heap)
+            merged = mk_and(a, b)
+            heapq.heappush(
+                heap, (level[merged >> 1], next(tiebreak), merged)
+            )
+        new_lit[node] = heap[0][2]
+
+    for po in aig.pos:
+        var = lit_var(po)
+        if var not in new_lit:
+            raise AssertionError(
+                f"PO references absorbed node {var}; fanout accounting is wrong"
+            )
+        builder.add_po(new_lit[var] ^ (po & 1))
+    from repro.aig.transform import cleanup
+
+    return cleanup(builder.build(), name=aig.name)

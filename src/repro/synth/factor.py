@@ -1,0 +1,127 @@
+"""Algebraic factoring of SOP covers.
+
+Turns a cube cover into a factored expression tree by recursively
+dividing out the most frequent literal (quick-factor style).  The tree
+uses a tiny tagged-tuple grammar:
+
+- ``("const", 0|1)``
+- ``("lit", var_index, phase)``  — ``phase = 1`` is the negated literal
+- ``("and", left, right)``
+- ``("or", left, right)``
+
+:func:`expr_to_aig` instantiates a tree in an
+:class:`~repro.aig.builder.AigBuilder` over given leaf literals, and
+:func:`expr_cost` counts the AND gates a tree will need — the gain
+estimate used by cut rewriting.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Sequence, Tuple
+
+from repro.aig.builder import AigBuilder
+from repro.aig.literals import CONST0, CONST1, lit_not
+
+Cube = Tuple[Tuple[int, int], ...]
+Expr = tuple
+
+
+def factor_cubes(cubes: List[Cube]) -> Expr:
+    """Factor a cover into an expression tree.
+
+    The empty cover is constant false; a cover containing the empty cube
+    is constant true (the empty cube subsumes everything).
+    """
+    if not cubes:
+        return ("const", 0)
+    if any(len(cube) == 0 for cube in cubes):
+        return ("const", 1)
+    return _factor(list(cubes))
+
+
+def _factor(cubes: List[Cube]) -> Expr:
+    if len(cubes) == 1:
+        return _cube_expr(cubes[0])
+    counts = Counter(literal for cube in cubes for literal in cube)
+    (best_lit, best_count), = counts.most_common(1)
+    if best_count <= 1:
+        # No common literal: balanced OR of the cubes.
+        exprs = [_cube_expr(cube) for cube in cubes]
+        return _balanced("or", exprs)
+    divisible = [c for c in cubes if best_lit in c]
+    remainder = [c for c in cubes if best_lit not in c]
+    quotients = [
+        tuple(l for l in cube if l != best_lit) for cube in divisible
+    ]
+    if any(len(q) == 0 for q in quotients):
+        factored = ("lit", best_lit[0], best_lit[1])
+    else:
+        factored = (
+            "and",
+            ("lit", best_lit[0], best_lit[1]),
+            _factor(quotients),
+        )
+    if not remainder:
+        return factored
+    return ("or", factored, _factor(remainder))
+
+
+def _cube_expr(cube: Cube) -> Expr:
+    literals = [("lit", var, phase) for var, phase in cube]
+    if not literals:
+        return ("const", 1)
+    return _balanced("and", literals)
+
+
+def _balanced(op: str, exprs: List[Expr]) -> Expr:
+    while len(exprs) > 1:
+        nxt = []
+        for i in range(0, len(exprs) - 1, 2):
+            nxt.append((op, exprs[i], exprs[i + 1]))
+        if len(exprs) % 2:
+            nxt.append(exprs[-1])
+        exprs = nxt
+    return exprs[0]
+
+
+def expr_to_aig(
+    expr: Expr, builder: AigBuilder, leaves: Sequence[int]
+) -> int:
+    """Instantiate an expression tree; returns the root literal.
+
+    ``leaves[i]`` is the builder literal standing for variable ``i``.
+    """
+    tag = expr[0]
+    if tag == "const":
+        return CONST1 if expr[1] else CONST0
+    if tag == "lit":
+        literal = leaves[expr[1]]
+        return lit_not(literal) if expr[2] else literal
+    left = expr_to_aig(expr[1], builder, leaves)
+    right = expr_to_aig(expr[2], builder, leaves)
+    if tag == "and":
+        return builder.add_and(left, right)
+    if tag == "or":
+        return builder.add_or(left, right)
+    raise ValueError(f"unknown expression tag {tag!r}")
+
+
+def expr_cost(expr: Expr) -> int:
+    """Number of AND gates the tree needs (OR = one AND in an AIG)."""
+    tag = expr[0]
+    if tag in ("const", "lit"):
+        return 0
+    return 1 + expr_cost(expr[1]) + expr_cost(expr[2])
+
+
+def eval_expr(expr: Expr, values: Sequence[int]) -> int:
+    """Evaluate a tree under a 0/1 assignment (reference for tests)."""
+    tag = expr[0]
+    if tag == "const":
+        return expr[1]
+    if tag == "lit":
+        return values[expr[1]] ^ expr[2]
+    left = eval_expr(expr[1], values)
+    right = eval_expr(expr[2], values)
+    return (left & right) if tag == "and" else (left | right)

@@ -1,0 +1,162 @@
+"""Functionally reduced AIGs (FRAIGs, [7] in the paper).
+
+A FRAIG is an AIG in which no two nodes are functionally equivalent (up
+to complementation).  Sweeping a *miter* is exactly fraiging it; this
+module applies the same machinery to a single network as a synthesis
+operation — the way logic tools use ``fraig`` to remove redundancy
+before mapping.
+
+Two provers are offered:
+
+- :func:`fraig` — SAT-based, the classic construction;
+- :func:`fraig_sim` — exhaustive-simulation-based, this paper's thesis
+  applied to fraiging: pairs whose support union is small are proved by
+  whole-truth-table comparison, no SAT involved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.aig.literals import lit
+from repro.aig.network import Aig
+from repro.aig.transform import cleanup
+from repro.aig.traversal import supports_capped
+from repro.sat.cnf import CnfBuilder
+from repro.sat.solver import SatSolver, SolveStatus
+from repro.simulation.exhaustive import ExhaustiveSimulator, PairStatus
+from repro.simulation.merging import merge_windows
+from repro.simulation.window import Pair, build_window
+from repro.sweep.classes import SimulationState
+from repro.sweep.reduction import reduce_miter
+
+
+def fraig(
+    aig: Aig,
+    conflict_limit: int = 10_000,
+    num_random_words: int = 16,
+    seed: int = 2025,
+    max_rounds: int = 8,
+) -> Aig:
+    """SAT-based functional reduction; returns an equivalent network.
+
+    Candidate pairs come from simulation classes; each is checked by a
+    conflict-limited CDCL query.  Unresolved pairs (budget exhausted)
+    simply stay unmerged — the result is always functionally equivalent
+    to the input, merely possibly not fully reduced.
+    """
+    current = cleanup(aig)
+    state = SimulationState(current.num_pis, num_random_words, seed)
+    for _ in range(max_rounds):
+        tables = state.tables(current)
+        classes = state.classes(current, tables)
+        pairs = list(classes.all_pairs())
+        if not pairs:
+            break
+        solver = SatSolver()
+        cnf = CnfBuilder(current, solver)
+        merges: Dict[int, Tuple[int, int]] = {}
+        cex_patterns: List[List[int]] = []
+        for repr_node, node, phase in pairs:
+            status = _check_pair_sat(
+                solver, cnf, lit(repr_node), lit(node, phase), conflict_limit
+            )
+            if status is SolveStatus.UNSAT:
+                merges[node] = (repr_node, phase)
+            elif status is SolveStatus.SAT:
+                cex_patterns.append(cnf.pi_pattern_from_model())
+        if cex_patterns:
+            state.add_cex_patterns(cex_patterns)
+        if merges:
+            current, _ = reduce_miter(current, merges)
+        if not merges and not cex_patterns:
+            break
+    return current
+
+
+def fraig_sim(
+    aig: Aig,
+    k_g: int = 14,
+    num_random_words: int = 16,
+    seed: int = 2025,
+    max_rounds: int = 8,
+    memory_budget_words: int = 1 << 22,
+    window_merging: bool = True,
+) -> Aig:
+    """Simulation-based functional reduction (no SAT).
+
+    The G-phase prover of the paper's engine applied as a synthesis
+    pass: pairs with support union ≤ ``k_g`` are proved by exhaustive
+    simulation; wider pairs are left alone.  Sound by construction —
+    every merge is backed by a complete truth-table comparison.
+    """
+    current = cleanup(aig)
+    state = SimulationState(current.num_pis, num_random_words, seed)
+    simulator = ExhaustiveSimulator(memory_budget_words)
+    for _ in range(max_rounds):
+        tables = state.tables(current)
+        classes = state.classes(current, tables)
+        supports = supports_capped(current, k_g)
+        windows = []
+        for repr_node, node, phase in classes.all_pairs():
+            supp_r = supports[repr_node]
+            supp_n = supports[node]
+            if supp_r is None or supp_n is None:
+                continue
+            union = supp_r | supp_n
+            if len(union) > k_g:
+                continue
+            roots = [
+                x for x in (repr_node, node) if x != 0 and x not in union
+            ]
+            windows.append(
+                build_window(
+                    current,
+                    sorted(union),
+                    roots,
+                    [Pair(lit(repr_node), lit(node, phase), tag=node)],
+                )
+            )
+        if not windows:
+            break
+        if window_merging:
+            windows = merge_windows(current, windows, k_g)
+        outcomes = simulator.run(current, windows, collect_cex=True)
+        merges: Dict[int, Tuple[int, int]] = {}
+        cex_patterns: List[List[int]] = []
+        for outcome in outcomes:
+            if outcome.status is PairStatus.EQUAL:
+                phase = (outcome.pair.lit_a ^ outcome.pair.lit_b) & 1
+                merges[outcome.pair.tag] = (outcome.pair.lit_a >> 1, phase)
+            elif outcome.cex is not None:
+                cex_patterns.append(
+                    outcome.cex.to_pi_pattern(current.num_pis)
+                )
+        if cex_patterns:
+            state.add_cex_patterns(cex_patterns)
+        if merges:
+            current, _ = reduce_miter(current, merges)
+        if not merges and not cex_patterns:
+            break
+    return current
+
+
+def _check_pair_sat(
+    solver: SatSolver,
+    cnf: CnfBuilder,
+    lit_a: int,
+    lit_b: int,
+    conflict_limit: int,
+) -> SolveStatus:
+    sol_a = cnf.literal(lit_a)
+    sol_b = cnf.literal(lit_b)
+    selector = solver.new_var()
+    sel = selector << 1
+    solver.add_clause([sel ^ 1, sol_a, sol_b])
+    solver.add_clause([sel ^ 1, sol_a ^ 1, sol_b ^ 1])
+    status = solver.solve(assumptions=[sel], conflict_limit=conflict_limit)
+    solver.add_clause([sel ^ 1])
+    if status is SolveStatus.UNSAT:
+        solver.add_clause([sol_a, sol_b ^ 1])
+        solver.add_clause([sol_a ^ 1, sol_b])
+    return status

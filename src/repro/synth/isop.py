@@ -1,0 +1,128 @@
+"""Irredundant sum-of-products via the Minato–Morreale procedure.
+
+Truth tables here are plain Python integers: bit ``i`` is the function
+value under the assignment encoding ``i`` (same convention as
+:mod:`repro.simulation.bitops`, variable 0 least significant).  Arbitrary
+precision integers make the Shannon cofactoring one-liners and keep the
+module dependency-free.
+
+A *cube* is represented as a tuple of ``(var_index, phase)`` pairs with
+``phase = 1`` meaning the negated literal; the empty tuple is the
+constant-true cube.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+Cube = Tuple[Tuple[int, int], ...]
+
+
+def tt_mask(num_vars: int) -> int:
+    """All-ones truth table of ``num_vars`` variables."""
+    return (1 << (1 << num_vars)) - 1
+
+
+@lru_cache(maxsize=1024)
+def tt_var(var: int, num_vars: int) -> int:
+    """Projection truth table of variable ``var`` as an integer."""
+    if not 0 <= var < num_vars:
+        raise ValueError(f"variable {var} out of range for {num_vars} vars")
+    block = (1 << (1 << var))
+    pattern_width = 2 << var
+    pattern = ((block - 1) << (1 << var))
+    # Repeat the pattern across the whole table.
+    table = 0
+    for offset in range(0, 1 << num_vars, pattern_width):
+        table |= pattern << offset
+    return table
+
+
+def cofactors(table: int, var: int, num_vars: int) -> Tuple[int, int]:
+    """Negative and positive Shannon cofactors (both full-width tables)."""
+    proj = tt_var(var, num_vars)
+    mask = tt_mask(num_vars)
+    neg = table & ~proj & mask
+    pos = table & proj
+    shift = 1 << var
+    # Spread each half over both halves so the cofactor is var-independent.
+    neg = neg | (neg << shift)
+    pos = pos | (pos >> shift)
+    return neg & mask, pos & mask
+
+
+def isop(table: int, num_vars: int) -> List[Cube]:
+    """Irredundant SOP cover of an exact function.
+
+    Runs Minato–Morreale with lower bound = upper bound = ``table``; the
+    resulting cover is irredundant and single-output prime.
+    """
+    mask = tt_mask(num_vars)
+    table &= mask
+    cubes, cover = _isop(table, table, num_vars, num_vars)
+    assert cover == table, "ISOP cover must equal the function exactly"
+    return cubes
+
+
+def _isop(lower: int, upper: int, var_count: int, num_vars: int):
+    """Return (cubes, cover) with lower ≤ cover ≤ upper."""
+    if lower == 0:
+        return [], 0
+    full = tt_mask(num_vars)
+    if upper == full:
+        return [()], full
+    # Pick the highest variable both bounds still depend on.
+    var = var_count - 1
+    while var >= 0:
+        l0, l1 = cofactors(lower, var, num_vars)
+        u0, u1 = cofactors(upper, var, num_vars)
+        if l0 != l1 or u0 != u1:
+            break
+        var -= 1
+    if var < 0:
+        # Constant-on-support function not caught above (lower nonzero,
+        # upper not full, but no dependence): cover with one cube.
+        return [()], full
+    l0, l1 = cofactors(lower, var, num_vars)
+    u0, u1 = cofactors(upper, var, num_vars)
+
+    # Cubes needed only where var = 0 / var = 1.
+    cubes0, cover0 = _isop(l0 & ~u1 & full, u0, var, num_vars)
+    cubes1, cover1 = _isop(l1 & ~u0 & full, u1, var, num_vars)
+    # Remaining minterms can be covered without var.
+    new_lower = (l0 & ~cover0 & full) | (l1 & ~cover1 & full)
+    cubes_star, cover_star = _isop(new_lower, u0 & u1, var, num_vars)
+
+    proj = tt_var(var, num_vars)
+    cover = (cover0 & ~proj) | (cover1 & proj) | cover_star
+    cubes = (
+        [cube + ((var, 1),) for cube in cubes0]
+        + [cube + ((var, 0),) for cube in cubes1]
+        + cubes_star
+    )
+    return cubes, cover & full
+
+
+def eval_cubes(cubes: List[Cube], num_vars: int) -> int:
+    """Truth table of a cube cover (for verification)."""
+    mask = tt_mask(num_vars)
+    table = 0
+    for cube in cubes:
+        cube_tt = mask
+        for var, phase in cube:
+            proj = tt_var(var, num_vars)
+            cube_tt &= (proj ^ mask) if phase else proj
+        table |= cube_tt
+    return table & mask
+
+
+def sop_to_expr(cubes: List[Cube]):
+    """Convert a cover to the expression form of :mod:`repro.synth.factor`.
+
+    Returns ``("const", 0)`` for the empty cover and delegates factoring
+    of multi-cube covers to :func:`repro.synth.factor.factor_cubes`.
+    """
+    from repro.synth.factor import factor_cubes
+
+    return factor_cubes(cubes)

@@ -1,0 +1,104 @@
+"""NPN canonicalisation of small Boolean functions.
+
+Two functions are NPN-equivalent when one can be obtained from the other
+by Negating inputs, Permuting inputs and/or Negating the output.  Cut
+rewriting engines (ABC's ``rewrite`` [32]) classify cut functions by NPN
+class so one precomputed implementation serves the whole class; the
+exhaustive canonicaliser here supports up to 5 inputs (5! · 2⁵ · 2 = 7680
+transforms), which covers the k=4 rewriting regime with room to spare.
+
+Truth tables are integers in the convention of :mod:`repro.synth.isop`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+from typing import Iterator, Tuple
+
+from repro.synth.isop import tt_mask
+
+#: A transform: (permutation, input negation mask, output negation).
+Transform = Tuple[Tuple[int, ...], int, int]
+
+
+def apply_permutation(table: int, num_vars: int, perm: Tuple[int, ...]) -> int:
+    """Reorder inputs: new input ``i`` is old input ``perm[i]``."""
+    result = 0
+    for index in range(1 << num_vars):
+        source = 0
+        for new_pos in range(num_vars):
+            if (index >> new_pos) & 1:
+                source |= 1 << perm[new_pos]
+        if (table >> source) & 1:
+            result |= 1 << index
+    return result
+
+
+def apply_input_negation(table: int, num_vars: int, mask: int) -> int:
+    """Complement the inputs selected by ``mask``."""
+    result = 0
+    for index in range(1 << num_vars):
+        if (table >> (index ^ mask)) & 1:
+            result |= 1 << index
+    return result
+
+
+def transform_table(table: int, num_vars: int, transform: Transform) -> int:
+    """Apply a full NPN transform to a truth table."""
+    perm, neg_mask, out_neg = transform
+    result = apply_permutation(table, num_vars, perm)
+    result = apply_input_negation(result, num_vars, neg_mask)
+    if out_neg:
+        result ^= tt_mask(num_vars)
+    return result
+
+
+def all_transforms(num_vars: int) -> Iterator[Transform]:
+    """Every NPN transform of ``num_vars`` inputs."""
+    for perm in itertools.permutations(range(num_vars)):
+        for neg_mask in range(1 << num_vars):
+            for out_neg in (0, 1):
+                yield perm, neg_mask, out_neg
+
+
+@lru_cache(maxsize=1 << 16)
+def npn_canon(table: int, num_vars: int) -> Tuple[int, Transform]:
+    """Canonical representative of a function's NPN class.
+
+    Returns ``(canonical_table, transform)`` where applying ``transform``
+    to ``table`` yields ``canonical_table`` (the numerically smallest
+    table in the class).  Functions are NPN-equivalent iff their
+    canonical tables are equal.
+    """
+    if num_vars > 5:
+        raise ValueError("exhaustive NPN canonicalisation supports <= 5 vars")
+    table &= tt_mask(num_vars)
+    best = None
+    best_transform: Transform = (tuple(range(num_vars)), 0, 0)
+    for transform in all_transforms(num_vars):
+        candidate = transform_table(table, num_vars, transform)
+        if best is None or candidate < best:
+            best = candidate
+            best_transform = transform
+    assert best is not None
+    return best, best_transform
+
+
+def npn_equivalent(table_a: int, table_b: int, num_vars: int) -> bool:
+    """True when the two functions share an NPN class."""
+    return npn_canon(table_a, num_vars)[0] == npn_canon(table_b, num_vars)[0]
+
+
+def npn_class_count(num_vars: int) -> int:
+    """Number of NPN classes of ``num_vars``-input functions.
+
+    Exhaustive (2^2^k functions) — only sensible for ``num_vars <= 4``,
+    where the classic counts are 1, 2, 4, 14, 222.
+    """
+    if num_vars > 4:
+        raise ValueError("class counting is exhaustive; use <= 4 vars")
+    seen = set()
+    for table in range(1 << (1 << num_vars)):
+        seen.add(npn_canon(table, num_vars)[0])
+    return len(seen)

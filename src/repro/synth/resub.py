@@ -1,0 +1,149 @@
+"""Exact resubstitution for small-PI networks ([13] in the paper).
+
+Resubstitution re-expresses a node as a simple function of *existing*
+nodes (divisors), freeing the node's exclusive fanin cone.  This
+implementation is exact: it computes every node's global truth table
+(hence the PI bound) and only applies rewrites whose functions match
+bit-for-bit.
+
+Supported resubstitutions:
+
+- **0-resub** — replace a node by an equivalent existing node (possibly
+  complemented); this is fraiging expressed through truth tables;
+- **1-resub** — ``n = d1 OP d2`` for ``OP`` ∈ {AND, OR, XOR} over
+  divisors and their complements.
+
+Divisors of a node are earlier nodes whose support is contained in the
+node's support; the candidate count per node is capped to bound the
+quadratic pair search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.aig.builder import AigBuilder
+from repro.aig.literals import CONST0, lit, lit_var
+from repro.aig.network import Aig
+from repro.aig.transform import cleanup
+from repro.aig.traversal import supports
+from repro.synth.isop import tt_mask, tt_var
+
+#: Hard cap on PI count — tables are ``2**num_pis`` bits.
+MAX_PIS = 16
+
+
+def resubstitute(
+    aig: Aig,
+    max_divisors: int = 48,
+    allow_one_resub: bool = True,
+) -> Aig:
+    """One exact resubstitution pass; returns an equivalent network.
+
+    Raises ``ValueError`` when the network has more than :data:`MAX_PIS`
+    primary inputs (exact global tables would be intractable).
+    """
+    if aig.num_pis > MAX_PIS:
+        raise ValueError(
+            f"exact resubstitution supports at most {MAX_PIS} PIs "
+            f"(got {aig.num_pis})"
+        )
+    num_pis = aig.num_pis
+    mask = tt_mask(num_pis)
+    tables = _global_tables(aig)
+    support_sets = supports(aig)
+    fanout = aig.fanout_counts()
+
+    builder = AigBuilder(num_pis, name=aig.name)
+    new_lit: Dict[int, int] = {0: CONST0}
+    table_to_node: Dict[int, int] = {0: CONST0}
+    for pi in aig.pis():
+        new_lit[pi] = lit(pi)
+        table_to_node[tables[pi]] = lit(pi)
+        table_to_node[tables[pi] ^ mask] = lit(pi) ^ 1
+    divisor_pool: List[Tuple[int, frozenset]] = [
+        (pi, frozenset((pi,))) for pi in aig.pis()
+    ]
+
+    f0l, f1l = aig.fanin_lists()
+    for node in aig.ands():
+        table = tables[node]
+        replacement = table_to_node.get(table)
+        if replacement is None and allow_one_resub:
+            replacement = _try_one_resub(
+                node,
+                table,
+                mask,
+                tables,
+                support_sets,
+                divisor_pool,
+                new_lit,
+                builder,
+                max_divisors,
+            )
+        if replacement is None:
+            a = new_lit[f0l[node] >> 1] ^ (f0l[node] & 1)
+            b = new_lit[f1l[node] >> 1] ^ (f1l[node] & 1)
+            replacement = builder.add_and(a, b)
+        new_lit[node] = replacement
+        if table not in table_to_node:
+            table_to_node[table] = replacement
+            table_to_node[table ^ mask] = replacement ^ 1
+        divisor_pool.append((node, frozenset(support_sets[node])))
+    for po in aig.pos:
+        builder.add_po(new_lit[lit_var(po)] ^ (po & 1))
+    return cleanup(builder.build(), name=aig.name)
+
+
+def _global_tables(aig: Aig) -> List[int]:
+    """Exact global truth tables (ints) of every node."""
+    num_pis = aig.num_pis
+    mask = tt_mask(num_pis)
+    tables: List[int] = [0] * aig.num_nodes
+    for pi in aig.pis():
+        tables[pi] = tt_var(pi - 1, num_pis)
+    f0l, f1l = aig.fanin_lists()
+    for node in aig.ands():
+        t0 = tables[f0l[node] >> 1] ^ (mask if f0l[node] & 1 else 0)
+        t1 = tables[f1l[node] >> 1] ^ (mask if f1l[node] & 1 else 0)
+        tables[node] = t0 & t1
+    return tables
+
+
+def _try_one_resub(
+    node: int,
+    target: int,
+    mask: int,
+    tables: List[int],
+    support_sets,
+    divisor_pool,
+    new_lit: Dict[int, int],
+    builder: AigBuilder,
+    max_divisors: int,
+) -> Optional[int]:
+    node_support = set(support_sets[node])
+    divisors: List[int] = []
+    for candidate, candidate_support in reversed(divisor_pool):
+        if candidate_support <= node_support:
+            divisors.append(candidate)
+            if len(divisors) >= max_divisors:
+                break
+    for i, da in enumerate(divisors):
+        ta = tables[da]
+        for db in divisors[i + 1 :]:
+            tb = tables[db]
+            for pa in (0, 1):
+                xa = ta ^ (mask if pa else 0)
+                for pb in (0, 1):
+                    xb = tb ^ (mask if pb else 0)
+                    la = new_lit[da] ^ pa
+                    lb = new_lit[db] ^ pb
+                    if (xa & xb) == target:
+                        return builder.add_and(la, lb)
+                    if (xa | xb) == target:
+                        return builder.add_or(la, lb)
+            if (ta ^ tb) == target:
+                return builder.add_xor(new_lit[da], new_lit[db])
+            if (ta ^ tb ^ mask) == target:
+                return builder.add_xnor(new_lit[da], new_lit[db])
+    return None

@@ -1,0 +1,39 @@
+"""Optimisation scripts (ABC ``resyn2`` / ``compress2`` substitutes).
+
+``resyn2`` in ABC is ``b; rw; rf; b; rw; rw; b; rfz; rwz; b`` — alternating
+balancing, rewriting and refactoring passes.  The scripts here mirror
+that structure with this package's transforms; the paper's experimental
+protocol optimises each benchmark with resyn2 and checks it against the
+original.
+"""
+
+from __future__ import annotations
+
+from repro.aig.network import Aig
+from repro.synth.balance import balance
+from repro.synth.rewrite import cut_rewrite
+
+
+def resyn2(aig: Aig, refactor_k: int = 8) -> Aig:
+    """The resyn2-like script: ``b; rw; rf; b; rw; rw; b; rfz; rwz; b``."""
+    result = balance(aig)
+    result = cut_rewrite(result, k=4)
+    result = cut_rewrite(result, k=refactor_k)
+    result = balance(result)
+    result = cut_rewrite(result, k=4)
+    result = cut_rewrite(result, k=4)
+    result = balance(result)
+    result = cut_rewrite(result, k=refactor_k, zero_gain=True)
+    result = cut_rewrite(result, k=4, zero_gain=True)
+    result = balance(result)
+    return result
+
+
+def compress2(aig: Aig, refactor_k: int = 8) -> Aig:
+    """A lighter script (``b; rw; rf; b; rw; b``) for quick experiments."""
+    result = balance(aig)
+    result = cut_rewrite(result, k=4)
+    result = cut_rewrite(result, k=refactor_k)
+    result = balance(result)
+    result = cut_rewrite(result, k=4)
+    return balance(result)

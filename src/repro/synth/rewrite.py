@@ -1,0 +1,239 @@
+"""Cut-based resynthesis (ABC ``rewrite``/``refactor`` substitute).
+
+For every AND node the pass enumerates small cuts, extracts the node's
+local function as a truth table, re-synthesises it as a factored-form
+AIG (ISOP → algebraic factoring) and replaces the node when the
+replacement is estimated to save nodes.  With ``k = 4`` this behaves
+like ABC ``rewrite``; with larger cuts (``k = 8..12``) it behaves like
+``refactor`` — both restructure logic locally, which is exactly the kind
+of transformation the paper's local function checking is designed to
+re-prove (§III-C, Fig. 2).
+
+The gain estimate compares the node's MFFC w.r.t. the cut (nodes that
+die when the node is re-expressed over the cut) against the factored
+form's AND-gate cost, discounted by structural-hash hits in the partially
+rebuilt network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.aig.builder import AigBuilder
+from repro.aig.literals import CONST0, lit, lit_var
+from repro.aig.network import Aig
+from repro.aig.transform import cleanup
+from functools import lru_cache
+
+from repro.synth.factor import Expr, expr_to_aig, factor_cubes
+from repro.synth.isop import isop, tt_mask, tt_var
+
+
+@lru_cache(maxsize=1 << 16)
+def factored_expression(table: int, num_vars: int) -> Expr:
+    """Memoised ISOP + factoring of a truth table.
+
+    Local functions repeat massively across a network (carry chains,
+    mux patterns), so caching by raw truth table alone removes most of
+    the resynthesis cost of a rewrite pass.
+    """
+    return factor_cubes(isop(table, num_vars))
+
+Cut = Tuple[int, ...]
+
+
+def cut_rewrite(
+    aig: Aig,
+    k: int = 4,
+    cuts_per_node: int = 6,
+    zero_gain: bool = False,
+) -> Aig:
+    """One resynthesis pass; returns an equivalent network.
+
+    Parameters
+    ----------
+    k:
+        Maximum cut size (4 ≈ ABC ``rewrite``, 8-12 ≈ ``refactor``).
+    cuts_per_node:
+        How many cuts are kept per node during enumeration.
+    zero_gain:
+        Accept replacements that neither gain nor lose nodes; useful to
+        perturb structure (ABC's ``rewrite -z``).
+    """
+    if k < 2:
+        raise ValueError("cut size must be at least 2")
+    cuts = _enumerate_cuts(aig, k, cuts_per_node)
+    fanout_sets = _fanout_nodes(aig)
+    builder = AigBuilder(aig.num_pis, name=aig.name)
+    new_lit: Dict[int, int] = {0: CONST0}
+    for pi in aig.pis():
+        new_lit[pi] = lit(pi)
+
+    for node in aig.ands():
+        f0, f1 = aig.fanins(node)
+        default = builder.find_and(
+            new_lit[f0 >> 1] ^ (f0 & 1), new_lit[f1 >> 1] ^ (f1 & 1)
+        )
+        best_gain = 0 if default is not None else None
+        best_plan: Optional[Tuple[Expr, Cut]] = None
+        for cut in cuts[node]:
+            if len(cut) < 2:
+                continue
+            table = _local_tt(aig, node, cut)
+            expr = factored_expression(table, len(cut))
+            leaves = [new_lit[c] for c in cut]
+            cost = _dry_cost(builder, expr, leaves)
+            saved = _mffc_size(aig, node, cut, fanout_sets)
+            gain = saved - cost
+            if (
+                best_gain is None
+                or gain > best_gain
+                or (zero_gain and gain == best_gain and best_plan is None)
+            ):
+                best_gain = gain
+                best_plan = (expr, cut)
+        use_replacement = best_plan is not None and (
+            default is None or best_gain > 0 or (zero_gain and best_gain >= 0)
+        )
+        if use_replacement:
+            expr, cut = best_plan
+            leaves = [new_lit[c] for c in cut]
+            new_lit[node] = expr_to_aig(expr, builder, leaves)
+        elif default is not None:
+            new_lit[node] = default
+        else:
+            new_lit[node] = builder.add_and(
+                new_lit[f0 >> 1] ^ (f0 & 1), new_lit[f1 >> 1] ^ (f1 & 1)
+            )
+
+    for po in aig.pos:
+        builder.add_po(new_lit[lit_var(po)] ^ (po & 1))
+    return cleanup(builder.build(), name=aig.name)
+
+
+# ----------------------------------------------------------------------
+# Cut enumeration (size-priority, local to this pass)
+# ----------------------------------------------------------------------
+
+
+def _enumerate_cuts(
+    aig: Aig, k: int, per_node: int
+) -> List[List[Cut]]:
+    cuts: List[List[Cut]] = [[] for _ in range(aig.num_nodes)]
+    for pi in aig.pis():
+        cuts[pi] = [(pi,)]
+    for node in aig.ands():
+        f0, f1 = aig.fanins(node)
+        choices0 = cuts[f0 >> 1] + [(f0 >> 1,)]
+        choices1 = cuts[f1 >> 1] + [(f1 >> 1,)]
+        merged = set()
+        for u in choices0:
+            u_set = set(u)
+            for v in choices1:
+                union = u_set | set(v)
+                if len(union) <= k:
+                    merged.add(tuple(sorted(union)))
+        ranked = sorted(merged, key=lambda c: (len(c), c))
+        cuts[node] = ranked[:per_node]
+    return cuts
+
+
+def _local_tt(aig: Aig, node: int, cut: Cut) -> int:
+    """Truth table (int) of ``node`` in terms of ``cut``."""
+    tables: Dict[int, int] = {0: 0}
+    num_vars = len(cut)
+    mask = tt_mask(num_vars)
+    for i, leaf in enumerate(cut):
+        tables[leaf] = tt_var(i, num_vars)
+    stack = [node]
+    order: List[int] = []
+    seen = set(cut) | {0}
+    while stack:
+        current = stack.pop()
+        if current in seen or current in tables:
+            continue
+        f0, f1 = aig.fanins(current)
+        pending = [
+            v for v in (f0 >> 1, f1 >> 1) if v not in tables and v not in seen
+        ]
+        if pending:
+            stack.append(current)
+            stack.extend(pending)
+        else:
+            order.append(current)
+            t0 = tables[f0 >> 1] ^ (mask if f0 & 1 else 0)
+            t1 = tables[f1 >> 1] ^ (mask if f1 & 1 else 0)
+            tables[current] = t0 & t1
+            seen.add(current)
+    return tables[node]
+
+
+def _fanout_nodes(aig: Aig) -> List[set]:
+    """Fanout node sets; PO references appear as the sentinel -1."""
+    fanouts: List[set] = [set() for _ in range(aig.num_nodes)]
+    f0s, f1s = aig.fanin_literals()
+    base = aig.first_and
+    for i in range(aig.num_ands):
+        node = base + i
+        fanouts[f0s[i] >> 1].add(node)
+        fanouts[f1s[i] >> 1].add(node)
+    for po in aig.pos:
+        fanouts[lit_var(po)].add(-1)
+    return fanouts
+
+
+def _mffc_size(
+    aig: Aig, node: int, cut: Cut, fanout_sets: List[set]
+) -> int:
+    """Nodes freed when ``node`` is re-expressed over ``cut``.
+
+    Counts the cone members (cut-exclusive TFI of ``node``) whose every
+    fanout lies inside the cone — the node itself always counts.
+    """
+    cut_set = set(cut)
+    cone = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current in cone or current in cut_set or not aig.is_and(current):
+            continue
+        cone.add(current)
+        f0, f1 = aig.fanins(current)
+        stack.append(f0 >> 1)
+        stack.append(f1 >> 1)
+    freed = 0
+    for member in cone:
+        if member == node or fanout_sets[member] <= cone:
+            freed += 1
+    return freed
+
+
+def _dry_cost(
+    builder: AigBuilder, expr: Expr, leaves: Sequence[int]
+) -> int:
+    """AND gates a factored form would add, given current strash contents."""
+    cost, _ = _dry_eval(builder, expr, leaves)
+    return cost
+
+
+def _dry_eval(
+    builder: AigBuilder, expr: Expr, leaves: Sequence[int]
+) -> Tuple[int, Optional[int]]:
+    tag = expr[0]
+    if tag == "const":
+        return 0, (1 if expr[1] else 0)
+    if tag == "lit":
+        literal = leaves[expr[1]]
+        return 0, (literal ^ 1 if expr[2] else literal)
+    cost_l, lit_l = _dry_eval(builder, expr[1], leaves)
+    cost_r, lit_r = _dry_eval(builder, expr[2], leaves)
+    cost = cost_l + cost_r
+    if lit_l is None or lit_r is None:
+        return cost + 1, None
+    if tag == "or":
+        lit_l ^= 1
+        lit_r ^= 1
+    found = builder.find_and(lit_l, lit_r)
+    if found is None:
+        return cost + 1, None
+    return cost, (found ^ 1 if tag == "or" else found)

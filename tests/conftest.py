@@ -1,0 +1,100 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List, Optional, Tuple
+
+import pytest
+
+from repro.aig.builder import AigBuilder
+from repro.aig.network import Aig
+
+
+def random_aig(
+    num_pis: int = 6,
+    num_nodes: int = 40,
+    num_pos: int = 4,
+    seed: int = 0,
+) -> Aig:
+    """A random strashed AIG (the workhorse of structural tests)."""
+    rnd = random.Random(seed)
+    builder = AigBuilder(num_pis, name=f"rand{seed}")
+    literals = [2 * (i + 1) for i in range(num_pis)]
+    for _ in range(num_nodes):
+        a = rnd.choice(literals) ^ rnd.randint(0, 1)
+        b = rnd.choice(literals) ^ rnd.randint(0, 1)
+        literals.append(builder.add_and(a, b))
+    for literal in literals[-num_pos:]:
+        builder.add_po(literal)
+    return builder.build()
+
+
+def layered_aig(
+    num_pis: int = 8,
+    layers: int = 5,
+    width: int = 10,
+    num_pos: int = 4,
+    seed: int = 0,
+) -> Aig:
+    """A random AIG with controlled depth (new nodes prefer recent ones)."""
+    rnd = random.Random(seed)
+    builder = AigBuilder(num_pis, name=f"layered{seed}")
+    current = [2 * (i + 1) for i in range(num_pis)]
+    for _ in range(layers):
+        nxt = []
+        for _ in range(width):
+            a = rnd.choice(current) ^ rnd.randint(0, 1)
+            b = rnd.choice(current) ^ rnd.randint(0, 1)
+            nxt.append(builder.add_and(a, b))
+        current = nxt + current[: num_pis // 2]
+    for literal in current[:num_pos]:
+        builder.add_po(literal)
+    return builder.build()
+
+
+def brute_force_equivalent(
+    aig_a: Aig, aig_b: Aig, max_pis: int = 12
+) -> Tuple[bool, Optional[List[int]]]:
+    """Exhaustive equivalence check; only usable for small PI counts."""
+    assert aig_a.num_pis == aig_b.num_pis <= max_pis
+    for bits in itertools.product([0, 1], repeat=aig_a.num_pis):
+        pattern = list(bits)
+        if aig_a.evaluate(pattern) != aig_b.evaluate(pattern):
+            return False, pattern
+    return True, None
+
+
+def sampled_equivalent(
+    aig_a: Aig, aig_b: Aig, samples: int = 200, seed: int = 9
+) -> Tuple[bool, Optional[List[int]]]:
+    """Randomised equivalence check for wider circuits."""
+    rnd = random.Random(seed)
+    for _ in range(samples):
+        pattern = [rnd.randint(0, 1) for _ in range(aig_a.num_pis)]
+        if aig_a.evaluate(pattern) != aig_b.evaluate(pattern):
+            return False, pattern
+    return True, None
+
+
+def word_val(bits) -> int:
+    """Interpret a list of 0/1 as an LSB-first integer."""
+    return sum(v << i for i, v in enumerate(bits))
+
+
+def to_word(value: int, width: int) -> List[int]:
+    """Integer to LSB-first bit list."""
+    return [(value >> i) & 1 for i in range(width)]
+
+
+@pytest.fixture
+def xor_pair():
+    """Two structurally different implementations of 4-input XOR."""
+    b1 = AigBuilder(4)
+    b1.add_po(b1.add_xor_multi([2, 4, 6, 8]))
+    b2 = AigBuilder(4)
+    left = b2.add_xor(2, 4)
+    right = b2.add_xor(6, 8)
+    b2.add_po(b2.add_xor(left, right))
+    return b1.build("xor_a"), b2.build("xor_b")

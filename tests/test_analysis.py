@@ -1,0 +1,109 @@
+"""Tests for SDC measurement and reconvergence analysis."""
+
+import numpy as np
+import pytest
+
+from repro.aig.builder import AigBuilder
+from repro.analysis import (
+    cut_support,
+    exact_cut_patterns,
+    observed_cut_patterns,
+    reconvergent_node_count,
+    sdc_ratio,
+)
+from repro.simulation.bitops import random_words
+
+
+def paper_sdc_example():
+    """The §II-A example: n1 = x+y, n2 = yz, n3 = n1·n2.
+
+    (n1=0, n2=1) is an SDC: n2 = 1 forces y = 1 which forces n1 = 1.
+    """
+    b = AigBuilder(3)
+    x, y, z = 2, 4, 6
+    n1 = b.add_or(x, y)
+    n2 = b.add_and(y, z)
+    n3 = b.add_and(n1, n2)
+    b.add_po(n3)
+    return b.build(), n1 >> 1, n2 >> 1, n3 >> 1
+
+
+def test_paper_example_sdc():
+    aig, n1, n2, n3 = paper_sdc_example()
+    observed, total = exact_cut_patterns(aig, (n1, n2))
+    assert total == 4
+    # Patterns are *node values*.  ``add_or`` builds x+y as the
+    # complement of AND(!x, !y), so node n1's value is !(x+y): the
+    # paper's SDC (x+y = 0, yz = 1) is node pattern (n1=1, n2=1) → 3.
+    assert 3 not in observed
+    assert observed == {0, 1, 2}
+    assert sdc_ratio(aig, (n1, n2)) == pytest.approx(0.25)
+
+
+def test_pi_cut_has_no_sdcs():
+    aig, n1, n2, n3 = paper_sdc_example()
+    assert sdc_ratio(aig, (1, 2, 3)) == 0.0
+
+
+def test_cut_support():
+    aig, n1, n2, n3 = paper_sdc_example()
+    assert cut_support(aig, (n1,)) == (1, 2)
+    assert cut_support(aig, (n1, n2)) == (1, 2, 3)
+
+
+def test_observed_subset_of_exact():
+    aig, n1, n2, n3 = paper_sdc_example()
+    rng = np.random.default_rng(3)
+    words = random_words(3, 2, rng)
+    observed = observed_cut_patterns(aig, (n1, n2), words)
+    exact, _ = exact_cut_patterns(aig, (n1, n2))
+    assert observed <= exact
+
+
+def test_exact_rejects_wide_support():
+    b = AigBuilder(25)
+    lits = [2 * (i + 1) for i in range(25)]
+    conj = b.add_and_multi(lits)
+    b.add_po(conj)
+    aig = b.build()
+    with pytest.raises(ValueError, match="support"):
+        exact_cut_patterns(aig, (conj >> 1,), max_support=20)
+
+
+def test_reconvergence_detection():
+    # Diamond: both fanins of the top node reach cut leaf x.
+    b = AigBuilder(2)
+    x, y = 2, 4
+    a = b.add_and(x, y)
+    o = b.add_or(x, y)
+    top = b.add_and(a, o)
+    b.add_po(top)
+    aig = b.build()
+    assert reconvergent_node_count(aig, top >> 1, (1, 2)) == 1  # only top
+    # With the cut at {a, o} there is no cone left to reconverge.
+    assert reconvergent_node_count(aig, top >> 1, (a >> 1, o >> 1)) == 0
+
+
+def test_reconvergence_free_cone():
+    b = AigBuilder(4)
+    left = b.add_and(2, 4)
+    right = b.add_and(6, 8)
+    top = b.add_and(left, right)
+    b.add_po(top)
+    aig = b.build()
+    assert reconvergent_node_count(aig, top >> 1, (1, 2, 3, 4)) == 0
+
+
+def test_sdc_correlates_with_cut_size_on_diamond():
+    """Smaller cuts absorbing the reconvergence carry fewer SDCs."""
+    b = AigBuilder(2)
+    x, y = 2, 4
+    a = b.add_and(x, y)
+    o = b.add_or(x, y)
+    top = b.add_and(a, o)
+    b.add_po(top)
+    aig = b.build()
+    # {a, o}: a=1,o=0 is impossible → SDCs present.
+    assert sdc_ratio(aig, (a >> 1, o >> 1)) > 0.0
+    # {x, y}: free of SDCs.
+    assert sdc_ratio(aig, (1, 2)) == 0.0

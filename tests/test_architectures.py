@@ -1,0 +1,87 @@
+"""Tests for the architectural generators and cross-architecture CEC."""
+
+import random
+
+import pytest
+
+from repro.bench.generators import (
+    adder,
+    carry_select_adder,
+    kogge_stone_adder,
+    multiplier,
+    wallace_multiplier,
+)
+from repro.sweep.config import EngineConfig
+from repro.sweep.engine import CecStatus, SimSweepEngine
+
+from conftest import to_word, word_val
+
+RND = random.Random(55)
+
+
+@pytest.mark.parametrize("width,block", [(4, 1), (6, 2), (8, 4), (5, 8)])
+def test_carry_select_semantics(width, block):
+    aig = carry_select_adder(width, block)
+    assert aig.num_pos == width + 1
+    for _ in range(60):
+        x, y = RND.randrange(1 << width), RND.randrange(1 << width)
+        out = aig.evaluate(to_word(x, width) + to_word(y, width))
+        assert word_val(out) == x + y
+
+
+def test_carry_select_rejects_bad_block():
+    with pytest.raises(ValueError):
+        carry_select_adder(4, 0)
+
+
+@pytest.mark.parametrize("width", [1, 2, 5, 8])
+def test_kogge_stone_semantics(width):
+    aig = kogge_stone_adder(width)
+    for _ in range(60):
+        x, y = RND.randrange(1 << width), RND.randrange(1 << width)
+        out = aig.evaluate(to_word(x, width) + to_word(y, width))
+        assert word_val(out) == x + y
+
+
+def test_kogge_stone_is_log_depth():
+    assert kogge_stone_adder(16).depth() < adder(16).depth() / 2
+
+
+@pytest.mark.parametrize("width", [2, 4, 6])
+def test_wallace_semantics(width):
+    aig = wallace_multiplier(width)
+    assert aig.num_pos == 2 * width
+    for _ in range(80):
+        x, y = RND.randrange(1 << width), RND.randrange(1 << width)
+        out = aig.evaluate(to_word(x, width) + to_word(y, width))
+        assert word_val(out) == x * y
+
+
+def test_wallace_is_shallower_than_array():
+    assert wallace_multiplier(8).depth() < multiplier(8).depth()
+
+
+@pytest.mark.parametrize(
+    "pair",
+    [
+        lambda: (adder(6), carry_select_adder(6)),
+        lambda: (adder(6), kogge_stone_adder(6)),
+        lambda: (carry_select_adder(6), kogge_stone_adder(6)),
+        lambda: (multiplier(5), wallace_multiplier(5)),
+    ],
+    ids=["ripple-csel", "ripple-ks", "csel-ks", "array-wallace"],
+)
+def test_engine_proves_cross_architecture(pair):
+    a, b = pair()
+    result = SimSweepEngine(EngineConfig()).check(a, b)
+    assert result.status is CecStatus.EQUIVALENT
+
+
+def test_engine_catches_cross_architecture_bug():
+    from repro.aig.network import negate_outputs
+
+    a = adder(6)
+    b = negate_outputs(kogge_stone_adder(6), [3])
+    result = SimSweepEngine(EngineConfig()).check(a, b)
+    assert result.status is CecStatus.NONEQUIVALENT
+    assert a.evaluate(result.cex) != b.evaluate(result.cex)

@@ -1,0 +1,105 @@
+"""Tests for the BDD manager and the BDD-based checker."""
+
+import itertools
+
+import pytest
+
+from repro.bdd.cec import BddChecker
+from repro.bdd.manager import ONE, ZERO, BddLimitExceeded, BddManager
+from repro.aig.network import negate_outputs
+from repro.bench import generators as gen
+from repro.sweep.engine import CecStatus
+from repro.synth.resyn import compress2
+
+from conftest import random_aig
+
+
+def _tt(manager, node, num_vars):
+    bits = []
+    for assignment in itertools.product([0, 1], repeat=num_vars):
+        env = {i: assignment[i] for i in range(num_vars)}
+        bits.append(manager.evaluate(node, env))
+    return tuple(bits)
+
+
+def test_var_and_ite_canonical():
+    m = BddManager()
+    x = m.var(0)
+    assert m.var(0) == x  # unique table dedupes
+    y = m.var(1)
+    assert m.ite(x, y, y) == y
+    assert m.ite(x, ONE, ZERO) == x
+
+
+def test_boolean_ops_match_truth_tables():
+    m = BddManager()
+    x, y, z = m.var(0), m.var(1), m.var(2)
+    f = m.apply_or(m.apply_and(x, y), m.apply_xor(y, z))
+    for bits in itertools.product([0, 1], repeat=3):
+        env = dict(enumerate(bits))
+        want = (bits[0] & bits[1]) | (bits[1] ^ bits[2])
+        assert m.evaluate(f, env) == want
+
+
+def test_canonicity_detects_equivalence():
+    m = BddManager()
+    x, y = m.var(0), m.var(1)
+    # De Morgan: !(x & y) == !x | !y — identical node ids.
+    lhs = m.apply_not(m.apply_and(x, y))
+    rhs = m.apply_or(m.apply_not(x), m.apply_not(y))
+    assert lhs == rhs
+
+
+def test_any_sat():
+    m = BddManager()
+    x, y = m.var(0), m.var(1)
+    f = m.apply_and(x, m.apply_not(y))
+    assignment = m.any_sat(f)
+    assert assignment == {0: 1, 1: 0}
+    assert m.any_sat(ZERO) is None
+    assert m.any_sat(ONE) == {}
+
+
+def test_size_counts_reachable_nodes():
+    m = BddManager()
+    x, y = m.var(0), m.var(1)
+    f = m.apply_xor(x, y)
+    assert m.size(f) == 5  # two terminals + x node + two y nodes
+
+
+def test_node_limit_enforced():
+    m = BddManager(node_limit=8)
+    with pytest.raises(BddLimitExceeded):
+        current = ONE
+        for i in range(10):
+            current = m.apply_and(current, m.var(i))
+
+
+def test_checker_equivalent_and_not():
+    original = gen.voter(15)
+    optimized = compress2(original)
+    checker = BddChecker()
+    assert checker.check(original, optimized).status is CecStatus.EQUIVALENT
+    buggy = negate_outputs(optimized, [0])
+    result = checker.check(original, buggy)
+    assert result.status is CecStatus.NONEQUIVALENT
+    assert original.evaluate(result.cex) != buggy.evaluate(result.cex)
+
+
+def test_checker_gives_up_on_limit():
+    original = gen.multiplier(6)
+    optimized = compress2(original)
+    checker = BddChecker(node_limit=64)
+    result = checker.check(original, optimized)
+    assert result.status is CecStatus.UNDECIDED
+    assert result.reduced_miter is not None
+
+
+def test_checker_handles_trivial_miter():
+    aig = random_aig(seed=111)
+    assert BddChecker().check(aig, aig.copy()).status is CecStatus.EQUIVALENT
+
+
+def test_var_validates_index():
+    with pytest.raises(ValueError):
+        BddManager().var(-1)

@@ -1,0 +1,53 @@
+"""Tests for the BDD sweeping checker."""
+
+import pytest
+
+from repro.aig.network import negate_outputs
+from repro.bdd.sweeping import BddSweepChecker
+from repro.bench import generators as gen
+from repro.sweep.engine import CecStatus
+from repro.synth.resyn import compress2
+
+from conftest import sampled_equivalent
+
+
+def test_proves_resynthesised_circuit():
+    original = gen.voter(15)
+    optimized = compress2(original)
+    checker = BddSweepChecker(num_random_words=8)
+    result = checker.check(original, optimized)
+    assert result.status is CecStatus.EQUIVALENT
+    assert result.report.phases[0].proved > 0
+
+
+def test_disproves_with_valid_cex():
+    original = gen.sqrt(8)
+    buggy = negate_outputs(compress2(original), [1])
+    result = BddSweepChecker(num_random_words=4).check(original, buggy)
+    assert result.status is CecStatus.NONEQUIVALENT
+    assert original.evaluate(result.cex) != buggy.evaluate(result.cex)
+
+
+def test_budget_exhaustion_is_undecided():
+    original = gen.multiplier(6)
+    optimized = compress2(original)
+    checker = BddSweepChecker(node_limit=128)
+    result = checker.check(original, optimized)
+    assert result.status is CecStatus.UNDECIDED
+    assert result.reduced_miter is not None
+    assert sampled_equivalent(original, optimized)[0]
+
+
+def test_time_limit():
+    original = gen.multiplier(6)
+    optimized = compress2(original)
+    checker = BddSweepChecker(time_limit=0.0)
+    result = checker.check(original, optimized)
+    assert result.status is CecStatus.UNDECIDED
+
+
+def test_agrees_with_other_engines_on_log2():
+    original = gen.log2(6)
+    optimized = compress2(original)
+    result = BddSweepChecker().check(original, optimized)
+    assert result.status is CecStatus.EQUIVALENT

@@ -1,0 +1,102 @@
+"""Tests for truth-table word primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simulation.bitops import (
+    FULL_WORD,
+    WORD_BITS,
+    first_set_bit,
+    num_tt_words,
+    pattern_of_index,
+    popcount_words,
+    projection_segment,
+    random_words,
+)
+
+
+@pytest.mark.parametrize(
+    "k,words", [(0, 1), (3, 1), (6, 1), (7, 2), (10, 16), (16, 1024)]
+)
+def test_num_tt_words(k, words):
+    assert num_tt_words(k) == words
+
+
+def test_num_tt_words_rejects_negative():
+    with pytest.raises(ValueError):
+        num_tt_words(-1)
+
+
+@pytest.mark.parametrize("position", range(10))
+def test_projection_matches_pattern_decoding(position):
+    """Bit b of word w of projection i == value of input i in pattern (w,b)."""
+    num_inputs = max(position + 1, 7)
+    segment = projection_segment(position, 0, 16)
+    for word_index in range(16):
+        word = int(segment[word_index])
+        for bit in range(WORD_BITS):
+            pattern = pattern_of_index(word_index, bit, num_inputs)
+            assert ((word >> bit) & 1) == pattern[position]
+
+
+def test_projection_segment_offsets_consistent():
+    """Slicing a long segment equals generating the slice directly."""
+    full = projection_segment(8, 0, 32)
+    for start in (0, 5, 16):
+        part = projection_segment(8, start, 8)
+        assert np.array_equal(part, full[start : start + 8])
+
+
+def test_pattern_of_index_unique_within_table():
+    """All 2^k positions decode to distinct assignments."""
+    k = 8
+    seen = set()
+    for word in range(num_tt_words(k)):
+        for bit in range(WORD_BITS):
+            seen.add(tuple(pattern_of_index(word, bit, k)))
+    assert len(seen) == 1 << k
+
+
+def test_pattern_of_index_validates_bit():
+    with pytest.raises(ValueError):
+        pattern_of_index(0, 64, 3)
+
+
+def test_first_set_bit():
+    words = np.zeros(4, dtype=np.uint64)
+    words[2] = np.uint64(1) << np.uint64(37)
+    assert first_set_bit(words) == (2, 37)
+    words[1] = np.uint64(0b1000)
+    assert first_set_bit(words) == (1, 3)
+    with pytest.raises(ValueError):
+        first_set_bit(np.zeros(3, dtype=np.uint64))
+
+
+def test_popcount_words():
+    words = np.array([0b1011, FULL_WORD], dtype=np.uint64)
+    assert popcount_words(words) == 3 + 64
+
+
+def test_random_words_shape_and_determinism():
+    rng1 = np.random.default_rng(5)
+    rng2 = np.random.default_rng(5)
+    a = random_words(3, 4, rng1)
+    b = random_words(3, 4, rng2)
+    assert a.shape == (3, 4)
+    assert a.dtype == np.uint64
+    assert np.array_equal(a, b)
+
+
+@given(
+    st.integers(min_value=0, max_value=12),
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=63),
+)
+def test_pattern_projection_duality(position, word, bit):
+    """pattern_of_index inverts projection_segment at any offset."""
+    num_inputs = 13
+    segment = projection_segment(position, word, 1)
+    pattern = pattern_of_index(word, bit, num_inputs)
+    assert ((int(segment[0]) >> bit) & 1) == pattern[position]

@@ -1,0 +1,133 @@
+"""Tests for the structurally hashed AIG builder."""
+
+import itertools
+
+import pytest
+
+from repro.aig.builder import AigBuilder
+from repro.aig.literals import CONST0, CONST1
+
+
+def test_pi_literals_are_sequential():
+    b = AigBuilder()
+    assert b.add_pi() == 2
+    assert b.add_pi() == 4
+    assert b.num_pis == 2
+
+
+def test_pis_must_precede_ands():
+    b = AigBuilder(2)
+    b.add_and(2, 4)
+    with pytest.raises(RuntimeError):
+        b.add_pi()
+
+
+def test_and_simplifications():
+    b = AigBuilder(2)
+    x, y = 2, 4
+    assert b.add_and(x, CONST0) == CONST0
+    assert b.add_and(x, CONST1) == x
+    assert b.add_and(x, x) == x
+    assert b.add_and(x, x ^ 1) == CONST0
+    assert b.num_ands == 0
+
+
+def test_structural_hashing_dedupes():
+    b = AigBuilder(2)
+    f1 = b.add_and(2, 4)
+    f2 = b.add_and(4, 2)  # commuted
+    assert f1 == f2
+    assert b.num_ands == 1
+
+
+def test_find_and_matches_add_and():
+    b = AigBuilder(2)
+    assert b.find_and(2, 4) is None
+    f = b.add_and(2, 4)
+    assert b.find_and(2, 4) == f
+    assert b.find_and(4, 2) == f
+    assert b.find_and(2, CONST1) == 2
+    assert b.find_and(2, 3) == CONST0
+
+
+@pytest.mark.parametrize(
+    "gate,table",
+    [
+        ("add_and", [0, 0, 0, 1]),
+        ("add_or", [0, 1, 1, 1]),
+        ("add_xor", [0, 1, 1, 0]),
+        ("add_xnor", [1, 0, 0, 1]),
+    ],
+)
+def test_two_input_gates_truth_tables(gate, table):
+    b = AigBuilder(2)
+    literal = getattr(b, gate)(2, 4)
+    b.add_po(literal)
+    aig = b.build()
+    for i, (x, y) in enumerate(itertools.product([0, 1], repeat=2)):
+        # x is PI 1 (low bit of the enumeration is the second product term)
+        assert aig.evaluate([x, y]) == [table[(x << 1) | y]]
+
+
+def test_mux_semantics():
+    b = AigBuilder(3)
+    sel, t, e = 2, 4, 6
+    b.add_po(b.add_mux(sel, t, e))
+    aig = b.build()
+    for s, tv, ev in itertools.product([0, 1], repeat=3):
+        assert aig.evaluate([s, tv, ev]) == [tv if s else ev]
+
+
+def test_maj3_semantics():
+    b = AigBuilder(3)
+    b.add_po(b.add_maj3(2, 4, 6))
+    aig = b.build()
+    for bits in itertools.product([0, 1], repeat=3):
+        assert aig.evaluate(list(bits)) == [1 if sum(bits) >= 2 else 0]
+
+
+def test_full_adder_semantics():
+    b = AigBuilder(3)
+    s, c = b.add_full_adder(2, 4, 6)
+    b.add_po(s)
+    b.add_po(c)
+    aig = b.build()
+    for bits in itertools.product([0, 1], repeat=3):
+        total = sum(bits)
+        assert aig.evaluate(list(bits)) == [total & 1, total >> 1]
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 5, 8])
+def test_multi_input_gates(n):
+    b = AigBuilder(max(n, 1))
+    literals = [2 * (i + 1) for i in range(n)]
+    b.add_po(b.add_and_multi(literals))
+    b.add_po(b.add_or_multi(literals))
+    b.add_po(b.add_xor_multi(literals))
+    aig = b.build()
+    for bits in itertools.product([0, 1], repeat=max(n, 1)):
+        used = bits[:n]
+        want_and = 1 if all(used) or n == 0 else 0
+        want_or = 1 if any(used) else 0
+        want_xor = sum(used) & 1
+        assert aig.evaluate(list(bits)) == [want_and, want_or, want_xor]
+
+
+def test_add_po_validates_range():
+    b = AigBuilder(1)
+    with pytest.raises(ValueError):
+        b.add_po(100)
+
+
+def test_import_cone_copies_logic():
+    b1 = AigBuilder(2)
+    f = b1.add_xor(2, 4)
+    b1.add_po(f)
+    src = b1.build()
+
+    b2 = AigBuilder(3)
+    mapping = b2.import_cone(src, {1: 4, 2: 6})  # src PIs -> PIs 2, 3
+    b2.add_po(mapping[f >> 1] ^ (f & 1))
+    dst = b2.build()
+    for bits in itertools.product([0, 1], repeat=3):
+        assert dst.evaluate(list(bits)) == [bits[1] ^ bits[2]]

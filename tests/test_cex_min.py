@@ -1,0 +1,72 @@
+"""Tests for counter-example minimisation."""
+
+import pytest
+
+from repro.aig.builder import AigBuilder
+from repro.aig.network import negate_outputs
+from repro.analysis.cex_min import (
+    care_count,
+    distinguishes,
+    format_care_pattern,
+    minimize_cex,
+)
+from repro.bench.generators import multiplier
+from repro.sweep.config import EngineConfig
+from repro.sweep.engine import SimSweepEngine
+from repro.synth.resyn import compress2
+
+from conftest import random_aig
+
+
+def single_bit_bug_pair():
+    """Two circuits differing only in output 0's dependence on PI 1."""
+    b1 = AigBuilder(6)
+    b1.add_po(b1.add_and(2, 4))
+    b1.add_po(b1.add_xor_multi([2 * i for i in range(1, 7)]))
+    a1 = b1.build()
+    b2 = AigBuilder(6)
+    b2.add_po(b2.add_and(2, 4 ^ 1))  # y inverted: differs only via x,y
+    b2.add_po(b2.add_xor_multi([2 * i for i in range(1, 7)]))
+    a2 = b2.build()
+    return a1, a2
+
+
+def test_minimize_drops_irrelevant_inputs():
+    a1, a2 = single_bit_bug_pair()
+    # The two differ iff x=1 (output0: x&y vs x&!y): only PI 1 matters.
+    pattern = [1, 0, 1, 1, 0, 1]
+    assert distinguishes(a1, a2, pattern)
+    care = minimize_cex(a1, a2, pattern)
+    assert care[0] == 1             # x must stay 1
+    assert care[2:] == [None] * 4   # z.. are don't-cares
+    assert care_count(care) <= 2
+
+
+def test_minimized_pattern_still_distinguishes():
+    original = multiplier(4)
+    buggy = negate_outputs(compress2(original), [3])
+    result = SimSweepEngine(EngineConfig.fast()).check(original, buggy)
+    care = minimize_cex(original, buggy, result.cex)
+    # Completing don't-cares with the reference values must still fail.
+    completed = [
+        v if v is not None else result.cex[i] for i, v in enumerate(care)
+    ]
+    assert distinguishes(original, buggy, completed)
+    assert care_count(care) <= len(care)
+
+
+def test_rejects_non_cex():
+    aig = random_aig(num_pis=4, seed=171)
+    with pytest.raises(ValueError, match="not a counter-example"):
+        minimize_cex(aig, aig.copy(), [0, 0, 0, 0])
+
+
+def test_rejects_wrong_arity():
+    a1, a2 = single_bit_bug_pair()
+    with pytest.raises(ValueError, match="values"):
+        minimize_cex(a1, a2, [1, 0])
+
+
+def test_format_care_pattern():
+    assert format_care_pattern([1, None, 0, None]) == "1-0-"
+    assert care_count([1, None, 0, None]) == 2

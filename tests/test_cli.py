@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.aig.aiger import read_aiger, write_aiger
+from repro.aig.network import negate_outputs
+from repro.bench import generators as gen
+from repro.cli import main
+from repro.synth.resyn import compress2
+
+
+@pytest.fixture
+def circuit_files(tmp_path):
+    original = gen.multiplier(4)
+    optimized = compress2(original)
+    a = tmp_path / "a.aig"
+    b = tmp_path / "b.aig"
+    write_aiger(original, a)
+    write_aiger(optimized, b)
+    return a, b, tmp_path
+
+
+def test_cec_equivalent(circuit_files, capsys):
+    a, b, _ = circuit_files
+    assert main(["cec", str(a), str(b)]) == 0
+    assert "equivalent" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("engine", ["sim", "sat", "bdd", "portfolio"])
+def test_cec_engines(circuit_files, engine):
+    a, b, _ = circuit_files
+    code = main(["cec", str(a), str(b), "--engine", engine])
+    assert code in (0, 2)  # equivalent, or undecided for budgeted engines
+
+
+def test_cec_nonequivalent(circuit_files, capsys, tmp_path):
+    a, b, _ = circuit_files
+    buggy = negate_outputs(read_aiger(b), [1])
+    c = tmp_path / "c.aig"
+    write_aiger(buggy, c)
+    assert main(["cec", str(a), str(c)]) == 1
+    out = capsys.readouterr().out
+    assert "nonequivalent" in out
+    assert "cex:" in out
+
+
+def test_stats(circuit_files, capsys):
+    a, _, _ = circuit_files
+    assert main(["stats", str(a)]) == 0
+    out = capsys.readouterr().out
+    assert "pis:    8" in out
+    assert "ands:" in out
+
+
+def test_opt_round_trip(circuit_files, capsys):
+    a, _, tmp = circuit_files
+    out_path = tmp / "opt.aig"
+    assert main(["opt", str(a), str(out_path), "--script", "balance"]) == 0
+    optimized = read_aiger(out_path)
+    original = read_aiger(a)
+    assert optimized.num_pis == original.num_pis
+    pattern = [1, 0, 1, 1, 0, 0, 1, 0]
+    assert optimized.evaluate(pattern) == original.evaluate(pattern)
+
+
+def test_gen_and_miter(tmp_path, capsys):
+    out = tmp_path / "v.aig"
+    assert main(["gen", "voter", "7", str(out)]) == 0
+    voter = read_aiger(out)
+    assert voter.num_pis == 7
+    miter_path = tmp_path / "m.aig"
+    assert main(["miter", str(out), str(out), str(miter_path)]) == 0
+    miter = read_aiger(miter_path)
+    assert miter.num_pos == 1
+    # Self-miter strashes to constant zero.
+    assert miter.pos == [0]
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_cec_verbose_prints_phases(circuit_files, capsys):
+    a, b, _ = circuit_files
+    assert main(["cec", str(a), str(b), "--engine", "sim", "--verbose"]) in (
+        0,
+        2,
+    )
+    out = capsys.readouterr().out
+    assert "phase P" in out
+
+
+def test_module_entry_point():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0
+    assert "cec" in proc.stdout

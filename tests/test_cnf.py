@@ -1,0 +1,58 @@
+"""Tests for the lazy Tseitin encoder."""
+
+import itertools
+
+from repro.sat.cnf import CnfBuilder
+from repro.sat.solver import SatSolver, SolveStatus
+
+from conftest import random_aig
+
+
+def test_encoding_matches_evaluator():
+    aig = random_aig(num_pis=4, num_nodes=25, num_pos=2, seed=91)
+    solver = SatSolver()
+    cnf = CnfBuilder(aig, solver)
+    po_lits = [cnf.literal(p) for p in aig.pos]
+    pi_vars = [cnf.var_of(pi) for pi in aig.pis()]
+    for bits in itertools.product([0, 1], repeat=4):
+        assumptions = [
+            (v << 1) | (1 - bit) for v, bit in zip(pi_vars, bits)
+        ]
+        assert solver.solve(assumptions=assumptions) is SolveStatus.SAT
+        got = [
+            solver.model_value(l >> 1) ^ (l & 1) for l in po_lits
+        ]
+        assert got == aig.evaluate(list(bits))
+
+
+def test_lazy_encoding_touches_only_needed_cone():
+    aig = random_aig(num_pis=6, num_nodes=60, num_pos=3, seed=92)
+    solver = SatSolver()
+    cnf = CnfBuilder(aig, solver)
+    cnf.literal(aig.pos[0])
+    vars_after_one = solver.num_vars
+    cnf.literal(aig.pos[1])
+    assert solver.num_vars >= vars_after_one
+    # Encoding the same PO again adds nothing.
+    before = solver.num_vars
+    cnf.literal(aig.pos[1])
+    assert solver.num_vars == before
+
+
+def test_constant_literal_encoding():
+    aig = random_aig(num_pis=3, seed=93)
+    solver = SatSolver()
+    cnf = CnfBuilder(aig, solver)
+    zero = cnf.literal(0)
+    one = cnf.literal(1)
+    assert solver.solve(assumptions=[zero]) is SolveStatus.UNSAT
+    assert solver.solve(assumptions=[one]) is SolveStatus.SAT
+
+
+def test_pi_pattern_defaults_to_zero():
+    aig = random_aig(num_pis=5, num_nodes=10, num_pos=1, seed=94)
+    solver = SatSolver()
+    cnf = CnfBuilder(aig, solver)
+    assert solver.solve() is SolveStatus.SAT
+    pattern = cnf.pi_pattern_from_model()
+    assert pattern == [0, 0, 0, 0, 0]  # nothing encoded yet

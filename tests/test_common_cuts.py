@@ -1,0 +1,78 @@
+"""Tests for common-cut generation and the bounded buffer."""
+
+import pytest
+
+from repro.cuts.common import CommonCutBuffer, common_cuts
+from repro.simulation.window import Window
+
+import numpy as np
+
+
+def _window(tag):
+    return Window(inputs=(1, 2), nodes=np.array([], dtype=np.int64), pairs=[])
+
+
+def test_common_cuts_unions():
+    result = common_cuts([(1, 2)], [(2, 3)], k_l=4)
+    assert (1, 2, 3) in result
+    result = common_cuts([(1, 2)], [(3, 4)], k_l=3)
+    assert result == []  # union has size 4 > 3
+
+
+def test_common_cuts_dedupe_and_order():
+    result = common_cuts([(1, 2), (1, 3)], [(1, 2), (2, 3)], k_l=4)
+    assert len(result) == len(set(result))
+    sizes = [len(c) for c in result]
+    assert sizes == sorted(sizes)  # smallest-first
+
+
+def test_common_cuts_constant_representative():
+    """Empty priority set (constant node) passes the member's cuts through."""
+    member_cuts = [(1, 2), (3, 4, 5)]
+    assert common_cuts([], member_cuts, k_l=8) == sorted(
+        member_cuts, key=lambda c: (len(c), c)
+    )
+    assert common_cuts(member_cuts, [], k_l=2) == [(1, 2)]
+
+
+def test_common_cuts_truncation():
+    cuts_a = [(i,) for i in range(1, 6)]
+    cuts_b = [(i,) for i in range(6, 11)]
+    all_cuts = common_cuts(cuts_a, cuts_b, k_l=2)
+    limited = common_cuts(cuts_a, cuts_b, k_l=2, max_cuts=3)
+    assert len(all_cuts) == 25
+    assert limited == all_cuts[:3]
+
+
+def test_buffer_flushes_when_full():
+    flushed = []
+    buffer = CommonCutBuffer(4, flushed.append)
+    buffer.insert([_window(i) for i in range(3)])
+    assert len(flushed) == 0
+    buffer.insert([_window(i) for i in range(3)])
+    # First batch flushed to make room, then the new batch may also fill it.
+    assert len(flushed) >= 1
+    buffer.drain()
+    total = sum(len(batch) for batch in flushed)
+    assert total == 6
+
+
+def test_buffer_oversized_batch_goes_through():
+    flushed = []
+    buffer = CommonCutBuffer(2, flushed.append)
+    buffer.insert([_window(i) for i in range(5)])
+    buffer.drain()
+    assert sum(len(batch) for batch in flushed) == 5
+
+
+def test_buffer_drain_empty_is_noop():
+    flushed = []
+    buffer = CommonCutBuffer(2, flushed.append)
+    buffer.drain()
+    assert flushed == []
+    assert buffer.flushes == 0
+
+
+def test_buffer_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        CommonCutBuffer(0, lambda batch: None)

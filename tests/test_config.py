@@ -1,0 +1,45 @@
+"""Tests for the engine configuration."""
+
+import pytest
+
+from repro.sweep.config import EngineConfig
+
+
+def test_defaults_validate():
+    EngineConfig().validate()
+    EngineConfig.fast().validate()
+    EngineConfig.paper().validate()
+
+
+def test_k_s_follows_phase_threshold():
+    config = EngineConfig(k_P=20, k_p=14, k_g=12)
+    assert config.k_s_for(config.k_P) == 20
+    assert config.k_s_for(config.k_p) == 14
+    assert config.k_s_for(config.k_g) == 12
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"k_P": 4, "k_p": 8},
+        {"k_l": 1},
+        {"C": 0},
+        {"passes": ()},
+        {"passes": (1, 9)},
+        {"num_random_words": 0},
+        {"memory_budget_words": 0},
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        EngineConfig(**kwargs).validate()
+
+
+def test_paper_values_match_section_iv():
+    config = EngineConfig.paper()
+    assert config.k_P == 32
+    assert config.k_p == 16
+    assert config.k_g == 16
+    assert config.k_l == 8
+    assert config.C == 8
+    assert config.passes == (1, 2, 3)

@@ -1,0 +1,87 @@
+"""Tests for DIMACS import/export."""
+
+import pytest
+
+from repro.aig.miter import build_miter
+from repro.aig.network import negate_outputs
+from repro.sat.dimacs import (
+    from_dimacs_literal,
+    miter_to_dimacs,
+    read_dimacs,
+    to_dimacs_literal,
+    write_dimacs,
+)
+from repro.sat.solver import SatSolver, SolveStatus
+from repro.synth.resyn import compress2
+
+from conftest import random_aig
+
+
+def test_literal_conversion_round_trip():
+    for literal in range(20):
+        assert from_dimacs_literal(to_dimacs_literal(literal)) == literal
+    assert to_dimacs_literal(0) == 1    # var 0 positive
+    assert to_dimacs_literal(1) == -1   # var 0 negative
+    assert to_dimacs_literal(4) == 3
+    with pytest.raises(ValueError):
+        from_dimacs_literal(0)
+
+
+def test_write_read_round_trip(tmp_path):
+    clauses = [[0, 3], [1, 2, 5], [4]]
+    path = tmp_path / "f.cnf"
+    write_dimacs(3, clauses, path, comments=["hello"])
+    num_vars, loaded = read_dimacs(path)
+    assert num_vars == 3
+    assert loaded == clauses
+    text = path.read_text()
+    assert text.startswith("c hello\np cnf 3 3\n")
+
+
+def test_read_rejects_missing_header(tmp_path):
+    path = tmp_path / "bad.cnf"
+    path.write_text("1 -2 0\n")
+    with pytest.raises(ValueError, match="problem line"):
+        read_dimacs(path)
+
+
+def _solve_file(path):
+    num_vars, clauses = read_dimacs(path)
+    solver = SatSolver()
+    for _ in range(num_vars):
+        solver.new_var()
+    ok = all(solver.add_clause(c) for c in clauses)
+    if not ok:
+        return SolveStatus.UNSAT, solver
+    return solver.solve(), solver
+
+
+def test_miter_export_equivalent_is_unsat(tmp_path):
+    original = random_aig(num_pis=5, num_nodes=40, seed=121)
+    optimized = compress2(original)
+    miter = build_miter(original, optimized)
+    path = tmp_path / "eq.cnf"
+    miter_to_dimacs(miter, path)
+    status, _ = _solve_file(path)
+    assert status is SolveStatus.UNSAT
+
+
+def test_miter_export_nonequivalent_model_is_cex(tmp_path):
+    original = random_aig(num_pis=5, num_nodes=40, num_pos=3, seed=122)
+    buggy = negate_outputs(original, [1])
+    miter = build_miter(original, buggy)
+    path = tmp_path / "neq.cnf"
+    miter_to_dimacs(miter, path)
+    status, solver = _solve_file(path)
+    assert status is SolveStatus.SAT
+    pattern = [solver.model_value(i) for i in range(miter.num_pis)]
+    assert original.evaluate(pattern) != buggy.evaluate(pattern)
+
+
+def test_miter_export_trivially_equivalent(tmp_path):
+    original = random_aig(num_pis=4, num_nodes=20, seed=123)
+    miter = build_miter(original, original.copy())
+    path = tmp_path / "triv.cnf"
+    miter_to_dimacs(miter, path)
+    status, _ = _solve_file(path)
+    assert status is SolveStatus.UNSAT

@@ -1,0 +1,55 @@
+"""Tests for the shared random-pattern disproof helper."""
+
+import numpy as np
+
+from repro.aig.builder import AigBuilder
+from repro.simulation.partial import pack_patterns, simulate_words
+from repro.sweep.disproof import find_po_disproof
+
+
+def _miter_like(po_literal_builder):
+    b = AigBuilder(3)
+    po_literal_builder(b)
+    return b.build()
+
+
+def test_finds_satisfying_pattern():
+    b = AigBuilder(2)
+    b.add_po(b.add_and(2, 4))  # "miter" satisfied when x=y=1
+    miter = b.build()
+    pi_words = pack_patterns([[0, 0], [1, 1], [1, 0]], 2)
+    tables = simulate_words(miter, pi_words)
+    pattern = find_po_disproof(miter, pi_words, tables)
+    assert pattern == [1, 1]
+    assert miter.evaluate(pattern) == [1]
+
+
+def test_none_when_pool_misses():
+    b = AigBuilder(2)
+    b.add_po(b.add_and(2, 4))
+    miter = b.build()
+    pi_words = pack_patterns([[0, 0], [0, 1], [1, 0]], 2)
+    tables = simulate_words(miter, pi_words)
+    assert find_po_disproof(miter, pi_words, tables) is None
+
+
+def test_constant_pos_skipped():
+    b = AigBuilder(2)
+    b.add_po(0)
+    b.add_po(b.add_and(2, 4) ^ 1)  # satisfied unless x=y=1
+    miter = b.build()
+    pi_words = pack_patterns([[0, 1]], 2)
+    tables = simulate_words(miter, pi_words)
+    pattern = find_po_disproof(miter, pi_words, tables)
+    assert pattern is not None
+    assert miter.evaluate(pattern)[1] == 1
+
+
+def test_inverted_po_handled():
+    b = AigBuilder(1)
+    b.add_po(2 ^ 1)  # !x: satisfied when x=0
+    miter = b.build()
+    pi_words = pack_patterns([[1], [0]], 1)
+    tables = simulate_words(miter, pi_words)
+    pattern = find_po_disproof(miter, pi_words, tables)
+    assert pattern == [0]

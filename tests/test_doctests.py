@@ -1,0 +1,30 @@
+"""Run the docstring examples of the key public classes.
+
+The examples in module/class docstrings are part of the documented API
+contract; this keeps them executable without enabling doctest collection
+globally.
+"""
+
+import doctest
+
+import pytest
+
+import repro.aig.builder
+import repro.aig.literals
+import repro.sat.solver
+import repro.sweep.engine
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        repro.aig.literals,
+        repro.aig.builder,
+        repro.sat.solver,
+        repro.sweep.engine,
+    ],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0

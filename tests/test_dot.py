@@ -1,0 +1,38 @@
+"""Tests for the DOT exporter."""
+
+from repro.aig.builder import AigBuilder
+from repro.aig.dot import to_dot, write_dot
+
+
+def small_net():
+    b = AigBuilder(2)
+    f = b.add_and(2, 4 ^ 1)
+    b.add_po(f ^ 1)
+    return b.build("tiny"), f
+
+
+def test_dot_structure():
+    aig, f = small_net()
+    dot = to_dot(aig)
+    assert dot.startswith("digraph aig {")
+    assert dot.rstrip().endswith("}")
+    assert 'label="tiny"' in dot
+    assert '"x1"' in dot and '"x2"' in dot
+    assert "doublecircle" in dot
+    # One dashed fanin edge (the complemented input) + dashed PO edge.
+    assert dot.count("style=dashed") == 2
+
+
+def test_dot_highlight():
+    aig, f = small_net()
+    dot = to_dot(aig, highlight=[f >> 1, 1])
+    assert dot.count("fillcolor") == 2
+
+
+def test_write_dot(tmp_path):
+    aig, _ = small_net()
+    path = tmp_path / "net.dot"
+    write_dot(aig, path, title="custom")
+    text = path.read_text()
+    assert 'label="custom"' in text
+    assert text.endswith("}\n")

@@ -1,0 +1,127 @@
+"""Edge cases: degenerate networks, constants, tiny budgets."""
+
+import numpy as np
+import pytest
+
+from repro.aig.builder import AigBuilder
+from repro.aig.miter import build_miter
+from repro.aig.network import Aig
+from repro.aig.transform import cleanup, double
+from repro.sat.sweeping import SatSweepChecker
+from repro.simulation.partial import simulate_words
+from repro.sweep.config import EngineConfig
+from repro.sweep.engine import CecStatus, SimSweepEngine
+
+
+def test_constant_only_circuits():
+    b1 = AigBuilder(0)
+    b1.add_po(0)
+    b1.add_po(1)
+    a1 = b1.build()
+    b2 = AigBuilder(0)
+    b2.add_po(0)
+    b2.add_po(1)
+    a2 = b2.build()
+    result = SimSweepEngine(EngineConfig.fast()).check(a1, a2)
+    assert result.status is CecStatus.EQUIVALENT
+
+
+def test_constant_mismatch():
+    b1 = AigBuilder(0)
+    b1.add_po(0)
+    a1 = b1.build()
+    b2 = AigBuilder(0)
+    b2.add_po(1)
+    a2 = b2.build()
+    result = SimSweepEngine(EngineConfig.fast()).check(a1, a2)
+    assert result.status is CecStatus.NONEQUIVALENT
+
+
+def test_single_pi_identity_vs_inverter():
+    b1 = AigBuilder(1)
+    b1.add_po(2)
+    ident = b1.build()
+    b2 = AigBuilder(1)
+    b2.add_po(3)
+    inverter = b2.build()
+    result = SimSweepEngine(EngineConfig.fast()).check(ident, inverter)
+    assert result.status is CecStatus.NONEQUIVALENT
+    assert result.cex in ([0], [1])
+
+
+def test_pi_passthrough_equivalence():
+    b1 = AigBuilder(2)
+    b1.add_po(2)
+    b1.add_po(4)
+    a1 = b1.build()
+    b2 = AigBuilder(2)
+    # x through double inversion (free in an AIG, same literal).
+    b2.add_po(b2.lit_not(b2.lit_not(2)))
+    b2.add_po(4)
+    a2 = b2.build()
+    result = SimSweepEngine(EngineConfig.fast()).check(a1, a2)
+    assert result.status is CecStatus.EQUIVALENT
+
+
+def test_empty_interface_network():
+    aig = Aig(0, [], [], [])
+    assert aig.num_nodes == 1
+    assert aig.depth() == 0
+    assert cleanup(aig).num_nodes == 1
+    doubled = double(aig)
+    assert doubled.num_pis == 0
+
+
+def test_simulate_words_no_pis():
+    b = AigBuilder(0)
+    b.add_po(1)
+    aig = b.build()
+    tables = simulate_words(aig, np.zeros((0, 2), dtype=np.uint64))
+    assert tables.shape == (1, 2)
+    assert np.all(tables[0] == 0)
+
+
+def test_engine_tiny_memory_budget():
+    from repro.bench.generators import multiplier
+    from repro.synth.resyn import compress2
+
+    original = multiplier(4)
+    optimized = compress2(original)
+    config = EngineConfig.fast()
+    config.memory_budget_words = 4  # pathological; must still be sound
+    result = SimSweepEngine(config).check(original, optimized)
+    assert result.status is not CecStatus.NONEQUIVALENT
+
+
+def test_sat_checker_on_empty_miter():
+    b = AigBuilder(3)
+    aig = b.build()  # no POs at all
+    miter = build_miter(aig, aig.copy())
+    assert SatSweepChecker().check_miter(miter).status is CecStatus.EQUIVALENT
+
+
+def test_wide_pi_count_small_logic():
+    """Many PIs, little logic: class machinery must not choke."""
+    b = AigBuilder(200)
+    b.add_po(b.add_and(2, 400))
+    a1 = b.build()
+    b2 = AigBuilder(200)
+    b2.add_po(b2.lit_not(b2.add_or(3, 401)))
+    a2 = b2.build()
+    result = SimSweepEngine(EngineConfig.fast()).check(a1, a2)
+    assert result.status is CecStatus.EQUIVALENT
+
+
+def test_duplicate_po_literals():
+    b1 = AigBuilder(2)
+    f = b1.add_and(2, 4)
+    b1.add_po(f)
+    b1.add_po(f)  # same literal twice
+    a1 = b1.build()
+    b2 = AigBuilder(2)
+    g = b2.lit_not(b2.add_or(3, 5))
+    b2.add_po(g)
+    b2.add_po(g)
+    a2 = b2.build()
+    result = SimSweepEngine(EngineConfig.fast()).check(a1, a2)
+    assert result.status is CecStatus.EQUIVALENT

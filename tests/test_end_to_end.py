@@ -1,0 +1,143 @@
+"""Cross-engine agreement and mutation-detection fuzzing.
+
+Every checker in the package must agree on every instance: the
+simulation engine, the SAT sweeper, the BDD engine and the combined /
+portfolio flows.  Disagreement on any instance is a soundness bug in at
+least one engine, so this file is the package's strongest safety net.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    CecStatus,
+    CombinedChecker,
+    PortfolioChecker,
+    SatSweepChecker,
+    SimSweepEngine,
+    check_equivalence,
+)
+from repro.aig.builder import AigBuilder
+from repro.bdd.cec import BddChecker
+from repro.bench import generators as gen
+from repro.sweep.config import EngineConfig
+from repro.synth.balance import balance
+from repro.synth.resyn import compress2
+from repro.synth.rewrite import cut_rewrite
+
+from conftest import brute_force_equivalent, random_aig
+
+
+def _mutate(aig, seed):
+    """Flip one AND gate's fanin phase — a classic synthesis bug model."""
+    rnd = random.Random(seed)
+    f0, f1 = aig.fanin_literals()
+    f0 = list(int(x) for x in f0)
+    f1 = list(int(x) for x in f1)
+    idx = rnd.randrange(len(f0))
+    if rnd.random() < 0.5:
+        f0[idx] ^= 1
+    else:
+        f1[idx] ^= 1
+    from repro.aig.network import Aig
+
+    return Aig(aig.num_pis, f0, f1, list(aig.pos), name=aig.name + "_bug")
+
+
+def _checkers():
+    return [
+        ("sim", SimSweepEngine(EngineConfig.fast())),
+        ("sat", SatSweepChecker(num_random_words=4)),
+        ("bdd", BddChecker(node_limit=200_000)),
+        ("combined", CombinedChecker(EngineConfig.fast())),
+        ("portfolio", PortfolioChecker()),
+    ]
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_all_engines_agree_on_equivalent_instances(seed):
+    original = random_aig(num_pis=6, num_nodes=60, num_pos=3, seed=seed)
+    transform = [balance, lambda a: cut_rewrite(a, 4), compress2][seed % 3]
+    optimized = transform(original)
+    assert brute_force_equivalent(original, optimized)[0]
+    for name, checker in _checkers():
+        result = checker.check(original, optimized)
+        assert result.status in (CecStatus.EQUIVALENT, CecStatus.UNDECIDED), (
+            name,
+            seed,
+        )
+        # UNDECIDED is acceptable only for budgeted engines; the claim
+        # they must never make is NONEQUIVALENT.
+        assert result.status is not CecStatus.NONEQUIVALENT
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_all_engines_catch_mutations(seed):
+    original = gen.multiplier(3) if seed % 2 else gen.sqrt(6)
+    buggy = _mutate(original, seed)
+    equal, _ = brute_force_equivalent(original, buggy)
+    for name, checker in _checkers():
+        result = checker.check(original, buggy)
+        if equal:
+            assert result.status is not CecStatus.NONEQUIVALENT, (name, seed)
+        else:
+            assert result.status is CecStatus.NONEQUIVALENT, (name, seed)
+            assert original.evaluate(result.cex) != buggy.evaluate(
+                result.cex
+            ), (name, seed)
+
+
+def test_check_equivalence_top_level():
+    original = gen.log2(6)
+    optimized = compress2(original)
+    result = check_equivalence(original, optimized)
+    assert result.status is CecStatus.EQUIVALENT
+
+
+def test_combined_checker_timings_split():
+    original = gen.voter(15)
+    optimized = compress2(original)
+    checker = CombinedChecker(EngineConfig.fast())
+    result = checker.check(original, optimized)
+    assert result.status is CecStatus.EQUIVALENT
+    timings = checker.timings
+    assert timings.engine_seconds > 0
+    assert timings.total_seconds >= timings.engine_seconds
+    assert timings.engine_status in ("equivalent", "undecided")
+
+
+def test_combined_checker_ec_transfer_path():
+    """Force an engine residue so the SAT back end actually runs."""
+    original = gen.voter(31)
+    optimized = compress2(original)
+    tiny = EngineConfig(
+        k_P=4, k_p=4, k_g=4, k_l=4, C=2,
+        num_random_words=4, max_local_phases=1,
+        memory_budget_words=1 << 14,
+    )
+    checker = CombinedChecker(tiny, transfer_ecs=True)
+    result = checker.check(original, optimized)
+    assert result.status is CecStatus.EQUIVALENT
+    # The report keeps the engine's phase records even after SAT finishes.
+    kinds = {p.kind for p in result.report.phases}
+    assert "P" in kinds or "G" in kinds or "L" in kinds
+
+
+def test_portfolio_early_stop_on_bdd():
+    original = gen.voter(15)
+    optimized = compress2(original)
+    checker = PortfolioChecker()
+    result = checker.check(original, optimized)
+    assert result.status is CecStatus.EQUIVALENT
+    assert "bdd" in checker.engine_seconds
+    assert "sat" not in checker.engine_seconds  # early stop
+
+
+def test_portfolio_falls_through_to_sat():
+    original = gen.multiplier(4)
+    optimized = compress2(original)
+    checker = PortfolioChecker(bdd_node_limit=64)
+    result = checker.check(original, optimized)
+    assert result.status is CecStatus.EQUIVALENT
+    assert "sat" in checker.engine_seconds

@@ -1,0 +1,162 @@
+"""Tests for the Algorithm-1 exhaustive simulator."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.builder import AigBuilder
+from repro.aig.traversal import support
+from repro.simulation.exhaustive import ExhaustiveSimulator, PairStatus
+from repro.simulation.window import Pair, build_window
+
+from conftest import random_aig
+
+
+def _global_window(aig, lit_a, lit_b, tag=-1):
+    supp = sorted(
+        set(support(aig, lit_a >> 1)) | set(support(aig, lit_b >> 1))
+    )
+    roots = [v for v in (lit_a >> 1, lit_b >> 1) if v not in supp and v != 0]
+    return build_window(aig, supp, roots, [Pair(lit_a, lit_b, tag)])
+
+
+def _brute_equal(aig, lit_a, lit_b):
+    for bits in itertools.product([0, 1], repeat=aig.num_pis):
+        values = aig.evaluate_all(list(bits))
+        va = int(values[lit_a >> 1]) ^ (lit_a & 1)
+        vb = int(values[lit_b >> 1]) ^ (lit_b & 1)
+        if va != vb:
+            return False
+    return True
+
+
+def test_paper_example_equivalence():
+    """xy' + xy'z == xy' despite different supports (paper §III-B1)."""
+    b = AigBuilder(3)
+    x, y, z = 2, 4, 6
+    f = b.add_or(b.add_and(x, y ^ 1), b.add_and_multi([x, y ^ 1, z]))
+    g = b.add_and(x, y ^ 1)
+    b.add_po(f)
+    b.add_po(g)
+    aig = b.build()
+    window = _global_window(aig, f, g)
+    out = ExhaustiveSimulator().run(aig, [window])
+    assert out[0].status is PairStatus.EQUAL
+
+
+def test_mismatch_yields_valid_cex():
+    aig = random_aig(num_pis=5, num_nodes=40, seed=61)
+    lit_a, lit_b = aig.pos[0], aig.pos[1]
+    window = _global_window(aig, lit_a, lit_b)
+    out = ExhaustiveSimulator().run(aig, [window])
+    equal = _brute_equal(aig, lit_a, lit_b)
+    if out[0].status is PairStatus.MISMATCH:
+        assert not equal
+        cex = out[0].cex
+        pattern = cex.to_pi_pattern(aig.num_pis)
+        values = aig.evaluate_all(pattern)
+        va = int(values[lit_a >> 1]) ^ (lit_a & 1)
+        vb = int(values[lit_b >> 1]) ^ (lit_b & 1)
+        assert va != vb
+    else:
+        assert equal
+
+
+@pytest.mark.parametrize("budget", [8, 64, 1 << 20])
+def test_memory_budget_does_not_change_verdicts(budget):
+    """Multi-round (small E) and single-round runs must agree."""
+    aig = random_aig(num_pis=8, num_nodes=80, num_pos=6, seed=62)
+    windows = []
+    for i in range(0, 6, 2):
+        windows.append(
+            _global_window(aig, aig.pos[i], aig.pos[i + 1], tag=i)
+        )
+    reference = ExhaustiveSimulator(1 << 22).run(aig, windows)
+    limited = ExhaustiveSimulator(budget).run(aig, windows)
+    ref_by_tag = {o.pair.tag: o.status for o in reference}
+    lim_by_tag = {o.pair.tag: o.status for o in limited}
+    assert ref_by_tag == lim_by_tag
+
+
+def test_complemented_pair():
+    b = AigBuilder(2)
+    f = b.add_and(2, 4)
+    g = b.add_or(2 ^ 1, 4 ^ 1)  # g == !f
+    b.add_po(f)
+    b.add_po(g)
+    aig = b.build()
+    window = _global_window(aig, f, g ^ 1)
+    out = ExhaustiveSimulator().run(aig, [window])
+    assert out[0].status is PairStatus.EQUAL
+    window2 = _global_window(aig, f, g)
+    out2 = ExhaustiveSimulator().run(aig, [window2])
+    assert out2[0].status is PairStatus.MISMATCH
+
+
+def test_pair_against_constant():
+    b = AigBuilder(2)
+    f = b.add_and(2, 2 ^ 1)  # simplifies to const 0 via strash
+    g = b.add_and(2, 4)
+    b.add_po(g)
+    aig = b.build()
+    window = _global_window(aig, g, 0)
+    out = ExhaustiveSimulator().run(aig, [window])
+    assert out[0].status is PairStatus.MISMATCH
+    assert f == 0
+
+
+def test_multiple_windows_and_tags():
+    aig = random_aig(num_pis=6, num_nodes=50, num_pos=6, seed=63)
+    windows = [
+        _global_window(aig, aig.pos[i], aig.pos[i], tag=i) for i in range(6)
+    ]
+    out = ExhaustiveSimulator().run(aig, windows)
+    assert sorted(o.pair.tag for o in out) == list(range(6))
+    assert all(o.status is PairStatus.EQUAL for o in out)
+
+
+def test_empty_batch():
+    aig = random_aig(seed=64)
+    assert ExhaustiveSimulator().run(aig, []) == []
+
+
+def test_collect_cex_disabled():
+    aig = random_aig(num_pis=5, num_nodes=30, seed=65)
+    window = _global_window(aig, aig.pos[0], aig.pos[1])
+    out = ExhaustiveSimulator().run(aig, [window], collect_cex=False)
+    if out[0].status is PairStatus.MISMATCH:
+        assert out[0].cex is None
+
+
+def test_stats_accumulate():
+    aig = random_aig(num_pis=5, num_nodes=30, seed=66)
+    sim = ExhaustiveSimulator()
+    window = _global_window(aig, aig.pos[0], aig.pos[1])
+    sim.run(aig, [window])
+    sim.run(aig, [window])
+    assert sim.stats.batches == 2
+    assert sim.stats.pairs == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_exhaustive_agrees_with_brute_force(seed):
+    """Property: simulator verdict == brute force on every PO pair."""
+    rnd = random.Random(seed)
+    num_pis = rnd.randint(2, 7)
+    aig = random_aig(
+        num_pis=num_pis, num_nodes=rnd.randint(5, 40), num_pos=2, seed=seed
+    )
+    lit_a, lit_b = aig.pos[0], aig.pos[1]
+    window = _global_window(aig, lit_a, lit_b)
+    out = ExhaustiveSimulator(memory_budget_words=32).run(aig, [window])
+    want = PairStatus.EQUAL if _brute_equal(aig, lit_a, lit_b) else PairStatus.MISMATCH
+    assert out[0].status is want
+
+
+def test_rejects_zero_budget():
+    with pytest.raises(ValueError):
+        ExhaustiveSimulator(0)

@@ -1,0 +1,77 @@
+"""Tests for the §V extensions: distance-1 CEXs, interleaved rewriting,
+adaptive pass disabling."""
+
+import numpy as np
+
+from repro.bench import generators as gen
+from repro.sweep.classes import SimulationState
+from repro.sweep.config import EngineConfig
+from repro.sweep.engine import CecStatus, SimSweepEngine
+from repro.synth.resyn import compress2
+
+
+def test_distance1_expands_pool():
+    state = SimulationState(8, num_random_words=1, seed=1)
+    base_patterns = state.num_patterns
+    state.add_cex_patterns([[1, 0, 1, 0, 1, 0, 1, 0]], distance1=True)
+    # 1 CEX + 8 neighbours = 9 patterns → one extra word.
+    assert state.num_patterns == base_patterns + 64
+    assert state.num_cex == 1  # neighbours are not counted as CEXs
+
+
+def test_distance1_patterns_are_neighbours():
+    state = SimulationState(4, num_random_words=1, seed=1)
+    cex = [1, 1, 0, 0]
+    state.add_cex_patterns([cex], distance1=True)
+    # Decode the appended word back into patterns.
+    word = state.pi_words[:, -1]
+    patterns = set()
+    for bit in range(5):
+        patterns.add(
+            tuple(int((int(word[i]) >> bit) & 1) for i in range(4))
+        )
+    assert tuple(cex) in patterns
+    for i in range(4):
+        neighbour = list(cex)
+        neighbour[i] ^= 1
+        assert tuple(neighbour) in patterns
+
+
+def test_distance1_limit():
+    state = SimulationState(100, num_random_words=1, seed=1)
+    state.add_cex_patterns([[0] * 100], distance1=True, distance1_limit=10)
+    # 1 CEX + 10 neighbours = 11 patterns → one 64-pattern word.
+    assert state.pi_words.shape[1] == 2
+
+
+def test_engine_with_distance1_cex():
+    original = gen.multiplier(4)
+    optimized = compress2(original)
+    config = EngineConfig.fast()
+    config.distance1_cex = True
+    result = SimSweepEngine(config).check(original, optimized)
+    assert result.status in (CecStatus.EQUIVALENT, CecStatus.UNDECIDED)
+    assert result.status is not CecStatus.NONEQUIVALENT
+
+
+def test_engine_with_interleaved_rewriting():
+    original = gen.voter(15)
+    optimized = compress2(original)
+    config = EngineConfig.fast()
+    config.interleave_rewriting = True
+    result = SimSweepEngine(config).check(original, optimized)
+    assert result.status is not CecStatus.NONEQUIVALENT
+    # Sanity: same verdict as the plain flow.
+    plain = SimSweepEngine(EngineConfig.fast()).check(original, optimized)
+    conclusive = {CecStatus.EQUIVALENT}
+    if result.status in conclusive or plain.status in conclusive:
+        assert CecStatus.NONEQUIVALENT not in (result.status, plain.status)
+
+
+def test_adaptive_passes_disable_unproductive():
+    original = gen.sqrt(8)
+    optimized = compress2(original)
+    config = EngineConfig.fast()
+    config.adaptive_passes = True
+    result = SimSweepEngine(config).check(original, optimized)
+    assert result.status is not CecStatus.NONEQUIVALENT

@@ -1,0 +1,67 @@
+"""Tests for algebraic factoring and expression instantiation."""
+
+import itertools
+import random
+
+from repro.aig.builder import AigBuilder
+from repro.synth.factor import (
+    eval_expr,
+    expr_cost,
+    expr_to_aig,
+    factor_cubes,
+)
+from repro.synth.isop import eval_cubes, isop, tt_mask
+
+
+def test_constants():
+    assert factor_cubes([]) == ("const", 0)
+    assert factor_cubes([()]) == ("const", 1)
+
+
+def test_single_cube_is_and_tree():
+    expr = factor_cubes([((0, 0), (1, 1), (2, 0))])
+    assert expr_cost(expr) == 2
+    for bits in itertools.product([0, 1], repeat=3):
+        want = bits[0] & (1 - bits[1]) & bits[2]
+        assert eval_expr(expr, bits) == want
+
+
+def test_factoring_preserves_function():
+    rnd = random.Random(23)
+    for _ in range(60):
+        k = rnd.randint(2, 5)
+        table = rnd.getrandbits(1 << k) & tt_mask(k)
+        cubes = isop(table, k)
+        expr = factor_cubes(cubes)
+        for i, bits in enumerate(itertools.product([0, 1], repeat=k)):
+            # Variable 0 is the least significant selector.
+            idx = sum(b << j for j, b in enumerate(bits))
+            assert eval_expr(expr, list(bits)) == ((table >> idx) & 1)
+
+
+def test_factoring_shares_common_literal():
+    # a·b + a·c factors as a·(b + c): 2 ANDs instead of 3.
+    cubes = [((0, 0), (1, 0)), ((0, 0), (2, 0))]
+    expr = factor_cubes(cubes)
+    assert expr_cost(expr) == 2
+
+
+def test_expr_to_aig_matches_eval():
+    rnd = random.Random(29)
+    for _ in range(30):
+        k = rnd.randint(2, 4)
+        table = rnd.getrandbits(1 << k) & tt_mask(k)
+        expr = factor_cubes(isop(table, k))
+        builder = AigBuilder(k)
+        leaves = [2 * (i + 1) for i in range(k)]
+        builder.add_po(expr_to_aig(expr, builder, leaves))
+        aig = builder.build()
+        for bits in itertools.product([0, 1], repeat=k):
+            assert aig.evaluate(list(bits)) == [eval_expr(expr, list(bits))]
+
+
+def test_expr_cost_counts_ands():
+    assert expr_cost(("const", 1)) == 0
+    assert expr_cost(("lit", 0, 0)) == 0
+    expr = ("or", ("and", ("lit", 0, 0), ("lit", 1, 0)), ("lit", 2, 1))
+    assert expr_cost(expr) == 2

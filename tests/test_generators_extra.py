@@ -1,0 +1,132 @@
+"""Tests for the extended EPFL-family generators."""
+
+import random
+
+import pytest
+
+from repro.bench.generators import (
+    barrel_shifter,
+    decoder,
+    divider,
+    int2float,
+    max_circuit,
+    priority_encoder,
+)
+from repro.sweep.config import EngineConfig
+from repro.sweep.engine import CecStatus, SimSweepEngine
+from repro.synth.resyn import compress2
+
+from conftest import to_word, word_val
+
+RND = random.Random(31)
+
+
+def test_barrel_shifter_semantics():
+    width = 8
+    aig = barrel_shifter(width)
+    assert aig.num_pis == width + 3
+    for _ in range(80):
+        value = RND.randrange(1 << width)
+        shift = RND.randrange(width)
+        pattern = to_word(value, width) + to_word(shift, 3)
+        got = word_val(aig.evaluate(pattern))
+        assert got == (value << shift) & ((1 << width) - 1)
+
+
+def test_max_semantics():
+    width = 6
+    aig = max_circuit(width)
+    for _ in range(80):
+        x, y = RND.randrange(1 << width), RND.randrange(1 << width)
+        out = aig.evaluate(to_word(x, width) + to_word(y, width))
+        assert word_val(out[:width]) == max(x, y)
+        assert out[width] == (1 if x >= y else 0)
+
+
+@pytest.mark.parametrize("bits", [1, 2, 4])
+def test_decoder_one_hot(bits):
+    aig = decoder(bits)
+    assert aig.num_pos == 1 << bits
+    for value in range(1 << bits):
+        out = aig.evaluate(to_word(value, bits))
+        assert sum(out) == 1
+        assert out[value] == 1
+
+
+def test_priority_encoder_semantics():
+    width = 10
+    aig = priority_encoder(width)
+    index_bits = 4
+    for _ in range(80):
+        requests = [RND.randint(0, 1) for _ in range(width)]
+        out = aig.evaluate(requests)
+        index = word_val(out[:index_bits])
+        valid = out[index_bits]
+        if any(requests):
+            assert valid == 1
+            assert index == requests.index(1)
+        else:
+            assert valid == 0
+            assert index == 0
+
+
+def test_divider_semantics():
+    width = 6
+    aig = divider(width)
+    for _ in range(100):
+        x = RND.randrange(1 << width)
+        y = RND.randrange(1, 1 << width)
+        out = aig.evaluate(to_word(x, width) + to_word(y, width))
+        assert word_val(out[:width]) == x // y, (x, y)
+        assert word_val(out[width:]) == x % y, (x, y)
+
+
+def test_divider_by_zero_convention():
+    width = 4
+    aig = divider(width)
+    out = aig.evaluate(to_word(9, width) + to_word(0, width))
+    assert word_val(out[:width]) == (1 << width) - 1  # all-ones quotient
+    assert word_val(out[width:]) == 9
+
+
+def test_int2float_semantics():
+    width, mant = 12, 5
+    aig = int2float(width, mant)
+    exp_bits = 4
+    for _ in range(80):
+        x = RND.randrange(1, 1 << width)
+        out = aig.evaluate(to_word(x, width))
+        exponent = word_val(out[:exp_bits])
+        mantissa = word_val(out[exp_bits : exp_bits + mant])
+        valid = out[-1]
+        assert valid == 1
+        top = x.bit_length() - 1
+        assert exponent == top
+        shifted = (x << (width - 1 - top)) & ((1 << width) - 1)
+        want_mantissa = (shifted >> (width - 1 - mant)) & ((1 << mant) - 1)
+        assert mantissa == want_mantissa, (x,)
+
+
+def test_int2float_zero():
+    aig = int2float(8, 4)
+    out = aig.evaluate([0] * 8)
+    assert out[-1] == 0  # invalid flag
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: barrel_shifter(6),
+        lambda: max_circuit(5),
+        lambda: decoder(3),
+        lambda: priority_encoder(8),
+        lambda: divider(5),
+        lambda: int2float(8, 4),
+    ],
+    ids=["bar", "max", "dec", "priority", "div", "int2float"],
+)
+def test_engine_proves_optimised_variants(factory):
+    original = factory()
+    optimized = compress2(original)
+    result = SimSweepEngine(EngineConfig()).check(original, optimized)
+    assert result.status is CecStatus.EQUIVALENT

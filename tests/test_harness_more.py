@@ -1,0 +1,73 @@
+"""Additional harness and callback coverage."""
+
+import pytest
+
+from repro.bench import generators as gen
+from repro.bench.harness import (
+    format_fig6,
+    format_fig7,
+    format_table2,
+    run_table2,
+)
+from repro.bench.suite import build_case
+from repro.sweep.config import EngineConfig
+from repro.sweep.engine import SimSweepEngine
+from repro.synth.isop import isop, sop_to_expr, tt_var
+from repro.synth.factor import eval_expr
+from repro.synth.resyn import compress2
+
+
+@pytest.fixture(scope="module")
+def two_cases():
+    return [
+        build_case("log2", lambda: gen.log2(6), 0, compress2),
+        build_case("voter", lambda: gen.voter(15), 0, compress2),
+    ]
+
+
+def test_run_table2_multiple_cases(two_cases):
+    rows = run_table2(
+        two_cases,
+        config=EngineConfig.fast(),
+        sat_conflict_limit=5_000,
+        run_portfolio=False,
+    )
+    assert [r.name for r in rows] == ["log2", "voter"]
+    table = format_table2(rows)
+    assert "log2" in table and "voter" in table
+    # Every numeric column renders without raising.
+    assert table.count("\n") >= 3
+
+
+def test_format_fig_tables_render(two_cases):
+    from repro.bench.harness import Fig6Row, Fig7Row
+
+    fig6 = format_fig6(
+        [Fig6Row("x", {"P": 0.5, "L": 0.5}, {"P": 1.0, "L": 1.0})]
+    )
+    assert "50.0" in fig6
+    fig7 = format_fig7(
+        [Fig7Row("y", 2.0, {"P": 1.0, "PG": 0.5, "PGL": 0.0}, {})]
+    )
+    assert "0.50" in fig7
+
+
+def test_engine_on_phase_callback():
+    original = gen.voter(15)
+    optimized = compress2(original)
+    seen = []
+    engine = SimSweepEngine(
+        EngineConfig.fast(), on_phase=lambda rec: seen.append(rec.kind)
+    )
+    result = engine.check(original, optimized)
+    assert seen  # at least the P phase reported
+    assert seen == [p.kind for p in result.report.phases]
+
+
+def test_sop_to_expr_round_trip():
+    table = tt_var(0, 3) ^ tt_var(2, 3)
+    cubes = isop(table, 3)
+    expr = sop_to_expr(cubes)
+    for index in range(8):
+        bits = [(index >> i) & 1 for i in range(3)]
+        assert eval_expr(expr, bits) == (table >> index) & 1

@@ -1,0 +1,86 @@
+"""Tests for the Minato–Morreale ISOP extraction."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth.isop import (
+    cofactors,
+    eval_cubes,
+    isop,
+    tt_mask,
+    tt_var,
+)
+
+
+def test_tt_var_patterns():
+    # 3-variable projections from §II-A of the paper:
+    # f0 = 10101010, f1 = 11001100, f2 = 11110000.
+    assert tt_var(0, 3) == 0b10101010
+    assert tt_var(1, 3) == 0b11001100
+    assert tt_var(2, 3) == 0b11110000
+
+
+def test_tt_var_validates():
+    with pytest.raises(ValueError):
+        tt_var(3, 3)
+
+
+def test_cofactors():
+    num_vars = 3
+    f = tt_var(0, num_vars) & tt_var(2, num_vars)  # x0 & x2
+    neg, pos = cofactors(f, 0, num_vars)
+    assert neg == 0
+    assert pos == tt_var(2, num_vars)
+    neg2, pos2 = cofactors(f, 2, num_vars)
+    assert neg2 == 0
+    assert pos2 == tt_var(0, num_vars)
+
+
+def test_constants():
+    assert isop(0, 3) == []
+    assert isop(tt_mask(3), 3) == [()]
+
+
+def test_single_literal():
+    cubes = isop(tt_var(1, 3), 3)
+    assert cubes == [((1, 0),)]
+
+
+def test_known_function():
+    # f = x0·x1' (truth table 0010 repeated over x2) — one cube.
+    f = tt_var(0, 3) & (tt_var(1, 3) ^ tt_mask(3))
+    cubes = isop(f, 3)
+    assert eval_cubes(cubes, 3) == f
+    assert len(cubes) == 1
+    assert set(cubes[0]) == {(0, 0), (1, 1)}
+
+
+def test_xor_needs_two_cubes():
+    f = tt_var(0, 2) ^ tt_var(1, 2)
+    cubes = isop(f, 2)
+    assert eval_cubes(cubes, 2) == f
+    assert len(cubes) == 2
+
+
+def test_cover_is_irredundant():
+    """Removing any cube must change the function."""
+    rnd = random.Random(17)
+    for _ in range(40):
+        k = rnd.randint(2, 5)
+        table = rnd.getrandbits(1 << k)
+        cubes = isop(table, k)
+        assert eval_cubes(cubes, k) == (table & tt_mask(k))
+        for i in range(len(cubes)):
+            reduced = cubes[:i] + cubes[i + 1 :]
+            assert eval_cubes(reduced, k) != eval_cubes(cubes, k)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.randoms())
+def test_isop_exactness_property(k, rnd):
+    table = rnd.getrandbits(1 << k)
+    cubes = isop(table, k)
+    assert eval_cubes(cubes, k) == (table & tt_mask(k))

@@ -1,0 +1,47 @@
+"""Tests for the literal encoding helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aig.literals import (
+    CONST0,
+    CONST1,
+    lit,
+    lit_cpl,
+    lit_is_const,
+    lit_not,
+    lit_regular,
+    lit_var,
+)
+
+
+def test_constants():
+    assert CONST0 == 0
+    assert CONST1 == 1
+    assert lit_is_const(CONST0)
+    assert lit_is_const(CONST1)
+    assert not lit_is_const(lit(1))
+
+
+def test_lit_round_trip():
+    assert lit(5) == 10
+    assert lit(5, 1) == 11
+    assert lit_var(11) == 5
+    assert lit_cpl(11) == 1
+    assert lit_cpl(10) == 0
+
+
+def test_lit_not_and_regular():
+    assert lit_not(10) == 11
+    assert lit_not(11) == 10
+    assert lit_regular(11) == 10
+    assert lit_regular(10) == 10
+
+
+@given(st.integers(min_value=0, max_value=10**6), st.integers(0, 1))
+def test_encoding_bijection(var, phase):
+    literal = lit(var, phase)
+    assert lit_var(literal) == var
+    assert lit_cpl(literal) == phase
+    assert lit_not(lit_not(literal)) == literal
+    assert lit_regular(literal) == lit(var, 0)

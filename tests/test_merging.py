@@ -1,0 +1,69 @@
+"""Tests for window merging (§III-B3)."""
+
+from repro.aig.traversal import support
+from repro.simulation.exhaustive import ExhaustiveSimulator
+from repro.simulation.merging import merge_windows, total_simulation_slots
+from repro.simulation.window import Pair, build_window
+
+from conftest import random_aig
+
+
+def _po_windows(aig):
+    windows = []
+    for i, po in enumerate(aig.pos):
+        supp = support(aig, po >> 1)
+        roots = [po >> 1] if (po >> 1) not in supp else []
+        windows.append(build_window(aig, supp, roots, [Pair(po, 0, tag=i)]))
+    return windows
+
+
+def test_merging_preserves_pairs():
+    aig = random_aig(num_pis=6, num_nodes=60, num_pos=8, seed=71)
+    windows = _po_windows(aig)
+    merged = merge_windows(aig, windows, k_s=6)
+    original_tags = sorted(p.tag for w in windows for p in w.pairs)
+    merged_tags = sorted(p.tag for w in merged for p in w.pairs)
+    assert merged_tags == original_tags
+
+
+def test_merging_respects_threshold():
+    aig = random_aig(num_pis=8, num_nodes=60, num_pos=8, seed=72)
+    windows = _po_windows(aig)
+    merged = merge_windows(aig, windows, k_s=5)
+    for window in merged:
+        # Windows already above the threshold pass through; merged ones
+        # must respect it.
+        if window not in windows:
+            assert window.num_inputs <= 5
+
+
+def test_merging_reduces_total_slots():
+    """Overlapping PO cones share simulation work after merging."""
+    aig = random_aig(num_pis=6, num_nodes=80, num_pos=10, seed=73)
+    windows = _po_windows(aig)
+    merged = merge_windows(aig, windows, k_s=6)
+    assert total_simulation_slots(merged) <= total_simulation_slots(windows)
+    assert len(merged) <= len(windows)
+
+
+def test_merged_windows_give_same_verdicts():
+    aig = random_aig(num_pis=7, num_nodes=70, num_pos=8, seed=74)
+    windows = _po_windows(aig)
+    merged = merge_windows(aig, windows, k_s=7)
+    sim = ExhaustiveSimulator()
+    plain = {o.pair.tag: o.status for o in sim.run(aig, windows)}
+    combined = {o.pair.tag: o.status for o in sim.run(aig, merged)}
+    assert plain == combined
+
+
+def test_merging_empty():
+    aig = random_aig(seed=75)
+    assert merge_windows(aig, [], 8) == []
+
+
+def test_single_window_passthrough():
+    aig = random_aig(num_pis=4, num_nodes=20, num_pos=1, seed=76)
+    windows = _po_windows(aig)
+    merged = merge_windows(aig, windows, k_s=4)
+    assert len(merged) == 1
+    assert merged[0].inputs == windows[0].inputs

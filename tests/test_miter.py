@@ -1,0 +1,67 @@
+"""Tests for miter construction."""
+
+import itertools
+
+import pytest
+
+from repro.aig.builder import AigBuilder
+from repro.aig.miter import (
+    build_miter,
+    miter_is_trivially_unsat,
+    nontrivial_po_indices,
+    split_miter_po_cones,
+)
+from repro.aig.network import negate_outputs
+
+from conftest import random_aig
+
+
+def test_miter_semantics():
+    a = random_aig(num_pis=4, num_nodes=20, num_pos=2, seed=31)
+    b = negate_outputs(a, [1])
+    miter = build_miter(a, b)
+    assert miter.num_pis == 4
+    assert miter.num_pos == 2
+    for bits in itertools.product([0, 1], repeat=4):
+        pattern = list(bits)
+        oa, ob = a.evaluate(pattern), b.evaluate(pattern)
+        mo = miter.evaluate(pattern)
+        assert mo == [x ^ y for x, y in zip(oa, ob)]
+
+
+def test_identical_circuits_strash_to_zero():
+    a = random_aig(num_pis=5, num_nodes=30, seed=32)
+    miter = build_miter(a, a.copy())
+    assert miter_is_trivially_unsat(miter)
+    assert nontrivial_po_indices(miter) == []
+
+
+def test_interface_mismatch_rejected():
+    a = random_aig(num_pis=4, seed=33)
+    b = random_aig(num_pis=5, seed=33)
+    with pytest.raises(ValueError, match="PI count"):
+        build_miter(a, b)
+    c = random_aig(num_pis=4, num_pos=2, seed=34)
+    d = random_aig(num_pis=4, num_pos=3, seed=34)
+    with pytest.raises(ValueError, match="PO count"):
+        build_miter(c, d)
+
+
+def test_split_miter_po_cones():
+    a = random_aig(num_pis=4, num_nodes=30, num_pos=4, seed=35)
+    b = negate_outputs(a, [2])
+    miter = build_miter(a, b)
+    cones = split_miter_po_cones(miter, group_size=2)
+    assert len(cones) == 2
+    assert all(c.num_pis == miter.num_pis for c in cones)
+    for bits in itertools.product([0, 1], repeat=4):
+        pattern = list(bits)
+        combined = [v for cone in cones for v in cone.evaluate(pattern)]
+        assert combined == miter.evaluate(pattern)
+
+
+def test_split_rejects_bad_group_size():
+    a = random_aig(seed=36)
+    miter = build_miter(a, a.copy())
+    with pytest.raises(ValueError):
+        split_miter_po_cones(miter, 0)

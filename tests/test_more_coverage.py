@@ -1,0 +1,180 @@
+"""Additional coverage: harness edges, phase merges, solver budgets,
+fanin lists, AIGER property round-trips, transform pipelines."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.aiger import read_aiger, write_aiger
+from repro.aig.builder import AigBuilder
+from repro.aig.miter import build_miter
+from repro.bench import generators as gen
+from repro.bench.harness import run_table2_case
+from repro.bench.suite import build_case
+from repro.sat.solver import SatSolver, SolveStatus
+from repro.sweep.config import EngineConfig
+from repro.sweep.engine import CecStatus, SimSweepEngine
+from repro.synth.balance import balance
+from repro.synth.resyn import compress2
+from repro.synth.rewrite import cut_rewrite
+
+from conftest import brute_force_equivalent, random_aig
+
+
+def test_fanin_lists_match_arrays():
+    aig = random_aig(num_pis=5, num_nodes=30, seed=131)
+    f0l, f1l = aig.fanin_lists()
+    assert len(f0l) == aig.num_nodes
+    for node in aig.ands():
+        assert (f0l[node], f1l[node]) == aig.fanins(node)
+    for node in range(aig.first_and):
+        assert f0l[node] == 0
+
+
+def test_engine_proves_complemented_equivalences():
+    """A circuit vs its De-Morganised version: merges carry phases."""
+    b1 = AigBuilder(4)
+    f1 = b1.add_or(b1.add_and(2, 4), b1.add_and(6, 8))
+    b1.add_po(f1)
+    a1 = b1.build()
+
+    b2 = AigBuilder(4)
+    # !( !(xy) & !(zw) ) built with explicit inverted structure.
+    left = b2.add_or(3, 5)    # !x | !y == !(xy)
+    right = b2.add_or(7, 9)
+    f2 = b2.lit_not(b2.add_and(left, right))
+    b2.add_po(f2)
+    a2 = b2.build()
+
+    assert brute_force_equivalent(a1, a2)[0]
+    result = SimSweepEngine(EngineConfig.fast()).check(a1, a2)
+    assert result.status is CecStatus.EQUIVALENT
+
+
+def test_solver_propagation_limit():
+    solver = SatSolver()
+    grid = [[solver.new_var() for _ in range(5)] for _ in range(6)]
+    for row in grid:
+        solver.add_clause([2 * v for v in row])
+    for h in range(5):
+        for i in range(6):
+            for j in range(i + 1, 6):
+                solver.add_clause([2 * grid[i][h] + 1, 2 * grid[j][h] + 1])
+    status = solver.solve(propagation_limit=5)
+    assert status is SolveStatus.UNKNOWN
+    assert solver.solve() is SolveStatus.UNSAT
+
+
+def test_run_table2_case_without_portfolio():
+    case = build_case(
+        "log2", lambda: gen.log2(6), doublings=0, optimizer=compress2
+    )
+    row = run_table2_case(
+        case,
+        config=EngineConfig.fast(),
+        sat_conflict_limit=10_000,
+        run_portfolio=False,
+    )
+    assert row.cfm_status == "skipped"
+    assert row.abc_status in ("equivalent", "undecided")
+    import math
+
+    assert math.isnan(row.cfm_seconds)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6), st.integers(0, 1))
+def test_aiger_round_trip_property(seed, binary):
+    """Property: AIGER round-trips preserve structure counts and function."""
+    import tempfile, os
+
+    rnd = random.Random(seed)
+    aig = random_aig(
+        num_pis=rnd.randint(1, 8),
+        num_nodes=rnd.randint(0, 60),
+        num_pos=rnd.randint(1, 5),
+        seed=seed,
+    )
+    fd, path = tempfile.mkstemp(suffix=".aig")
+    os.close(fd)
+    try:
+        write_aiger(aig, path, binary=bool(binary))
+        loaded = read_aiger(path)
+    finally:
+        os.unlink(path)
+    assert loaded.num_ands == aig.num_ands
+    pattern = [rnd.randint(0, 1) for _ in range(aig.num_pis)]
+    assert loaded.evaluate(pattern) == aig.evaluate(pattern)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_transform_pipeline_equivalence_property(seed):
+    """Property: any chain of synthesis transforms stays equivalent,
+    and the engine agrees."""
+    rnd = random.Random(seed)
+    aig = random_aig(
+        num_pis=rnd.randint(3, 7),
+        num_nodes=rnd.randint(10, 60),
+        num_pos=rnd.randint(1, 4),
+        seed=seed,
+    )
+    transforms = [
+        balance,
+        lambda a: cut_rewrite(a, 4),
+        lambda a: cut_rewrite(a, 6, zero_gain=True),
+    ]
+    current = aig
+    for _ in range(rnd.randint(1, 3)):
+        current = rnd.choice(transforms)(current)
+    ok, pattern = brute_force_equivalent(aig, current)
+    assert ok, pattern
+    result = SimSweepEngine(EngineConfig.fast()).check(aig, current)
+    assert result.status is not CecStatus.NONEQUIVALENT
+
+
+def test_engine_on_zero_po_miter():
+    b = AigBuilder(2)
+    b.add_and(2, 4)
+    aig = b.build()
+    miter = build_miter(aig, aig.copy())
+    result = SimSweepEngine(EngineConfig.fast()).check_miter(miter)
+    assert result.status is CecStatus.EQUIVALENT
+
+
+def test_engine_handles_constant_pos():
+    """Miters with a mix of constant and live POs."""
+    b1 = AigBuilder(3)
+    b1.add_po(0)                      # constant false output
+    b1.add_po(b1.add_and(2, 4))
+    a1 = b1.build()
+    b2 = AigBuilder(3)
+    b2.add_po(0)
+    b2.add_po(b2.lit_not(b2.add_or(3, 5)))  # same via De Morgan
+    a2 = b2.build()
+    result = SimSweepEngine(EngineConfig.fast()).check(a1, a2)
+    assert result.status is CecStatus.EQUIVALENT
+
+
+def test_window_merging_with_multi_round():
+    """Merged windows must agree with unmerged under tiny memory."""
+    from repro.aig.traversal import support
+    from repro.simulation.exhaustive import ExhaustiveSimulator
+    from repro.simulation.merging import merge_windows
+    from repro.simulation.window import Pair, build_window
+
+    aig = random_aig(num_pis=9, num_nodes=90, num_pos=8, seed=133)
+    windows = []
+    for i, po in enumerate(aig.pos):
+        supp = support(aig, po >> 1)
+        roots = [po >> 1] if (po >> 1) not in supp else []
+        windows.append(build_window(aig, supp, roots, [Pair(po, 0, tag=i)]))
+    merged = merge_windows(aig, windows, k_s=9)
+    small = ExhaustiveSimulator(memory_budget_words=128)
+    big = ExhaustiveSimulator()
+    verdict_small = {o.pair.tag: o.status for o in small.run(aig, merged)}
+    verdict_big = {o.pair.tag: o.status for o in big.run(aig, windows)}
+    assert verdict_small == verdict_big

@@ -1,0 +1,104 @@
+"""Tests for the Aig container."""
+
+import numpy as np
+import pytest
+
+from repro.aig.builder import AigBuilder
+from repro.aig.network import Aig, negate_outputs
+
+from conftest import random_aig
+
+
+def test_node_partitioning():
+    aig = random_aig(num_pis=4, num_nodes=10, seed=1)
+    assert aig.is_const(0)
+    assert all(aig.is_pi(n) for n in range(1, 5))
+    assert all(aig.is_and(n) for n in aig.ands())
+    assert aig.first_and == 5
+    assert aig.num_nodes == 1 + aig.num_pis + aig.num_ands
+
+
+def test_validation_rejects_forward_references():
+    with pytest.raises(ValueError):
+        Aig(2, fanin0=[8], fanin1=[2], pos=[6])  # fanin 8 -> node 4 > 3
+
+
+def test_validation_rejects_bad_po():
+    with pytest.raises(ValueError):
+        Aig(2, fanin0=[2], fanin1=[4], pos=[100])
+
+
+def test_levels_and_depth():
+    b = AigBuilder(3)
+    n1 = b.add_and(2, 4)
+    n2 = b.add_and(n1, 6)
+    n3 = b.add_and(n2, n1)
+    b.add_po(n3)
+    aig = b.build()
+    levels = aig.levels()
+    assert levels[0] == 0
+    assert all(levels[pi] == 0 for pi in aig.pis())
+    assert levels[n1 >> 1] == 1
+    assert levels[n2 >> 1] == 2
+    assert levels[n3 >> 1] == 3
+    assert aig.depth() == 3
+
+
+def test_depth_empty_pos():
+    b = AigBuilder(2)
+    b.add_and(2, 4)
+    aig = b.build()
+    assert aig.depth() == 0
+
+
+def test_fanout_counts_include_pos():
+    b = AigBuilder(2)
+    f = b.add_and(2, 4)
+    b.add_po(f)
+    b.add_po(f ^ 1)
+    aig = b.build()
+    counts = aig.fanout_counts()
+    assert counts[f >> 1] == 2
+    assert counts[1] == 1 and counts[2] == 1
+
+
+def test_evaluate_all_matches_evaluate():
+    aig = random_aig(num_pis=5, num_nodes=30, seed=3)
+    pattern = [1, 0, 1, 1, 0]
+    values = aig.evaluate_all(pattern)
+    outs = aig.evaluate(pattern)
+    for po, out in zip(aig.pos, outs):
+        assert out == (int(values[po >> 1]) ^ (po & 1))
+
+
+def test_evaluate_checks_arity():
+    aig = random_aig(num_pis=4, seed=0)
+    with pytest.raises(ValueError):
+        aig.evaluate([0, 1])
+
+
+def test_copy_is_independent():
+    aig = random_aig(seed=5)
+    clone = aig.copy()
+    clone.pos[0] ^= 1
+    assert clone.pos[0] != aig.pos[0]
+
+
+def test_negate_outputs():
+    aig = random_aig(seed=6)
+    flipped = negate_outputs(aig, [0])
+    pattern = [0] * aig.num_pis
+    assert flipped.evaluate(pattern)[0] == aig.evaluate(pattern)[0] ^ 1
+    assert flipped.evaluate(pattern)[1:] == aig.evaluate(pattern)[1:]
+    all_flipped = negate_outputs(aig)
+    assert all_flipped.evaluate(pattern) == [
+        v ^ 1 for v in aig.evaluate(pattern)
+    ]
+
+
+def test_ids_are_topological():
+    aig = random_aig(num_pis=6, num_nodes=50, seed=7)
+    f0s, f1s = aig.fanin_literals()
+    ids = np.arange(aig.first_and, aig.num_nodes)
+    assert np.all((f0s >> 1) < ids)
+    assert np.all((f1s >> 1) < ids)

@@ -1,0 +1,83 @@
+"""Tests for NPN canonicalisation."""
+
+import random
+
+import pytest
+
+from repro.synth.isop import tt_mask, tt_var
+from repro.synth.npn import (
+    apply_input_negation,
+    apply_permutation,
+    npn_canon,
+    npn_class_count,
+    npn_equivalent,
+    transform_table,
+)
+
+
+def test_permutation_semantics():
+    # f = x0 (projection); swapping inputs 0 and 1 gives x1.
+    num_vars = 2
+    f = tt_var(0, num_vars)
+    swapped = apply_permutation(f, num_vars, (1, 0))
+    assert swapped == tt_var(1, num_vars)
+
+
+def test_input_negation_semantics():
+    num_vars = 2
+    f = tt_var(0, num_vars)  # x0
+    negated = apply_input_negation(f, num_vars, 0b01)
+    assert negated == (tt_var(0, num_vars) ^ tt_mask(num_vars))  # !x0
+
+
+def test_transform_round_structure():
+    num_vars = 3
+    f = 0b10010110  # 3-input XOR
+    canon, transform = npn_canon(f, num_vars)
+    assert transform_table(f, num_vars, transform) == canon
+
+
+def test_xor_class_closed_under_negation():
+    """XOR is NPN-equivalent to XNOR and to any input-negated variant."""
+    num_vars = 2
+    xor = 0b0110
+    xnor = 0b1001
+    assert npn_equivalent(xor, xnor, num_vars)
+    assert npn_equivalent(xor, apply_input_negation(xor, 2, 0b10), num_vars)
+
+
+def test_and_or_same_class():
+    """AND and OR are NPN-equivalent (De Morgan = negations)."""
+    assert npn_equivalent(0b1000, 0b1110, 2)
+
+
+def test_and_xor_different_class():
+    assert not npn_equivalent(0b1000, 0b0110, 2)
+
+
+@pytest.mark.parametrize("k,count", [(0, 1), (1, 2), (2, 4), (3, 14)])
+def test_classic_npn_class_counts(k, count):
+    assert npn_class_count(k) == count
+
+
+def test_canonical_is_class_invariant():
+    """Random transforms of a function all canonicalise identically."""
+    rnd = random.Random(9)
+    num_vars = 3
+    import itertools
+
+    for _ in range(20):
+        table = rnd.getrandbits(8)
+        canon, _ = npn_canon(table, num_vars)
+        perm = tuple(rnd.sample(range(num_vars), num_vars))
+        mask = rnd.getrandbits(num_vars)
+        out = rnd.getrandbits(1)
+        variant = transform_table(table, num_vars, (perm, mask, out))
+        assert npn_canon(variant, num_vars)[0] == canon
+
+
+def test_rejects_large_k():
+    with pytest.raises(ValueError):
+        npn_canon(0, 6)
+    with pytest.raises(ValueError):
+        npn_class_count(5)

@@ -1,0 +1,61 @@
+"""Packaging-level checks: public API surface, examples, docs presence."""
+
+import ast
+import pathlib
+
+import pytest
+
+import repro
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_public_api_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"__all__ names missing attribute {name}"
+
+
+def test_version():
+    assert repro.__version__
+
+
+@pytest.mark.parametrize(
+    "script",
+    sorted(p.name for p in (REPO / "examples").glob("*.py")),
+)
+def test_examples_compile_and_have_docstrings(script):
+    path = REPO / "examples" / script
+    source = path.read_text()
+    tree = ast.parse(source)  # syntax check
+    assert ast.get_docstring(tree), f"{script} lacks a module docstring"
+    names = {
+        node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in names, f"{script} lacks a main() entry point"
+
+
+def test_documentation_files_exist():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE"):
+        assert (REPO / name).is_file(), name
+    assert (REPO / "docs" / "architecture.md").is_file()
+    assert (REPO / "docs" / "algorithms.md").is_file()
+    assert (REPO / "docs" / "usage.md").is_file()
+
+
+def test_every_module_has_docstring():
+    missing = []
+    for path in (REPO / "src" / "repro").rglob("*.py"):
+        tree = ast.parse(path.read_text())
+        if not ast.get_docstring(tree):
+            missing.append(str(path.relative_to(REPO)))
+    assert not missing, f"modules without docstrings: {missing}"
+
+
+def test_public_functions_documented():
+    """Every public callable exported at top level has a docstring."""
+    undocumented = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if callable(obj) and not getattr(obj, "__doc__", None):
+            undocumented.append(name)
+    assert not undocumented, undocumented

@@ -1,0 +1,60 @@
+"""Tests for the published-data module and shape grading."""
+
+from repro.bench.harness import Table2Row
+from repro.bench.paperdata import (
+    PAPER_GEOMEAN_VS_ABC,
+    PAPER_TABLE2,
+    format_shape_agreement,
+    paper_family,
+    reduction_category,
+    shape_agreement,
+)
+
+
+def _row(name, reduced, abc_sec, total):
+    return Table2Row(
+        name=name, pis=1, pos=1, miter_nodes=1, miter_levels=1,
+        abc_seconds=abc_sec, abc_status="equivalent",
+        cfm_seconds=1.0, cfm_status="equivalent",
+        gpu_seconds=total / 2, reduced_percent=reduced,
+        residue_sat_seconds=total / 2, total_seconds=total,
+        ours_status="equivalent",
+    )
+
+
+def test_paper_table_complete():
+    assert len(PAPER_TABLE2) == 9
+    full = [f for f, r in PAPER_TABLE2.items() if r.reduced_percent >= 99.9]
+    # "capable of independently proving 4 out of the 9 large circuits"
+    assert sorted(full) == ["log2", "multiplier", "sin", "square"]
+    assert PAPER_GEOMEAN_VS_ABC == 4.89
+
+
+def test_reduction_category():
+    assert reduction_category(100.0) == "full"
+    assert reduction_category(99.95) == "full"
+    assert reduction_category(43.5) == "partial"
+    assert reduction_category(0.7) == "minor"
+
+
+def test_paper_family_matching():
+    assert paper_family("multiplier_1xd") == "multiplier"
+    assert paper_family("multiplier") == "multiplier"
+    assert paper_family("ac97_ctrl_2xd") == "ac97_ctrl"
+    assert paper_family("unknown_case") is None
+
+
+def test_shape_agreement_grading():
+    rows = [
+        _row("multiplier_1xd", 100.0, abc_sec=10.0, total=1.0),
+        _row("sqrt_1xd", 5.0, abc_sec=10.0, total=10.5),
+        _row("mystery", 50.0, abc_sec=1.0, total=1.0),
+    ]
+    graded = shape_agreement(rows)
+    assert set(graded) == {"multiplier_1xd", "sqrt_1xd"}
+    assert graded["multiplier_1xd"]["paper_reduction"] == "full"
+    assert graded["multiplier_1xd"]["measured_reduction"] == "full"
+    assert graded["multiplier_1xd"]["measured_beats_sat"] == "yes"
+    assert graded["sqrt_1xd"]["paper_reduction"] == "minor"
+    text = format_shape_agreement(rows)
+    assert "multiplier_1xd" in text

@@ -1,0 +1,87 @@
+"""Tests for the multiprocessing portfolio checker."""
+
+import pickle
+
+import pytest
+
+from repro.aig.network import negate_outputs
+from repro.bench.generators import multiplier, voter
+from repro.portfolio.parallel import (
+    ParallelPortfolioChecker,
+    build_checker,
+)
+from repro.sweep.engine import CecStatus
+from repro.synth.resyn import compress2
+
+from conftest import random_aig
+
+
+def test_aig_pickling_round_trip():
+    aig = random_aig(num_pis=5, num_nodes=40, num_pos=3, seed=151)
+    clone = pickle.loads(pickle.dumps(aig))
+    assert clone.num_ands == aig.num_ands
+    pattern = [1, 0, 1, 0, 1]
+    assert clone.evaluate(pattern) == aig.evaluate(pattern)
+
+
+@pytest.mark.parametrize(
+    "kind", ["sim", "combined", "sat", "bdd", "bddsweep"]
+)
+def test_build_checker_specs(kind):
+    checker = build_checker((kind, {}))
+    assert hasattr(checker, "check_miter")
+
+
+def test_build_checker_rejects_unknown():
+    with pytest.raises(ValueError):
+        build_checker(("quantum", {}))
+
+
+def test_parallel_equivalent():
+    original = voter(15)
+    optimized = compress2(original)
+    checker = ParallelPortfolioChecker(time_limit=120.0)
+    result = checker.check(original, optimized)
+    assert result.status is CecStatus.EQUIVALENT
+    assert checker.winner is not None
+
+
+def test_parallel_nonequivalent_with_cex():
+    original = multiplier(4)
+    buggy = negate_outputs(compress2(original), [2])
+    checker = ParallelPortfolioChecker(time_limit=120.0)
+    result = checker.check(original, buggy)
+    assert result.status is CecStatus.NONEQUIVALENT
+    assert original.evaluate(result.cex) != buggy.evaluate(result.cex)
+
+
+def test_parallel_time_limit_returns_undecided():
+    original = multiplier(5)
+    optimized = compress2(original)
+    # Engines that cannot finish: SAT with a hopeless conflict budget
+    # under a zero overall time limit.
+    checker = ParallelPortfolioChecker(
+        engines=[("sat", {"time_limit": 0.0})], time_limit=0.5
+    )
+    result = checker.check(original, optimized)
+    assert result.status is CecStatus.UNDECIDED
+
+
+def test_parallel_crashing_engine_does_not_poison_run():
+    """A mis-configured engine errors out; the others still answer."""
+    original = voter(15)
+    optimized = compress2(original)
+    checker = ParallelPortfolioChecker(
+        engines=[
+            ("bdd", {"node_limit": -1}),  # invalid: crashes in the child
+            ("combined", {}),
+        ],
+        time_limit=120.0,
+    )
+    result = checker.check(original, optimized)
+    assert result.status is CecStatus.EQUIVALENT
+
+
+def test_requires_engines():
+    with pytest.raises(ValueError):
+        ParallelPortfolioChecker(engines=[])

@@ -1,0 +1,75 @@
+"""Tests for the word-parallel partial simulator."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.partial import pack_patterns, po_words, simulate_words
+
+from conftest import random_aig
+
+
+def test_simulate_words_matches_reference_evaluator():
+    aig = random_aig(num_pis=6, num_nodes=60, num_pos=4, seed=41)
+    rng = np.random.default_rng(1)
+    pi_words = rng.integers(0, 1 << 64, size=(6, 3), dtype=np.uint64)
+    tables = simulate_words(aig, pi_words)
+    for word in range(3):
+        for bit in (0, 17, 63):
+            pattern = [
+                int((int(pi_words[i, word]) >> bit) & 1) for i in range(6)
+            ]
+            values = aig.evaluate_all(pattern)
+            for node in range(aig.num_nodes):
+                got = (int(tables[node, word]) >> bit) & 1
+                assert got == int(values[node]), (node, word, bit)
+
+
+def test_simulate_words_validates_shape():
+    aig = random_aig(num_pis=4, seed=42)
+    with pytest.raises(ValueError):
+        simulate_words(aig, np.zeros((3, 2), dtype=np.uint64))
+
+
+def test_constant_row_is_zero():
+    aig = random_aig(num_pis=4, seed=43)
+    tables = simulate_words(aig, np.ones((4, 2), dtype=np.uint64))
+    assert np.all(tables[0] == 0)
+
+
+def test_pack_patterns_round_trip():
+    patterns = [[1, 0, 1], [0, 0, 1], [1, 1, 1], [0, 1, 0]]
+    words = pack_patterns(patterns, 3)
+    assert words.shape == (3, 1)
+    for p, pattern in enumerate(patterns):
+        for i in range(3):
+            assert ((int(words[i, 0]) >> p) & 1) == pattern[i]
+
+
+def test_pack_patterns_tail_repeats_last():
+    words = pack_patterns([[1, 0]], 2)
+    # Bit 0 holds the pattern; all higher bits must repeat it, so PI 0's
+    # word is all-ones and PI 1's word is all-zeros.
+    assert int(words[0, 0]) == (1 << 64) - 1
+    assert int(words[1, 0]) == 0
+
+
+def test_pack_patterns_validates_width():
+    with pytest.raises(ValueError):
+        pack_patterns([[1, 0, 1]], 2)
+
+
+def test_pack_patterns_empty():
+    assert pack_patterns([], 4).shape == (4, 0)
+
+
+def test_po_words_apply_phases():
+    aig = random_aig(num_pis=5, num_nodes=30, num_pos=3, seed=44)
+    rng = np.random.default_rng(2)
+    pi_words = rng.integers(0, 1 << 64, size=(5, 2), dtype=np.uint64)
+    tables = simulate_words(aig, pi_words)
+    pos = po_words(aig, tables)
+    for i, po in enumerate(aig.pos):
+        expected = tables[po >> 1] ^ (
+            np.uint64(0xFFFFFFFFFFFFFFFF) if po & 1 else np.uint64(0)
+        )
+        assert np.array_equal(pos[i], expected)

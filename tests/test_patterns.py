@@ -1,0 +1,68 @@
+"""Tests for initial-pattern strategies."""
+
+import numpy as np
+import pytest
+
+from repro.bench import generators as gen
+from repro.sweep.classes import SimulationState, initial_patterns
+from repro.sweep.config import EngineConfig
+from repro.sweep.engine import CecStatus, SimSweepEngine
+from repro.synth.resyn import compress2
+
+
+def _pattern(words: np.ndarray, index: int):
+    word, bit = divmod(index, 64)
+    return tuple(
+        int((int(words[i, word]) >> bit) & 1) for i in range(words.shape[0])
+    )
+
+
+def test_counting_patterns_enumerate():
+    words = initial_patterns(4, 1, seed=0, strategy="counting")
+    for p in range(16):
+        assert _pattern(words, p) == tuple((p >> i) & 1 for i in range(4))
+
+
+def test_walking_patterns_are_hamming1():
+    words = initial_patterns(5, 1, seed=0, strategy="walking")
+    previous = _pattern(words, 0)
+    assert previous == (0, 0, 0, 0, 0)
+    for p in range(1, 64):
+        current = _pattern(words, p)
+        distance = sum(a != b for a, b in zip(previous, current))
+        assert distance == 1
+        previous = current
+
+
+def test_random_deterministic_per_seed():
+    a = initial_patterns(6, 2, seed=5, strategy="random")
+    b = initial_patterns(6, 2, seed=5, strategy="random")
+    assert np.array_equal(a, b)
+
+
+def test_mixed_combines_all():
+    words = initial_patterns(4, 8, seed=1, strategy="mixed")
+    assert words.shape[0] == 4
+    assert words.shape[1] >= 6
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError):
+        initial_patterns(4, 2, seed=0, strategy="fancy")
+    with pytest.raises(ValueError):
+        EngineConfig(pattern_strategy="fancy").validate()
+
+
+@pytest.mark.parametrize("strategy", ["random", "counting", "walking", "mixed"])
+def test_engine_sound_under_all_strategies(strategy):
+    original = gen.sqrt(8)
+    optimized = compress2(original)
+    config = EngineConfig.fast()
+    config.pattern_strategy = strategy
+    result = SimSweepEngine(config).check(original, optimized)
+    assert result.status is not CecStatus.NONEQUIVALENT
+
+
+def test_state_accepts_strategy():
+    state = SimulationState(8, num_random_words=2, seed=1, strategy="counting")
+    assert state.pi_words.shape == (8, 2)

@@ -1,0 +1,183 @@
+"""Cross-cutting property tests (hypothesis).
+
+These target the invariants DESIGN.md §5 calls load-bearing: cut
+validity, window/merging verdict stability, class soundness, and the
+exhaustive simulator's agreement with reference evaluation.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig.traversal import support
+from repro.cuts.common import common_cuts
+from repro.cuts.enumeration import CutEnumerator
+from repro.cuts.selection import CutSelector
+from repro.simulation.exhaustive import ExhaustiveSimulator, PairStatus
+from repro.simulation.merging import merge_windows
+from repro.simulation.window import Pair, build_window
+from repro.sweep.classes import SimulationState
+
+from conftest import random_aig
+
+
+def _is_cut(aig, node, cut):
+    cut_set = set(cut)
+    if node in cut_set:
+        return True
+    stack, seen = [node], set()
+    while stack:
+        current = stack.pop()
+        if current in seen or current in cut_set:
+            continue
+        seen.add(current)
+        if aig.is_pi(current):
+            return False
+        if aig.is_and(current):
+            f0, f1 = aig.fanins(current)
+            stack.extend((f0 >> 1, f1 >> 1))
+    return True
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6), st.sampled_from([1, 2, 3]))
+def test_common_cuts_are_valid_cuts_of_both(seed, pass_id):
+    """Eq. 1 property: every generated common cut cuts both pair nodes."""
+    rnd = random.Random(seed)
+    aig = random_aig(
+        num_pis=rnd.randint(3, 7),
+        num_nodes=rnd.randint(10, 60),
+        num_pos=2,
+        seed=seed,
+    )
+    selector = CutSelector(pass_id, aig.fanout_counts(), aig.levels())
+    enum = CutEnumerator(aig, k_l=4, num_priority=4, selector=selector)
+    for _level, _nodes in enum.run({}):
+        pass
+    and_nodes = list(aig.ands())
+    if len(and_nodes) < 2:
+        return
+    a, b = rnd.sample(and_nodes, 2)
+    cuts = common_cuts(enum.priority_cuts(a), enum.priority_cuts(b), k_l=6)
+    for cut in cuts:
+        assert _is_cut(aig, a, cut)
+        assert _is_cut(aig, b, cut)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6), st.integers(2, 12))
+def test_merging_never_changes_verdicts(seed, k_s):
+    """Window merging is an optimisation, not a semantic change."""
+    rnd = random.Random(seed)
+    aig = random_aig(
+        num_pis=rnd.randint(3, 8),
+        num_nodes=rnd.randint(10, 70),
+        num_pos=rnd.randint(2, 6),
+        seed=seed,
+    )
+    windows = []
+    for i, po in enumerate(aig.pos):
+        supp = support(aig, po >> 1)
+        if not supp:
+            continue
+        roots = [po >> 1] if (po >> 1) not in supp else []
+        windows.append(build_window(aig, supp, roots, [Pair(po, 0, tag=i)]))
+    if not windows:
+        return
+    sim = ExhaustiveSimulator()
+    plain = {o.pair.tag: o.status for o in sim.run(aig, windows)}
+    merged = merge_windows(aig, windows, k_s=k_s)
+    again = {o.pair.tag: o.status for o in sim.run(aig, merged)}
+    assert plain == again
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_classes_never_separate_equal_nodes(seed):
+    """Simulation classes over-approximate: equal nodes share a class."""
+    import itertools
+
+    rnd = random.Random(seed)
+    num_pis = rnd.randint(2, 5)
+    aig = random_aig(
+        num_pis=num_pis, num_nodes=rnd.randint(5, 40), num_pos=2, seed=seed
+    )
+    state = SimulationState(num_pis, num_random_words=2, seed=seed)
+    tables = state.tables(aig)
+    classes = state.classes(aig, tables)
+    # Compute exact global functions of all nodes.
+    signatures = {}
+    for node in range(aig.num_nodes):
+        signatures[node] = 0
+    for index, bits in enumerate(itertools.product([0, 1], repeat=num_pis)):
+        values = aig.evaluate_all(list(bits))
+        for node in range(aig.num_nodes):
+            signatures[node] |= int(values[node]) << index
+    mask = (1 << (1 << num_pis)) - 1
+    nodes = list(range(aig.num_nodes))
+    for i in nodes:
+        for j in nodes[i + 1 :]:
+            equal = signatures[i] == signatures[j]
+            equal_inv = signatures[i] == (signatures[j] ^ mask)
+            if equal or equal_inv:
+                ri = classes.representative_of(i)
+                rj = classes.representative_of(j)
+                assert ri is not None and ri == rj, (i, j, seed)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=2, max_value=6),
+)
+def test_lut_mapping_round_trip_property(seed, k):
+    """Property: map → LUT-evaluate and map → re-synthesise both agree
+    with the original network on random patterns."""
+    from repro.map import lut_network_to_aig, map_luts
+
+    rnd = random.Random(seed)
+    aig = random_aig(
+        num_pis=rnd.randint(2, 7),
+        num_nodes=rnd.randint(5, 60),
+        num_pos=rnd.randint(1, 4),
+        seed=seed,
+    )
+    network = map_luts(aig, k=k)
+    remade = lut_network_to_aig(network)
+    for _ in range(20):
+        pattern = [rnd.randint(0, 1) for _ in range(aig.num_pis)]
+        want = aig.evaluate(pattern)
+        assert network.evaluate(pattern) == want
+        assert remade.evaluate(pattern) == want
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_exhaustive_equal_iff_functions_equal(seed):
+    """EQUAL outcomes are sound AND complete for global windows."""
+    import itertools
+
+    rnd = random.Random(seed)
+    num_pis = rnd.randint(2, 6)
+    aig = random_aig(
+        num_pis=num_pis, num_nodes=rnd.randint(5, 40), num_pos=2, seed=seed
+    )
+    lit_a, lit_b = aig.pos[0], aig.pos[1]
+    supp = sorted(
+        set(support(aig, lit_a >> 1)) | set(support(aig, lit_b >> 1))
+    )
+    if not supp:
+        return
+    roots = [v for v in (lit_a >> 1, lit_b >> 1) if v not in supp and v != 0]
+    window = build_window(aig, supp, roots, [Pair(lit_a, lit_b)])
+    out = ExhaustiveSimulator(memory_budget_words=64).run(aig, [window])
+    truly_equal = True
+    for bits in itertools.product([0, 1], repeat=num_pis):
+        values = aig.evaluate_all(list(bits))
+        va = int(values[lit_a >> 1]) ^ (lit_a & 1)
+        vb = int(values[lit_b >> 1]) ^ (lit_b & 1)
+        if va != vb:
+            truly_equal = False
+            break
+    assert (out[0].status is PairStatus.EQUAL) == truly_equal

@@ -1,0 +1,56 @@
+"""Tests for engine reports and phase timing."""
+
+import time
+
+import pytest
+
+from repro.sweep.report import EngineReport, PhaseRecord, PhaseTimer
+
+
+def test_phase_timer_accumulates():
+    record = PhaseRecord("L")
+    with PhaseTimer(record):
+        time.sleep(0.01)
+    first = record.seconds
+    assert first >= 0.01
+    with PhaseTimer(record):
+        time.sleep(0.01)
+    assert record.seconds >= first + 0.01
+
+
+def test_reduction_percent():
+    report = EngineReport(initial_ands=200, final_ands=50)
+    assert report.reduction_percent == pytest.approx(75.0)
+    assert EngineReport(initial_ands=0, final_ands=0).reduction_percent == 100.0
+    full = EngineReport(initial_ands=10, final_ands=0)
+    assert full.reduction_percent == 100.0
+
+
+def test_phase_aggregation():
+    report = EngineReport(initial_ands=10)
+    report.phases = [
+        PhaseRecord("P", seconds=1.0),
+        PhaseRecord("G", seconds=2.0),
+        PhaseRecord("L", seconds=3.0),
+        PhaseRecord("L", seconds=1.0),
+    ]
+    seconds = report.phase_seconds()
+    assert seconds == {"P": 1.0, "G": 2.0, "L": 4.0}
+    fractions = report.phase_fractions()
+    assert fractions["L"] == pytest.approx(4.0 / 7.0)
+    assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+def test_phase_fractions_empty_and_zero():
+    assert EngineReport().phase_fractions() == {}
+    report = EngineReport()
+    report.phases = [PhaseRecord("P", seconds=0.0)]
+    assert report.phase_fractions() == {"P": 0.0}
+
+
+def test_record_as_dict():
+    record = PhaseRecord("G", seconds=1.5, candidates=10, proved=7, cex=2)
+    data = record.as_dict()
+    assert data["kind"] == "G"
+    assert data["proved"] == 7
+    assert data["cex"] == 2

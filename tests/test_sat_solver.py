@@ -1,0 +1,187 @@
+"""Tests for the CDCL SAT solver."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.solver import SatSolver, SolveStatus, _luby
+
+
+def _fresh(num_vars):
+    solver = SatSolver()
+    for _ in range(num_vars):
+        solver.new_var()
+    return solver
+
+
+def test_luby_sequence():
+    assert [_luby(i) for i in range(1, 16)] == [
+        1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+    ]
+
+
+def test_simple_sat_and_model():
+    s = _fresh(2)
+    s.add_clause([0, 2])       # a | b
+    s.add_clause([1, 3])       # !a | !b
+    assert s.solve() is SolveStatus.SAT
+    model = s.model()
+    assert model[0] != model[1]
+
+
+def test_empty_clause_is_unsat():
+    s = _fresh(1)
+    assert s.add_clause([]) is False
+    assert s.solve() is SolveStatus.UNSAT
+
+
+def test_contradictory_units():
+    s = _fresh(1)
+    assert s.add_clause([0]) is True
+    assert s.add_clause([1]) is False
+    assert s.solve() is SolveStatus.UNSAT
+
+
+def test_tautology_is_dropped():
+    s = _fresh(1)
+    assert s.add_clause([0, 1]) is True
+    assert s.solve() is SolveStatus.SAT
+
+
+def test_unknown_variable_rejected():
+    s = _fresh(1)
+    with pytest.raises(ValueError):
+        s.add_clause([4])
+
+
+def test_assumptions_are_temporary():
+    s = _fresh(2)
+    s.add_clause([0, 2])
+    assert s.solve(assumptions=[1, 3]) is SolveStatus.UNSAT
+    assert s.solve() is SolveStatus.SAT
+    assert s.solve(assumptions=[1]) is SolveStatus.SAT
+    assert s.model()[1] == 1  # b forced true by the clause
+
+
+def test_assumption_conflicting_with_level0():
+    s = _fresh(1)
+    s.add_clause([0])  # unit: a
+    assert s.solve(assumptions=[1]) is SolveStatus.UNSAT
+    assert s.solve(assumptions=[0]) is SolveStatus.SAT
+
+
+def test_conflict_limit_yields_unknown():
+    # Pigeonhole 6→5 needs many conflicts; a budget of 1 cannot finish.
+    pigeons, holes = 6, 5
+    s = SatSolver()
+    grid = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for row in grid:
+        s.add_clause([2 * v for v in row])
+    for h in range(holes):
+        for i in range(pigeons):
+            for j in range(i + 1, pigeons):
+                s.add_clause([2 * grid[i][h] + 1, 2 * grid[j][h] + 1])
+    assert s.solve(conflict_limit=1) is SolveStatus.UNKNOWN
+    # The solver stays usable and eventually proves UNSAT.
+    assert s.solve() is SolveStatus.UNSAT
+
+
+def test_incremental_clause_addition():
+    s = _fresh(3)
+    s.add_clause([0, 2, 4])
+    assert s.solve() is SolveStatus.SAT
+    s.add_clause([1])
+    s.add_clause([3])
+    assert s.solve() is SolveStatus.SAT
+    assert s.model()[2] == 1
+    s.add_clause([5])
+    assert s.solve() is SolveStatus.UNSAT
+
+
+@pytest.mark.parametrize("pigeons,holes", [(3, 2), (4, 3), (5, 4)])
+def test_pigeonhole_unsat(pigeons, holes):
+    s = SatSolver()
+    grid = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for row in grid:
+        s.add_clause([2 * v for v in row])
+    for h in range(holes):
+        for i in range(pigeons):
+            for j in range(i + 1, pigeons):
+                s.add_clause([2 * grid[i][h] + 1, 2 * grid[j][h] + 1])
+    assert s.solve() is SolveStatus.UNSAT
+
+
+def _brute_force(num_vars, clauses, assumptions=()):
+    for bits in itertools.product([0, 1], repeat=num_vars):
+        if any((bits[a >> 1] ^ (a & 1)) == 0 for a in assumptions):
+            continue
+        if all(any(bits[l >> 1] ^ (l & 1) for l in cl) for cl in clauses):
+            return True
+    return False
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.integers(min_value=0, max_value=10**9))
+def test_fuzz_against_brute_force(seed):
+    rnd = random.Random(seed)
+    num_vars = rnd.randint(2, 7)
+    clauses = [
+        [
+            2 * rnd.randrange(num_vars) + rnd.randint(0, 1)
+            for _ in range(rnd.randint(1, 3))
+        ]
+        for _ in range(rnd.randint(1, 20))
+    ]
+    assumptions = [
+        2 * v + rnd.randint(0, 1)
+        for v in rnd.sample(range(num_vars), rnd.randint(0, num_vars))
+    ]
+    solver = _fresh(num_vars)
+    ok = all(solver.add_clause(cl) for cl in clauses)
+    if not ok:
+        assert not _brute_force(num_vars, clauses)
+        return
+    status = solver.solve(assumptions=assumptions)
+    want = _brute_force(num_vars, clauses, assumptions)
+    assert status is (SolveStatus.SAT if want else SolveStatus.UNSAT)
+    if status is SolveStatus.SAT:
+        model = solver.model()
+        assert all(
+            any(model[l >> 1] ^ (l & 1) for l in cl) for cl in clauses
+        )
+        assert all(model[a >> 1] ^ (a & 1) for a in assumptions)
+
+
+def test_deadline_bounds_single_call():
+    import time
+
+    # Pigeonhole 7→6 is hard enough that a microscopic deadline trips.
+    pigeons, holes = 7, 6
+    s = SatSolver()
+    grid = [[s.new_var() for _ in range(holes)] for _ in range(pigeons)]
+    for row in grid:
+        s.add_clause([2 * v for v in row])
+    for h in range(holes):
+        for i in range(pigeons):
+            for j in range(i + 1, pigeons):
+                s.add_clause([2 * grid[i][h] + 1, 2 * grid[j][h] + 1])
+    start = time.perf_counter()
+    status = s.solve(deadline=time.perf_counter() + 0.05)
+    elapsed = time.perf_counter() - start
+    assert status is SolveStatus.UNKNOWN
+    assert elapsed < 2.0  # deadline enforced within one conflict's slack
+    # Solver remains usable afterwards.
+    assert s.solve() is SolveStatus.UNSAT
+
+
+def test_add_aig_and_semantics():
+    s = _fresh(3)
+    out, in0, in1 = 0, 1, 2
+    s.add_aig_and(2 * out, 2 * in0, 2 * in1 + 1)  # out = in0 & !in1
+    for a, b in itertools.product([0, 1], repeat=2):
+        assumptions = [2 * in0 + (1 - a), 2 * in1 + (1 - b)]
+        assert s.solve(assumptions=assumptions) is SolveStatus.SAT
+        assert s.model()[out] == (a & (1 - b))

@@ -1,0 +1,115 @@
+"""Tests for the benchmark suite and the experiment harness."""
+
+import math
+
+import pytest
+
+from repro.bench.harness import (
+    format_fig6,
+    format_fig7,
+    format_table2,
+    geomean,
+    run_fig6,
+    run_fig7,
+    run_table2_case,
+)
+from repro.bench.suite import SUITE_PROFILES, build_case, default_suite
+from repro.bench import generators as gen
+from repro.sweep.config import EngineConfig
+from repro.synth.resyn import compress2
+
+from conftest import sampled_equivalent
+
+
+@pytest.fixture(scope="module")
+def tiny_cases():
+    return default_suite("tiny", only=["multiplier", "log2", "voter"])
+
+
+def test_build_case_names_and_interfaces():
+    case = build_case(
+        "multiplier", lambda: gen.multiplier(3), doublings=2,
+        optimizer=compress2,
+    )
+    assert case.name == "multiplier_2xd"
+    assert case.original.num_pis == 4 * 6
+    assert case.miter.num_pis == case.original.num_pis
+    stats = case.stats()
+    assert stats["miter_nodes"] > 0
+    assert stats["miter_levels"] > 0
+
+
+def test_cases_are_equivalent_pairs(tiny_cases):
+    for case in tiny_cases:
+        ok, pattern = sampled_equivalent(
+            case.original, case.optimized, samples=100
+        )
+        assert ok, (case.name, pattern)
+
+
+def test_default_suite_profiles_exist():
+    assert set(SUITE_PROFILES) == {"tiny", "default"}
+    assert len(SUITE_PROFILES["default"]) == 9  # the nine Table II cases
+
+
+def test_default_suite_unknown_profile():
+    with pytest.raises(ValueError):
+        default_suite("huge")
+
+
+def test_run_table2_case(tiny_cases):
+    config = EngineConfig.fast()
+    row = run_table2_case(
+        tiny_cases[0], config=config, sat_conflict_limit=10_000
+    )
+    assert row.name == tiny_cases[0].name
+    assert row.abc_seconds > 0
+    assert row.total_seconds > 0
+    assert 0 <= row.reduced_percent <= 100
+    assert row.ours_status in ("equivalent", "undecided")
+    assert row.speedup_vs_abc > 0
+    table = format_table2([row])
+    assert row.name in table
+    assert "Geomean" in table
+
+
+def test_run_fig6(tiny_cases):
+    rows = run_fig6(tiny_cases, config=EngineConfig.fast())
+    assert len(rows) == len(tiny_cases)
+    for row in rows:
+        total = sum(row.fractions.values())
+        assert total == pytest.approx(1.0) or total == 0.0
+    text = format_fig6(rows)
+    assert rows[0].name in text
+
+
+def test_run_fig7(tiny_cases):
+    rows = run_fig7(
+        tiny_cases[:1], config=EngineConfig.fast(), sat_conflict_limit=5_000
+    )
+    row = rows[0]
+    assert set(row.normalized) == {"P", "PG", "PGL"}
+    # More engine phases can only shrink the residue.
+    assert row.reduced_ands["P"] >= row.reduced_ands["PG"] >= row.reduced_ands["PGL"]
+    text = format_fig7(rows)
+    assert row.name in text
+
+
+def test_save_load_case(tmp_path):
+    from repro.bench.suite import load_case, save_case
+
+    case = build_case(
+        "log2", lambda: gen.log2(6), doublings=0, optimizer=compress2
+    )
+    save_case(case, tmp_path)
+    loaded = load_case(tmp_path, case.name)
+    assert loaded.original.num_ands == case.original.num_ands
+    assert loaded.optimized.num_ands == case.optimized.num_ands
+    assert sampled_equivalent(loaded.original, loaded.optimized, samples=50)[0]
+
+
+def test_geomean():
+    assert geomean([1, 4]) == pytest.approx(2.0)
+    assert geomean([]) == 0.0
+    assert geomean([0, 8, 2]) == pytest.approx(4.0)  # non-positive ignored
+    assert geomean([math.e]) == pytest.approx(math.e)

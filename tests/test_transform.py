@@ -1,0 +1,122 @@
+"""Tests for cleanup, replacement rebuilding, double and cone extraction."""
+
+import itertools
+
+import pytest
+
+from repro.aig.builder import AigBuilder
+from repro.aig.literals import lit
+from repro.aig.transform import (
+    cleanup,
+    cone_aig,
+    double,
+    rebuild_with_replacements,
+    relabel_compact,
+)
+
+from conftest import brute_force_equivalent, random_aig
+
+
+def test_cleanup_removes_dangling():
+    b = AigBuilder(2)
+    used = b.add_and(2, 4)
+    b.add_and(used, 2 ^ 1)  # dangling
+    b.add_po(used)
+    aig = b.build()
+    cleaned = cleanup(aig)
+    assert cleaned.num_ands == 1
+    assert brute_force_equivalent(aig, cleaned)[0]
+
+
+def test_cleanup_preserves_function():
+    aig = random_aig(num_pis=6, num_nodes=50, num_pos=2, seed=11)
+    cleaned = cleanup(aig)
+    assert brute_force_equivalent(aig, cleaned)[0]
+    assert cleaned.num_ands <= aig.num_ands
+
+
+def test_relabel_compact_map_is_consistent():
+    aig = random_aig(num_pis=5, num_nodes=40, seed=12)
+    cleaned, mapping = relabel_compact(aig)
+    pattern = [1, 0, 1, 0, 1]
+    old_values = aig.evaluate_all(pattern)
+    new_values = cleaned.evaluate_all(pattern)
+    for old_node, new_literal in mapping.items():
+        assert old_values[old_node] == (
+            new_values[new_literal >> 1] ^ (new_literal & 1)
+        )
+
+
+def test_rebuild_with_replacements_merges():
+    # xy and (xy)y are equal functions that strash cannot merge.
+    b = AigBuilder(2)
+    a = b.add_and(2, 4)
+    redundant = b.add_and(a, 4)
+    b.add_po(b.add_xor(a, redundant))
+    b.add_po(a)  # keep the representative alive through cleanup
+    aig = b.build()
+    merged, mapping = rebuild_with_replacements(aig, {redundant >> 1: a})
+    # XOR of equal signals is constant false.
+    assert merged.pos[0] == 0
+    assert merged.num_ands == 1  # only the xy node survives
+    assert mapping[a >> 1] == mapping[redundant >> 1]
+
+
+def test_rebuild_with_complemented_replacement():
+    b = AigBuilder(2)
+    f = b.add_and(2, 4)
+    # h = !x!y + !xy + x!y == !(xy), structurally distinct from !f.
+    h = b.add_or_multi(
+        [b.add_and(3, 5), b.add_and(3, 4), b.add_and(2, 5)]
+    )
+    b.add_po(b.add_and(f, h))
+    aig = b.build()
+    assert (h >> 1) != (f >> 1)
+    # The replacement maps the *node* of h; compensate for h's phase.
+    merged, _ = rebuild_with_replacements(
+        aig, {h >> 1: f ^ 1 ^ (h & 1)}
+    )
+    assert merged.pos == [0]
+
+
+def test_rebuild_rejects_forward_targets():
+    b = AigBuilder(2)
+    a = b.add_and(2, 4)
+    c = b.add_and(a, 2)
+    b.add_po(c)
+    aig = b.build()
+    with pytest.raises(ValueError):
+        rebuild_with_replacements(aig, {a >> 1: c})
+
+
+def test_double_doubles_interface_and_function():
+    aig = random_aig(num_pis=4, num_nodes=20, num_pos=2, seed=13)
+    doubled = double(aig)
+    assert doubled.num_pis == 2 * aig.num_pis
+    assert doubled.num_pos == 2 * aig.num_pos
+    # ``double`` duplicates the network verbatim (dangling logic included).
+    assert doubled.num_ands == 2 * aig.num_ands
+    for bits in itertools.product([0, 1], repeat=4):
+        pattern = list(bits)
+        single = aig.evaluate(pattern)
+        copy1 = doubled.evaluate(pattern + [0] * 4)[: aig.num_pos]
+        copy2 = doubled.evaluate([0] * 4 + pattern)[aig.num_pos :]
+        assert copy1 == single
+        assert copy2 == single
+
+
+def test_double_multiple_times():
+    aig = random_aig(num_pis=3, num_nodes=10, num_pos=1, seed=14)
+    doubled = double(aig, 3)
+    assert doubled.num_pis == 8 * aig.num_pis
+    assert doubled.num_pos == 8 * aig.num_pos
+
+
+def test_cone_aig_keeps_interface():
+    aig = random_aig(num_pis=5, num_nodes=40, num_pos=3, seed=15)
+    cone = cone_aig(aig, [1])
+    assert cone.num_pis == aig.num_pis
+    assert cone.num_pos == 1
+    for bits in itertools.product([0, 1], repeat=5):
+        pattern = list(bits)
+        assert cone.evaluate(pattern) == [aig.evaluate(pattern)[1]]

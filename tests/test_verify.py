@@ -1,0 +1,73 @@
+"""Tests for the structural invariant checker, applied across transforms."""
+
+import pytest
+
+from repro.aig.builder import AigBuilder
+from repro.aig.miter import build_miter
+from repro.aig.network import Aig
+from repro.aig.transform import cleanup, double, rebuild_with_replacements
+from repro.aig.verify import InvariantViolation, check_invariants, iter_violations
+from repro.bench.generators import multiplier, sqrt
+from repro.synth.balance import balance
+from repro.synth.fraig import fraig_sim
+from repro.synth.resyn import compress2
+from repro.synth.rewrite import cut_rewrite
+
+from conftest import random_aig
+
+
+def test_builder_output_satisfies_invariants():
+    aig = random_aig(num_pis=6, num_nodes=60, seed=141)
+    check_invariants(aig)
+
+
+def test_duplicate_pair_detected():
+    # Hand-build a network that bypasses strashing.
+    aig = Aig(2, fanin0=[2, 2], fanin1=[4, 4], pos=[6, 8])
+    violations = iter_violations(aig)
+    assert any("duplicate" in v for v in violations)
+    with pytest.raises(InvariantViolation):
+        check_invariants(aig)
+    # Tolerated when strashing is not claimed.
+    check_invariants(aig, strashed=False)
+
+
+def test_constant_fanin_detected():
+    aig = Aig(1, fanin0=[0], fanin1=[2], pos=[4])
+    assert any("constant" in v for v in iter_violations(aig))
+
+
+@pytest.mark.parametrize(
+    "transform",
+    [
+        cleanup,
+        double,
+        balance,
+        lambda a: cut_rewrite(a, 4),
+        compress2,
+        fraig_sim,
+    ],
+    ids=["cleanup", "double", "balance", "rewrite", "compress2", "fraig_sim"],
+)
+def test_transforms_preserve_invariants(transform):
+    aig = random_aig(num_pis=6, num_nodes=60, num_pos=3, seed=142)
+    check_invariants(transform(aig))
+
+
+def test_miter_and_reduction_preserve_invariants():
+    original = multiplier(4)
+    optimized = compress2(original)
+    miter = build_miter(original, optimized)
+    check_invariants(miter)
+    b = AigBuilder(2)
+    a = b.add_and(2, 4)
+    redundant = b.add_and(a, 4)
+    b.add_po(b.add_xor(a, redundant))
+    aig = b.build()
+    reduced, _ = rebuild_with_replacements(aig, {redundant >> 1: a})
+    check_invariants(reduced)
+
+
+def test_generators_satisfy_invariants():
+    check_invariants(multiplier(5))
+    check_invariants(sqrt(10))

@@ -1,0 +1,101 @@
+"""Tests for simulation windows."""
+
+import pytest
+
+from repro.aig.builder import AigBuilder
+from repro.aig.traversal import support
+from repro.simulation.window import (
+    Pair,
+    Window,
+    build_window,
+    window_local_levels,
+)
+
+from conftest import random_aig
+
+
+def test_window_is_cone_intersection():
+    aig = random_aig(num_pis=5, num_nodes=40, seed=51)
+    root = aig.pos[0] >> 1
+    supp = support(aig, root)
+    window = build_window(aig, supp, [root])
+    # Every window node lies strictly between the inputs and the root.
+    assert root in set(int(n) for n in window.nodes)
+    for node in window.nodes:
+        assert aig.is_and(int(node))
+        assert int(node) not in window.inputs
+
+
+def test_window_inputs_sorted():
+    aig = random_aig(num_pis=5, num_nodes=30, seed=52)
+    root = aig.pos[0] >> 1
+    supp = support(aig, root)
+    window = build_window(aig, list(reversed(supp)), [root])
+    assert window.inputs == tuple(sorted(supp))
+
+
+def test_window_rejects_uncovered_paths():
+    b = AigBuilder(3)
+    f = b.add_and(b.add_and(2, 4), 6)
+    b.add_po(f)
+    aig = b.build()
+    with pytest.raises(ValueError, match="do not cover"):
+        build_window(aig, [1, 2], [f >> 1])  # PI 3 escapes
+
+
+def test_window_with_cut_inputs():
+    b = AigBuilder(4)
+    left = b.add_and(2, 4)
+    right = b.add_or(6, 8)
+    top = b.add_xor(left, right)
+    aig = b.build()
+    window = build_window(aig, [left >> 1, right >> 1], [top >> 1])
+    # Only the XOR expansion nodes are inside; left/right are inputs.
+    assert left >> 1 not in set(int(n) for n in window.nodes)
+    assert right >> 1 not in set(int(n) for n in window.nodes)
+    assert top >> 1 in set(int(n) for n in window.nodes)
+
+
+def test_window_root_can_be_input():
+    aig = random_aig(num_pis=3, num_nodes=10, seed=53)
+    window = build_window(aig, [1, 2], [1], [Pair(2, 4)])
+    assert len(window.nodes) == 0
+    assert window.tt_words == 1
+
+
+def test_tt_words():
+    aig = random_aig(num_pis=8, num_nodes=40, seed=54)
+    root = aig.pos[0] >> 1
+    supp = support(aig, root)
+    window = build_window(aig, supp, [root])
+    expected = 1 if len(supp) <= 6 else 1 << (len(supp) - 6)
+    assert window.tt_words == expected
+
+
+def test_window_local_levels():
+    b = AigBuilder(2)
+    n1 = b.add_and(2, 4)
+    n2 = b.add_and(n1, 2 ^ 1)
+    n3 = b.add_and(n2, n1)
+    b.add_po(n3)
+    aig = b.build()
+    window = build_window(aig, [1, 2], [n3 >> 1])
+    levels = window_local_levels(aig, window)
+    by_node = dict(zip((int(n) for n in window.nodes), levels))
+    assert by_node[n1 >> 1] == 1
+    assert by_node[n2 >> 1] == 2
+    assert by_node[n3 >> 1] == 3
+
+
+def test_window_local_levels_pin_inputs_to_zero():
+    """Cut inputs are level 0 even when deep in the global network."""
+    b = AigBuilder(2)
+    chain = b.add_and(2, 4)
+    for _ in range(5):
+        chain = b.add_and(chain, 2)
+    top = b.add_and(chain, 4 ^ 1)
+    b.add_po(top)
+    aig = b.build()
+    window = build_window(aig, [chain >> 1, 2], [top >> 1])
+    levels = window_local_levels(aig, window)
+    assert list(levels) == [1]  # only the root, directly above the cut

@@ -1,0 +1,131 @@
+"""Tests for the word-level construction helpers."""
+
+import random
+
+import pytest
+
+from repro.aig.builder import AigBuilder
+from repro.bench.wordlib import (
+    arith_shift_right_const,
+    barrel_shift_left,
+    constant_word,
+    equals_const,
+    greater_than_const,
+    multiply,
+    mux_word,
+    popcount,
+    ripple_add,
+    ripple_sub,
+    shift_left_const,
+    shift_right_const,
+    zero_extend,
+)
+
+from conftest import to_word, word_val
+
+
+def _finish(builder, word):
+    builder.add_pos(word)
+    return builder.build()
+
+
+def test_constant_word():
+    assert constant_word(5, 4) == [1, 0, 1, 0]
+    assert constant_word(0, 3) == [0, 0, 0]
+
+
+def test_zero_extend():
+    assert zero_extend([1, 1], 4) == [1, 1, 0, 0]
+    with pytest.raises(ValueError):
+        zero_extend([1, 1, 1], 2)
+
+
+def test_ripple_add_sub():
+    rnd = random.Random(3)
+    b = AigBuilder(8)
+    xs = [2 * (i + 1) for i in range(4)]
+    ys = [2 * (i + 5) for i in range(4)]
+    total, carry = ripple_add(b, xs, ys)
+    diff, borrow = ripple_sub(b, xs, ys)
+    b.add_pos(total + [carry] + diff + [borrow])
+    aig = b.build()
+    for _ in range(40):
+        x, y = rnd.randrange(16), rnd.randrange(16)
+        out = aig.evaluate(to_word(x, 4) + to_word(y, 4))
+        assert word_val(out[:5]) == x + y
+        assert word_val(out[5:9]) == (x - y) % 16
+        assert out[9] == (1 if x < y else 0)
+
+
+def test_ripple_add_width_mismatch():
+    b = AigBuilder(3)
+    with pytest.raises(ValueError):
+        ripple_add(b, [2], [4, 6])
+
+
+def test_mux_word():
+    b = AigBuilder(5)
+    sel = 2
+    t = [4, 6]
+    e = [8, 10]
+    aig = _finish(b, mux_word(b, sel, t, e))
+    for s in (0, 1):
+        for tv in range(4):
+            for ev in range(4):
+                pattern = [s] + to_word(tv, 2) + to_word(ev, 2)
+                assert word_val(aig.evaluate(pattern)) == (tv if s else ev)
+
+
+def test_shifts_const():
+    word = [2, 4, 6]  # placeholder literals; shifting is pure reindexing
+    assert shift_left_const(word, 1, 4) == [0, 2, 4, 6]
+    assert shift_left_const(word, 2, 3) == [0, 0, 2]
+    assert shift_right_const(word, 1, 3) == [4, 6, 0]
+    assert arith_shift_right_const([2, 4, 6], 1) == [4, 6, 6]
+    assert arith_shift_right_const([2, 4, 6], 0) == [2, 4, 6]
+    assert arith_shift_right_const([2, 4, 6], 5) == [6, 6, 6]
+
+
+def test_barrel_shift_left():
+    b = AigBuilder(6)
+    word = [2 * (i + 1) for i in range(4)]
+    amount = [10, 12]
+    aig = _finish(b, barrel_shift_left(b, word, amount))
+    for value in range(16):
+        for shift in range(4):
+            pattern = to_word(value, 4) + to_word(shift, 2)
+            got = word_val(aig.evaluate(pattern))
+            assert got == (value << shift) & 0xF
+
+
+def test_multiply_widths():
+    b = AigBuilder(5)
+    xs = [2, 4, 6]
+    ys = [8, 10]
+    aig = _finish(b, multiply(b, xs, ys))
+    assert aig.num_pos == 5
+    for x in range(8):
+        for y in range(4):
+            assert word_val(aig.evaluate(to_word(x, 3) + to_word(y, 2))) == x * y
+
+
+def test_popcount():
+    b = AigBuilder(7)
+    bits = [2 * (i + 1) for i in range(7)]
+    aig = _finish(b, popcount(b, bits))
+    rnd = random.Random(4)
+    for _ in range(50):
+        pattern = [rnd.randint(0, 1) for _ in range(7)]
+        assert word_val(aig.evaluate(pattern)) == sum(pattern)
+
+
+def test_comparators():
+    b = AigBuilder(4)
+    word = [2, 4, 6, 8]
+    b.add_po(greater_than_const(b, word, 9))
+    b.add_po(equals_const(b, word, 9))
+    aig = b.build()
+    for value in range(16):
+        gt, eq = aig.evaluate(to_word(value, 4))
+        assert gt == (1 if value > 9 else 0)
+        assert eq == (1 if value == 9 else 0)

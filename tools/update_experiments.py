@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Regenerate the measured sections of EXPERIMENTS.md.
+
+Reads the JSON result dumps the benchmark session writes under
+``benchmarks/results/`` and rewrites the measured blocks of
+EXPERIMENTS.md in place (between ``MEASURED_*`` placeholders or their
+previously generated blocks).
+
+Run after a benchmark session:
+
+    REPRO_BENCH_PROFILE=default pytest benchmarks/ --benchmark-only
+    python tools/update_experiments.py
+"""
+
+import json
+import pathlib
+import re
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+RESULTS = REPO / "benchmarks" / "results"
+DOC = REPO / "EXPERIMENTS.md"
+
+BEGIN = "<!-- BEGIN:{tag} -->"
+END = "<!-- END:{tag} -->"
+
+
+def load(slug):
+    path = RESULTS / f"{slug}.json"
+    if not path.is_file():
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def render_table2(rows):
+    lines = [
+        "| Case | SAT baseline (s) | Portfolio (s) | Engine (s) | Reduced % "
+        "| Residue SAT (s) | Total (s) | × vs SAT | × vs Portfolio |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    import math
+
+    speed_sat, speed_pf = [], []
+    for name, row in rows.items():
+        x_sat = row["abc_seconds"] / row["total_seconds"]
+        x_pf = (
+            row["cfm_seconds"] / row["total_seconds"]
+            if not math.isnan(float(row["cfm_seconds"]))
+            else float("nan")
+        )
+        speed_sat.append(x_sat)
+        if not math.isnan(x_pf):
+            speed_pf.append(x_pf)
+        abc_note = "*" if row["abc_status"] == "undecided" else ""
+        cfm_note = "*" if row["cfm_status"] == "undecided" else ""
+        lines.append(
+            f"| {name} | {row['abc_seconds']:.1f}{abc_note} "
+            f"| {float(row['cfm_seconds']):.1f}{cfm_note} "
+            f"| {row['gpu_seconds']:.1f} | {row['reduced_percent']:.1f} "
+            f"| {row['residue_sat_seconds']:.1f} | {row['total_seconds']:.1f} "
+            f"| {x_sat:.2f}× | {x_pf:.2f}× |"
+        )
+
+    def geomean(values):
+        import math as m
+
+        positives = [v for v in values if v > 0]
+        if not positives:
+            return 0.0
+        return m.exp(sum(m.log(v) for v in positives) / len(positives))
+
+    lines.append(
+        f"| **Geomean** | | | | | | | **{geomean(speed_sat):.2f}×** "
+        f"| **{geomean(speed_pf):.2f}×** |"
+    )
+    lines.append("")
+    lines.append(
+        "`*` = baseline hit the wall-clock limit; its time-limit value "
+        "enters the speed-up, as the paper does with ABC's 122-day timeout."
+    )
+    return "\n".join(lines)
+
+
+def render_fig6(rows):
+    lines = [
+        "| Case | P % | G % | L % |",
+        "|---|---|---|---|",
+    ]
+    for name, row in rows.items():
+        fr = row["fractions"]
+        lines.append(
+            f"| {name} | {100 * fr.get('P', 0):.1f} "
+            f"| {100 * fr.get('G', 0):.1f} | {100 * fr.get('L', 0):.1f} |"
+        )
+    return "\n".join(lines)
+
+
+def render_fig7(rows):
+    lines = [
+        "| Case | standalone SAT (s) | after P | after PG | after PGL |",
+        "|---|---|---|---|---|",
+    ]
+    for name, row in rows.items():
+        n = row["normalized"]
+        lines.append(
+            f"| {name} | {row['standalone_seconds']:.1f} "
+            f"| {n['P']:.2f} | {n['PG']:.2f} | {n['PGL']:.2f} |"
+        )
+    return "\n".join(lines)
+
+
+def render_ablations():
+    blocks = []
+    for path in sorted(RESULTS.glob("ablation*.json")):
+        with open(path) as handle:
+            data = json.load(handle)
+        title = path.stem.replace("_", " ")
+        blocks.append(f"**{title}**")
+        blocks.append("")
+        for key, value in data.items():
+            blocks.append(f"- `{key}`: {value}")
+        blocks.append("")
+    return "\n".join(blocks) if blocks else "*(no ablation results found)*"
+
+
+def splice(text, tag, rendered):
+    begin = BEGIN.format(tag=tag)
+    end = END.format(tag=tag)
+    block = f"{begin}\n{rendered}\n{end}"
+    if begin in text:
+        pattern = re.compile(
+            re.escape(begin) + r".*?" + re.escape(end), re.DOTALL
+        )
+        return pattern.sub(lambda _m: block, text)
+    placeholder = f"MEASURED_{tag.upper()}"
+    if placeholder in text:
+        return text.replace(placeholder, block)
+    raise SystemExit(f"no anchor for {tag} in EXPERIMENTS.md")
+
+
+def main() -> None:
+    text = DOC.read_text()
+    table2 = load("table_ii_runtime_comparison")
+    if table2:
+        text = splice(text, "table2", render_table2(table2))
+    fig6 = load("fig_6_engine_phase_breakdown")
+    if fig6:
+        text = splice(text, "fig6", render_fig6(fig6))
+    fig7 = load("fig_7_sat_time_on_intermediate_miters_normalised")
+    if fig7:
+        text = splice(text, "fig7", render_fig7(fig7))
+    text = splice(text, "ablations", render_ablations())
+    DOC.write_text(text)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()
