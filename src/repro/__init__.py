@@ -50,6 +50,7 @@ from repro.portfolio import (
     CombinedChecker,
     ParallelPortfolioChecker,
     PortfolioChecker,
+    PortfolioError,
 )
 from repro.sat import SatSolver, SatSweepChecker
 from repro.sweep import (
@@ -75,6 +76,7 @@ __all__ = [
     "EngineConfig",
     "ParallelPortfolioChecker",
     "PortfolioChecker",
+    "PortfolioError",
     "SatSolver",
     "SatSweepChecker",
     "SimSweepEngine",

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.bench.suite import BenchmarkCase
 from repro.portfolio.checker import CombinedChecker, PortfolioChecker
+from repro.portfolio.parallel import PortfolioError
 from repro.sat.sweeping import SatSweepChecker
 from repro.sweep.config import EngineConfig
 from repro.sweep.engine import CecStatus, SimSweepEngine
@@ -40,6 +41,9 @@ class Table2Row:
     residue_sat_seconds: float
     total_seconds: float
     ours_status: str
+    #: Per-engine seconds of the portfolio run (from its
+    #: ``PortfolioReport``); empty when the portfolio was skipped.
+    cfm_engine_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def speedup_vs_abc(self) -> float:
@@ -97,6 +101,7 @@ def run_table2_case(
     abc_result = abc.check_miter(miter)
     abc_seconds = time.perf_counter() - start
 
+    cfm_engine_seconds: Dict[str, float] = {}
     if run_portfolio:
         cfm = PortfolioChecker(
             sat_checker=SatSweepChecker(
@@ -105,9 +110,19 @@ def run_table2_case(
             )
         )
         start = time.perf_counter()
-        cfm_result = cfm.check_miter(miter)
+        try:
+            cfm_result = cfm.check_miter(miter)
+            cfm_status = cfm_result.status.value
+        except PortfolioError:
+            # A fully-failed portfolio is a data point, not a reason to
+            # abort the whole table run.
+            cfm_result = None
+            cfm_status = "failed"
         cfm_seconds = time.perf_counter() - start
-        cfm_status = cfm_result.status.value
+        if cfm.report is not None:
+            cfm_engine_seconds = {
+                rec.name: rec.seconds for rec in cfm.report.engines
+            }
     else:
         cfm_seconds = float("nan")
         cfm_status = "skipped"
@@ -148,6 +163,7 @@ def run_table2_case(
         residue_sat_seconds=ours.timings.sat_seconds,
         total_seconds=ours.timings.total_seconds,
         ours_status=ours_result.status.value,
+        cfm_engine_seconds=cfm_engine_seconds,
     )
 
 

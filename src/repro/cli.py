@@ -5,7 +5,8 @@ Subcommands
 ``cec A.aig B.aig``
     Check two AIGER files for equivalence.  ``--engine`` selects the
     checker: ``combined`` (default, the paper's flow), ``sim`` (the
-    simulation engine alone), ``sat``, ``bdd`` or ``portfolio``.
+    simulation engine alone), ``sat``, ``bdd``, ``portfolio`` (staged
+    engines) or ``parallel`` (process-per-engine portfolio racing).
 ``stats X.aig``
     Print size/depth/interface statistics of a network.
 ``opt IN.aig OUT.aig``
@@ -16,7 +17,8 @@ Subcommands
 ``miter A.aig B.aig OUT.aig``
     Write the miter of two networks.
 
-Exit status for ``cec``: 0 equivalent, 1 nonequivalent, 2 undecided.
+Exit status for ``cec``: 0 equivalent, 1 nonequivalent, 2 undecided,
+3 when every portfolio engine failed.
 """
 
 from __future__ import annotations
@@ -31,9 +33,11 @@ from repro.aig.network import Aig
 from repro.bdd.cec import BddChecker
 from repro.bench import generators as gen
 from repro.portfolio.checker import CombinedChecker, PortfolioChecker
+from repro.portfolio.parallel import ParallelPortfolioChecker, PortfolioError
 from repro.sat.sweeping import SatSweepChecker
 from repro.sweep.config import EngineConfig
 from repro.sweep.engine import CecStatus, SimSweepEngine
+from repro.sweep.report import PortfolioReport
 from repro.synth.balance import balance
 from repro.synth.resyn import compress2, resyn2
 
@@ -90,6 +94,8 @@ def _make_checker(engine: str, time_limit: Optional[float], verbose: bool = Fals
         return PortfolioChecker(
             sat_checker=SatSweepChecker(time_limit=time_limit)
         )
+    if engine == "parallel":
+        return ParallelPortfolioChecker(time_limit=time_limit)
     raise ValueError(f"unknown engine {engine!r}")
 
 
@@ -97,14 +103,25 @@ def cmd_cec(args: argparse.Namespace) -> int:
     aig_a = read_aiger(args.a)
     aig_b = read_aiger(args.b)
     checker = _make_checker(args.engine, args.time_limit, args.verbose)
-    result = checker.check_miter(build_miter(aig_a, aig_b))
+    try:
+        result = checker.check_miter(build_miter(aig_a, aig_b))
+    except PortfolioError as error:
+        print(f"error: {error}")
+        if args.verbose:
+            for line in error.report.summary_lines():
+                print(line)
+        return 3
     print(f"verdict: {result.status.value}")
     if result.status is CecStatus.NONEQUIVALENT and result.cex is not None:
         print("cex:", "".join(str(b) for b in result.cex))
     if result.status is CecStatus.UNDECIDED and result.reduced_miter:
         print(f"residue: {result.reduced_miter.num_ands} AND gates")
     report = result.report
-    if report.phases:
+    if isinstance(report, PortfolioReport):
+        if args.verbose:
+            for line in report.summary_lines():
+                print(line)
+    elif report.phases:
         print(
             f"time: {report.total_seconds:.2f}s, "
             f"reduction: {report.reduction_percent:.1f}%"
@@ -163,7 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     cec.add_argument(
         "--engine",
         default="combined",
-        choices=["combined", "sim", "sat", "bdd", "portfolio"],
+        choices=["combined", "sim", "sat", "bdd", "portfolio", "parallel"],
     )
     cec.add_argument("--time-limit", type=float, default=None)
     cec.add_argument(

@@ -5,14 +5,32 @@
   stop, as described in [33] and §IV-A of the paper;
 - :class:`~repro.portfolio.checker.CombinedChecker` — the paper's own
   flow: the simulation-based GPU engine followed by SAT sweeping on the
-  residual miter ("Ours (GPU+ABC)" in Table II).
+  residual miter ("Ours (GPU+ABC)" in Table II);
+- :class:`~repro.portfolio.parallel.ParallelPortfolioChecker` — the
+  fault-tolerant process-per-engine orchestrator (per-engine budgets,
+  staged termination, crash surfacing, residue hand-off).
+
+Every portfolio run attaches a
+:class:`~repro.sweep.report.PortfolioReport` to ``CecResult.report``;
+:class:`~repro.portfolio.parallel.PortfolioError` is raised when every
+engine of a run fails.
 """
 
 from repro.portfolio.checker import CombinedChecker, PortfolioChecker
-from repro.portfolio.parallel import ParallelPortfolioChecker
+from repro.portfolio.parallel import (
+    DEFAULT_ENGINES,
+    ParallelPortfolioChecker,
+    PortfolioError,
+    build_checker,
+    resolve_start_method,
+)
 
 __all__ = [
     "CombinedChecker",
+    "DEFAULT_ENGINES",
     "ParallelPortfolioChecker",
     "PortfolioChecker",
+    "PortfolioError",
+    "build_checker",
+    "resolve_start_method",
 ]

@@ -11,6 +11,7 @@ an engine finishes" (§IV-A).
 from __future__ import annotations
 
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -20,6 +21,11 @@ from repro.bdd.cec import BddChecker
 from repro.sat.sweeping import SatSweepChecker
 from repro.sweep.config import EngineConfig
 from repro.sweep.engine import CecResult, CecStatus, SimSweepEngine
+from repro.sweep.report import (
+    EngineFailure,
+    EngineRunRecord,
+    PortfolioReport,
+)
 
 
 @dataclass
@@ -111,20 +117,62 @@ class PortfolioChecker:
         self.sat_checker = sat_checker or SatSweepChecker()
         #: Per-engine seconds of the last run.
         self.engine_seconds: Dict[str, float] = {}
+        #: Full report of the last run (also on ``CecResult.report``).
+        self.report: Optional[PortfolioReport] = None
 
     def check(self, aig_a: Aig, aig_b: Aig) -> CecResult:
         """Check two networks (builds the miter)."""
         return self.check_miter(build_miter(aig_a, aig_b))
 
     def check_miter(self, miter: Aig) -> CecResult:
-        """Run the engine cascade with early stop."""
+        """Run the engine cascade with early stop.
+
+        A stage that crashes is recorded as an
+        :class:`~repro.sweep.report.EngineFailure` and the cascade moves
+        on; :class:`~repro.portfolio.parallel.PortfolioError` is raised
+        only when every stage fails.
+        """
+        from repro.portfolio.parallel import PortfolioError
+
         self.engine_seconds = {}
-        start = time.perf_counter()
-        bdd_result = self.bdd_checker.check_miter(miter)
-        self.engine_seconds["bdd"] = time.perf_counter() - start
-        if bdd_result.status is not CecStatus.UNDECIDED:
-            return bdd_result
-        start = time.perf_counter()
-        sat_result = self.sat_checker.check_miter(miter)
-        self.engine_seconds["sat"] = time.perf_counter() - start
-        return sat_result
+        report = PortfolioReport(start_method="inline")
+        self.report = report
+        best_undecided: Optional[CecResult] = None
+        stages = [("bdd", self.bdd_checker), ("sat", self.sat_checker)]
+        for name, checker in stages:
+            record = EngineRunRecord(name=name, status="running")
+            report.engines.append(record)
+            start = time.perf_counter()
+            try:
+                result = checker.check_miter(miter)
+            except Exception as error:
+                record.seconds = time.perf_counter() - start
+                record.status = "failed"
+                record.failure = EngineFailure(
+                    engine=name,
+                    message=repr(error),
+                    traceback=traceback.format_exc(),
+                )
+                report.total_seconds += record.seconds
+                continue
+            record.seconds = time.perf_counter() - start
+            report.total_seconds += record.seconds
+            self.engine_seconds[name] = record.seconds
+            record.status = result.status.value
+            if result.status is not CecStatus.UNDECIDED:
+                report.winner = name
+                result.report = report
+                return result
+            if result.reduced_miter is not None:
+                record.residue_ands = result.reduced_miter.num_ands
+            if best_undecided is None or (
+                result.reduced_miter is not None
+                and best_undecided.reduced_miter is not None
+                and result.reduced_miter.num_ands
+                < best_undecided.reduced_miter.num_ands
+            ):
+                best_undecided = result
+        if best_undecided is None:
+            raise PortfolioError(report.failures, report)
+        best_undecided.report = report
+        return best_undecided

@@ -1,0 +1,53 @@
+"""Fault-injection engines for exercising the orchestration layer.
+
+A fault-tolerant portfolio is only as good as its tests: these checkers
+deterministically reproduce the failure modes the orchestrator must
+survive — a worker that hangs past its budget and a worker that crashes.
+They are registered as the ``"sleep"`` and ``"crash"`` spec kinds in
+:func:`repro.portfolio.parallel.build_checker` so they stay importable
+under every multiprocessing start method (a test-local registry would
+not survive ``spawn``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.aig.miter import build_miter
+from repro.aig.network import Aig
+from repro.sweep.engine import CecResult, CecStatus
+
+
+class SleepingChecker:
+    """Never answers within ``seconds``: models a hung or slow engine.
+
+    Returns UNDECIDED (with the unreduced miter) if the sleep ever
+    completes, so an unbudgeted run still terminates.
+    """
+
+    def __init__(self, seconds: float = 3600.0) -> None:
+        self.seconds = seconds
+
+    def check(self, aig_a: Aig, aig_b: Aig) -> CecResult:
+        """Check two networks for equivalence (builds the miter)."""
+        return self.check_miter(build_miter(aig_a, aig_b))
+
+    def check_miter(self, miter: Aig) -> CecResult:
+        """Sleep for the configured duration, then give up."""
+        time.sleep(self.seconds)
+        return CecResult(CecStatus.UNDECIDED, reduced_miter=miter)
+
+
+class CrashingChecker:
+    """Raises on every check: models an engine crash in a worker."""
+
+    def __init__(self, message: str = "injected engine fault") -> None:
+        self.message = message
+
+    def check(self, aig_a: Aig, aig_b: Aig) -> CecResult:
+        """Check two networks for equivalence (builds the miter)."""
+        return self.check_miter(build_miter(aig_a, aig_b))
+
+    def check_miter(self, miter: Aig) -> CecResult:
+        """Raise the configured fault."""
+        raise RuntimeError(self.message)

@@ -1,10 +1,27 @@
-"""Truly concurrent multi-engine checking.
+"""Fault-tolerant concurrent multi-engine checking.
 
 The paper describes commercial checkers as running "different engines
 simultaneously and early stop when an engine finishes" (§IV-A) on up to
 16 CPU threads.  :class:`ParallelPortfolioChecker` reproduces that
-architecture with one OS process per engine: the first conclusive
-verdict wins and the losers are terminated.
+architecture with one OS process per engine — and hardens it into the
+orchestration layer the rest of the system builds on:
+
+- **spawn-safe process management** — the multiprocessing start method
+  is resolved per platform (``spawn`` on macOS/Windows, the interpreter
+  default elsewhere); ``fork`` is an explicit opt-in via the
+  ``start_method`` argument or the ``REPRO_MP_START_METHOD`` environment
+  variable.  Workers are non-daemonic so engines may parallelise
+  internally.
+- **budgets with staged termination** — each engine may carry its own
+  wall-clock budget on top of the global deadline; an over-budget worker
+  receives SIGTERM, a join grace period, then SIGKILL.
+- **crash surfacing** — a worker exception or abnormal exit becomes a
+  structured :class:`~repro.sweep.report.EngineFailure` on the run's
+  :class:`~repro.sweep.report.PortfolioReport` instead of being dropped;
+  the run raises :class:`PortfolioError` only when *every* engine fails.
+- **residue hand-off** — on global timeout the smallest residue
+  collected so far is re-checked by a configurable finisher engine
+  before the run settles for UNDECIDED.
 
 Engines are named specs so they pickle cleanly:
 
@@ -12,20 +29,31 @@ Engines are named specs so they pickle cleanly:
 - ``("combined", {...})`` — simulation engine + SAT residue;
 - ``("sat", {"conflict_limit": ..., ...})`` — SAT sweeping;
 - ``("bdd", {"node_limit": ...})`` — monolithic BDD;
-- ``("bddsweep", {"node_limit": ...})`` — BDD sweeping.
+- ``("bddsweep", {"node_limit": ...})`` — BDD sweeping;
+- ``("sleep", {"seconds": ...})`` / ``("crash", {...})`` — fault
+  injection (see :mod:`repro.portfolio.faults`).
+
+A spec may carry an optional third element, a per-engine wall-clock
+budget in seconds: ``("sat", {}, 10.0)``.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
+import queue as queue_module
+import sys
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.aig.miter import build_miter
 from repro.aig.network import Aig
 from repro.sweep.engine import CecResult, CecStatus
+from repro.sweep.report import EngineFailure, EngineRunRecord, PortfolioReport
 
-EngineSpec = Tuple[str, Dict]
+EngineSpec = Union[Tuple[str, Dict], Tuple[str, Dict, float]]
 
 #: The default engine line-up: one of each prover family.
 DEFAULT_ENGINES: List[EngineSpec] = [
@@ -34,10 +62,65 @@ DEFAULT_ENGINES: List[EngineSpec] = [
     ("bdd", {"node_limit": 500_000}),
 ]
 
+#: Environment variable overriding the multiprocessing start method
+#: (used by CI to run the suite under ``spawn``).
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
+
+#: Default finisher: a conflict-limited SAT sweep over the best residue.
+DEFAULT_FINISHER: EngineSpec = ("sat", {"conflict_limit": 20_000})
+
+
+class PortfolioError(RuntimeError):
+    """Raised when every engine of a portfolio run failed.
+
+    Carries the structured failures and the full
+    :class:`~repro.sweep.report.PortfolioReport` of the run.
+    """
+
+    def __init__(
+        self, failures: Sequence[EngineFailure], report: PortfolioReport
+    ) -> None:
+        self.failures = list(failures)
+        self.report = report
+        details = "; ".join(str(f) for f in self.failures)
+        super().__init__(
+            f"all {len(self.failures)} portfolio engines failed: {details}"
+        )
+
+
+def resolve_start_method(requested: Optional[str] = None) -> str:
+    """Pick the multiprocessing start method for a portfolio run.
+
+    Resolution order: explicit ``requested`` argument, then the
+    ``REPRO_MP_START_METHOD`` environment variable, then a per-platform
+    default — ``spawn`` on platforms where ``fork`` is unsafe or absent
+    (macOS, Windows), the interpreter's default elsewhere.  ``fork`` is
+    therefore never forced: it remains an opt-in.
+    """
+    if requested is not None:
+        method = requested
+    else:
+        method = os.environ.get(START_METHOD_ENV) or ""
+        if not method:
+            if sys.platform in ("win32", "darwin"):
+                method = "spawn"
+            else:
+                method = mp.get_start_method()
+    if method not in mp.get_all_start_methods():
+        raise ValueError(
+            f"start method {method!r} is not available on this platform "
+            f"(choices: {mp.get_all_start_methods()})"
+        )
+    return method
+
 
 def build_checker(spec: EngineSpec):
-    """Instantiate a checker from a picklable spec."""
-    kind, kwargs = spec
+    """Instantiate a checker from a picklable spec.
+
+    The optional third spec element (the per-engine budget) is consumed
+    by the orchestrator, not the checker, and is ignored here.
+    """
+    kind, kwargs = spec[0], spec[1]
     if kind == "sim":
         from repro.sweep.config import EngineConfig
         from repro.sweep.engine import SimSweepEngine
@@ -61,24 +144,69 @@ def build_checker(spec: EngineSpec):
         from repro.bdd.sweeping import BddSweepChecker
 
         return BddSweepChecker(**kwargs)
+    if kind == "sleep":
+        from repro.portfolio.faults import SleepingChecker
+
+        return SleepingChecker(**kwargs)
+    if kind == "crash":
+        from repro.portfolio.faults import CrashingChecker
+
+        return CrashingChecker(**kwargs)
     raise ValueError(f"unknown engine spec {kind!r}")
 
 
-def _engine_worker(spec: EngineSpec, miter: Aig, queue: "mp.Queue") -> None:
-    """Run one engine in a child process and post its result."""
+def _engine_worker(
+    index: int, spec: EngineSpec, miter: Aig, queue: "mp.Queue"
+) -> None:
+    """Run one engine in a child process and post its result.
+
+    Every exit path posts exactly one message; a worker that dies
+    without posting (killed, segfault) is detected by the parent via its
+    exit code.
+    """
+    start = time.perf_counter()
     try:
         checker = build_checker(spec)
         result = checker.check_miter(miter)
         queue.put(
-            (
-                spec[0],
-                result.status.value,
-                result.cex,
-                result.reduced_miter,
-            )
+            {
+                "index": index,
+                "status": result.status.value,
+                "cex": result.cex,
+                "residue": result.reduced_miter,
+                "seconds": time.perf_counter() - start,
+            }
         )
-    except Exception as error:  # surface crashes as a verdict
-        queue.put((spec[0], "error", repr(error), None))
+    except BaseException as error:  # surface crashes as structured data
+        try:
+            queue.put(
+                {
+                    "index": index,
+                    "status": "error",
+                    "message": repr(error),
+                    "traceback": traceback.format_exc(),
+                    "seconds": time.perf_counter() - start,
+                }
+            )
+        except Exception:
+            pass  # unpicklable error payload: parent sees abnormal exit
+
+
+@dataclass
+class _WorkerState:
+    """Parent-side bookkeeping for one engine worker."""
+
+    index: int
+    name: str
+    process: "mp.process.BaseProcess"
+    record: EngineRunRecord
+    budget: Optional[float]
+    started: float = 0.0
+    deadline: Optional[float] = None
+    done: bool = False
+    #: Monotonic time the process was first observed dead without having
+    #: posted a result (grace period for in-flight queue messages).
+    dead_since: Optional[float] = None
 
 
 class ParallelPortfolioChecker:
@@ -88,16 +216,47 @@ class ParallelPortfolioChecker:
     ----------
     engines:
         Engine specs (see module docstring); defaults to one checker per
-        prover family.
+        prover family.  A spec may carry a third element — its
+        wall-clock budget in seconds.
     time_limit:
         Overall wall-clock budget; on expiry all engines are terminated
-        and the best residue seen so far (if any) is returned UNDECIDED.
+        and the best residue seen so far (if any) is handed to the
+        finisher, then returned UNDECIDED.
+    engine_time_limit:
+        Default per-engine budget for specs without their own.
+    start_method:
+        Multiprocessing start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"``); see :func:`resolve_start_method` for the
+        default resolution.
+    finisher:
+        Engine spec run in-process on the smallest residue after a
+        global timeout.  Defaults to a conflict-limited SAT sweep;
+        pass ``None`` to disable the hand-off.
+    finisher_time_limit:
+        Wall-clock budget injected into the default finisher.
+    terminate_grace:
+        Seconds to wait between SIGTERM and SIGKILL when stopping a
+        worker.
+
+    Raises
+    ------
+    PortfolioError
+        When every engine fails (crash or abnormal exit) — a portfolio
+        with no surviving engine has no verdict to report.
     """
+
+    _POLL_INTERVAL = 0.05
+    _DEAD_GRACE = 1.0
 
     def __init__(
         self,
         engines: Optional[Sequence[EngineSpec]] = None,
         time_limit: Optional[float] = None,
+        engine_time_limit: Optional[float] = None,
+        start_method: Optional[str] = None,
+        finisher: Union[EngineSpec, None, str] = "default",
+        finisher_time_limit: float = 5.0,
+        terminate_grace: float = 1.0,
     ) -> None:
         self.engines = list(engines) if engines is not None else list(
             DEFAULT_ENGINES
@@ -105,8 +264,22 @@ class ParallelPortfolioChecker:
         if not self.engines:
             raise ValueError("need at least one engine spec")
         self.time_limit = time_limit
+        self.engine_time_limit = engine_time_limit
+        self.start_method = start_method
+        if finisher == "default":
+            kind, kwargs = DEFAULT_FINISHER[0], dict(DEFAULT_FINISHER[1])
+            kwargs.setdefault("time_limit", finisher_time_limit)
+            self.finisher: Optional[EngineSpec] = (kind, kwargs)
+        else:
+            self.finisher = finisher
+        self.terminate_grace = terminate_grace
         #: Engine that produced the winning verdict in the last run.
         self.winner: Optional[str] = None
+        #: Full report of the last run (also on ``CecResult.report``).
+        self.report: Optional[PortfolioReport] = None
+        #: Residue left by the last finisher run (smaller than the input
+        #: when the finisher made partial progress).
+        self._finisher_residue: Optional[Aig] = None
 
     def check(self, aig_a: Aig, aig_b: Aig) -> CecResult:
         """Check two networks for equivalence (builds the miter)."""
@@ -114,55 +287,268 @@ class ParallelPortfolioChecker:
 
     def check_miter(self, miter: Aig) -> CecResult:
         """Race the configured engines on a miter."""
-        context = mp.get_context("fork")
-        queue: mp.Queue = context.Queue()
-        processes = [
-            context.Process(
-                target=_engine_worker, args=(spec, miter, queue), daemon=True
+        method = resolve_start_method(self.start_method)
+        context = mp.get_context(method)
+        result_queue: "mp.Queue" = context.Queue()
+        started_at = time.monotonic()
+        report = PortfolioReport(start_method=method)
+        self.report = report
+        self.winner = None
+
+        workers: List[_WorkerState] = []
+        for index, spec in enumerate(self.engines):
+            record = EngineRunRecord(name=spec[0], status="running")
+            report.engines.append(record)
+            budget = spec[2] if len(spec) > 2 else self.engine_time_limit
+            process = context.Process(
+                target=_engine_worker,
+                args=(index, spec, miter, result_queue),
+                daemon=False,
             )
-            for spec in self.engines
-        ]
-        for process in processes:
-            process.start()
-        deadline = (
-            time.monotonic() + self.time_limit
-            if self.time_limit is not None
-            else None
-        )
+            workers.append(
+                _WorkerState(
+                    index=index,
+                    name=spec[0],
+                    process=process,
+                    record=record,
+                    budget=budget,
+                )
+            )
+
         best_residue: Optional[Aig] = None
-        pending = len(processes)
+        verdict: Optional[CecResult] = None
+        timed_out = False
         try:
-            while pending > 0:
-                timeout = None
-                if deadline is not None:
-                    timeout = max(0.0, deadline - time.monotonic())
-                    if timeout == 0.0:
-                        break
-                try:
-                    name, status, cex, residue = queue.get(timeout=timeout)
-                except Exception:  # queue.Empty on timeout
+            for state in workers:
+                state.process.start()
+                state.started = time.monotonic()
+                if state.budget is not None:
+                    state.deadline = state.started + state.budget
+            global_deadline = (
+                started_at + self.time_limit
+                if self.time_limit is not None
+                else None
+            )
+
+            while any(not w.done for w in workers):
+                now = time.monotonic()
+                if global_deadline is not None and now >= global_deadline:
+                    timed_out = True
                     break
-                pending -= 1
-                if status == "equivalent":
-                    self.winner = name
-                    return CecResult(CecStatus.EQUIVALENT)
-                if status == "nonequivalent":
-                    self.winner = name
-                    return CecResult(CecStatus.NONEQUIVALENT, cex=cex)
-                if status == "undecided" and residue is not None:
-                    if (
+                message = self._poll_queue(
+                    result_queue, workers, now, global_deadline
+                )
+                if message is not None:
+                    residue = self._record_message(
+                        workers[message["index"]], message
+                    )
+                    if isinstance(residue, CecResult):
+                        verdict = residue
+                        break
+                    if residue is not None and (
                         best_residue is None
                         or residue.num_ands < best_residue.num_ands
                     ):
                         best_residue = residue
-            self.winner = None
+                self._reap_workers(workers)
+
+            if verdict is not None:
+                self._cancel_remaining(workers, "cancelled")
+                report.winner = self.winner
+                report.total_seconds = time.monotonic() - started_at
+                verdict.report = report
+                return verdict
+
+            self._cancel_remaining(
+                workers, "timeout" if timed_out else "cancelled"
+            )
+
+            failures = [
+                w.record.failure
+                for w in workers
+                if w.record.failure is not None
+            ]
+            if len(failures) == len(workers):
+                report.total_seconds = time.monotonic() - started_at
+                raise PortfolioError(failures, report)
+
+            if timed_out and best_residue is not None:
+                finished = self._run_finisher(best_residue, report)
+                if finished is not None:
+                    report.total_seconds = time.monotonic() - started_at
+                    finished.report = report
+                    return finished
+                if (
+                    self._finisher_residue is not None
+                    and self._finisher_residue.num_ands
+                    < best_residue.num_ands
+                ):
+                    best_residue = self._finisher_residue
+
+            report.total_seconds = time.monotonic() - started_at
             return CecResult(
                 CecStatus.UNDECIDED,
-                reduced_miter=best_residue if best_residue is not None else miter,
+                reduced_miter=(
+                    best_residue if best_residue is not None else miter
+                ),
+                report=report,
             )
         finally:
-            for process in processes:
-                if process.is_alive():
-                    process.terminate()
-            for process in processes:
-                process.join(timeout=1.0)
+            for state in workers:
+                self._stop_process(state.process)
+            result_queue.close()
+            result_queue.cancel_join_thread()
+
+    # ------------------------------------------------------------------
+    # Orchestration internals
+    # ------------------------------------------------------------------
+
+    def _poll_queue(
+        self,
+        result_queue: "mp.Queue",
+        workers: List[_WorkerState],
+        now: float,
+        global_deadline: Optional[float],
+    ) -> Optional[Dict]:
+        """One bounded wait on the result queue.
+
+        The wait is capped by the poll interval and by the nearest
+        deadline (global or per-engine) so budget enforcement and dead
+        worker detection stay responsive.
+        """
+        timeout = self._POLL_INTERVAL
+        deadlines = [
+            w.deadline for w in workers if not w.done and w.deadline is not None
+        ]
+        if global_deadline is not None:
+            deadlines.append(global_deadline)
+        if deadlines:
+            timeout = min(timeout, max(0.0, min(deadlines) - now))
+        try:
+            return result_queue.get(timeout=timeout)
+        except queue_module.Empty:
+            return None
+
+    def _record_message(
+        self, state: _WorkerState, message: Dict
+    ) -> Union[CecResult, Aig, None]:
+        """Fold one worker message into its record.
+
+        Returns a :class:`CecResult` for a conclusive verdict, the
+        residue network for an UNDECIDED report, ``None`` otherwise.
+        """
+        if state.done:  # late message from an already-terminated worker
+            return None
+        state.done = True
+        record = state.record
+        record.seconds = message["seconds"]
+        status = message["status"]
+        if status == "error":
+            record.status = "failed"
+            record.failure = EngineFailure(
+                engine=state.name,
+                message=message["message"],
+                traceback=message.get("traceback", ""),
+            )
+            return None
+        if status == "undecided":
+            record.status = "undecided"
+            residue = message.get("residue")
+            if residue is not None:
+                record.residue_ands = residue.num_ands
+            return residue
+        record.status = status
+        self.winner = state.name
+        if status == "equivalent":
+            return CecResult(CecStatus.EQUIVALENT)
+        return CecResult(CecStatus.NONEQUIVALENT, cex=message.get("cex"))
+
+    def _reap_workers(self, workers: List[_WorkerState]) -> None:
+        """Enforce per-engine budgets and detect abnormal exits."""
+        now = time.monotonic()
+        for state in workers:
+            if state.done:
+                continue
+            if state.deadline is not None and now >= state.deadline:
+                self._stop_process(state.process)
+                state.done = True
+                state.record.status = "timeout"
+                state.record.seconds = now - state.started
+                continue
+            if not state.process.is_alive():
+                if state.dead_since is None:
+                    # Allow in-flight queue messages to drain before
+                    # declaring the exit abnormal.
+                    state.dead_since = now
+                elif now - state.dead_since >= self._DEAD_GRACE:
+                    state.done = True
+                    state.record.status = "failed"
+                    state.record.seconds = now - state.started
+                    state.record.failure = EngineFailure(
+                        engine=state.name,
+                        message="worker exited without reporting a result",
+                        exit_code=state.process.exitcode,
+                    )
+
+    def _cancel_remaining(
+        self, workers: List[_WorkerState], status: str
+    ) -> None:
+        """Stop every still-running worker and record why."""
+        now = time.monotonic()
+        for state in workers:
+            if state.done:
+                continue
+            self._stop_process(state.process)
+            state.done = True
+            state.record.status = status
+            state.record.seconds = now - state.started
+
+    def _stop_process(self, process: "mp.process.BaseProcess") -> None:
+        """Staged termination: SIGTERM, join grace, then SIGKILL."""
+        if process.is_alive():
+            process.terminate()
+            process.join(self.terminate_grace)
+        if process.is_alive():
+            process.kill()
+            process.join(self.terminate_grace)
+
+    def _run_finisher(
+        self, residue: Aig, report: PortfolioReport
+    ) -> Optional[CecResult]:
+        """Re-check the best residue in-process after a global timeout.
+
+        Returns a conclusive :class:`CecResult` when the finisher proves
+        or disproves the residue, ``None`` otherwise.  Finisher crashes
+        are recorded on the report, never raised — the portfolio still
+        has its UNDECIDED answer to return.
+        """
+        self._finisher_residue: Optional[Aig] = None
+        if self.finisher is None:
+            return None
+        record = EngineRunRecord(
+            name=f"finisher:{self.finisher[0]}", status="running"
+        )
+        report.finisher = record
+        start = time.perf_counter()
+        try:
+            checker = build_checker(self.finisher)
+            result = checker.check_miter(residue)
+        except Exception as error:
+            record.seconds = time.perf_counter() - start
+            record.status = "failed"
+            record.failure = EngineFailure(
+                engine=record.name,
+                message=repr(error),
+                traceback=traceback.format_exc(),
+            )
+            return None
+        record.seconds = time.perf_counter() - start
+        record.status = result.status.value
+        if result.status is CecStatus.UNDECIDED:
+            if result.reduced_miter is not None:
+                record.residue_ands = result.reduced_miter.num_ands
+                self._finisher_residue = result.reduced_miter
+            return None
+        self.winner = record.name
+        report.winner = record.name
+        return result

@@ -74,6 +74,12 @@ class SimulatorStats:
     slots: int = 0
     rounds: int = 0
     words_simulated: int = 0
+    #: Largest simulation table allocated so far, in 64-bit words.
+    #: Always ≤ ``memory_budget_words`` — the Algorithm 1 invariant.
+    peak_table_words: int = 0
+    #: Windows dropped because they alone exceed the memory budget
+    #: (only with ``skip_oversized=True``).
+    skipped_windows: int = 0
 
 
 class ExhaustiveSimulator:
@@ -97,12 +103,73 @@ class ExhaustiveSimulator:
         aig: Aig,
         windows: Sequence[Window],
         collect_cex: bool = True,
+        skip_oversized: bool = False,
     ) -> List[PairOutcome]:
-        """Check all pairs of all windows; returns one outcome per pair."""
+        """Check all pairs of all windows; returns one outcome per pair.
+
+        Batches whose slot count alone would overflow the memory budget
+        are split into sub-batches, so the simulation table never
+        exceeds ``memory_budget_words`` (Algorithm 1's ``M``).  A single
+        window too large for the budget raises ``ValueError`` — or, with
+        ``skip_oversized``, is dropped without an outcome (its pairs
+        simply stay unproved, the sound answer when the bound ``M``
+        makes a window uncheckable).
+        """
         windows = [w for w in windows if w.pairs]
+        if skip_oversized:
+            kept = [w for w in windows if self.window_fits(w)]
+            self.stats.skipped_windows += len(windows) - len(kept)
+            windows = kept
         if not windows:
             return []
         windows = sorted(windows, key=lambda w: w.tt_words, reverse=True)
+        outcomes: List[PairOutcome] = []
+        for chunk in self._partition(windows):
+            outcomes.extend(self._run_chunk(aig, chunk, collect_cex))
+        return outcomes
+
+    def window_fits(self, window: Window) -> bool:
+        """Whether one window's slots fit the memory budget on their own."""
+        need = 1 + len(window.inputs) + len(window.nodes)
+        return need <= self.memory_budget_words
+
+    def _partition(self, windows: Sequence[Window]) -> List[List[Window]]:
+        """Split windows into sub-batches whose slots fit the budget.
+
+        Even at the minimum entry size of one word per slot, a batch
+        needs one word per input/node slot plus the shared constant
+        slot; greedily packing windows under that bound preserves the
+        descending ``tt_words`` order the round logic relies on.
+        """
+        budget = self.memory_budget_words
+        chunks: List[List[Window]] = []
+        current: List[Window] = []
+        slots = 1  # shared constant-zero slot
+        for window in windows:
+            need = len(window.inputs) + len(window.nodes)
+            if 1 + need > budget:
+                raise ValueError(
+                    f"window needs {1 + need} simulation slots but the "
+                    f"memory budget is {budget} words; raise "
+                    f"memory_budget_words"
+                )
+            if current and slots + need > budget:
+                chunks.append(current)
+                current = []
+                slots = 1
+            current.append(window)
+            slots += need
+        if current:
+            chunks.append(current)
+        return chunks
+
+    def _run_chunk(
+        self,
+        aig: Aig,
+        windows: List[Window],
+        collect_cex: bool,
+    ) -> List[PairOutcome]:
+        """Simulate one budget-respecting batch of windows."""
         batch = _FlatBatch(aig, windows)
         max_tt = windows[0].tt_words
         entry = self._entry_size(batch.num_slots, max_tt)
@@ -114,6 +181,9 @@ class ExhaustiveSimulator:
         self.stats.slots += batch.num_slots
 
         simt = np.zeros((batch.num_slots, entry), dtype=np.uint64)
+        self.stats.peak_table_words = max(
+            self.stats.peak_table_words, simt.size
+        )
         outcomes: List[Optional[PairOutcome]] = [None] * batch.num_pairs
         unresolved = np.ones(batch.num_pairs, dtype=bool)
 

@@ -47,7 +47,12 @@ from repro.simulation.window import Pair, Window, build_window
 from repro.sweep.classes import EquivalenceClasses, SimulationState
 from repro.sweep.config import EngineConfig
 from repro.sweep.reduction import reduce_miter
-from repro.sweep.report import EngineReport, PhaseRecord, PhaseTimer
+from repro.sweep.report import (
+    EngineReport,
+    PhaseRecord,
+    PhaseTimer,
+    PortfolioReport,
+)
 
 
 class CecStatus(enum.Enum):
@@ -64,13 +69,17 @@ class CecResult:
 
     ``cex`` is a full PI assignment witnessing nonequivalence (only for
     NONEQUIVALENT).  ``reduced_miter`` carries the residual miter for
-    UNDECIDED results so another engine can continue.
+    UNDECIDED results so another engine can continue.  ``report`` is an
+    :class:`~repro.sweep.report.EngineReport` for single-engine runs and
+    a :class:`~repro.sweep.report.PortfolioReport` for portfolio runs.
     """
 
     status: CecStatus
     cex: Optional[List[int]] = None
     reduced_miter: Optional[Aig] = None
-    report: EngineReport = field(default_factory=EngineReport)
+    report: Union[EngineReport, PortfolioReport] = field(
+        default_factory=EngineReport
+    )
     #: Pattern pool of the run (random + CEX patterns).  Carried so a
     #: downstream checker can reuse the refined equivalence classes —
     #: the EC-transfer extension of §V.
@@ -137,17 +146,24 @@ class SimSweepEngine:
             if self.on_phase is not None:
                 self.on_phase(record)
 
-        def finish(result: CecResult) -> CecResult:
-            report.final_ands = (
-                result.reduced_miter.num_ands if result.reduced_miter else 0
-            )
+        def finish(result: CecResult, current: Aig) -> CecResult:
+            # ``final_ands`` is the miter size at verdict time: the
+            # residue for UNDECIDED, zero for a full proof, and the
+            # still-unproved miter for a disproof (a counter-example is
+            # not a reduction, so it must not read as 100 %).
+            if result.reduced_miter is not None:
+                report.final_ands = result.reduced_miter.num_ands
+            elif result.status is CecStatus.EQUIVALENT:
+                report.final_ands = 0
+            else:
+                report.final_ands = current.num_ands
             report.total_seconds = time.perf_counter() - start
             result.report = report
             return result
 
         verdict = self._structural_verdict(miter)
         if verdict is not None:
-            return finish(verdict)
+            return finish(verdict, miter)
 
         # ---- P phase -------------------------------------------------
         record = PhaseRecord("P")
@@ -155,15 +171,15 @@ class SimSweepEngine:
             outcome = self._po_phase(miter, simulator, record)
         if isinstance(outcome, CecResult):
             note(record)
-            return finish(outcome)
+            return finish(outcome, miter)
         miter = outcome
         record.miter_ands_after = miter.num_ands
         note(record)
         if miter_is_trivially_unsat(miter):
-            return finish(CecResult(CecStatus.EQUIVALENT))
+            return finish(CecResult(CecStatus.EQUIVALENT), miter)
         if stop_after == "P":
             return finish(
-                CecResult(CecStatus.UNDECIDED, reduced_miter=miter)
+                CecResult(CecStatus.UNDECIDED, reduced_miter=miter), miter
             )
 
         state = SimulationState(
@@ -179,17 +195,18 @@ class SimSweepEngine:
             outcome = self._global_phase(miter, state, simulator, record)
         if isinstance(outcome, CecResult):
             note(record)
-            return finish(outcome)
+            return finish(outcome, miter)
         miter = outcome
         record.miter_ands_after = miter.num_ands
         note(record)
         if miter_is_trivially_unsat(miter):
-            return finish(CecResult(CecStatus.EQUIVALENT))
+            return finish(CecResult(CecStatus.EQUIVALENT), miter)
         if stop_after == "PG":
             return finish(
                 CecResult(
                     CecStatus.UNDECIDED, reduced_miter=miter, sim_state=state
-                )
+                ),
+                miter,
             )
 
         # ---- repeated L phases ----------------------------------------
@@ -202,12 +219,12 @@ class SimSweepEngine:
                 )
             if isinstance(outcome, CecResult):
                 note(record)
-                return finish(outcome)
+                return finish(outcome, miter)
             miter = outcome
             record.miter_ands_after = miter.num_ands
             note(record)
             if miter_is_trivially_unsat(miter):
-                return finish(CecResult(CecStatus.EQUIVALENT))
+                return finish(CecResult(CecStatus.EQUIVALENT), miter)
             if not progressed:
                 break
             if self.config.interleave_rewriting:
@@ -220,7 +237,8 @@ class SimSweepEngine:
         return finish(
             CecResult(
                 CecStatus.UNDECIDED, reduced_miter=miter, sim_state=state
-            )
+            ),
+            miter,
         )
 
     # ------------------------------------------------------------------
@@ -268,7 +286,9 @@ class SimSweepEngine:
             return miter
         if cfg.window_merging:
             windows = merge_windows(miter, windows, cfg.k_s_for(threshold))
-        outcomes = simulator.run(miter, windows, collect_cex=True)
+        outcomes = simulator.run(
+            miter, windows, collect_cex=True, skip_oversized=True
+        )
         new_pos = list(miter.pos)
         for outcome in outcomes:
             if outcome.status is PairStatus.MISMATCH:
@@ -330,7 +350,9 @@ class SimSweepEngine:
                 windows = merge_windows(
                     miter, windows, cfg.k_s_for(cfg.k_g)
                 )
-            outcomes = simulator.run(miter, windows, collect_cex=True)
+            outcomes = simulator.run(
+                miter, windows, collect_cex=True, skip_oversized=True
+            )
             merges: Dict[int, Tuple[int, int]] = {}
             cex_patterns: List[List[int]] = []
             for outcome in outcomes:
@@ -441,7 +463,9 @@ class SimSweepEngine:
         needed = set(collect_cone(miter, pair_roots))
 
         def flush(windows: List[Window]) -> None:
-            outcomes = simulator.run(miter, windows, collect_cex=False)
+            outcomes = simulator.run(
+                miter, windows, collect_cex=False, skip_oversized=True
+            )
             for outcome in outcomes:
                 node = outcome.pair.tag
                 if (

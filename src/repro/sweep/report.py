@@ -75,6 +75,119 @@ class EngineReport:
         return {kind: sec / denom for kind, sec in totals.items()}
 
 
+@dataclass
+class EngineFailure:
+    """Structured record of one engine's crash inside a portfolio run.
+
+    A worker that raises posts its traceback text; a worker that dies
+    without reporting (killed, segfault, unpicklable result) is recorded
+    with its exit code and an explanatory message.
+    """
+
+    #: Engine name (the spec kind, e.g. ``"sat"``).
+    engine: str
+    #: One-line description of the failure.
+    message: str
+    #: Full traceback text when the worker raised; empty otherwise.
+    traceback: str = ""
+    #: Process exit code for abnormal exits (``None`` when the worker
+    #: reported its own exception).
+    exit_code: Optional[int] = None
+
+    def __str__(self) -> str:
+        suffix = f" (exit code {self.exit_code})" if self.exit_code is not None else ""
+        return f"{self.engine}: {self.message}{suffix}"
+
+
+@dataclass
+class EngineRunRecord:
+    """Per-engine outcome of a portfolio run.
+
+    ``status`` is one of:
+
+    - ``"equivalent"`` / ``"nonequivalent"`` — the engine produced the
+      winning conclusive verdict;
+    - ``"undecided"`` — the engine finished without a verdict (its
+      residue size, if any, is in ``residue_ands``);
+    - ``"failed"`` — the engine crashed (details in ``failure``);
+    - ``"timeout"`` — the engine was terminated on its per-engine budget
+      or the global deadline;
+    - ``"cancelled"`` — another engine won first and this one was
+      stopped early.
+    """
+
+    name: str
+    status: str
+    seconds: float = 0.0
+    #: AND count of the residue the engine returned (UNDECIDED only).
+    residue_ands: Optional[int] = None
+    failure: Optional[EngineFailure] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view for serialisation in benchmark output."""
+        return {
+            "name": self.name,
+            "status": self.status,
+            "seconds": self.seconds,
+            "residue_ands": self.residue_ands,
+            "failure": str(self.failure) if self.failure else None,
+        }
+
+
+@dataclass
+class PortfolioReport:
+    """Full record of a multi-engine portfolio run.
+
+    Attached to :attr:`repro.sweep.engine.CecResult.report` by the
+    portfolio checkers and printed by the CLI's ``--verbose``.
+    """
+
+    engines: List[EngineRunRecord] = field(default_factory=list)
+    #: Name of the engine that produced the verdict (``None`` when the
+    #: run ended UNDECIDED).
+    winner: Optional[str] = None
+    total_seconds: float = 0.0
+    #: Multiprocessing start method the run used (``"inline"`` for the
+    #: staged, single-process portfolio).
+    start_method: str = "inline"
+    #: Record of the timeout finisher engine, when one ran.
+    finisher: Optional[EngineRunRecord] = None
+
+    @property
+    def failures(self) -> List[EngineFailure]:
+        """All engine failures observed during the run."""
+        found = [r.failure for r in self.engines if r.failure is not None]
+        if self.finisher is not None and self.finisher.failure is not None:
+            found.append(self.finisher.failure)
+        return found
+
+    def record(self, name: str) -> Optional[EngineRunRecord]:
+        """The first record of engine ``name`` (``None`` if absent)."""
+        for rec in self.engines:
+            if rec.name == name:
+                return rec
+        return None
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable per-engine summary (the ``--verbose`` output)."""
+        lines = [
+            f"portfolio: start_method={self.start_method}, "
+            f"winner={self.winner or '-'}, "
+            f"total {self.total_seconds:.2f}s"
+        ]
+        records = list(self.engines)
+        if self.finisher is not None:
+            records.append(self.finisher)
+        for rec in records:
+            parts = [f"  engine {rec.name}: {rec.status}, {rec.seconds:.2f}s"]
+            if rec.residue_ands is not None:
+                parts.append(f"residue {rec.residue_ands} ANDs")
+            if rec.failure is not None:
+                parts.append(str(rec.failure))
+            lines.append(", ".join(parts))
+        return lines
+
+
 class PhaseTimer:
     """Context manager that fills a :class:`PhaseRecord`'s duration."""
 

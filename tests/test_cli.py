@@ -26,7 +26,9 @@ def test_cec_equivalent(circuit_files, capsys):
     assert "equivalent" in capsys.readouterr().out
 
 
-@pytest.mark.parametrize("engine", ["sim", "sat", "bdd", "portfolio"])
+@pytest.mark.parametrize(
+    "engine", ["sim", "sat", "bdd", "portfolio", "parallel"]
+)
 def test_cec_engines(circuit_files, engine):
     a, b, _ = circuit_files
     code = main(["cec", str(a), str(b), "--engine", engine])
@@ -89,6 +91,19 @@ def test_cec_verbose_prints_phases(circuit_files, capsys):
     )
     out = capsys.readouterr().out
     assert "phase P" in out
+
+
+def test_cec_parallel_verbose_prints_portfolio_report(
+    circuit_files, capsys
+):
+    a, b, _ = circuit_files
+    assert (
+        main(["cec", str(a), str(b), "--engine", "parallel", "--verbose"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "portfolio: start_method=" in out
+    assert "engine " in out
 
 
 def test_module_entry_point():

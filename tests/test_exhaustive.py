@@ -65,7 +65,7 @@ def test_mismatch_yields_valid_cex():
         assert equal
 
 
-@pytest.mark.parametrize("budget", [8, 64, 1 << 20])
+@pytest.mark.parametrize("budget", [128, 256, 1 << 20])
 def test_memory_budget_does_not_change_verdicts(budget):
     """Multi-round (small E) and single-round runs must agree."""
     aig = random_aig(num_pis=8, num_nodes=80, num_pos=6, seed=62)
@@ -79,6 +79,41 @@ def test_memory_budget_does_not_change_verdicts(budget):
     ref_by_tag = {o.pair.tag: o.status for o in reference}
     lim_by_tag = {o.pair.tag: o.status for o in limited}
     assert ref_by_tag == lim_by_tag
+
+
+def test_memory_budget_bounds_table_allocation():
+    """Algorithm 1's ``M``: the ``simt`` table never exceeds the budget.
+
+    Regression test: with many windows the slot count alone used to
+    exceed the budget at ``entry=1``; now the batch is split into
+    sub-batches that respect the bound.
+    """
+    aig = random_aig(num_pis=8, num_nodes=80, num_pos=8, seed=67)
+    windows = [
+        _global_window(aig, aig.pos[i], aig.pos[j], tag=8 * i + j)
+        for i in range(8)
+        for j in range(8)
+    ]
+    slot_counts = [len(w.inputs) + len(w.nodes) for w in windows]
+    total_slots = 1 + sum(slot_counts)
+    budget = 2 * max(slot_counts)
+    assert budget < total_slots  # one flat batch would break the bound
+    limited = ExhaustiveSimulator(budget)
+    outcomes = limited.run(aig, windows)
+    assert limited.stats.peak_table_words <= budget
+    assert limited.stats.batches > 1
+    reference = {
+        o.pair.tag: o.status
+        for o in ExhaustiveSimulator(1 << 22).run(aig, windows)
+    }
+    assert {o.pair.tag: o.status for o in outcomes} == reference
+
+
+def test_window_larger_than_budget_rejected():
+    aig = random_aig(num_pis=6, num_nodes=40, num_pos=2, seed=68)
+    window = _global_window(aig, aig.pos[0], aig.pos[1])
+    with pytest.raises(ValueError):
+        ExhaustiveSimulator(4).run(aig, [window])
 
 
 def test_complemented_pair():
@@ -152,7 +187,7 @@ def test_exhaustive_agrees_with_brute_force(seed):
     )
     lit_a, lit_b = aig.pos[0], aig.pos[1]
     window = _global_window(aig, lit_a, lit_b)
-    out = ExhaustiveSimulator(memory_budget_words=32).run(aig, [window])
+    out = ExhaustiveSimulator(memory_budget_words=64).run(aig, [window])
     want = PairStatus.EQUAL if _brute_equal(aig, lit_a, lit_b) else PairStatus.MISMATCH
     assert out[0].status is want
 

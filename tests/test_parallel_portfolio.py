@@ -1,5 +1,6 @@
 """Tests for the multiprocessing portfolio checker."""
 
+import multiprocessing as mp
 import pickle
 
 import pytest
@@ -8,9 +9,12 @@ from repro.aig.network import negate_outputs
 from repro.bench.generators import multiplier, voter
 from repro.portfolio.parallel import (
     ParallelPortfolioChecker,
+    PortfolioError,
     build_checker,
+    resolve_start_method,
 )
 from repro.sweep.engine import CecStatus
+from repro.sweep.report import PortfolioReport
 from repro.synth.resyn import compress2
 
 from conftest import random_aig
@@ -25,11 +29,16 @@ def test_aig_pickling_round_trip():
 
 
 @pytest.mark.parametrize(
-    "kind", ["sim", "combined", "sat", "bdd", "bddsweep"]
+    "kind", ["sim", "combined", "sat", "bdd", "bddsweep", "sleep", "crash"]
 )
 def test_build_checker_specs(kind):
     checker = build_checker((kind, {}))
     assert hasattr(checker, "check_miter")
+
+
+def test_build_checker_ignores_budget_element():
+    checker = build_checker(("sat", {"conflict_limit": 10}, 5.0))
+    assert checker.conflict_limit == 10
 
 
 def test_build_checker_rejects_unknown():
@@ -85,3 +94,116 @@ def test_parallel_crashing_engine_does_not_poison_run():
 def test_requires_engines():
     with pytest.raises(ValueError):
         ParallelPortfolioChecker(engines=[])
+
+
+def test_crash_recorded_on_report():
+    """A worker that raises becomes a structured EngineFailure."""
+    original = voter(15)
+    optimized = compress2(original)
+    checker = ParallelPortfolioChecker(
+        engines=[("crash", {"message": "boom"}), ("combined", {})],
+        time_limit=120.0,
+    )
+    result = checker.check(original, optimized)
+    assert result.status is CecStatus.EQUIVALENT
+    report = result.report
+    assert isinstance(report, PortfolioReport)
+    assert report.winner == "combined"
+    crashed = report.record("crash")
+    assert crashed.status == "failed"
+    assert crashed.failure is not None
+    assert "boom" in crashed.failure.message
+    assert "RuntimeError" in crashed.failure.traceback
+
+
+def test_all_engines_fail_raises_descriptive_error():
+    original = voter(9)
+    optimized = compress2(original)
+    checker = ParallelPortfolioChecker(
+        engines=[
+            ("crash", {"message": "first"}),
+            ("crash", {"message": "second"}),
+        ],
+        time_limit=60.0,
+    )
+    with pytest.raises(PortfolioError) as excinfo:
+        checker.check(original, optimized)
+    error = excinfo.value
+    assert len(error.failures) == 2
+    assert "first" in str(error) and "second" in str(error)
+    assert all(rec.status == "failed" for rec in error.report.engines)
+
+
+def test_per_engine_budget_stops_hung_worker():
+    """A hung engine is terminated on its own budget; the run goes on."""
+    original = voter(15)
+    optimized = compress2(original)
+    checker = ParallelPortfolioChecker(
+        engines=[("sleep", {}, 0.5), ("sat", {"time_limit": 0.0})],
+        time_limit=60.0,
+        finisher=None,
+    )
+    result = checker.check(original, optimized)
+    assert result.status is CecStatus.UNDECIDED
+    report = result.report
+    assert report.record("sleep").status == "timeout"
+    assert report.record("sleep").seconds < 30.0
+    assert report.record("sat").status == "undecided"
+
+
+def test_global_timeout_returns_best_residue():
+    """On timeout the smallest residue collected so far comes back."""
+    original = multiplier(5)
+    optimized = compress2(original)
+    checker = ParallelPortfolioChecker(
+        engines=[("sat", {"time_limit": 0.0}), ("sleep", {})],
+        time_limit=1.0,
+        finisher=None,
+    )
+    result = checker.check(original, optimized)
+    assert result.status is CecStatus.UNDECIDED
+    assert result.reduced_miter is not None
+    report = result.report
+    sat_record = report.record("sat")
+    assert sat_record.status == "undecided"
+    assert sat_record.residue_ands == result.reduced_miter.num_ands
+    assert report.record("sleep").status == "timeout"
+
+
+def test_timeout_finisher_proves_residue():
+    """The finisher re-checks the best residue after a global timeout."""
+    original = voter(13)
+    optimized = compress2(original)
+    checker = ParallelPortfolioChecker(
+        engines=[("sat", {"time_limit": 0.0}), ("sleep", {})],
+        time_limit=1.0,
+        finisher=("sat", {"time_limit": 60.0}),
+    )
+    result = checker.check(original, optimized)
+    assert result.status is CecStatus.EQUIVALENT
+    assert checker.winner == "finisher:sat"
+    assert result.report.finisher.status == "equivalent"
+
+
+def test_start_method_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_MP_START_METHOD", raising=False)
+    assert resolve_start_method("spawn") == "spawn"
+    assert resolve_start_method() in mp.get_all_start_methods()
+    monkeypatch.setenv("REPRO_MP_START_METHOD", "spawn")
+    assert resolve_start_method() == "spawn"
+    with pytest.raises(ValueError):
+        resolve_start_method("not-a-method")
+
+
+def test_explicit_spawn_run():
+    """The orchestrator works under the spawn start method."""
+    original = voter(11)
+    optimized = compress2(original)
+    checker = ParallelPortfolioChecker(
+        engines=[("combined", {})],
+        time_limit=120.0,
+        start_method="spawn",
+    )
+    result = checker.check(original, optimized)
+    assert result.status is CecStatus.EQUIVALENT
+    assert result.report.start_method == "spawn"

@@ -4,7 +4,18 @@ import time
 
 import pytest
 
-from repro.sweep.report import EngineReport, PhaseRecord, PhaseTimer
+from repro.aig.network import negate_outputs
+from repro.bench.generators import multiplier
+from repro.sweep.engine import CecStatus, SimSweepEngine
+from repro.sweep.report import (
+    EngineFailure,
+    EngineReport,
+    EngineRunRecord,
+    PhaseRecord,
+    PhaseTimer,
+    PortfolioReport,
+)
+from repro.synth.resyn import compress2
 
 
 def test_phase_timer_accumulates():
@@ -54,3 +65,41 @@ def test_record_as_dict():
     assert data["kind"] == "G"
     assert data["proved"] == 7
     assert data["cex"] == 2
+
+
+def test_disproof_does_not_report_full_reduction():
+    """Regression: a NONEQUIVALENT verdict used to set ``final_ands=0``,
+    making ``reduction_percent`` claim 100 % reduction on a disproof."""
+    original = multiplier(4)
+    buggy = negate_outputs(compress2(original), [1])
+    result = SimSweepEngine().check(original, buggy)
+    assert result.status is CecStatus.NONEQUIVALENT
+    report = result.report
+    assert report.final_ands > 0
+    assert report.reduction_percent < 100.0
+
+
+def test_portfolio_report_failures_and_summary():
+    report = PortfolioReport(start_method="spawn", winner="sat")
+    report.engines = [
+        EngineRunRecord(name="sat", status="equivalent", seconds=1.0),
+        EngineRunRecord(
+            name="bdd",
+            status="failed",
+            seconds=0.5,
+            failure=EngineFailure(
+                engine="bdd", message="boom", exit_code=-9
+            ),
+        ),
+        EngineRunRecord(name="sim", status="undecided", residue_ands=42),
+    ]
+    assert [f.engine for f in report.failures] == ["bdd"]
+    assert report.record("sim").residue_ands == 42
+    assert report.record("missing") is None
+    lines = report.summary_lines()
+    assert "winner=sat" in lines[0]
+    assert any("boom" in line and "exit code -9" in line for line in lines)
+    assert any("residue 42 ANDs" in line for line in lines)
+    data = report.engines[1].as_dict()
+    assert data["status"] == "failed"
+    assert "boom" in data["failure"]
