@@ -10,12 +10,17 @@ breakdown shapes, and the monotone P → PG → PGL improvement.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import math
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.bench.suite import BenchmarkCase
+from repro.cache.config import CacheConfig
+from repro.cache.knowledge import SweepCache
 from repro.portfolio.checker import CombinedChecker, PortfolioChecker
 from repro.portfolio.parallel import PortfolioError
 from repro.sat.sweeping import SatSweepChecker
@@ -44,6 +49,15 @@ class Table2Row:
     #: Per-engine seconds of the portfolio run (from its
     #: ``PortfolioReport``); empty when the portfolio was skipped.
     cfm_engine_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Knowledge-cache counters of the combined run (hits, misses,
+    #: stores, …); empty when no cache directory was given.
+    cache: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits / lookups of the combined run (0.0 without a cache)."""
+        lookups = self.cache.get("hits", 0) + self.cache.get("misses", 0)
+        return self.cache.get("hits", 0) / lookups if lookups else 0.0
 
     @property
     def speedup_vs_abc(self) -> float:
@@ -63,6 +77,8 @@ class Fig6Row:
     name: str
     fractions: Dict[str, float]
     seconds: Dict[str, float]
+    #: Knowledge-cache counters of the run; empty without a cache.
+    cache: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -85,6 +101,7 @@ def run_table2_case(
     sat_conflict_limit: int = 100_000,
     baseline_time_limit: Optional[float] = None,
     run_portfolio: bool = True,
+    cache: Optional[SweepCache] = None,
 ) -> Table2Row:
     """Run all three checkers of Table II on one case.
 
@@ -128,11 +145,19 @@ def run_table2_case(
         cfm_status = "skipped"
         cfm_result = None
 
+    # Only "ours" sees the knowledge cache: the baselines must stay cold
+    # so the speedup columns compare against uncached engines.
     ours = CombinedChecker(
         config=config,
         sat_checker=SatSweepChecker(conflict_limit=sat_conflict_limit),
+        cache=cache,
     )
     ours_result = ours.check_miter(miter)
+    cache_counters = (
+        ours_result.report.cache.as_dict()
+        if getattr(ours_result.report, "cache", None) is not None
+        else {}
+    )
 
     verdicts = {
         v
@@ -164,34 +189,59 @@ def run_table2_case(
         total_seconds=ours.timings.total_seconds,
         ours_status=ours_result.status.value,
         cfm_engine_seconds=cfm_engine_seconds,
+        cache=cache_counters,
     )
 
 
 def run_table2(
     cases: Sequence[BenchmarkCase],
     config: Optional[EngineConfig] = None,
+    cache_dir: Optional[str] = None,
+    json_out: Optional[str] = None,
     **kwargs,
 ) -> List[Table2Row]:
-    """Run the Table II comparison over a suite."""
-    return [run_table2_case(case, config=config, **kwargs) for case in cases]
+    """Run the Table II comparison over a suite.
+
+    ``cache_dir`` warm-starts the combined checker from a shared
+    functional-knowledge cache; ``json_out`` writes the machine-readable
+    ``BENCH_table2.json`` payload (see :func:`write_bench_json`).
+    """
+    cache = _suite_cache(cache_dir)
+    rows = [
+        run_table2_case(case, config=config, cache=cache, **kwargs)
+        for case in cases
+    ]
+    if json_out is not None:
+        write_bench_json(json_out, "table2", rows)
+    return rows
 
 
 def run_fig6(
     cases: Sequence[BenchmarkCase],
     config: Optional[EngineConfig] = None,
+    cache_dir: Optional[str] = None,
+    json_out: Optional[str] = None,
 ) -> List[Fig6Row]:
     """Phase runtime breakdown of the simulation engine (Fig. 6)."""
+    cache = _suite_cache(cache_dir)
     rows = []
     for case in cases:
-        engine = SimSweepEngine(config)
+        engine = SimSweepEngine(config, cache=cache)
         result = engine.check_miter(case.miter)
         rows.append(
             Fig6Row(
                 name=case.name,
                 fractions=result.report.phase_fractions(),
                 seconds=result.report.phase_seconds(),
+                cache=(
+                    result.report.cache.as_dict()
+                    if result.report.cache is not None
+                    else {}
+                ),
             )
         )
+    if json_out is not None:
+        write_bench_json(json_out, "fig6", rows)
     return rows
 
 
@@ -200,12 +250,16 @@ def run_fig7(
     config: Optional[EngineConfig] = None,
     sat_conflict_limit: int = 100_000,
     time_limit: Optional[float] = None,
+    json_out: Optional[str] = None,
 ) -> List[Fig7Row]:
     """SAT time on intermediate miters, normalised (Fig. 7).
 
     For each case the engine is stopped after P, after PG, and run fully
     (PGL); each residual miter is then proved by the SAT sweeper, and
-    times are normalised by the SAT time on the *original* miter.
+    times are normalised by the SAT time on the *original* miter.  No
+    knowledge cache is offered here: warm-started flows would prove
+    pairs for free and the P/PG/PGL comparison would stop measuring the
+    phases themselves.
     """
     rows = []
     for case in cases:
@@ -239,7 +293,16 @@ def run_fig7(
                 reduced_ands=reduced,
             )
         )
+    if json_out is not None:
+        write_bench_json(json_out, "fig7", rows)
     return rows
+
+
+def _suite_cache(cache_dir: Optional[str]) -> Optional[SweepCache]:
+    """One shared knowledge cache for a whole suite run (or ``None``)."""
+    if cache_dir is None:
+        return None
+    return SweepCache(CacheConfig(directory=cache_dir))
 
 
 def geomean(values: Sequence[float]) -> float:
@@ -307,3 +370,124 @@ def _sat_seconds(miter, conflict_limit: int, time_limit: Optional[float]):
     start = time.perf_counter()
     checker.check_miter(miter)
     return time.perf_counter() - start
+
+
+def bench_payload(experiment: str, rows: Sequence) -> Dict:
+    """Machine-readable payload for one experiment's rows.
+
+    ``rows`` are the dataclass rows of the matching ``run_*`` function.
+    Besides the per-row fields the payload carries the suite-level
+    aggregates a CI job greps for: speed-up geomeans (Table II) and the
+    combined knowledge-cache counters with their hit rate.
+    """
+    serialized = []
+    for row in rows:
+        record = dataclasses.asdict(row)
+        if isinstance(row, Table2Row):
+            record["speedup_vs_abc"] = row.speedup_vs_abc
+            record["speedup_vs_cfm"] = row.speedup_vs_cfm
+            record["cache_hit_rate"] = row.cache_hit_rate
+        serialized.append(record)
+    payload: Dict = {"experiment": experiment, "rows": serialized}
+    if experiment == "table2":
+        payload["geomeans"] = {
+            "speedup_vs_abc": geomean([r.speedup_vs_abc for r in rows]),
+            "speedup_vs_cfm": geomean(
+                [
+                    r.speedup_vs_cfm
+                    for r in rows
+                    if not math.isnan(r.cfm_seconds)
+                ]
+            ),
+        }
+    totals: Dict[str, int] = {}
+    for row in rows:
+        for key, value in getattr(row, "cache", {}).items():
+            totals[key] = totals.get(key, 0) + value
+    lookups = totals.get("hits", 0) + totals.get("misses", 0)
+    payload["cache"] = {
+        "counters": totals,
+        "hit_rate": totals.get("hits", 0) / lookups if lookups else 0.0,
+    }
+    return payload
+
+
+def write_bench_json(path: str, experiment: str, rows: Sequence) -> str:
+    """Write ``bench_payload`` to disk; returns the path written.
+
+    When ``path`` is a directory the file is named
+    ``BENCH_<experiment>.json`` inside it.  The write goes through a
+    temporary file and an atomic rename so a crashed run never leaves a
+    truncated payload for CI to choke on.
+    """
+    if os.path.isdir(path):
+        path = os.path.join(path, f"BENCH_{experiment}.json")
+    payload = bench_payload(experiment, rows)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+    return path
+
+
+def main(argv=None) -> int:
+    """``python -m repro.bench.harness table2 --profile tiny --json OUT``."""
+    import argparse
+
+    from repro.bench.suite import default_suite
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="regenerate Table II / Fig. 6 / Fig. 7 data",
+    )
+    parser.add_argument(
+        "experiment", choices=["table2", "fig6", "fig7"],
+        help="which paper artefact to regenerate",
+    )
+    parser.add_argument(
+        "--profile", default="tiny",
+        help="suite profile (tiny for smoke runs, default for the paper)",
+    )
+    parser.add_argument(
+        "--only", nargs="*", default=None, metavar="CASE",
+        help="restrict to the named suite cases",
+    )
+    parser.add_argument(
+        "--json", dest="json_out", default=None, metavar="OUT",
+        help="write BENCH_<experiment>.json (OUT may be a directory)",
+    )
+    parser.add_argument(
+        "--cache", dest="cache_dir", default=None, metavar="DIR",
+        help="functional-knowledge cache directory (table2/fig6 only)",
+    )
+    parser.add_argument(
+        "--no-portfolio", action="store_true",
+        help="skip the portfolio baseline in table2 (faster smoke runs)",
+    )
+    args = parser.parse_args(argv)
+
+    cases = default_suite(args.profile, only=args.only)
+    if args.experiment == "table2":
+        rows = run_table2(
+            cases,
+            cache_dir=args.cache_dir,
+            json_out=args.json_out,
+            run_portfolio=not args.no_portfolio,
+        )
+        print(format_table2(rows))
+    elif args.experiment == "fig6":
+        rows = run_fig6(
+            cases, cache_dir=args.cache_dir, json_out=args.json_out
+        )
+        print(format_fig6(rows))
+    else:
+        rows = run_fig7(cases, json_out=args.json_out)
+        print(format_fig7(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""Hit/miss accounting for the functional-knowledge cache.
+
+Kept in a leaf module so :mod:`repro.sweep.report` can attach counters
+to engine reports without importing the heavier cache machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class CacheCounters:
+    """Cumulative cache statistics.
+
+    ``hits``/``misses``/``invalidated`` count proof-store lookups;
+    ``fingerprint_decided`` counts pairs the fingerprint layer settled
+    outright (both truth tables known, or identical keys) without
+    touching the store; ``stores`` counts new or upgraded verdicts
+    recorded.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidated: int = 0
+    fingerprint_decided: int = 0
+
+    def copy(self) -> "CacheCounters":
+        return CacheCounters(
+            self.hits,
+            self.misses,
+            self.stores,
+            self.invalidated,
+            self.fingerprint_decided,
+        )
+
+    def diff(self, earlier: "CacheCounters") -> "CacheCounters":
+        """Counters accumulated since an earlier snapshot."""
+        return CacheCounters(
+            self.hits - earlier.hits,
+            self.misses - earlier.misses,
+            self.stores - earlier.stores,
+            self.invalidated - earlier.invalidated,
+            self.fingerprint_decided - earlier.fingerprint_decided,
+        )
+
+    def add(self, other: "CacheCounters") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.invalidated += other.invalidated
+        self.fingerprint_decided += other.fingerprint_decided
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.invalidated
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidated": self.invalidated,
+            "fingerprint_decided": self.fingerprint_decided,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "CacheCounters":
+        return cls(
+            hits=int(data.get("hits", 0)),
+            misses=int(data.get("misses", 0)),
+            stores=int(data.get("stores", 0)),
+            invalidated=int(data.get("invalidated", 0)),
+            fingerprint_decided=int(data.get("fingerprint_decided", 0)),
+        )
+
+    def summary(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} stores={self.stores} "
+            f"invalidated={self.invalidated} "
+            f"fingerprint_decided={self.fingerprint_decided}"
+        )

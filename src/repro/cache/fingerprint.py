@@ -1,0 +1,348 @@
+"""Content-addressed fingerprints of miter cones.
+
+The proof store (:mod:`repro.cache.store`) must key functional knowledge
+by *what a node computes*, never by node id — ids are reassigned on
+every miter reduction and differ between runs.  This module derives one
+key string per node:
+
+- **Truth-table keys** (``"T:…"``) for cones whose *functional* support
+  fits :attr:`~repro.cache.config.CacheConfig.tt_support_limit` PIs.
+  The cone is evaluated exhaustively over its support (Python-int bit
+  tables), constant and non-influential variables are dropped, and the
+  key digests the exact function: for ≤ ``npn_limit`` variables as the
+  NPN-canonical table of :func:`repro.synth.npn.npn_canon` *plus* the
+  canonising transform (canonical representation, exact identity), for
+  larger supports as the raw table.  Functionally equal cones therefore
+  share a key no matter how differently they are structured.
+- **Structural keys** (``"S:…"``) for everything larger: a bottom-up
+  DAG hash over ``(child-key, child-phase)`` pairs in commutative
+  order, salted with the node's simulation signature under a
+  fixed-seed random pattern block.  The salt is a deterministic
+  function of the node's logic, so keys are stable across runs while
+  two different functions that happen to share a local DAG shape after
+  hashing (never, short of a hash collision) are still separated
+  semantically.
+
+Because both key families are pure functions of the logic, re-running
+the same (or a locally perturbed) miter reproduces the same keys and
+unlocks every previously stored verdict — the warm-start path.
+
+Fingerprints can also *decide* a pair outright when both sides carry
+exact truth tables (:meth:`MiterFingerprints.decide_pair`); the engine
+counts such decisions separately from store hits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.aig.network import Aig
+from repro.aig.traversal import collect_cone, supports_capped
+from repro.cache.config import CacheConfig
+from repro.simulation.bitops import random_words
+from repro.simulation.partial import simulate_words
+
+# NOTE: nothing from repro.synth (or any package that pulls the sweep /
+# SAT stack) may be imported at module level: repro.sweep.config imports
+# this package, so going back up would close an import cycle.  npn_canon
+# is imported lazily at call time and tt_mask is restated inline.
+
+
+def tt_mask(num_vars: int) -> int:
+    """All-ones truth table (= :func:`repro.synth.isop.tt_mask`)."""
+    return (1 << (1 << num_vars)) - 1
+
+#: Fixed seed of the structural-hash salt patterns.  Changing it
+#: invalidates every structural key ever stored, so it is part of the
+#: on-disk format in spirit; bump the store format version with it.
+SALT_SEED = 0x5EEDCAFE
+
+_DIGEST_SIZE = 10  # 80-bit keys: ample for a proof cache, short on disk
+
+
+@lru_cache(maxsize=4096)
+def var_projection(j: int, n: int) -> int:
+    """Truth table of variable ``j`` over ``n`` variables (Python int)."""
+    block = 1 << j
+    chunk = ((1 << block) - 1) << block
+    period = 2 * block
+    out = 0
+    for r in range((1 << n) // period):
+        out |= chunk << (r * period)
+    return out
+
+
+def remove_var(table: int, j: int, n: int) -> int:
+    """Project out variable ``j`` (must be non-influential) of ``n``."""
+    block = 1 << j
+    mask = (1 << block) - 1
+    out = 0
+    for c in range(1 << (n - 1 - j)):
+        out |= ((table >> (c * 2 * block)) & mask) << (c * block)
+    return out
+
+
+def shrink_table(table: int, support: Sequence[int]) -> Tuple[int, Tuple[int, ...]]:
+    """Drop variables the function does not actually depend on.
+
+    Returns the table over the *functional* support — the canonical
+    domain the truth-table keys are defined over.
+    """
+    variables = list(support)
+    j = 0
+    while j < len(variables):
+        n = len(variables)
+        block = 1 << j
+        mask = tt_mask(n)
+        off_bits = mask & ~var_projection(j, n)
+        if ((table ^ (table >> block)) & off_bits) == 0:
+            table = remove_var(table, j, n)
+            variables.pop(j)
+        else:
+            j += 1
+    return table, tuple(variables)
+
+
+class MiterFingerprints:
+    """Per-node content keys of one miter.
+
+    Instances are bound to a single :class:`~repro.aig.network.Aig`; the
+    engine rebuilds them after every reduction (keys are functions of
+    the logic, so knowledge recorded against an earlier binding stays
+    valid).  Truth tables are computed lazily per queried node and
+    memoised; structural keys are built eagerly in one bottom-up pass.
+    """
+
+    def __init__(self, aig: Aig, config: Optional[CacheConfig] = None) -> None:
+        self.aig = aig
+        self.config = config or CacheConfig()
+        self._supports = supports_capped(aig, self.config.tt_support_limit)
+        self._tables: Dict[int, Optional[Tuple[int, Tuple[int, ...]]]] = {}
+        self._final_keys: Dict[int, str] = {}
+        self._salt = self._build_salt()
+        self._structural = self._build_structural()
+
+    # ------------------------------------------------------------------
+    # Key derivation
+    # ------------------------------------------------------------------
+
+    def _build_salt(self) -> Optional[bytes]:
+        cfg = self.config
+        if cfg.salt_words <= 0 or self.aig.num_pis == 0:
+            return None
+        rng = np.random.default_rng(SALT_SEED)
+        words = random_words(self.aig.num_pis, cfg.salt_words, rng)
+        return simulate_words(self.aig, words).tobytes()
+
+    def _build_structural(self) -> List[str]:
+        aig = self.aig
+        keys: List[str] = ["C"]
+        keys.extend(f"I{pi}" for pi in range(1, aig.num_pis + 1))
+        salt = self._salt
+        row = self.config.salt_words * 8
+        f0l, f1l = aig.fanin_lists()
+        for node in range(aig.first_and, aig.num_nodes):
+            f0 = f0l[node]
+            f1 = f1l[node]
+            c0 = (keys[f0 >> 1], f0 & 1)
+            c1 = (keys[f1 >> 1], f1 & 1)
+            if c1 < c0:
+                c0, c1 = c1, c0
+            digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+            digest.update(c0[0].encode())
+            digest.update(b"-" if c0[1] else b"+")
+            digest.update(c1[0].encode())
+            digest.update(b"-" if c1[1] else b"+")
+            if salt is not None:
+                digest.update(salt[node * row : (node + 1) * row])
+            keys.append("S:" + digest.hexdigest())
+        return keys
+
+    def table_of(self, node: int) -> Optional[Tuple[int, Tuple[int, ...]]]:
+        """Exact truth table over the node's functional support, if small.
+
+        Returns ``(table, support)`` with ``support`` a sorted tuple of
+        PI ids, or ``None`` when the cone exceeds the configured limits.
+        """
+        cached = self._tables.get(node, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        result = self._compute_table(node)
+        self._tables[node] = result
+        return result
+
+    def _compute_table(self, node: int) -> Optional[Tuple[int, Tuple[int, ...]]]:
+        aig = self.aig
+        if node == 0:
+            return 0, ()
+        if aig.is_pi(node):
+            return 0b10, (node,)
+        supp = self._supports[node]
+        if supp is None:
+            return None
+        svars = tuple(sorted(supp))
+        n = len(svars)
+        cone = collect_cone(aig, [node])
+        if len(cone) > self.config.tt_cone_limit:
+            return None
+        mask = tt_mask(n)
+        vals: Dict[int, int] = {0: 0}
+        for j, v in enumerate(svars):
+            vals[v] = var_projection(j, n)
+        f0l, f1l = aig.fanin_lists()
+        for c in cone:
+            f0 = f0l[c]
+            f1 = f1l[c]
+            a = vals[f0 >> 1] ^ (mask if f0 & 1 else 0)
+            b = vals[f1 >> 1] ^ (mask if f1 & 1 else 0)
+            vals[c] = a & b
+        return shrink_table(vals[node], svars)
+
+    def key_of(self, node: int) -> str:
+        """Content key of a node: truth-table backed when available."""
+        key = self._final_keys.get(node)
+        if key is not None:
+            return key
+        entry = self.table_of(node)
+        if entry is None:
+            key = self._structural[node]
+        else:
+            table, support = entry
+            n = len(support)
+            if n <= self.config.npn_limit:
+                from repro.synth.npn import npn_canon
+
+                canon, (perm, neg, out_neg) = npn_canon(table, n)
+                material = f"T{n}:{canon:x}:{perm}:{neg}:{out_neg}:{support}"
+            else:
+                material = f"T{n}:{table:x}:{support}"
+            digest = hashlib.blake2b(
+                material.encode(), digest_size=_DIGEST_SIZE
+            )
+            key = "T:" + digest.hexdigest()
+        self._final_keys[node] = key
+        return key
+
+    def npn_class_of(self, node: int) -> Optional[str]:
+        """NPN class token of a small cone (provenance/statistics only).
+
+        Unlike :meth:`key_of` this identifies the function only up to
+        input permutation/negation and output negation, so it must never
+        be used as a proof key.
+        """
+        entry = self.table_of(node)
+        if entry is None:
+            return None
+        table, support = entry
+        n = len(support)
+        if n > self.config.npn_limit:
+            return None
+        from repro.synth.npn import npn_canon
+
+        canon, _ = npn_canon(table, n)
+        return f"N{n}:{canon:x}"
+
+    def pair_key(self, lit_a: int, lit_b: int) -> str:
+        """Canonical key of a candidate pair (symmetric in its sides)."""
+        key_a = self.key_of(lit_a >> 1)
+        key_b = self.key_of(lit_b >> 1)
+        phase = (lit_a ^ lit_b) & 1
+        if key_b < key_a:
+            key_a, key_b = key_b, key_a
+        return f"P:{key_a}|{key_b}|{phase}"
+
+    def cut_key(self, cut: Sequence[int]) -> str:
+        """Content key of a cut (a set of nodes), order-insensitive."""
+        digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+        for key in sorted(self.key_of(x) for x in cut):
+            digest.update(key.encode())
+            digest.update(b"|")
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Direct decisions
+    # ------------------------------------------------------------------
+
+    def decide_pair(
+        self, lit_a: int, lit_b: int
+    ) -> Optional[Tuple[str, Optional[List[int]]]]:
+        """Decide a pair from fingerprints alone, when possible.
+
+        Returns ``("equivalent", None)``, ``("nonequivalent", cex)``
+        with a full PI pattern, or ``None`` when the fingerprints cannot
+        decide.  Sound because truth-table keys identify exact functions
+        and structural-key equality implies DAG isomorphism.
+        """
+        phase = (lit_a ^ lit_b) & 1
+        var_a = lit_a >> 1
+        var_b = lit_b >> 1
+        entry_a = self.table_of(var_a)
+        entry_b = self.table_of(var_b)
+        if entry_a is not None and entry_b is not None:
+            return self._decide_tables(entry_a, entry_b, phase)
+        if self.key_of(var_a) == self.key_of(var_b):
+            if phase == 0:
+                return "equivalent", None
+            # f == NOT f is unsatisfiable: every pattern distinguishes.
+            return "nonequivalent", [0] * self.aig.num_pis
+        return None
+
+    def _decide_tables(
+        self,
+        entry_a: Tuple[int, Tuple[int, ...]],
+        entry_b: Tuple[int, Tuple[int, ...]],
+        phase: int,
+    ) -> Tuple[str, Optional[List[int]]]:
+        table_a, sup_a = entry_a
+        table_b, sup_b = entry_b
+        if sup_a == sup_b:
+            n = len(sup_a)
+            diff = table_a ^ table_b ^ (tt_mask(n) if phase else 0)
+            if diff == 0:
+                return "equivalent", None
+            idx = (diff & -diff).bit_length() - 1
+            return "nonequivalent", self._pattern(sup_a, idx)
+        # Functional supports differ, so the functions cannot be equal.
+        # Pick a variable one side depends on and the other does not,
+        # find an assignment where flipping it changes the dependent
+        # side, and keep whichever polarity disagrees with the other.
+        extra = sorted(set(sup_a) ^ set(sup_b))[0]
+        if extra in sup_a:
+            dep_t, dep_sup = table_a, sup_a
+            other_t, other_sup = table_b, sup_b
+        else:
+            dep_t, dep_sup = table_b, sup_b
+            other_t, other_sup = table_a, sup_a
+        j = dep_sup.index(extra)
+        n = len(dep_sup)
+        block = 1 << j
+        off_bits = tt_mask(n) & ~var_projection(j, n)
+        dep_mask = (dep_t ^ (dep_t >> block)) & off_bits
+        idx0 = (dep_mask & -dep_mask).bit_length() - 1
+        assign = {v: (idx0 >> k) & 1 for k, v in enumerate(dep_sup)}
+        other_idx = 0
+        for k, v in enumerate(other_sup):
+            if assign.get(v):
+                other_idx |= 1 << k
+        other_val = (other_t >> other_idx) & 1
+        dep_val0 = (dep_t >> idx0) & 1
+        # At `idx0` the flip variable is 0; `idx0 | block` sets it to 1.
+        chosen = idx0 if dep_val0 != (other_val ^ phase) else idx0 | block
+        assign[extra] = (chosen >> j) & 1
+        pattern = [0] * self.aig.num_pis
+        for v, value in assign.items():
+            pattern[v - 1] = value
+        return "nonequivalent", pattern
+
+    def _pattern(self, support: Tuple[int, ...], index: int) -> List[int]:
+        pattern = [0] * self.aig.num_pis
+        for j, v in enumerate(support):
+            pattern[v - 1] = (index >> j) & 1
+        return pattern
+
+
+_MISSING = object()

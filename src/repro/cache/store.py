@@ -1,0 +1,280 @@
+"""Append-only persistent proof store.
+
+One JSONL file (``proofs.jsonl``) per cache directory, one verdict per
+line, last occurrence of a key wins.  The format is deliberately dumb:
+
+- **Appends** hold an ``fcntl`` lock on a sidecar ``.lock`` file and
+  write their delta with a single ``write`` call, so concurrent
+  processes (portfolio workers, parallel CI jobs) interleave whole
+  records rather than bytes.
+- **Compaction** rewrites the file through a temp file in the same
+  directory followed by an atomic ``os.replace`` under the same lock,
+  so readers never observe a half-written store.
+- **Reads** tolerate torn or corrupt trailing lines by skipping them
+  (counted in :attr:`ProofStore.load_errors`); a truncated record costs
+  one cached verdict, never the run.
+
+On platforms without ``fcntl`` (Windows) locking degrades to a no-op;
+single-writer use stays correct, concurrent writers are best-effort.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+try:  # POSIX only; gate so the module imports everywhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+#: Bump when key derivation or the record schema changes incompatibly
+#: (e.g. the structural-hash salt seed).  Stores with a different
+#: version are ignored wholesale rather than half-trusted.
+FORMAT_VERSION = 1
+
+PROOFS_FILENAME = "proofs.jsonl"
+LOCK_FILENAME = ".lock"
+
+EQUIVALENT = "equivalent"
+NONEQUIVALENT = "nonequivalent"
+INCONCLUSIVE = "inconclusive"
+
+_STATUSES = frozenset({EQUIVALENT, NONEQUIVALENT, INCONCLUSIVE})
+
+
+@dataclass
+class Verdict:
+    """One cached piece of functional knowledge, with provenance."""
+
+    status: str
+    cex: Optional[List[int]] = None
+    num_pis: int = 0
+    engine: str = ""
+    context: str = ""
+    cut_size: int = 0
+    conflict_limit: int = 0
+    seconds: float = 0.0
+
+    def to_json(self, key: str) -> str:
+        record = {"k": key, "s": self.status}
+        if self.cex is not None:
+            record["x"] = "".join("1" if b else "0" for b in self.cex)
+        if self.num_pis:
+            record["n"] = self.num_pis
+        if self.engine:
+            record["e"] = self.engine
+        if self.context:
+            record["c"] = self.context
+        if self.cut_size:
+            record["w"] = self.cut_size
+        if self.conflict_limit:
+            record["l"] = self.conflict_limit
+        if self.seconds:
+            record["t"] = round(self.seconds, 6)
+        return json.dumps(record, separators=(",", ":"))
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> Tuple[str, "Verdict"]:
+        key = record["k"]
+        status = record["s"]
+        if not isinstance(key, str) or status not in _STATUSES:
+            raise ValueError("malformed proof record")
+        cex_field = record.get("x")
+        cex: Optional[List[int]] = None
+        if isinstance(cex_field, str):
+            if cex_field.strip("01"):
+                raise ValueError("malformed counter-example")
+            cex = [1 if ch == "1" else 0 for ch in cex_field]
+        return key, cls(
+            status=str(status),
+            cex=cex,
+            num_pis=int(record.get("n", 0)),
+            engine=str(record.get("e", "")),
+            context=str(record.get("c", "")),
+            cut_size=int(record.get("w", 0)),
+            conflict_limit=int(record.get("l", 0)),
+            seconds=float(record.get("t", 0.0)),
+        )
+
+
+class _FileLock:
+    """Exclusive advisory lock on ``<directory>/.lock`` (context manager)."""
+
+    def __init__(self, directory: str) -> None:
+        self._path = os.path.join(directory, LOCK_FILENAME)
+        self._fd: Optional[int] = None
+
+    def __enter__(self) -> "_FileLock":
+        self._fd = os.open(self._path, os.O_CREAT | os.O_RDWR, 0o644)
+        if fcntl is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._fd is not None:
+            if fcntl is not None:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            os.close(self._fd)
+            self._fd = None
+
+
+@dataclass
+class ProofStore:
+    """In-memory verdict map with JSONL persistence.
+
+    Mutations accumulate in ``pending`` until :meth:`append_pending`
+    writes them out; the in-memory view is always the merged state.
+    """
+
+    entries: Dict[str, Verdict] = field(default_factory=dict)
+    pending: List[Tuple[str, Verdict]] = field(default_factory=list)
+    load_errors: int = 0
+
+    # ------------------------------------------------------------------
+    # In-memory operations
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Verdict]:
+        return self.entries.get(key)
+
+    def put(self, key: str, verdict: Verdict) -> bool:
+        """Record a verdict; returns True when it changed the store.
+
+        Conclusive verdicts never regress to inconclusive ones, and an
+        inconclusive verdict only replaces another when it carries a
+        higher conflict limit (it represents a stronger failed attempt).
+        """
+        existing = self.entries.get(key)
+        if existing is not None:
+            if existing.status != INCONCLUSIVE:
+                return False
+            if (
+                verdict.status == INCONCLUSIVE
+                and verdict.conflict_limit <= existing.conflict_limit
+            ):
+                return False
+        self.entries[key] = verdict
+        self.pending.append((key, verdict))
+        return True
+
+    def discard(self, key: str) -> None:
+        """Drop an entry from the in-memory view (e.g. failed replay).
+
+        No tombstone is written: the stale record stays on disk until
+        the next :meth:`compact`, and every future reader re-validates.
+        """
+        self.entries.pop(key, None)
+
+    def merge(self, other: "ProofStore") -> int:
+        """Adopt another store's entries; returns how many were taken."""
+        taken = 0
+        for key, verdict in other.entries.items():
+            if self.put(key, verdict):
+                taken += 1
+        return taken
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.entries)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, directory: str) -> "ProofStore":
+        store = cls()
+        path = os.path.join(directory, PROOFS_FILENAME)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            return store
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                store.load_errors += 1
+                continue
+            if not isinstance(record, dict):
+                store.load_errors += 1
+                continue
+            if "format" in record:
+                if record.get("format") != FORMAT_VERSION:
+                    # Incompatible store: ignore it entirely.
+                    return cls(load_errors=index + 1)
+                continue
+            try:
+                key, verdict = Verdict.from_record(record)
+            except (KeyError, ValueError, TypeError):
+                store.load_errors += 1
+                continue
+            store.entries[key] = verdict  # last occurrence wins
+        return store
+
+    def append_pending(self, directory: str) -> int:
+        """Flush accumulated verdicts to disk; returns records written."""
+        if not self.pending:
+            return 0
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, PROOFS_FILENAME)
+        chunks = []
+        for key, verdict in self.pending:
+            chunks.append(verdict.to_json(key))
+            chunks.append("\n")
+        payload = "".join(chunks)
+        with _FileLock(directory):
+            fresh = not os.path.exists(path)
+            with open(path, "a", encoding="utf-8") as handle:
+                if fresh:
+                    handle.write(
+                        json.dumps({"format": FORMAT_VERSION}) + "\n"
+                    )
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+        written = len(self.pending)
+        self.pending.clear()
+        return written
+
+    def compact(self, directory: str) -> None:
+        """Rewrite the store file without superseded or stale records."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, PROOFS_FILENAME)
+        with _FileLock(directory):
+            # Merge whatever other writers appended since we loaded so
+            # compaction never discards their knowledge.
+            on_disk = ProofStore.load(directory)
+            for key, verdict in on_disk.entries.items():
+                if key not in self.entries:
+                    self.entries[key] = verdict
+            fd, temp_path = tempfile.mkstemp(
+                prefix=".proofs-", suffix=".tmp", dir=directory
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(
+                        json.dumps({"format": FORMAT_VERSION}) + "\n"
+                    )
+                    for key in sorted(self.entries):
+                        handle.write(self.entries[key].to_json(key))
+                        handle.write("\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        self.pending.clear()

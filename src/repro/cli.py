@@ -32,6 +32,8 @@ from repro.aig.miter import build_miter
 from repro.aig.network import Aig
 from repro.bdd.cec import BddChecker
 from repro.bench import generators as gen
+from repro.cache.config import CacheConfig
+from repro.cache.knowledge import SweepCache
 from repro.portfolio.checker import CombinedChecker, PortfolioChecker
 from repro.portfolio.parallel import ParallelPortfolioChecker, PortfolioError
 from repro.sat.sweeping import SatSweepChecker
@@ -76,33 +78,53 @@ def _phase_printer(record) -> None:
     )
 
 
-def _make_checker(engine: str, time_limit: Optional[float], verbose: bool = False):
+def _make_checker(
+    engine: str,
+    time_limit: Optional[float],
+    verbose: bool = False,
+    cache_dir: Optional[str] = None,
+):
     on_phase = _phase_printer if verbose else None
+
+    def knowledge_cache() -> Optional[SweepCache]:
+        if cache_dir is None:
+            return None
+        return SweepCache(CacheConfig(directory=cache_dir))
+
     if engine == "combined":
         checker = CombinedChecker(
-            sat_checker=SatSweepChecker(time_limit=time_limit)
+            sat_checker=SatSweepChecker(time_limit=time_limit),
+            cache=knowledge_cache(),
         )
         checker.engine.on_phase = on_phase
         return checker
     if engine == "sim":
-        return SimSweepEngine(EngineConfig(), on_phase=on_phase)
+        return SimSweepEngine(
+            EngineConfig(), on_phase=on_phase, cache=knowledge_cache()
+        )
     if engine == "sat":
-        return SatSweepChecker(time_limit=time_limit)
+        return SatSweepChecker(time_limit=time_limit, cache=knowledge_cache())
     if engine == "bdd":
         return BddChecker(time_limit=time_limit)
     if engine == "portfolio":
+        cache = knowledge_cache()
         return PortfolioChecker(
-            sat_checker=SatSweepChecker(time_limit=time_limit)
+            sat_checker=SatSweepChecker(time_limit=time_limit, cache=cache),
+            cache=cache,
         )
     if engine == "parallel":
-        return ParallelPortfolioChecker(time_limit=time_limit)
+        return ParallelPortfolioChecker(
+            time_limit=time_limit, cache_dir=cache_dir
+        )
     raise ValueError(f"unknown engine {engine!r}")
 
 
 def cmd_cec(args: argparse.Namespace) -> int:
     aig_a = read_aiger(args.a)
     aig_b = read_aiger(args.b)
-    checker = _make_checker(args.engine, args.time_limit, args.verbose)
+    checker = _make_checker(
+        args.engine, args.time_limit, args.verbose, cache_dir=args.cache
+    )
     try:
         result = checker.check_miter(build_miter(aig_a, aig_b))
     except PortfolioError as error:
@@ -126,6 +148,8 @@ def cmd_cec(args: argparse.Namespace) -> int:
             f"time: {report.total_seconds:.2f}s, "
             f"reduction: {report.reduction_percent:.1f}%"
         )
+    if args.cache is not None and getattr(report, "cache", None) is not None:
+        print(f"cache: {report.cache.summary()}")
     return {
         CecStatus.EQUIVALENT: 0,
         CecStatus.NONEQUIVALENT: 1,
@@ -183,6 +207,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["combined", "sim", "sat", "bdd", "portfolio", "parallel"],
     )
     cec.add_argument("--time-limit", type=float, default=None)
+    cec.add_argument(
+        "--cache", metavar="DIR", default=None,
+        help="functional-knowledge cache directory (warm-starts reruns)",
+    )
     cec.add_argument(
         "--verbose", action="store_true",
         help="print engine phases as they complete",

@@ -18,6 +18,7 @@ from typing import Dict, Optional
 from repro.aig.miter import build_miter
 from repro.aig.network import Aig
 from repro.bdd.cec import BddChecker
+from repro.cache.knowledge import SweepCache
 from repro.sat.sweeping import SatSweepChecker
 from repro.sweep.config import EngineConfig
 from repro.sweep.engine import CecResult, CecStatus, SimSweepEngine
@@ -64,9 +65,18 @@ class CombinedChecker:
         config: Optional[EngineConfig] = None,
         sat_checker: Optional[SatSweepChecker] = None,
         transfer_ecs: bool = True,
+        cache: Optional[SweepCache] = None,
     ) -> None:
-        self.engine = SimSweepEngine(config)
-        self.sat_checker = sat_checker or SatSweepChecker()
+        # One shared knowledge cache: what the engine proves, records, or
+        # disproves is visible to the SAT back end within the same run.
+        self.cache = (
+            cache if cache is not None
+            else SweepCache.from_config(config.cache if config else None)
+        )
+        self.engine = SimSweepEngine(config, cache=self.cache)
+        self.sat_checker = sat_checker or SatSweepChecker(cache=self.cache)
+        if self.sat_checker.cache is None and self.cache is not None:
+            self.sat_checker.cache = self.cache
         self.transfer_ecs = transfer_ecs
         self.timings = CombinedTimings()
 
@@ -77,6 +87,9 @@ class CombinedChecker:
     def check_miter(self, miter: Aig) -> CecResult:
         """Engine first; SAT sweeping on whatever is left."""
         self.timings = CombinedTimings()
+        cache_snapshot = (
+            self.cache.snapshot() if self.cache is not None else None
+        )
         start = time.perf_counter()
         engine_result = self.engine.check_miter(miter)
         self.timings.engine_seconds = time.perf_counter() - start
@@ -93,6 +106,9 @@ class CombinedChecker:
         sat_result = self.sat_checker.check_miter(residue, state=state)
         self.timings.sat_seconds = time.perf_counter() - start
         sat_result.report = engine_result.report  # keep the engine phases
+        if self.cache is not None:
+            # Replace the engine-only delta with the combined one.
+            sat_result.report.cache = self.cache.counters.diff(cache_snapshot)
         return sat_result
 
 
@@ -110,11 +126,13 @@ class PortfolioChecker:
         bdd_node_limit: int = 300_000,
         bdd_time_limit: Optional[float] = 30.0,
         sat_checker: Optional[SatSweepChecker] = None,
+        cache: Optional[SweepCache] = None,
     ) -> None:
         self.bdd_checker = BddChecker(
             node_limit=bdd_node_limit, time_limit=bdd_time_limit
         )
-        self.sat_checker = sat_checker or SatSweepChecker()
+        self.cache = cache
+        self.sat_checker = sat_checker or SatSweepChecker(cache=cache)
         #: Per-engine seconds of the last run.
         self.engine_seconds: Dict[str, float] = {}
         #: Full report of the last run (also on ``CecResult.report``).
@@ -137,6 +155,9 @@ class PortfolioChecker:
         self.engine_seconds = {}
         report = PortfolioReport(start_method="inline")
         self.report = report
+        cache_snapshot = (
+            self.cache.snapshot() if self.cache is not None else None
+        )
         best_undecided: Optional[CecResult] = None
         stages = [("bdd", self.bdd_checker), ("sat", self.sat_checker)]
         for name, checker in stages:
@@ -161,6 +182,8 @@ class PortfolioChecker:
             record.status = result.status.value
             if result.status is not CecStatus.UNDECIDED:
                 report.winner = name
+                if self.cache is not None:
+                    report.cache = self.cache.counters.diff(cache_snapshot)
                 result.report = report
                 return result
             if result.reduced_miter is not None:
@@ -174,5 +197,7 @@ class PortfolioChecker:
                 best_undecided = result
         if best_undecided is None:
             raise PortfolioError(report.failures, report)
+        if self.cache is not None:
+            report.cache = self.cache.counters.diff(cache_snapshot)
         best_undecided.report = report
         return best_undecided

@@ -50,6 +50,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.aig.miter import build_miter
 from repro.aig.network import Aig
+from repro.cache.config import CacheConfig
+from repro.cache.counters import CacheCounters
+from repro.cache.knowledge import SweepCache
 from repro.sweep.engine import CecResult, CecStatus
 from repro.sweep.report import EngineFailure, EngineRunRecord, PortfolioReport
 
@@ -114,28 +117,44 @@ def resolve_start_method(requested: Optional[str] = None) -> str:
     return method
 
 
-def build_checker(spec: EngineSpec):
+def build_checker(
+    spec: EngineSpec,
+    cache_dir: Optional[str] = None,
+    cache_readonly: bool = False,
+):
     """Instantiate a checker from a picklable spec.
 
     The optional third spec element (the per-engine budget) is consumed
     by the orchestrator, not the checker, and is ignored here.
+    ``cache_dir`` attaches a functional-knowledge cache to the engines
+    that support one; ``cache_readonly`` loads it as a snapshot whose
+    deltas are never written back (portfolio workers — the parent merges
+    their deltas on join instead).
     """
     kind, kwargs = spec[0], spec[1]
+
+    def knowledge_cache() -> Optional[SweepCache]:
+        if cache_dir is None:
+            return None
+        return SweepCache(
+            CacheConfig(directory=cache_dir, readonly=cache_readonly)
+        )
+
     if kind == "sim":
         from repro.sweep.config import EngineConfig
         from repro.sweep.engine import SimSweepEngine
 
-        return SimSweepEngine(EngineConfig(**kwargs))
+        return SimSweepEngine(EngineConfig(**kwargs), cache=knowledge_cache())
     if kind == "combined":
         from repro.portfolio.checker import CombinedChecker
         from repro.sweep.config import EngineConfig
 
         config = EngineConfig(**kwargs) if kwargs else None
-        return CombinedChecker(config=config)
+        return CombinedChecker(config=config, cache=knowledge_cache())
     if kind == "sat":
         from repro.sat.sweeping import SatSweepChecker
 
-        return SatSweepChecker(**kwargs)
+        return SatSweepChecker(**kwargs, cache=knowledge_cache())
     if kind == "bdd":
         from repro.bdd.cec import BddChecker
 
@@ -156,27 +175,37 @@ def build_checker(spec: EngineSpec):
 
 
 def _engine_worker(
-    index: int, spec: EngineSpec, miter: Aig, queue: "mp.Queue"
+    index: int,
+    spec: EngineSpec,
+    miter: Aig,
+    queue: "mp.Queue",
+    cache_dir: Optional[str] = None,
 ) -> None:
     """Run one engine in a child process and post its result.
 
     Every exit path posts exactly one message; a worker that dies
     without posting (killed, segfault) is detected by the parent via its
-    exit code.
+    exit code.  With ``cache_dir`` the worker gets a *read-only* snapshot
+    of the knowledge cache (no mid-run disk contention) and ships the
+    verdicts it accumulated back in its result message, so the parent
+    can merge and persist them.
     """
     start = time.perf_counter()
     try:
-        checker = build_checker(spec)
+        checker = build_checker(spec, cache_dir=cache_dir, cache_readonly=True)
         result = checker.check_miter(miter)
-        queue.put(
-            {
-                "index": index,
-                "status": result.status.value,
-                "cex": result.cex,
-                "residue": result.reduced_miter,
-                "seconds": time.perf_counter() - start,
-            }
-        )
+        message = {
+            "index": index,
+            "status": result.status.value,
+            "cex": result.cex,
+            "residue": result.reduced_miter,
+            "seconds": time.perf_counter() - start,
+        }
+        cache = getattr(checker, "cache", None)
+        if cache is not None:
+            message["cache"] = cache.counters.as_dict()
+            message["cache_delta"] = list(cache.store.pending)
+        queue.put(message)
     except BaseException as error:  # surface crashes as structured data
         try:
             queue.put(
@@ -237,6 +266,11 @@ class ParallelPortfolioChecker:
     terminate_grace:
         Seconds to wait between SIGTERM and SIGKILL when stopping a
         worker.
+    cache_dir:
+        Directory of the functional-knowledge cache.  Workers are
+        pre-seeded with a read-only snapshot; their verdict deltas ride
+        back on the result messages and the parent merges and persists
+        them — concurrent workers never write the store directly.
 
     Raises
     ------
@@ -257,6 +291,7 @@ class ParallelPortfolioChecker:
         finisher: Union[EngineSpec, None, str] = "default",
         finisher_time_limit: float = 5.0,
         terminate_grace: float = 1.0,
+        cache_dir: Optional[str] = None,
     ) -> None:
         self.engines = list(engines) if engines is not None else list(
             DEFAULT_ENGINES
@@ -273,6 +308,15 @@ class ParallelPortfolioChecker:
         else:
             self.finisher = finisher
         self.terminate_grace = terminate_grace
+        self.cache_dir = cache_dir
+        #: Parent-side knowledge cache: loads the snapshot the workers
+        #: are pre-seeded with, absorbs their deltas on join, and is the
+        #: only writer of the store during a parallel run.
+        self.cache: Optional[SweepCache] = (
+            SweepCache(CacheConfig(directory=cache_dir))
+            if cache_dir is not None
+            else None
+        )
         #: Engine that produced the winning verdict in the last run.
         self.winner: Optional[str] = None
         #: Full report of the last run (also on ``CecResult.report``).
@@ -302,7 +346,7 @@ class ParallelPortfolioChecker:
             budget = spec[2] if len(spec) > 2 else self.engine_time_limit
             process = context.Process(
                 target=_engine_worker,
-                args=(index, spec, miter, result_queue),
+                args=(index, spec, miter, result_queue, self.cache_dir),
                 daemon=False,
             )
             workers.append(
@@ -398,6 +442,8 @@ class ParallelPortfolioChecker:
                 self._stop_process(state.process)
             result_queue.close()
             result_queue.cancel_join_thread()
+            if self.cache is not None:
+                self.cache.flush()
 
     # ------------------------------------------------------------------
     # Orchestration internals
@@ -442,6 +488,7 @@ class ParallelPortfolioChecker:
         state.done = True
         record = state.record
         record.seconds = message["seconds"]
+        self._merge_worker_cache(message)
         status = message["status"]
         if status == "error":
             record.status = "failed"
@@ -462,6 +509,18 @@ class ParallelPortfolioChecker:
         if status == "equivalent":
             return CecResult(CecStatus.EQUIVALENT)
         return CecResult(CecStatus.NONEQUIVALENT, cex=message.get("cex"))
+
+    def _merge_worker_cache(self, message: Dict) -> None:
+        """Fold a worker's knowledge delta and counters into the run."""
+        if self.report is not None and "cache" in message:
+            if self.report.cache is None:
+                self.report.cache = CacheCounters()
+            self.report.cache.add(CacheCounters.from_dict(message["cache"]))
+        if self.cache is None:
+            return
+        for key, verdict in message.get("cache_delta", ()):
+            if self.cache.store.put(key, verdict):
+                self.cache.counters.stores += 1
 
     def _reap_workers(self, workers: List[_WorkerState]) -> None:
         """Enforce per-engine budgets and detect abnormal exits."""
@@ -531,7 +590,11 @@ class ParallelPortfolioChecker:
         report.finisher = record
         start = time.perf_counter()
         try:
-            checker = build_checker(self.finisher)
+            if self.cache is not None:
+                # Persist the merged worker deltas so the finisher's own
+                # cache loads them as part of its snapshot.
+                self.cache.flush()
+            checker = build_checker(self.finisher, cache_dir=self.cache_dir)
             result = checker.check_miter(residue)
         except Exception as error:
             record.seconds = time.perf_counter() - start
@@ -544,6 +607,11 @@ class ParallelPortfolioChecker:
             return None
         record.seconds = time.perf_counter() - start
         record.status = result.status.value
+        finisher_cache = getattr(checker, "cache", None)
+        if finisher_cache is not None:
+            if report.cache is None:
+                report.cache = CacheCounters()
+            report.cache.add(finisher_cache.counters)
         if result.status is CecStatus.UNDECIDED:
             if result.reduced_miter is not None:
                 record.residue_ands = result.reduced_miter.num_ands

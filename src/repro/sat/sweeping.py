@@ -29,6 +29,7 @@ from repro.aig.literals import CONST0, lit
 from repro.aig.miter import build_miter, miter_is_trivially_unsat
 from repro.aig.network import Aig
 from repro.aig.transform import cleanup
+from repro.cache.knowledge import BoundCache, SweepCache
 from repro.sat.cnf import CnfBuilder
 from repro.sat.solver import SatSolver, SolveStatus
 from repro.sweep.classes import SimulationState
@@ -77,6 +78,7 @@ class SatSweepChecker:
         time_limit: Optional[float] = None,
         max_rounds: int = 16,
         pattern_strategy: str = "random",
+        cache: Optional[SweepCache] = None,
     ) -> None:
         self.conflict_limit = conflict_limit
         self.num_random_words = num_random_words
@@ -84,7 +86,11 @@ class SatSweepChecker:
         self.time_limit = time_limit
         self.max_rounds = max_rounds
         self.pattern_strategy = pattern_strategy
+        self.cache = cache
         self.stats = SatSweepStats()
+
+    def _bind(self, miter: Aig) -> Optional[BoundCache]:
+        return self.cache.bind(miter) if self.cache is not None else None
 
     # ------------------------------------------------------------------
 
@@ -107,6 +113,9 @@ class SatSweepChecker:
         report = EngineReport(initial_ands=miter.num_ands)
         record = PhaseRecord("SAT")
         miter = cleanup(miter)
+        cache_snapshot = (
+            self.cache.snapshot() if self.cache is not None else None
+        )
 
         def finish(result: CecResult) -> CecResult:
             record.miter_ands_after = (
@@ -115,6 +124,9 @@ class SatSweepChecker:
             report.final_ands = record.miter_ands_after
             report.phases.append(record)
             report.total_seconds = time.perf_counter() - start
+            if self.cache is not None:
+                self.cache.flush()
+                report.cache = self.cache.counters.diff(cache_snapshot)
             result.report = report
             return result
 
@@ -162,6 +174,7 @@ class SatSweepChecker:
             if not pairs:
                 break
             record.candidates += len(pairs)
+            bound = self._bind(miter)
             solver = SatSolver()
             cnf = CnfBuilder(miter, solver)
             merges: Dict[int, Tuple[int, int]] = {}
@@ -171,20 +184,71 @@ class SatSweepChecker:
                 if _expired(deadline):
                     timed_out = True
                     break
+                lit_r = lit(repr_node)
+                lit_n = lit(node, phase)
+                if bound is not None:
+                    known = bound.lookup_pair(
+                        lit_r, lit_n, want_inconclusive=True
+                    )
+                    if known is not None:
+                        if known.is_equivalent:
+                            merges[node] = (repr_node, phase)
+                            self.stats.proved_pairs += 1
+                            record.proved += 1
+                            # Assert the cached equivalence so later SAT
+                            # queries in this round benefit from it just
+                            # like from a freshly proved one.
+                            sol_r = cnf.literal(lit_r)
+                            sol_n = cnf.literal(lit_n)
+                            solver.add_clause([sol_r, sol_n ^ 1])
+                            solver.add_clause([sol_r ^ 1, sol_n])
+                            continue
+                        if known.is_nonequivalent:
+                            cex_patterns.append(known.cex)
+                            self.stats.disproved_pairs += 1
+                            record.cex += 1
+                            continue
+                        if known.conflict_limit >= self.conflict_limit:
+                            # A budget at least as large already failed
+                            # on this pair: re-solving cannot do better.
+                            self.stats.unknown_pairs += 1
+                            continue
+                pair_start = time.perf_counter()
                 status = self._check_pair(
-                    solver, cnf, lit(repr_node), lit(node, phase), deadline
+                    solver, cnf, lit_r, lit_n, deadline
                 )
+                pair_seconds = time.perf_counter() - pair_start
                 self.stats.sat_calls += 1
                 if status is SolveStatus.UNSAT:
                     merges[node] = (repr_node, phase)
                     self.stats.proved_pairs += 1
                     record.proved += 1
+                    if bound is not None:
+                        bound.record_equivalent(
+                            lit_r, lit_n, engine="sat", context="SAT",
+                            seconds=pair_seconds,
+                        )
                 elif status is SolveStatus.SAT:
-                    cex_patterns.append(cnf.pi_pattern_from_model())
+                    pattern = cnf.pi_pattern_from_model()
+                    cex_patterns.append(pattern)
                     self.stats.disproved_pairs += 1
                     record.cex += 1
+                    if bound is not None:
+                        bound.record_nonequivalent(
+                            lit_r, lit_n, pattern, engine="sat",
+                            context="SAT", seconds=pair_seconds,
+                        )
                 else:
                     self.stats.unknown_pairs += 1
+                    # Only a genuine conflict-budget defeat is worth
+                    # memoising; a deadline abort says nothing about
+                    # what the full budget could have proved.
+                    if bound is not None and not _expired(deadline):
+                        bound.record_inconclusive(
+                            lit_r, lit_n, engine="sat", context="SAT",
+                            conflict_limit=self.conflict_limit,
+                            seconds=pair_seconds,
+                        )
             self.stats.rounds += 1
             if cex_patterns:
                 state.add_cex_patterns(cex_patterns)
@@ -232,6 +296,7 @@ class SatSweepChecker:
         deadline: Optional[float],
         record: PhaseRecord,
     ) -> CecResult:
+        bound = self._bind(miter)
         solver = SatSolver()
         cnf = CnfBuilder(miter, solver)
         new_pos = list(miter.pos)
@@ -242,6 +307,22 @@ class SatSweepChecker:
             if _expired(deadline):
                 any_unknown = True
                 break
+            record.candidates += 1
+            if bound is not None:
+                known = bound.lookup_pair(po, CONST0, want_inconclusive=True)
+                if known is not None:
+                    if known.is_equivalent:
+                        new_pos[i] = CONST0
+                        record.proved += 1
+                        continue
+                    if known.is_nonequivalent:
+                        return CecResult(
+                            CecStatus.NONEQUIVALENT, cex=known.cex
+                        )
+                    if known.conflict_limit >= self.conflict_limit:
+                        any_unknown = True
+                        continue
+            po_start = time.perf_counter()
             sol_po = cnf.literal(po)
             selector = solver.new_var()
             sel = selector << 1
@@ -252,18 +333,33 @@ class SatSweepChecker:
                 deadline=deadline,
             )
             solver.add_clause([sel ^ 1])
+            po_seconds = time.perf_counter() - po_start
             self.stats.po_calls += 1
-            record.candidates += 1
             if status is SolveStatus.SAT:
-                return CecResult(
-                    CecStatus.NONEQUIVALENT, cex=cnf.pi_pattern_from_model()
-                )
+                pattern = cnf.pi_pattern_from_model()
+                if bound is not None:
+                    bound.record_nonequivalent(
+                        po, CONST0, pattern, engine="sat", context="PO",
+                        seconds=po_seconds,
+                    )
+                return CecResult(CecStatus.NONEQUIVALENT, cex=pattern)
             if status is SolveStatus.UNSAT:
                 new_pos[i] = CONST0
                 solver.add_clause([sol_po ^ 1])
                 record.proved += 1
+                if bound is not None:
+                    bound.record_equivalent(
+                        po, CONST0, engine="sat", context="PO",
+                        seconds=po_seconds,
+                    )
             else:
                 any_unknown = True
+                if bound is not None and not _expired(deadline):
+                    bound.record_inconclusive(
+                        po, CONST0, engine="sat", context="PO",
+                        conflict_limit=self.conflict_limit,
+                        seconds=po_seconds,
+                    )
         reduced = cleanup(
             Aig(
                 miter.num_pis,

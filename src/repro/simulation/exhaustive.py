@@ -57,11 +57,17 @@ class PairStatus(enum.Enum):
 
 @dataclass
 class PairOutcome:
-    """Outcome of one pair, with the distinguishing pattern if requested."""
+    """Outcome of one pair, with the distinguishing pattern if requested.
+
+    ``window`` is the window the pair was checked in — callers that key
+    knowledge by cut content (the functional-knowledge cache) need the
+    exact input set the comparison ranged over.
+    """
 
     pair: Pair
     status: PairStatus
     cex: Optional[CounterExample] = None
+    window: Optional[Window] = None
 
 
 @dataclass
@@ -200,7 +206,11 @@ class ExhaustiveSimulator:
                 simt, batch, active, r, entry, unresolved, outcomes, collect_cex
             )
         for i in np.nonzero(unresolved)[0]:
-            outcomes[i] = PairOutcome(batch.pairs[i], PairStatus.EQUAL)
+            outcomes[i] = PairOutcome(
+                batch.pairs[i],
+                PairStatus.EQUAL,
+                window=batch.windows[batch.pair_window[i]],
+            )
         return [o for o in outcomes if o is not None]
 
     # ------------------------------------------------------------------
@@ -249,16 +259,16 @@ class ExhaustiveSimulator:
         for local_idx in np.nonzero(has_mismatch)[0]:
             pair_idx = int(candidates[local_idx])
             unresolved[pair_idx] = False
+            window = batch.windows[batch.pair_window[pair_idx]]
             cex = None
             if collect_cex:
                 word_idx, bit = first_set_bit(diff[local_idx])
-                window = batch.windows[batch.pair_window[pair_idx]]
                 pattern = pattern_of_index(
                     round_index * entry + word_idx, bit, window.num_inputs
                 )
                 cex = CounterExample(window.inputs, tuple(pattern))
             outcomes[pair_idx] = PairOutcome(
-                batch.pairs[pair_idx], PairStatus.MISMATCH, cex
+                batch.pairs[pair_idx], PairStatus.MISMATCH, cex, window=window
             )
         # Pairs whose window finished all its rounds without mismatch are
         # proved equal; resolve them so later rounds skip the comparison.
@@ -270,7 +280,9 @@ class ExhaustiveSimulator:
             if unresolved[pair_idx]:
                 unresolved[pair_idx] = False
                 outcomes[pair_idx] = PairOutcome(
-                    batch.pairs[pair_idx], PairStatus.EQUAL
+                    batch.pairs[pair_idx],
+                    PairStatus.EQUAL,
+                    window=batch.windows[batch.pair_window[pair_idx]],
                 )
 
 

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.cache.config import CacheConfig
+
 
 @dataclass
 class EngineConfig:
@@ -88,6 +90,11 @@ class EngineConfig:
     #: RNG seed; the engine is deterministic for a fixed seed.
     seed: int = 2025
 
+    #: Functional-knowledge cache (:mod:`repro.cache`).  ``None``
+    #: disables caching entirely; a :class:`~repro.cache.CacheConfig`
+    #: with a ``directory`` enables cross-run warm starts.
+    cache: Optional[CacheConfig] = None
+
     def k_s_for(self, threshold: int) -> int:
         """Window-merging support bound for a phase.
 
@@ -143,3 +150,5 @@ class EngineConfig:
             raise ValueError(
                 f"unknown pattern strategy {self.pattern_strategy!r}"
             )
+        if self.cache is not None:
+            self.cache.validate()

@@ -35,6 +35,7 @@ from repro.aig.miter import build_miter, miter_is_trivially_unsat
 from repro.aig.network import Aig
 from repro.aig.transform import cleanup
 from repro.aig.traversal import collect_cone, supports_capped
+from repro.cache.knowledge import BoundCache, SweepCache
 from repro.cuts.common import CommonCutBuffer, common_cuts
 from repro.cuts.enumeration import CutEnumerator
 from repro.cuts.selection import CutSelector
@@ -109,13 +110,25 @@ class SimSweepEngine:
         self,
         config: Optional[EngineConfig] = None,
         on_phase=None,
+        cache: Optional[SweepCache] = None,
     ) -> None:
         """``on_phase`` is an optional callback invoked with each
         completed :class:`~repro.sweep.report.PhaseRecord` — progress
-        reporting for long runs (the CLI's ``--verbose``)."""
+        reporting for long runs (the CLI's ``--verbose``).  ``cache``
+        injects an existing :class:`~repro.cache.SweepCache` (so several
+        checkers can share one store); by default the engine builds its
+        own from ``config.cache``."""
         self.config = config or EngineConfig()
         self.config.validate()
         self.on_phase = on_phase
+        self.cache = (
+            cache if cache is not None
+            else SweepCache.from_config(self.config.cache)
+        )
+
+    def _bind(self, miter: Aig) -> Optional[BoundCache]:
+        """Bind the knowledge cache to the current miter, if enabled."""
+        return self.cache.bind(miter) if self.cache is not None else None
 
     # ------------------------------------------------------------------
     # Public API
@@ -140,6 +153,9 @@ class SimSweepEngine:
         report = EngineReport(initial_ands=miter.num_ands)
         miter = cleanup(miter)
         simulator = ExhaustiveSimulator(self.config.memory_budget_words)
+        cache_snapshot = (
+            self.cache.snapshot() if self.cache is not None else None
+        )
 
         def note(record: PhaseRecord) -> None:
             report.phases.append(record)
@@ -158,6 +174,10 @@ class SimSweepEngine:
             else:
                 report.final_ands = current.num_ands
             report.total_seconds = time.perf_counter() - start
+            report.exhaustive_pairs = simulator.stats.pairs
+            if self.cache is not None:
+                self.cache.flush()
+                report.cache = self.cache.counters.diff(cache_snapshot)
             result.report = report
             return result
 
@@ -168,7 +188,9 @@ class SimSweepEngine:
         # ---- P phase -------------------------------------------------
         record = PhaseRecord("P")
         with PhaseTimer(record):
-            outcome = self._po_phase(miter, simulator, record)
+            outcome = self._po_phase(
+                miter, simulator, record, self._bind(miter)
+            )
         if isinstance(outcome, CecResult):
             note(record)
             return finish(outcome, miter)
@@ -259,6 +281,7 @@ class SimSweepEngine:
         miter: Aig,
         simulator: ExhaustiveSimulator,
         record: PhaseRecord,
+        bound: Optional[BoundCache],
     ) -> Union[CecResult, Aig]:
         cfg = self.config
         support_sets = supports_capped(miter, cfg.k_P)
@@ -268,11 +291,25 @@ class SimSweepEngine:
         }
         one_shot = all(s is not None for s in po_supports.values())
         threshold = cfg.k_P if one_shot else cfg.k_p
+        new_pos = list(miter.pos)
         windows: List[Window] = []
         for i, p in nontrivial:
             supp = po_supports[i]
             if supp is None or len(supp) > threshold:
                 continue
+            record.candidates += 1
+            if bound is not None:
+                known = bound.lookup_pair(p, CONST0)
+                if known is not None:
+                    if known.is_equivalent:
+                        record.proved += 1
+                        new_pos[i] = CONST0
+                        continue
+                    if known.is_nonequivalent:
+                        record.cex += 1
+                        return CecResult(
+                            CecStatus.NONEQUIVALENT, cex=known.cex
+                        )
             windows.append(
                 build_window(
                     miter,
@@ -281,22 +318,31 @@ class SimSweepEngine:
                     pairs=[Pair(p, CONST0, tag=i)],
                 )
             )
-        record.candidates = len(windows)
-        if not windows:
+        if windows:
+            if cfg.window_merging:
+                windows = merge_windows(
+                    miter, windows, cfg.k_s_for(threshold)
+                )
+            outcomes = simulator.run(
+                miter, windows, collect_cex=True, skip_oversized=True
+            )
+            for outcome in outcomes:
+                if outcome.status is PairStatus.MISMATCH:
+                    record.cex += 1
+                    cex = outcome.cex.to_pi_pattern(miter.num_pis)
+                    if bound is not None:
+                        bound.record_nonequivalent(
+                            outcome.pair.lit_a, CONST0, cex, context="P"
+                        )
+                    return CecResult(CecStatus.NONEQUIVALENT, cex=cex)
+                record.proved += 1
+                if bound is not None:
+                    bound.record_equivalent(
+                        outcome.pair.lit_a, CONST0, context="P"
+                    )
+                new_pos[outcome.pair.tag] = CONST0
+        if new_pos == list(miter.pos):
             return miter
-        if cfg.window_merging:
-            windows = merge_windows(miter, windows, cfg.k_s_for(threshold))
-        outcomes = simulator.run(
-            miter, windows, collect_cex=True, skip_oversized=True
-        )
-        new_pos = list(miter.pos)
-        for outcome in outcomes:
-            if outcome.status is PairStatus.MISMATCH:
-                record.cex += 1
-                cex = outcome.cex.to_pi_pattern(miter.num_pis)
-                return CecResult(CecStatus.NONEQUIVALENT, cex=cex)
-            record.proved += 1
-            new_pos[outcome.pair.tag] = CONST0
         reduced = Aig(
             miter.num_pis,
             miter.fanin_literals()[0],
@@ -322,9 +368,26 @@ class SimSweepEngine:
             classes = state.classes(miter, tables)
             if len(classes) == 0:
                 break
+            bound = self._bind(miter)
             support_sets = supports_capped(miter, cfg.k_g)
             windows: List[Window] = []
+            merges: Dict[int, Tuple[int, int]] = {}
+            cex_patterns: List[List[int]] = []
             for repr_node, node, phase in classes.all_pairs():
+                if bound is not None:
+                    # Cached knowledge is not bounded by k_g: a pair the
+                    # cold run proved in a later phase (or by SAT)
+                    # resolves here on the warm run.
+                    known = bound.lookup_pair(
+                        lit(repr_node), lit(node, phase)
+                    )
+                    if known is not None:
+                        record.candidates += 1
+                        if known.is_equivalent:
+                            merges[node] = (repr_node, phase)
+                        else:
+                            cex_patterns.append(known.cex)
+                        continue
                 supp_r = support_sets[repr_node]
                 supp_n = support_sets[node]
                 if supp_r is None or supp_n is None:
@@ -332,6 +395,7 @@ class SimSweepEngine:
                 union = supp_r | supp_n
                 if len(union) > cfg.k_g:
                     continue
+                record.candidates += 1
                 roots = [
                     x for x in (repr_node, node) if x != 0 and x not in union
                 ]
@@ -343,28 +407,37 @@ class SimSweepEngine:
                         pairs=[Pair(lit(repr_node), lit(node, phase), tag=node)],
                     )
                 )
-            if not windows:
+            if not windows and not merges and not cex_patterns:
                 break
-            record.candidates += len(windows)
-            if cfg.window_merging:
-                windows = merge_windows(
-                    miter, windows, cfg.k_s_for(cfg.k_g)
+            if windows:
+                if cfg.window_merging:
+                    windows = merge_windows(
+                        miter, windows, cfg.k_s_for(cfg.k_g)
+                    )
+                outcomes = simulator.run(
+                    miter, windows, collect_cex=True, skip_oversized=True
                 )
-            outcomes = simulator.run(
-                miter, windows, collect_cex=True, skip_oversized=True
-            )
-            merges: Dict[int, Tuple[int, int]] = {}
-            cex_patterns: List[List[int]] = []
+            else:
+                outcomes = []
             for outcome in outcomes:
                 node = outcome.pair.tag
                 if outcome.status is PairStatus.EQUAL:
                     target = outcome.pair.lit_a
                     phase = (outcome.pair.lit_a ^ outcome.pair.lit_b) & 1
                     merges[node] = (target >> 1, phase)
+                    if bound is not None:
+                        bound.record_equivalent(
+                            outcome.pair.lit_a, outcome.pair.lit_b,
+                            context="G",
+                        )
                 else:
-                    cex_patterns.append(
-                        outcome.cex.to_pi_pattern(miter.num_pis)
-                    )
+                    pattern = outcome.cex.to_pi_pattern(miter.num_pis)
+                    cex_patterns.append(pattern)
+                    if bound is not None:
+                        bound.record_nonequivalent(
+                            outcome.pair.lit_a, outcome.pair.lit_b,
+                            pattern, context="G",
+                        )
             record.proved += len(merges)
             record.cex += len(cex_patterns)
             if cex_patterns:
@@ -395,6 +468,7 @@ class SimSweepEngine:
         classes = state.classes(miter, tables)
         if len(classes) == 0:
             return miter, False
+        bound = self._bind(miter)
         pair_info: Dict[int, Tuple[int, int]] = {}
         repr_of: Dict[int, int] = {}
         for eq_class in classes:
@@ -409,6 +483,25 @@ class SimSweepEngine:
         merges: Dict[int, Tuple[int, int]] = {}
         proved_by_pass: Dict[int, int] = {}
 
+        if bound is not None:
+            # Warm-start pre-pass: settle pairs with cached verdicts
+            # before any cut enumeration or window simulation runs.
+            cached_patterns: List[List[int]] = []
+            for node, (repr_node, phase) in list(pair_info.items()):
+                known = bound.lookup_pair(lit(repr_node), lit(node, phase))
+                if known is None:
+                    continue
+                if known.is_equivalent:
+                    merges[node] = (repr_node, phase)
+                else:
+                    cached_patterns.append(known.cex)
+                    del pair_info[node]
+            if cached_patterns:
+                record.cex += len(cached_patterns)
+                state.add_cex_patterns(
+                    cached_patterns, distance1=cfg.distance1_cex
+                )
+
         for pass_id in cfg.passes:
             if pass_id in disabled_passes:
                 continue
@@ -422,6 +515,7 @@ class SimSweepEngine:
                 repr_of,
                 pair_info,
                 merges,
+                bound,
             )
             proved_by_pass[pass_id] = len(merges) - proved_before
 
@@ -445,6 +539,7 @@ class SimSweepEngine:
         repr_of: Dict[int, int],
         pair_info: Dict[int, Tuple[int, int]],
         merges: Dict[int, Tuple[int, int]],
+        bound: Optional[BoundCache] = None,
     ) -> None:
         cfg = self.config
         selector = CutSelector(
@@ -468,12 +563,26 @@ class SimSweepEngine:
             )
             for outcome in outcomes:
                 node = outcome.pair.tag
-                if (
-                    outcome.status is PairStatus.EQUAL
-                    and node not in merges
-                ):
-                    phase = (outcome.pair.lit_a ^ outcome.pair.lit_b) & 1
-                    merges[node] = (outcome.pair.lit_a >> 1, phase)
+                if outcome.status is PairStatus.EQUAL:
+                    if node not in merges:
+                        phase = (outcome.pair.lit_a ^ outcome.pair.lit_b) & 1
+                        merges[node] = (outcome.pair.lit_a >> 1, phase)
+                    if bound is not None and outcome.window is not None:
+                        bound.record_equivalent(
+                            outcome.pair.lit_a,
+                            outcome.pair.lit_b,
+                            context="L",
+                            cut_size=len(outcome.window.inputs),
+                        )
+                elif bound is not None and outcome.window is not None:
+                    # A local mismatch may be an SDC, so it proves
+                    # nothing about the pair — but re-simulating the
+                    # same pair over the same cut is futile; memoise it.
+                    bound.record_local_mismatch(
+                        outcome.pair.lit_a,
+                        outcome.pair.lit_b,
+                        outcome.window.inputs,
+                    )
 
         buffer = CommonCutBuffer(cfg.buffer_capacity, flush)
         for _level, nodes in enumerator.run(repr_of, only=needed):
@@ -499,6 +608,10 @@ class SimSweepEngine:
                 )
                 pair = Pair(lit(repr_node), lit(node, phase), tag=node)
                 for cut in cuts:
+                    if bound is not None and bound.local_mismatch_seen(
+                        pair.lit_a, pair.lit_b, cut
+                    ):
+                        continue
                     roots = [
                         x for x in (repr_node, node) if x != 0 and x not in cut
                     ]

@@ -10,6 +10,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.cache.counters import CacheCounters
+
 
 @dataclass
 class PhaseRecord:
@@ -48,6 +50,13 @@ class EngineReport:
     final_ands: int = 0
     phases: List[PhaseRecord] = field(default_factory=list)
     total_seconds: float = 0.0
+    #: Candidate pairs actually put through exhaustive simulation.  On a
+    #: warm cached run of an already-proved miter this drops to zero —
+    #: the acceptance metric of the functional-knowledge cache.
+    exhaustive_pairs: int = 0
+    #: Cache activity during this run (``None`` when no cache was
+    #: configured); a per-run delta, not the process-wide totals.
+    cache: Optional[CacheCounters] = None
 
     @property
     def reduction_percent(self) -> float:
@@ -152,6 +161,9 @@ class PortfolioReport:
     start_method: str = "inline"
     #: Record of the timeout finisher engine, when one ran.
     finisher: Optional[EngineRunRecord] = None
+    #: Aggregated cache activity across all engines of the run (``None``
+    #: when no cache was configured).
+    cache: Optional[CacheCounters] = None
 
     @property
     def failures(self) -> List[EngineFailure]:
@@ -185,6 +197,8 @@ class PortfolioReport:
             if rec.failure is not None:
                 parts.append(str(rec.failure))
             lines.append(", ".join(parts))
+        if self.cache is not None:
+            lines.append(f"  cache: {self.cache.summary()}")
         return lines
 
 

@@ -54,12 +54,26 @@ def transform_table(table: int, num_vars: int, transform: Transform) -> int:
     return result
 
 
+@lru_cache(maxsize=8)
+def materialized_transforms(num_vars: int) -> Tuple[Transform, ...]:
+    """The full transform group of ``num_vars`` inputs, as a cached tuple.
+
+    The group is tiny (7680 entries at 5 vars) but rebuilding the nested
+    permutation/mask product on every canonicalisation dominated
+    ``npn_canon`` misses; memoising the materialised tuple makes repeat
+    walks of the group a plain list iteration.
+    """
+    return tuple(
+        (perm, neg_mask, out_neg)
+        for perm in itertools.permutations(range(num_vars))
+        for neg_mask in range(1 << num_vars)
+        for out_neg in (0, 1)
+    )
+
+
 def all_transforms(num_vars: int) -> Iterator[Transform]:
     """Every NPN transform of ``num_vars`` inputs."""
-    for perm in itertools.permutations(range(num_vars)):
-        for neg_mask in range(1 << num_vars):
-            for out_neg in (0, 1):
-                yield perm, neg_mask, out_neg
+    yield from materialized_transforms(num_vars)
 
 
 @lru_cache(maxsize=1 << 16)
@@ -76,7 +90,7 @@ def npn_canon(table: int, num_vars: int) -> Tuple[int, Transform]:
     table &= tt_mask(num_vars)
     best = None
     best_transform: Transform = (tuple(range(num_vars)), 0, 0)
-    for transform in all_transforms(num_vars):
+    for transform in materialized_transforms(num_vars):
         candidate = transform_table(table, num_vars, transform)
         if best is None or candidate < best:
             best = candidate

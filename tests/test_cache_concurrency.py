@@ -1,0 +1,79 @@
+"""Concurrent-writer safety of the proof store and portfolio cache."""
+
+import multiprocessing as mp
+
+import pytest
+
+from repro.aig.miter import build_miter
+from repro.bench.generators import adder, kogge_stone_adder
+from repro.cache.store import EQUIVALENT, ProofStore, Verdict
+from repro.portfolio.parallel import ParallelPortfolioChecker
+from repro.sweep.engine import CecStatus
+
+
+def _writer(directory, worker_id, rounds, per_round, barrier):
+    """Append several delta batches, racing the other worker."""
+    store = ProofStore()
+    barrier.wait()  # maximise interleaving
+    for r in range(rounds):
+        for i in range(per_round):
+            store.put(
+                f"P:w{worker_id}:r{r}:{i}",
+                Verdict(EQUIVALENT, engine=f"w{worker_id}"),
+            )
+        store.append_pending(directory)
+
+
+@pytest.mark.parametrize("start_method", ["spawn"])
+def test_concurrent_writers_do_not_corrupt_store(tmp_path, start_method):
+    """Two processes appending to one cache dir lose nothing."""
+    ctx = mp.get_context(start_method)
+    barrier = ctx.Barrier(2)
+    rounds, per_round = 5, 20
+    workers = [
+        ctx.Process(
+            target=_writer,
+            args=(str(tmp_path), w, rounds, per_round, barrier),
+        )
+        for w in range(2)
+    ]
+    for proc in workers:
+        proc.start()
+    for proc in workers:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    store = ProofStore.load(str(tmp_path))
+    assert store.load_errors == 0
+    assert len(store) == 2 * rounds * per_round
+    # Compaction over the merged file keeps every record intact.
+    store.compact(str(tmp_path))
+    assert len(ProofStore.load(str(tmp_path))) == 2 * rounds * per_round
+
+
+def test_parallel_portfolio_cold_then_warm(tmp_path):
+    """Spawn-mode portfolio workers share one cache dir safely.
+
+    The cold run's worker deltas must merge into the parent store, and a
+    warm rerun must resolve previously proved pairs from the cache.
+    """
+    miter = build_miter(adder(8), kogge_stone_adder(8))
+    cache_dir = str(tmp_path / "cache")
+
+    def run():
+        checker = ParallelPortfolioChecker(
+            engines=[("combined", {}), ("sim", {})],
+            time_limit=120.0,
+            start_method="spawn",
+            cache_dir=cache_dir,
+        )
+        return checker.check_miter(miter)
+
+    cold = run()
+    assert cold.status is CecStatus.EQUIVALENT
+    assert cold.report.cache is not None
+    assert cold.report.cache.stores > 0
+    assert len(ProofStore.load(cache_dir)) > 0
+
+    warm = run()
+    assert warm.status is CecStatus.EQUIVALENT
+    assert warm.report.cache.hits > 0

@@ -117,3 +117,32 @@ def test_module_entry_point():
     )
     assert proc.returncode == 0
     assert "cec" in proc.stdout
+
+
+def test_cec_cache_cold_then_warm(circuit_files, capsys, tmp_path):
+    a, b, _ = circuit_files
+    # The 4-bit multiplier miter is fully fingerprint-decidable, so use a
+    # wider pair whose proofs actually reach the store.
+    wide_a = tmp_path / "wa.aig"
+    wide_b = tmp_path / "wb.aig"
+    write_aiger(gen.adder(8), wide_a)
+    write_aiger(gen.kogge_stone_adder(8), wide_b)
+    cache_dir = tmp_path / "cache"
+    assert main(["cec", str(wide_a), str(wide_b), "--cache", str(cache_dir)]) == 0
+    cold = capsys.readouterr().out
+    assert "cache: hits=0" in cold
+    assert "stores=" in cold
+    assert main(["cec", str(wide_a), str(wide_b), "--cache", str(cache_dir)]) == 0
+    warm = capsys.readouterr().out
+    assert "equivalent" in warm
+    assert "hits=0" not in warm  # warm run must hit the store
+    assert "cache: hits=" in warm
+
+
+def test_cec_cache_with_parallel_engine(circuit_files, tmp_path):
+    a, b, _ = circuit_files
+    cache_dir = tmp_path / "cache"
+    code = main(
+        ["cec", str(a), str(b), "--engine", "parallel", "--cache", str(cache_dir)]
+    )
+    assert code in (0, 2)

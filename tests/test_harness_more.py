@@ -71,3 +71,65 @@ def test_sop_to_expr_round_trip():
     for index in range(8):
         bits = [(index >> i) & 1 for i in range(3)]
         assert eval_expr(expr, bits) == (table >> index) & 1
+
+
+def test_run_table2_json_and_cache(two_cases, tmp_path):
+    cache_dir = tmp_path / "cache"
+    json_dir = tmp_path / "out"
+    json_dir.mkdir()
+    rows = run_table2(
+        two_cases,
+        config=EngineConfig.fast(),
+        sat_conflict_limit=5_000,
+        run_portfolio=False,
+        cache_dir=str(cache_dir),
+        json_out=str(json_dir),
+    )
+    import json
+
+    path = json_dir / "BENCH_table2.json"
+    assert path.exists()
+    payload = json.loads(path.read_text())
+    assert payload["experiment"] == "table2"
+    assert [r["name"] for r in payload["rows"]] == [r.name for r in rows]
+    assert "speedup_vs_abc" in payload["geomeans"]
+    assert set(payload["cache"]) == {"counters", "hit_rate"}
+    # Row-level cache counters are present when a cache dir is given.
+    assert all("cache" in r and "cache_hit_rate" in r for r in payload["rows"])
+
+
+def test_harness_main_writes_bench_json(tmp_path, capsys):
+    from repro.bench.harness import main
+
+    code = main(
+        [
+            "table2",
+            "--profile",
+            "tiny",
+            "--only",
+            "log2",
+            "--no-portfolio",
+            "--json",
+            str(tmp_path),
+            "--cache",
+            str(tmp_path / "cache"),
+        ]
+    )
+    assert code == 0
+    assert "log2" in capsys.readouterr().out
+    assert (tmp_path / "BENCH_table2.json").exists()
+
+
+def test_run_fig6_json(two_cases, tmp_path):
+    import json
+
+    from repro.bench.harness import run_fig6
+
+    out = tmp_path / "fig6.json"
+    rows = run_fig6(
+        two_cases, cache_dir=str(tmp_path / "cache"), json_out=str(out)
+    )
+    payload = json.loads(out.read_text())
+    assert payload["experiment"] == "fig6"
+    assert len(payload["rows"]) == len(rows)
+    assert all("fractions" in r for r in payload["rows"])

@@ -81,3 +81,38 @@ def test_rejects_large_k():
         npn_canon(0, 6)
     with pytest.raises(ValueError):
         npn_class_count(5)
+
+
+def test_materialized_transforms_cached_and_complete():
+    from repro.synth.npn import all_transforms, materialized_transforms
+
+    group = materialized_transforms(3)
+    assert len(group) == 96  # 3! * 2^3 * 2
+    assert materialized_transforms(3) is group  # memoised tuple
+    assert list(all_transforms(3)) == list(group)
+
+
+def test_npn_canon_second_call_is_cached():
+    """Micro-benchmark: a repeated canonicalisation is O(1).
+
+    The first call walks the full 7680-transform group of a 5-input
+    function; the second is an ``lru_cache`` dictionary lookup.  The
+    assertion is deliberately generous (5x) so slow CI machines never
+    flake, but the real ratio is orders of magnitude larger.
+    """
+    import time
+
+    npn_canon.cache_clear()
+    table = 0x9AF37B21  # arbitrary 5-input function
+    start = time.perf_counter()
+    cold_result = npn_canon(table, 5)
+    cold = time.perf_counter() - start
+
+    hits_before = npn_canon.cache_info().hits
+    start = time.perf_counter()
+    warm_result = npn_canon(table, 5)
+    warm = time.perf_counter() - start
+
+    assert warm_result == cold_result
+    assert npn_canon.cache_info().hits == hits_before + 1
+    assert warm < cold / 5
