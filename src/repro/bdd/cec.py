@@ -18,6 +18,7 @@ from repro.aig.miter import build_miter, miter_is_trivially_unsat
 from repro.aig.network import Aig
 from repro.aig.transform import cleanup
 from repro.bdd.manager import ONE, ZERO, BddLimitExceeded, BddManager
+from repro.obs import get_tracer
 from repro.sweep.engine import CecResult, CecStatus
 from repro.sweep.report import EngineReport, PhaseRecord, PhaseTimer
 
@@ -52,6 +53,7 @@ class BddChecker:
         report = EngineReport(initial_ands=miter.num_ands)
         record = PhaseRecord("BDD")
         miter = cleanup(miter)
+        tracer = get_tracer()
 
         def finish(result: CecResult) -> CecResult:
             record.miter_ands_after = (
@@ -60,13 +62,17 @@ class BddChecker:
             report.final_ands = record.miter_ands_after
             report.phases.append(record)
             report.total_seconds = time.perf_counter() - start
+            if tracer.enabled:
+                report.metrics = tracer.metrics.as_dict()
             result.report = report
             return result
 
         deadline = (
             start + self.time_limit if self.time_limit is not None else None
         )
-        with PhaseTimer(record):
+        with tracer.span(
+            "bdd.check_miter", category="bdd", initial_ands=miter.num_ands
+        ), PhaseTimer(record):
             result = self._run(miter, deadline, record)
         return finish(result)
 

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.bench.suite import BenchmarkCase
 from repro.cache.config import CacheConfig
 from repro.cache.knowledge import SweepCache
+from repro.obs import Tracer, use_tracer
 from repro.portfolio.checker import CombinedChecker, PortfolioChecker
 from repro.portfolio.parallel import PortfolioError
 from repro.sat.sweeping import SatSweepChecker
@@ -52,6 +53,12 @@ class Table2Row:
     #: Knowledge-cache counters of the combined run (hits, misses,
     #: stores, …); empty when no cache directory was given.
     cache: Dict[str, int] = field(default_factory=dict)
+    #: Per-phase records of the combined run's engine front end
+    #: (``PhaseRecord.as_dict()`` each) — the per-row histogram data.
+    phases: List[Dict] = field(default_factory=list)
+    #: Span summary of the traced combined run
+    #: (:meth:`repro.obs.Tracer.summary`).
+    trace: Dict = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -79,6 +86,10 @@ class Fig6Row:
     seconds: Dict[str, float]
     #: Knowledge-cache counters of the run; empty without a cache.
     cache: Dict[str, int] = field(default_factory=dict)
+    #: Per-phase records (``PhaseRecord.as_dict()`` each).
+    phases: List[Dict] = field(default_factory=list)
+    #: Span summary of the traced run (:meth:`repro.obs.Tracer.summary`).
+    trace: Dict = field(default_factory=dict)
 
 
 @dataclass
@@ -152,7 +163,9 @@ def run_table2_case(
         sat_checker=SatSweepChecker(conflict_limit=sat_conflict_limit),
         cache=cache,
     )
-    ours_result = ours.check_miter(miter)
+    tracer = Tracer(process_name=f"bench:{case.name}")
+    with use_tracer(tracer):
+        ours_result = ours.check_miter(miter)
     cache_counters = (
         ours_result.report.cache.as_dict()
         if getattr(ours_result.report, "cache", None) is not None
@@ -190,6 +203,10 @@ def run_table2_case(
         ours_status=ours_result.status.value,
         cfm_engine_seconds=cfm_engine_seconds,
         cache=cache_counters,
+        phases=[
+            p.as_dict() for p in getattr(ours_result.report, "phases", [])
+        ],
+        trace=tracer.summary(),
     )
 
 
@@ -227,7 +244,9 @@ def run_fig6(
     rows = []
     for case in cases:
         engine = SimSweepEngine(config, cache=cache)
-        result = engine.check_miter(case.miter)
+        tracer = Tracer(process_name=f"fig6:{case.name}")
+        with use_tracer(tracer):
+            result = engine.check_miter(case.miter)
         rows.append(
             Fig6Row(
                 name=case.name,
@@ -238,6 +257,8 @@ def run_fig6(
                     if result.report.cache is not None
                     else {}
                 ),
+                phases=[p.as_dict() for p in result.report.phases],
+                trace=tracer.summary(),
             )
         )
     if json_out is not None:

@@ -26,6 +26,7 @@ valid for every later one (and for every later run — the warm start).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -33,6 +34,7 @@ from repro.aig.network import Aig
 from repro.cache.config import CacheConfig
 from repro.cache.counters import CacheCounters
 from repro.cache.fingerprint import MiterFingerprints
+from repro.obs import get_tracer
 from repro.cache.store import (
     EQUIVALENT,
     INCONCLUSIVE,
@@ -132,6 +134,22 @@ class BoundCache:
         cut or one SAT budget may still fall to another, so only callers
         that compare budgets should see those records.
         """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._lookup(lit_a, lit_b, want_inconclusive)
+        start = time.perf_counter()
+        found = self._lookup(lit_a, lit_b, want_inconclusive)
+        tracer.metrics.observe(
+            "cache.lookup_seconds", time.perf_counter() - start
+        )
+        tracer.metrics.counter_add(
+            "cache.lookup_hits" if found is not None else "cache.lookup_misses"
+        )
+        return found
+
+    def _lookup(
+        self, lit_a: int, lit_b: int, want_inconclusive: bool
+    ) -> Optional[CachedPair]:
         decided = self.fingerprints.decide_pair(lit_a, lit_b)
         if decided is not None:
             status, cex = decided

@@ -19,6 +19,12 @@ Subcommands
 
 Exit status for ``cec``: 0 equivalent, 1 nonequivalent, 2 undecided,
 3 when every portfolio engine failed.
+
+Stream contract: the machine-readable payload (``verdict:``, ``cex:``,
+``residue:``, ``time:``, ``cache:``, ``metrics``) goes to *stdout*;
+diagnostics — phase progress, portfolio summaries, failures — go
+through the :mod:`repro.obs.logging` structured logger on *stderr*, so
+``cec … > out.txt`` captures exactly the payload.
 """
 
 from __future__ import annotations
@@ -34,6 +40,14 @@ from repro.bdd.cec import BddChecker
 from repro.bench import generators as gen
 from repro.cache.config import CacheConfig
 from repro.cache.knowledge import SweepCache
+from repro.obs import (
+    Tracer,
+    configure_logging,
+    get_logger,
+    get_tracer,
+    set_tracer,
+)
+from repro.obs.logging import LEVELS
 from repro.portfolio.checker import CombinedChecker, PortfolioChecker
 from repro.portfolio.parallel import ParallelPortfolioChecker, PortfolioError
 from repro.sat.sweeping import SatSweepChecker
@@ -71,8 +85,8 @@ _SCRIPTS: Dict[str, Callable[[Aig], Aig]] = {
 
 
 def _phase_printer(record) -> None:
-    print(
-        f"  phase {record.kind}: {record.seconds:.2f}s, "
+    get_logger("cli").info(
+        f"phase {record.kind}: {record.seconds:.2f}s, "
         f"{record.proved}/{record.candidates} proved, "
         f"miter -> {record.miter_ands_after} ANDs"
     )
@@ -120,41 +134,57 @@ def _make_checker(
 
 
 def cmd_cec(args: argparse.Namespace) -> int:
+    log = get_logger("cli")
     aig_a = read_aiger(args.a)
     aig_b = read_aiger(args.b)
     checker = _make_checker(
         args.engine, args.time_limit, args.verbose, cache_dir=args.cache
     )
+    tracer: Optional[Tracer] = None
+    if args.trace or args.metrics:
+        tracer = Tracer(process_name="cec")
+        set_tracer(tracer)
     try:
-        result = checker.check_miter(build_miter(aig_a, aig_b))
-    except PortfolioError as error:
-        print(f"error: {error}")
-        if args.verbose:
+        try:
+            with get_tracer().span("cec", category="cli", engine=args.engine):
+                result = checker.check_miter(build_miter(aig_a, aig_b))
+        except PortfolioError as error:
+            log.error(str(error))
             for line in error.report.summary_lines():
+                log.info(line)
+            return 3
+        print(f"verdict: {result.status.value}")
+        if result.status is CecStatus.NONEQUIVALENT and result.cex is not None:
+            print("cex:", "".join(str(b) for b in result.cex))
+        if result.status is CecStatus.UNDECIDED and result.reduced_miter:
+            print(f"residue: {result.reduced_miter.num_ands} AND gates")
+        report = result.report
+        if isinstance(report, PortfolioReport):
+            if args.verbose:
+                for line in report.summary_lines():
+                    log.info(line.strip())
+        elif report.phases:
+            print(
+                f"time: {report.total_seconds:.2f}s, "
+                f"reduction: {report.reduction_percent:.1f}%"
+            )
+        if args.cache is not None and getattr(report, "cache", None) is not None:
+            print(f"cache: {report.cache.summary()}")
+        if args.metrics and tracer is not None:
+            print("metrics:")
+            for line in tracer.metrics.summary_lines():
                 print(line)
-        return 3
-    print(f"verdict: {result.status.value}")
-    if result.status is CecStatus.NONEQUIVALENT and result.cex is not None:
-        print("cex:", "".join(str(b) for b in result.cex))
-    if result.status is CecStatus.UNDECIDED and result.reduced_miter:
-        print(f"residue: {result.reduced_miter.num_ands} AND gates")
-    report = result.report
-    if isinstance(report, PortfolioReport):
-        if args.verbose:
-            for line in report.summary_lines():
-                print(line)
-    elif report.phases:
-        print(
-            f"time: {report.total_seconds:.2f}s, "
-            f"reduction: {report.reduction_percent:.1f}%"
-        )
-    if args.cache is not None and getattr(report, "cache", None) is not None:
-        print(f"cache: {report.cache.summary()}")
-    return {
-        CecStatus.EQUIVALENT: 0,
-        CecStatus.NONEQUIVALENT: 1,
-        CecStatus.UNDECIDED: 2,
-    }[result.status]
+        return {
+            CecStatus.EQUIVALENT: 0,
+            CecStatus.NONEQUIVALENT: 1,
+            CecStatus.UNDECIDED: 2,
+        }[result.status]
+    finally:
+        if tracer is not None:
+            if args.trace:
+                tracer.write(args.trace)
+                log.info(f"trace written to {args.trace}")
+            set_tracer(None)
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -213,7 +243,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cec.add_argument(
         "--verbose", action="store_true",
-        help="print engine phases as they complete",
+        help="log engine phases as they complete (stderr)",
+    )
+    cec.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record a Chrome trace_event timeline of the run to FILE "
+        "(open in chrome://tracing or ui.perfetto.dev); covers all "
+        "worker processes of a parallel run",
+    )
+    cec.add_argument(
+        "--metrics", action="store_true",
+        help="print counters and histograms of the run to stdout",
+    )
+    cec.add_argument(
+        "--log-level", default=None, choices=list(LEVELS),
+        help="stderr diagnostic verbosity (default: info with "
+        "--verbose, warning otherwise)",
     )
     cec.set_defaults(func=cmd_cec)
 
@@ -245,6 +290,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    level = getattr(args, "log_level", None)
+    if level is None:
+        level = "info" if getattr(args, "verbose", False) else "warning"
+    configure_logging(level)
     return args.func(args)
 
 

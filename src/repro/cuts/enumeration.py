@@ -81,6 +81,9 @@ class CutEnumerator:
         self._priority: List[List[Cut]] = [[] for _ in range(aig.num_nodes)]
         for pi in aig.pis():
             self._priority[pi] = [(pi,)]
+        #: Candidate cuts produced by Eq. 1 merges across the whole run
+        #: (before priority selection) — the work metric of enumeration.
+        self.expansions = 0
 
     def priority_cuts(self, node: int) -> List[Cut]:
         """Priority cuts computed so far for ``node`` (empty for const)."""
@@ -145,6 +148,7 @@ class CutEnumerator:
             self._cut_choices(f1 >> 1),
             self.k_l,
         )
+        self.expansions += len(candidates)
         if not candidates:
             return []
         return self.selector.select(candidates, self.num_priority, reference)

@@ -1,0 +1,74 @@
+"""Observability: tracing, metrics, and structured logging (``repro.obs``).
+
+The subsystem has three pieces:
+
+- :mod:`repro.obs.tracer` — hierarchical span tracing on monotonic
+  clocks, exported as Chrome ``trace_event`` JSON (open the file in
+  ``chrome://tracing`` or https://ui.perfetto.dev), with cross-process
+  merging for the parallel portfolio;
+- :mod:`repro.obs.metrics` — named counters and log₂-bucketed
+  histograms, mergeable across processes;
+- :mod:`repro.obs.logging` — the ``repro`` stderr ``key=value`` logger
+  used by the CLI for diagnostics.
+
+One **ambient tracer** per process is held here.  It defaults to
+:data:`~repro.obs.tracer.NULL_TRACER` (tracing disabled, every call a
+cached no-op), so instrumentation costs nothing unless someone calls
+:func:`set_tracer` — the CLI's ``--trace``/``--metrics`` flags, the
+bench harness, or a portfolio worker re-creating its child tracer.
+
+See ``docs/observability.md`` for the span taxonomy and metrics
+glossary.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Union
+
+from repro.obs.logging import configure_logging, get_logger
+from repro.obs.metrics import NULL_METRICS, Histogram, MetricsRegistry, NullMetrics
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "NullMetrics",
+    "Histogram",
+    "NULL_METRICS",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "configure_logging",
+    "get_logger",
+]
+
+_TRACER: Union[Tracer, NullTracer] = NULL_TRACER
+
+
+def get_tracer() -> Union[Tracer, NullTracer]:
+    """The process-ambient tracer (the null tracer when disabled)."""
+    return _TRACER
+
+
+def set_tracer(
+    tracer: Optional[Union[Tracer, NullTracer]]
+) -> Union[Tracer, NullTracer]:
+    """Install ``tracer`` as the ambient tracer (``None`` disables)."""
+    global _TRACER
+    _TRACER = tracer if tracer is not None else NULL_TRACER
+    return _TRACER
+
+
+@contextmanager
+def use_tracer(tracer: Optional[Union[Tracer, NullTracer]]):
+    """Scoped :func:`set_tracer`: restores the previous tracer on exit."""
+    previous = get_tracer()
+    set_tracer(tracer)
+    try:
+        yield get_tracer()
+    finally:
+        set_tracer(previous)

@@ -1,0 +1,87 @@
+"""Structured logging for the CLI and long-running services.
+
+Diagnostics (phase progress, portfolio summaries, failures) go through
+one ``repro`` logger hierarchy writing ``key=value`` lines to *stderr*,
+so ``cec … > out.txt`` captures only the verdict/report payload on
+stdout.  :func:`configure_logging` is idempotent per call: it replaces
+the handler it previously installed (and re-binds the current
+``sys.stderr``, which matters under test harnesses that swap the
+stream) without touching handlers installed by embedding applications.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from typing import Optional, TextIO
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Marker attribute identifying the handler we installed.
+_HANDLER_FLAG = "_repro_obs_handler"
+
+LEVELS = ("debug", "info", "warning", "error", "critical")
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts=… level=… logger=… msg="…"`` single-line records.
+
+    Extra structured fields can be passed per-record via
+    ``logger.info("msg", extra={"kv": {"engine": "sat"}})`` and are
+    appended as further ``key=value`` pairs.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        timestamp = time.strftime(
+            "%H:%M:%S", time.localtime(record.created)
+        )
+        message = record.getMessage()
+        if record.exc_info and record.exc_info[0] is not None:
+            message = f"{message} exc={record.exc_info[0].__name__}"
+        parts = [
+            f"ts={timestamp}.{int(record.msecs):03d}",
+            f"level={record.levelname.lower()}",
+            f"logger={record.name}",
+        ]
+        for key, value in sorted(getattr(record, "kv", {}).items()):
+            parts.append(f"{key}={value}")
+        parts.append(f'msg="{message}"')
+        return " ".join(parts)
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The ``repro`` logger, or the ``repro.<name>`` child."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    level: str = "warning", stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Install (or refresh) the stderr key=value handler.
+
+    Parameters
+    ----------
+    level:
+        One of ``debug``/``info``/``warning``/``error``/``critical``.
+    stream:
+        Output stream; defaults to the *current* ``sys.stderr`` so the
+        payload on stdout stays machine-readable.
+    """
+    if level not in LEVELS:
+        raise ValueError(f"unknown log level {level!r} (choices: {LEVELS})")
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(getattr(logging, level.upper()))
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(KeyValueFormatter())
+    setattr(handler, _HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    return logger

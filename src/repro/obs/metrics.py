@@ -1,0 +1,155 @@
+"""Counters and histograms backing the tracing layer.
+
+A :class:`MetricsRegistry` holds named monotonic **counters** (sim words
+computed, gather/scatter bytes moved, cut expansions, cache stores …)
+and **histograms** (per-pair SAT seconds, cache lookup latencies, span
+durations).  Histograms are log₂-bucketed: observation ``v`` lands in
+the bucket labelled by its binary exponent (``v ≤ 2^e``), which keeps
+them mergeable across processes with a fixed, tiny footprint — the same
+trick Prometheus-style exporters use.
+
+Everything is plain-dict serialisable (:meth:`MetricsRegistry.as_dict` /
+:meth:`merge_dict`), because portfolio workers ship their registries to
+the parent over a multiprocessing queue.  The :data:`NULL_METRICS`
+singleton is the disabled-mode counterpart: every update is a no-op, so
+instrumented code never branches on "is tracing on?" for plain counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict
+
+
+class Histogram:
+    """Log₂-bucketed summary of a stream of non-negative observations."""
+
+    __slots__ = ("count", "total", "vmin", "vmax", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+        #: Bucket exponent → observation count; observation ``v`` maps to
+        #: ``frexp(v)[1]`` (the smallest ``e`` with ``v ≤ 2^e``); zero and
+        #: negative observations share the sentinel bucket ``None`` → "0".
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        exponent = math.frexp(value)[1] if value > 0 else 0
+        self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin if self.count else 0.0,
+            "max": self.vmax if self.count else 0.0,
+            "buckets": {str(exp): n for exp, n in sorted(self.buckets.items())},
+        }
+
+    def merge_dict(self, data: Dict[str, Any]) -> None:
+        """Fold a serialised histogram into this one."""
+        count = int(data.get("count", 0))
+        if count == 0:
+            return
+        self.count += count
+        self.total += float(data.get("sum", 0.0))
+        self.vmin = min(self.vmin, float(data.get("min", math.inf)))
+        self.vmax = max(self.vmax, float(data.get("max", -math.inf)))
+        for exp, n in data.get("buckets", {}).items():
+            exp = int(exp)
+            self.buckets[exp] = self.buckets.get(exp, 0) + int(n)
+
+    def summary(self) -> str:
+        if self.count == 0:
+            return "count=0"
+        return (
+            f"count={self.count} sum={self.total:.6g} mean={self.mean:.6g} "
+            f"min={self.vmin:.6g} max={self.vmax:.6g}"
+        )
+
+
+class MetricsRegistry:
+    """Named counters and histograms for one process."""
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter_add(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to the named monotonic counter."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the named histogram."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": dict(self.counters),
+            "histograms": {
+                name: h.as_dict() for name, h in self.histograms.items()
+            },
+        }
+
+    def merge_dict(self, data: Dict[str, Any]) -> None:
+        """Fold a serialised registry (e.g. a worker's) into this one."""
+        for name, value in data.get("counters", {}).items():
+            self.counter_add(name, value)
+        for name, payload in data.get("histograms", {}).items():
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram()
+            histogram.merge_dict(payload)
+
+    def summary_lines(self) -> list:
+        """Human-readable dump (the CLI's ``--metrics`` output)."""
+        lines = []
+        for name in sorted(self.counters):
+            value = self.counters[name]
+            rendered = f"{value:.6g}" if isinstance(value, float) else value
+            lines.append(f"  counter {name}: {rendered}")
+        for name in sorted(self.histograms):
+            lines.append(f"  histogram {name}: {self.histograms[name].summary()}")
+        return lines
+
+
+class NullMetrics:
+    """Disabled-mode registry: every update is a no-op."""
+
+    __slots__ = ()
+
+    def counter_add(self, name: str, value: float = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"counters": {}, "histograms": {}}
+
+    def merge_dict(self, data: Dict[str, Any]) -> None:
+        pass
+
+    def summary_lines(self) -> list:
+        return []
+
+
+NULL_METRICS = NullMetrics()

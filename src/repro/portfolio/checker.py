@@ -19,6 +19,7 @@ from repro.aig.miter import build_miter
 from repro.aig.network import Aig
 from repro.bdd.cec import BddChecker
 from repro.cache.knowledge import SweepCache
+from repro.obs import get_tracer
 from repro.sat.sweeping import SatSweepChecker
 from repro.sweep.config import EngineConfig
 from repro.sweep.engine import CecResult, CecStatus, SimSweepEngine
@@ -90,8 +91,10 @@ class CombinedChecker:
         cache_snapshot = (
             self.cache.snapshot() if self.cache is not None else None
         )
+        tracer = get_tracer()
         start = time.perf_counter()
-        engine_result = self.engine.check_miter(miter)
+        with tracer.span("combined.engine", category="engine"):
+            engine_result = self.engine.check_miter(miter)
         self.timings.engine_seconds = time.perf_counter() - start
         self.timings.reduction_percent = (
             engine_result.report.reduction_percent
@@ -103,7 +106,10 @@ class CombinedChecker:
         assert residue is not None
         state = engine_result.sim_state if self.transfer_ecs else None
         start = time.perf_counter()
-        sat_result = self.sat_checker.check_miter(residue, state=state)
+        with tracer.span(
+            "combined.sat_residue", category="sat", residue_ands=residue.num_ands
+        ):
+            sat_result = self.sat_checker.check_miter(residue, state=state)
         self.timings.sat_seconds = time.perf_counter() - start
         sat_result.report = engine_result.report  # keep the engine phases
         if self.cache is not None:
@@ -159,13 +165,17 @@ class PortfolioChecker:
             self.cache.snapshot() if self.cache is not None else None
         )
         best_undecided: Optional[CecResult] = None
+        tracer = get_tracer()
         stages = [("bdd", self.bdd_checker), ("sat", self.sat_checker)]
         for name, checker in stages:
             record = EngineRunRecord(name=name, status="running")
             report.engines.append(record)
             start = time.perf_counter()
             try:
-                result = checker.check_miter(miter)
+                with tracer.span(
+                    f"stage:{name}", category="portfolio", engine=name
+                ):
+                    result = checker.check_miter(miter)
             except Exception as error:
                 record.seconds = time.perf_counter() - start
                 record.status = "failed"
@@ -180,10 +190,13 @@ class PortfolioChecker:
             report.total_seconds += record.seconds
             self.engine_seconds[name] = record.seconds
             record.status = result.status.value
+            record.report = result.report
             if result.status is not CecStatus.UNDECIDED:
                 report.winner = name
                 if self.cache is not None:
                     report.cache = self.cache.counters.diff(cache_snapshot)
+                if tracer.enabled:
+                    report.metrics = tracer.metrics.as_dict()
                 result.report = report
                 return result
             if result.reduced_miter is not None:
@@ -199,5 +212,7 @@ class PortfolioChecker:
             raise PortfolioError(report.failures, report)
         if self.cache is not None:
             report.cache = self.cache.counters.diff(cache_snapshot)
+        if tracer.enabled:
+            report.metrics = tracer.metrics.as_dict()
         best_undecided.report = report
         return best_undecided

@@ -42,6 +42,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import queue as queue_module
+import signal
 import sys
 import time
 import traceback
@@ -53,8 +54,14 @@ from repro.aig.network import Aig
 from repro.cache.config import CacheConfig
 from repro.cache.counters import CacheCounters
 from repro.cache.knowledge import SweepCache
+from repro.obs import Tracer, get_tracer, set_tracer
 from repro.sweep.engine import CecResult, CecStatus
-from repro.sweep.report import EngineFailure, EngineRunRecord, PortfolioReport
+from repro.sweep.report import (
+    EngineFailure,
+    EngineReport,
+    EngineRunRecord,
+    PortfolioReport,
+)
 
 EngineSpec = Union[Tuple[str, Dict], Tuple[str, Dict, float]]
 
@@ -174,12 +181,26 @@ def build_checker(
     raise ValueError(f"unknown engine spec {kind!r}")
 
 
+class _WorkerTerminated(BaseException):
+    """Raised by the worker's SIGTERM handler (tracing runs only).
+
+    Derives from :class:`BaseException` so engine-level ``except
+    Exception`` blocks cannot swallow the termination request on its way
+    to the worker's top-level handler.
+    """
+
+
+def _raise_worker_terminated(signum, frame) -> None:
+    raise _WorkerTerminated()
+
+
 def _engine_worker(
     index: int,
     spec: EngineSpec,
     miter: Aig,
     queue: "mp.Queue",
     cache_dir: Optional[str] = None,
+    trace: bool = False,
 ) -> None:
     """Run one engine in a child process and post its result.
 
@@ -189,11 +210,29 @@ def _engine_worker(
     of the knowledge cache (no mid-run disk contention) and ships the
     verdicts it accumulated back in its result message, so the parent
     can merge and persist them.
+
+    With ``trace`` the worker records its own span timeline and ships it
+    in the result message for the parent tracer to re-base.  A SIGTERM
+    handler turns the parent's staged termination into
+    :class:`_WorkerTerminated`, so even a cancelled loser posts its
+    partial trace during the terminate-grace window.
     """
     start = time.perf_counter()
+    tracer: Optional[Tracer] = None
+    if trace:
+        tracer = Tracer(process_name=f"worker:{spec[0]}")
+        set_tracer(tracer)
+        try:
+            signal.signal(signal.SIGTERM, _raise_worker_terminated)
+        except (ValueError, OSError):
+            pass  # non-main thread or unsupported platform: spans on
+            # normal completion still ship, cancelled ones are lost
     try:
         checker = build_checker(spec, cache_dir=cache_dir, cache_readonly=True)
-        result = checker.check_miter(miter)
+        with get_tracer().span(
+            f"engine:{spec[0]}", category="engine", engine=spec[0]
+        ):
+            result = checker.check_miter(miter)
         message = {
             "index": index,
             "status": result.status.value,
@@ -201,22 +240,39 @@ def _engine_worker(
             "residue": result.reduced_miter,
             "seconds": time.perf_counter() - start,
         }
+        if isinstance(result.report, EngineReport):
+            message["report"] = result.report.as_dict()
         cache = getattr(checker, "cache", None)
         if cache is not None:
             message["cache"] = cache.counters.as_dict()
             message["cache_delta"] = list(cache.store.pending)
+        if tracer is not None:
+            message["trace"] = tracer.export_payload()
         queue.put(message)
+    except _WorkerTerminated:
+        try:
+            message = {
+                "index": index,
+                "status": "terminated",
+                "seconds": time.perf_counter() - start,
+            }
+            if tracer is not None:
+                message["trace"] = tracer.export_payload()
+            queue.put(message)
+        except Exception:
+            pass  # queue already torn down: the trace is lost, not the run
     except BaseException as error:  # surface crashes as structured data
         try:
-            queue.put(
-                {
-                    "index": index,
-                    "status": "error",
-                    "message": repr(error),
-                    "traceback": traceback.format_exc(),
-                    "seconds": time.perf_counter() - start,
-                }
-            )
+            message = {
+                "index": index,
+                "status": "error",
+                "message": repr(error),
+                "traceback": traceback.format_exc(),
+                "seconds": time.perf_counter() - start,
+            }
+            if tracer is not None:
+                message["trace"] = tracer.export_payload()
+            queue.put(message)
         except Exception:
             pass  # unpicklable error payload: parent sees abnormal exit
 
@@ -338,6 +394,8 @@ class ParallelPortfolioChecker:
         report = PortfolioReport(start_method=method)
         self.report = report
         self.winner = None
+        tracer = get_tracer()
+        trace = tracer.enabled
 
         workers: List[_WorkerState] = []
         for index, spec in enumerate(self.engines):
@@ -346,7 +404,7 @@ class ParallelPortfolioChecker:
             budget = spec[2] if len(spec) > 2 else self.engine_time_limit
             process = context.Process(
                 target=_engine_worker,
-                args=(index, spec, miter, result_queue, self.cache_dir),
+                args=(index, spec, miter, result_queue, self.cache_dir, trace),
                 daemon=False,
             )
             workers.append(
@@ -362,6 +420,13 @@ class ParallelPortfolioChecker:
         best_residue: Optional[Aig] = None
         verdict: Optional[CecResult] = None
         timed_out = False
+        run_span = tracer.span(
+            "portfolio.run",
+            category="portfolio",
+            engines=len(self.engines),
+            start_method=method,
+        )
+        run_span.__enter__()
         try:
             for state in workers:
                 state.process.start()
@@ -439,7 +504,15 @@ class ParallelPortfolioChecker:
             )
         finally:
             for state in workers:
-                self._stop_process(state.process)
+                self._stop_process(state.process, engine=state.name)
+            if trace:
+                # Cancelled losers post their partial traces during the
+                # terminate-grace window; collect them before closing.
+                self._drain_late_messages(result_queue, workers)
+                run_span.set("winner", self.winner or "")
+            run_span.__exit__(None, None, None)
+            if trace:
+                report.metrics = tracer.metrics.as_dict()
             result_queue.close()
             result_queue.cancel_join_thread()
             if self.cache is not None:
@@ -483,12 +556,20 @@ class ParallelPortfolioChecker:
         Returns a :class:`CecResult` for a conclusive verdict, the
         residue network for an UNDECIDED report, ``None`` otherwise.
         """
-        if state.done:  # late message from an already-terminated worker
+        # A worker posts at most one message, so trace and cache deltas
+        # are safe to fold in even when the record is already settled
+        # (late post from a worker the parent timed out or cancelled).
+        self._merge_worker_trace(message)
+        if state.done or message["status"] == "terminated":
+            self._merge_worker_cache(message)
             return None
         state.done = True
         record = state.record
         record.seconds = message["seconds"]
         self._merge_worker_cache(message)
+        report_payload = message.get("report")
+        if report_payload:
+            record.report = EngineReport.from_dict(report_payload)
         status = message["status"]
         if status == "error":
             record.status = "failed"
@@ -510,6 +591,38 @@ class ParallelPortfolioChecker:
             return CecResult(CecStatus.EQUIVALENT)
         return CecResult(CecStatus.NONEQUIVALENT, cex=message.get("cex"))
 
+    def _merge_worker_trace(self, message: Dict) -> None:
+        """Re-base a worker's span timeline onto the parent tracer."""
+        payload = message.get("trace")
+        if payload is None:
+            return
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.merge_child(payload)
+
+    def _drain_late_messages(
+        self,
+        result_queue: "mp.Queue",
+        workers: List[_WorkerState],
+        max_wait: float = 2.0,
+    ) -> None:
+        """Absorb messages still in flight after all workers stopped.
+
+        Only runs on traced runs: cancelled workers post their partial
+        traces (and cache deltas) from the SIGTERM handler, after the
+        main loop has already stopped reading the queue.
+        """
+        deadline = time.monotonic() + max_wait
+        while time.monotonic() < deadline:
+            try:
+                message = result_queue.get(timeout=0.1)
+            except (queue_module.Empty, OSError, ValueError):
+                return
+            try:
+                self._record_message(workers[message["index"]], message)
+            except (KeyError, IndexError, TypeError):
+                continue  # malformed late payload: drop it, keep draining
+
     def _merge_worker_cache(self, message: Dict) -> None:
         """Fold a worker's knowledge delta and counters into the run."""
         if self.report is not None and "cache" in message:
@@ -529,7 +642,7 @@ class ParallelPortfolioChecker:
             if state.done:
                 continue
             if state.deadline is not None and now >= state.deadline:
-                self._stop_process(state.process)
+                self._stop_process(state.process, engine=state.name)
                 state.done = True
                 state.record.status = "timeout"
                 state.record.seconds = now - state.started
@@ -557,19 +670,26 @@ class ParallelPortfolioChecker:
         for state in workers:
             if state.done:
                 continue
-            self._stop_process(state.process)
+            self._stop_process(state.process, engine=state.name)
             state.done = True
             state.record.status = status
             state.record.seconds = now - state.started
 
-    def _stop_process(self, process: "mp.process.BaseProcess") -> None:
+    def _stop_process(
+        self, process: "mp.process.BaseProcess", engine: str = ""
+    ) -> None:
         """Staged termination: SIGTERM, join grace, then SIGKILL."""
-        if process.is_alive():
+        if not process.is_alive():
+            return
+        with get_tracer().span(
+            "portfolio.terminate", category="portfolio", engine=engine
+        ) as span:
             process.terminate()
             process.join(self.terminate_grace)
-        if process.is_alive():
-            process.kill()
-            process.join(self.terminate_grace)
+            if process.is_alive():
+                span.set("escalated", "SIGKILL")
+                process.kill()
+                process.join(self.terminate_grace)
 
     def _run_finisher(
         self, residue: Aig, report: PortfolioReport

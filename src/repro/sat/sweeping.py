@@ -30,6 +30,7 @@ from repro.aig.miter import build_miter, miter_is_trivially_unsat
 from repro.aig.network import Aig
 from repro.aig.transform import cleanup
 from repro.cache.knowledge import BoundCache, SweepCache
+from repro.obs import get_tracer
 from repro.sat.cnf import CnfBuilder
 from repro.sat.solver import SatSolver, SolveStatus
 from repro.sweep.classes import SimulationState
@@ -116,6 +117,7 @@ class SatSweepChecker:
         cache_snapshot = (
             self.cache.snapshot() if self.cache is not None else None
         )
+        tracer = get_tracer()
 
         def finish(result: CecResult) -> CecResult:
             record.miter_ands_after = (
@@ -127,13 +129,17 @@ class SatSweepChecker:
             if self.cache is not None:
                 self.cache.flush()
                 report.cache = self.cache.counters.diff(cache_snapshot)
+            if tracer.enabled:
+                report.metrics = tracer.metrics.as_dict()
             result.report = report
             return result
 
         deadline = (
             start + self.time_limit if self.time_limit is not None else None
         )
-        with PhaseTimer(record):
+        with tracer.span(
+            "sat.check_miter", category="sat", initial_ands=miter.num_ands
+        ), PhaseTimer(record):
             result = self._sweep(miter, state, record, deadline)
         return finish(result)
 
@@ -175,6 +181,7 @@ class SatSweepChecker:
                 break
             record.candidates += len(pairs)
             bound = self._bind(miter)
+            tracer = get_tracer()
             solver = SatSolver()
             cnf = CnfBuilder(miter, solver)
             merges: Dict[int, Tuple[int, int]] = {}
@@ -214,11 +221,15 @@ class SatSweepChecker:
                             self.stats.unknown_pairs += 1
                             continue
                 pair_start = time.perf_counter()
-                status = self._check_pair(
-                    solver, cnf, lit_r, lit_n, deadline
-                )
+                with tracer.span("sat.pair", category="sat") as pair_span:
+                    status = self._check_pair(
+                        solver, cnf, lit_r, lit_n, deadline
+                    )
+                    pair_span.set("status", status.name)
                 pair_seconds = time.perf_counter() - pair_start
                 self.stats.sat_calls += 1
+                tracer.metrics.counter_add("sat.pair_calls")
+                tracer.metrics.observe("sat.pair_seconds", pair_seconds)
                 if status is SolveStatus.UNSAT:
                     merges[node] = (repr_node, phase)
                     self.stats.proved_pairs += 1
@@ -297,6 +308,7 @@ class SatSweepChecker:
         record: PhaseRecord,
     ) -> CecResult:
         bound = self._bind(miter)
+        tracer = get_tracer()
         solver = SatSolver()
         cnf = CnfBuilder(miter, solver)
         new_pos = list(miter.pos)
@@ -323,18 +335,20 @@ class SatSweepChecker:
                         any_unknown = True
                         continue
             po_start = time.perf_counter()
-            sol_po = cnf.literal(po)
-            selector = solver.new_var()
-            sel = selector << 1
-            solver.add_clause([sel ^ 1, sol_po])
-            status = solver.solve(
-                assumptions=[sel],
-                conflict_limit=self.conflict_limit,
-                deadline=deadline,
-            )
-            solver.add_clause([sel ^ 1])
+            with tracer.span("sat.po", category="sat", po_index=i):
+                sol_po = cnf.literal(po)
+                selector = solver.new_var()
+                sel = selector << 1
+                solver.add_clause([sel ^ 1, sol_po])
+                status = solver.solve(
+                    assumptions=[sel],
+                    conflict_limit=self.conflict_limit,
+                    deadline=deadline,
+                )
+                solver.add_clause([sel ^ 1])
             po_seconds = time.perf_counter() - po_start
             self.stats.po_calls += 1
+            tracer.metrics.observe("sat.po_seconds", po_seconds)
             if status is SolveStatus.SAT:
                 pattern = cnf.pi_pattern_from_model()
                 if bound is not None:

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.aig.network import Aig
+from repro.obs import get_tracer
 from repro.simulation.bitops import (
     FULL_WORD,
     first_set_bit,
@@ -130,8 +131,15 @@ class ExhaustiveSimulator:
             return []
         windows = sorted(windows, key=lambda w: w.tt_words, reverse=True)
         outcomes: List[PairOutcome] = []
-        for chunk in self._partition(windows):
-            outcomes.extend(self._run_chunk(aig, chunk, collect_cex))
+        tracer = get_tracer()
+        with tracer.span(
+            "sim.exhaustive.run",
+            category="sim",
+            windows=len(windows),
+            pairs=sum(len(w.pairs) for w in windows) if tracer.enabled else 0,
+        ):
+            for chunk in self._partition(windows):
+                outcomes.extend(self._run_chunk(aig, chunk, collect_cex))
         return outcomes
 
     def window_fits(self, window: Window) -> bool:
@@ -193,6 +201,7 @@ class ExhaustiveSimulator:
         outcomes: List[Optional[PairOutcome]] = [None] * batch.num_pairs
         unresolved = np.ones(batch.num_pairs, dtype=bool)
 
+        chunk_words = 0
         for r in range(rounds):
             active = batch.active_window_count(r, entry)
             if active == 0:
@@ -202,9 +211,16 @@ class ExhaustiveSimulator:
             self._simulate_levels(simt, plan)
             self.stats.rounds += 1
             self.stats.words_simulated += plan.num_and_slots * entry
+            chunk_words += plan.num_and_slots * entry
             self._compare_pairs(
                 simt, batch, active, r, entry, unresolved, outcomes, collect_cex
             )
+        metrics = get_tracer().metrics
+        metrics.counter_add("sim.words_simulated", chunk_words)
+        # Every AND evaluation gathers two fanin rows and scatters one
+        # result row of `entry` 64-bit words: 24 bytes moved per word.
+        metrics.counter_add("sim.gather_scatter_bytes", chunk_words * 24)
+        metrics.counter_add("sim.batches")
         for i in np.nonzero(unresolved)[0]:
             outcomes[i] = PairOutcome(
                 batch.pairs[i],

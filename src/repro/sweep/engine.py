@@ -39,6 +39,7 @@ from repro.cache.knowledge import BoundCache, SweepCache
 from repro.cuts.common import CommonCutBuffer, common_cuts
 from repro.cuts.enumeration import CutEnumerator
 from repro.cuts.selection import CutSelector
+from repro.obs import get_tracer
 from repro.simulation.exhaustive import (
     ExhaustiveSimulator,
     PairStatus,
@@ -149,6 +150,15 @@ class SimSweepEngine:
         """
         if stop_after not in (None, "P", "PG", "PGL"):
             raise ValueError(f"unknown stop point {stop_after!r}")
+        tracer = get_tracer()
+        with tracer.span(
+            "sim.check_miter", category="engine", initial_ands=miter.num_ands
+        ):
+            return self._run_flow(miter, stop_after, tracer)
+
+    def _run_flow(
+        self, miter: Aig, stop_after: Optional[str], tracer
+    ) -> CecResult:
         start = time.perf_counter()
         report = EngineReport(initial_ands=miter.num_ands)
         miter = cleanup(miter)
@@ -159,6 +169,10 @@ class SimSweepEngine:
 
         def note(record: PhaseRecord) -> None:
             report.phases.append(record)
+            metrics = tracer.metrics
+            metrics.counter_add(f"engine.{record.kind}.candidates", record.candidates)
+            metrics.counter_add(f"engine.{record.kind}.proved", record.proved)
+            metrics.counter_add(f"engine.{record.kind}.cex", record.cex)
             if self.on_phase is not None:
                 self.on_phase(record)
 
@@ -178,6 +192,8 @@ class SimSweepEngine:
             if self.cache is not None:
                 self.cache.flush()
                 report.cache = self.cache.counters.diff(cache_snapshot)
+            if tracer.enabled:
+                report.metrics = tracer.metrics.as_dict()
             result.report = report
             return result
 
@@ -187,10 +203,14 @@ class SimSweepEngine:
 
         # ---- P phase -------------------------------------------------
         record = PhaseRecord("P")
-        with PhaseTimer(record):
+        with tracer.span("phase.P", category="phase") as span, PhaseTimer(
+            record
+        ):
             outcome = self._po_phase(
                 miter, simulator, record, self._bind(miter)
             )
+            span.set("candidates", record.candidates)
+            span.set("proved", record.proved)
         if isinstance(outcome, CecResult):
             note(record)
             return finish(outcome, miter)
@@ -213,8 +233,12 @@ class SimSweepEngine:
 
         # ---- G phase -------------------------------------------------
         record = PhaseRecord("G")
-        with PhaseTimer(record):
+        with tracer.span("phase.G", category="phase") as span, PhaseTimer(
+            record
+        ):
             outcome = self._global_phase(miter, state, simulator, record)
+            span.set("candidates", record.candidates)
+            span.set("proved", record.proved)
         if isinstance(outcome, CecResult):
             note(record)
             return finish(outcome, miter)
@@ -233,12 +257,16 @@ class SimSweepEngine:
 
         # ---- repeated L phases ----------------------------------------
         disabled_passes: Set[int] = set()
-        for _ in range(self.config.max_local_phases):
+        for phase_index in range(self.config.max_local_phases):
             record = PhaseRecord("L")
-            with PhaseTimer(record):
+            with tracer.span(
+                "phase.L", category="phase", round=phase_index
+            ) as span, PhaseTimer(record):
                 outcome, progressed = self._local_phase(
                     miter, state, simulator, record, disabled_passes
                 )
+                span.set("candidates", record.candidates)
+                span.set("proved", record.proved)
             if isinstance(outcome, CecResult):
                 note(record)
                 return finish(outcome, miter)
@@ -360,97 +388,128 @@ class SimSweepEngine:
         record: PhaseRecord,
     ) -> Union[CecResult, Aig]:
         cfg = self.config
-        for _ in range(cfg.max_global_iterations):
-            tables = state.tables(miter)
-            disproof = self._po_disproof(miter, state, tables)
-            if disproof is not None:
-                return disproof
-            classes = state.classes(miter, tables)
-            if len(classes) == 0:
-                break
-            bound = self._bind(miter)
-            support_sets = supports_capped(miter, cfg.k_g)
-            windows: List[Window] = []
-            merges: Dict[int, Tuple[int, int]] = {}
-            cex_patterns: List[List[int]] = []
-            for repr_node, node, phase in classes.all_pairs():
-                if bound is not None:
-                    # Cached knowledge is not bounded by k_g: a pair the
-                    # cold run proved in a later phase (or by SAT)
-                    # resolves here on the warm run.
-                    known = bound.lookup_pair(
-                        lit(repr_node), lit(node, phase)
-                    )
-                    if known is not None:
-                        record.candidates += 1
-                        if known.is_equivalent:
-                            merges[node] = (repr_node, phase)
-                        else:
-                            cex_patterns.append(known.cex)
-                        continue
-                supp_r = support_sets[repr_node]
-                supp_n = support_sets[node]
-                if supp_r is None or supp_n is None:
-                    continue
-                union = supp_r | supp_n
-                if len(union) > cfg.k_g:
-                    continue
-                record.candidates += 1
-                roots = [
-                    x for x in (repr_node, node) if x != 0 and x not in union
-                ]
-                windows.append(
-                    build_window(
-                        miter,
-                        sorted(union),
-                        roots=roots,
-                        pairs=[Pair(lit(repr_node), lit(node, phase), tag=node)],
-                    )
+        tracer = get_tracer()
+        for iteration in range(cfg.max_global_iterations):
+            with tracer.span(
+                "phase.G.round", category="phase", round=iteration
+            ) as span:
+                verdict, miter, progressed = self._global_round(
+                    miter, state, simulator, record, span
                 )
-            if not windows and not merges and not cex_patterns:
-                break
-            if windows:
-                if cfg.window_merging:
-                    windows = merge_windows(
-                        miter, windows, cfg.k_s_for(cfg.k_g)
-                    )
-                outcomes = simulator.run(
-                    miter, windows, collect_cex=True, skip_oversized=True
-                )
-            else:
-                outcomes = []
-            for outcome in outcomes:
-                node = outcome.pair.tag
-                if outcome.status is PairStatus.EQUAL:
-                    target = outcome.pair.lit_a
-                    phase = (outcome.pair.lit_a ^ outcome.pair.lit_b) & 1
-                    merges[node] = (target >> 1, phase)
-                    if bound is not None:
-                        bound.record_equivalent(
-                            outcome.pair.lit_a, outcome.pair.lit_b,
-                            context="G",
-                        )
-                else:
-                    pattern = outcome.cex.to_pi_pattern(miter.num_pis)
-                    cex_patterns.append(pattern)
-                    if bound is not None:
-                        bound.record_nonequivalent(
-                            outcome.pair.lit_a, outcome.pair.lit_b,
-                            pattern, context="G",
-                        )
-            record.proved += len(merges)
-            record.cex += len(cex_patterns)
-            if cex_patterns:
-                state.add_cex_patterns(
-                    cex_patterns, distance1=cfg.distance1_cex
-                )
-            if merges:
-                miter, _ = reduce_miter(miter, merges)
-            if not merges and not cex_patterns:
-                break
-            if miter_is_trivially_unsat(miter):
+            if verdict is not None:
+                return verdict
+            if not progressed:
                 break
         return miter
+
+    def _global_round(
+        self,
+        miter: Aig,
+        state: SimulationState,
+        simulator: ExhaustiveSimulator,
+        record: PhaseRecord,
+        span,
+    ) -> Tuple[Optional[CecResult], Aig, bool]:
+        """One check → refine → reduce cycle of the global phase.
+
+        Returns ``(verdict, miter, progressed)``: a conclusive verdict
+        ends the phase, ``progressed=False`` means the round changed
+        nothing and the iteration should stop.
+        """
+        cfg = self.config
+        tables = state.tables(miter)
+        disproof = self._po_disproof(miter, state, tables)
+        if disproof is not None:
+            return disproof, miter, False
+        classes = state.classes(miter, tables)
+        if len(classes) == 0:
+            return None, miter, False
+        span.set("classes", len(classes))
+        bound = self._bind(miter)
+        support_sets = supports_capped(miter, cfg.k_g)
+        windows: List[Window] = []
+        merges: Dict[int, Tuple[int, int]] = {}
+        cex_patterns: List[List[int]] = []
+        for repr_node, node, phase in classes.all_pairs():
+            if bound is not None:
+                # Cached knowledge is not bounded by k_g: a pair the
+                # cold run proved in a later phase (or by SAT)
+                # resolves here on the warm run.
+                known = bound.lookup_pair(
+                    lit(repr_node), lit(node, phase)
+                )
+                if known is not None:
+                    record.candidates += 1
+                    if known.is_equivalent:
+                        merges[node] = (repr_node, phase)
+                    else:
+                        cex_patterns.append(known.cex)
+                    continue
+            supp_r = support_sets[repr_node]
+            supp_n = support_sets[node]
+            if supp_r is None or supp_n is None:
+                continue
+            union = supp_r | supp_n
+            if len(union) > cfg.k_g:
+                continue
+            record.candidates += 1
+            roots = [
+                x for x in (repr_node, node) if x != 0 and x not in union
+            ]
+            windows.append(
+                build_window(
+                    miter,
+                    sorted(union),
+                    roots=roots,
+                    pairs=[Pair(lit(repr_node), lit(node, phase), tag=node)],
+                )
+            )
+        if not windows and not merges and not cex_patterns:
+            return None, miter, False
+        if windows:
+            if cfg.window_merging:
+                windows = merge_windows(
+                    miter, windows, cfg.k_s_for(cfg.k_g)
+                )
+            outcomes = simulator.run(
+                miter, windows, collect_cex=True, skip_oversized=True
+            )
+        else:
+            outcomes = []
+        for outcome in outcomes:
+            node = outcome.pair.tag
+            if outcome.status is PairStatus.EQUAL:
+                target = outcome.pair.lit_a
+                phase = (outcome.pair.lit_a ^ outcome.pair.lit_b) & 1
+                merges[node] = (target >> 1, phase)
+                if bound is not None:
+                    bound.record_equivalent(
+                        outcome.pair.lit_a, outcome.pair.lit_b,
+                        context="G",
+                    )
+            else:
+                pattern = outcome.cex.to_pi_pattern(miter.num_pis)
+                cex_patterns.append(pattern)
+                if bound is not None:
+                    bound.record_nonequivalent(
+                        outcome.pair.lit_a, outcome.pair.lit_b,
+                        pattern, context="G",
+                    )
+        record.proved += len(merges)
+        record.cex += len(cex_patterns)
+        span.set("proved", len(merges))
+        span.set("cex", len(cex_patterns))
+        if cex_patterns:
+            state.add_cex_patterns(
+                cex_patterns, distance1=cfg.distance1_cex
+            )
+        if merges:
+            miter, _ = reduce_miter(miter, merges)
+        if not merges and not cex_patterns:
+            return None, miter, False
+        if miter_is_trivially_unsat(miter):
+            return None, miter, False
+        return None, miter, True
 
     def _local_phase(
         self,
@@ -542,6 +601,7 @@ class SimSweepEngine:
         bound: Optional[BoundCache] = None,
     ) -> None:
         cfg = self.config
+        tracer = get_tracer()
         selector = CutSelector(
             pass_id, fanout_counts, levels, cfg.similarity_selection
         )
@@ -585,41 +645,48 @@ class SimSweepEngine:
                     )
 
         buffer = CommonCutBuffer(cfg.buffer_capacity, flush)
-        for _level, nodes in enumerator.run(repr_of, only=needed):
-            batch: List[Window] = []
-            for node in nodes:
-                info = pair_info.get(node)
-                if info is None or node in merges:
-                    continue
-                repr_node, phase = info
-                if repr_node in merges:
-                    continue
-                priority_r = (
-                    enumerator.priority_cuts(repr_node)
-                    if repr_node != 0
-                    else []
-                )
-                priority_n = enumerator.priority_cuts(node)
-                cuts = common_cuts(
-                    priority_r,
-                    priority_n,
-                    cfg.k_l,
-                    cfg.max_common_cuts_per_pair,
-                )
-                pair = Pair(lit(repr_node), lit(node, phase), tag=node)
-                for cut in cuts:
-                    if bound is not None and bound.local_mismatch_seen(
-                        pair.lit_a, pair.lit_b, cut
-                    ):
+        with tracer.span(
+            "cuts.pass", category="cuts", pass_id=pass_id
+        ) as pass_span:
+            for _level, nodes in enumerator.run(repr_of, only=needed):
+                batch: List[Window] = []
+                for node in nodes:
+                    info = pair_info.get(node)
+                    if info is None or node in merges:
                         continue
-                    roots = [
-                        x for x in (repr_node, node) if x != 0 and x not in cut
-                    ]
-                    batch.append(
-                        build_window(miter, cut, roots=roots, pairs=[pair])
+                    repr_node, phase = info
+                    if repr_node in merges:
+                        continue
+                    priority_r = (
+                        enumerator.priority_cuts(repr_node)
+                        if repr_node != 0
+                        else []
                     )
-            buffer.insert(batch)
-        buffer.drain()
+                    priority_n = enumerator.priority_cuts(node)
+                    cuts = common_cuts(
+                        priority_r,
+                        priority_n,
+                        cfg.k_l,
+                        cfg.max_common_cuts_per_pair,
+                    )
+                    pair = Pair(lit(repr_node), lit(node, phase), tag=node)
+                    for cut in cuts:
+                        if bound is not None and bound.local_mismatch_seen(
+                            pair.lit_a, pair.lit_b, cut
+                        ):
+                            continue
+                        roots = [
+                            x
+                            for x in (repr_node, node)
+                            if x != 0 and x not in cut
+                        ]
+                        batch.append(
+                            build_window(miter, cut, roots=roots, pairs=[pair])
+                        )
+                buffer.insert(batch)
+            buffer.drain()
+            pass_span.set("expansions", enumerator.expansions)
+        tracer.metrics.counter_add("cuts.expansions", enumerator.expansions)
 
     # ------------------------------------------------------------------
 

@@ -41,6 +41,22 @@ class PhaseRecord:
             "miter_ands_after": self.miter_ands_after,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PhaseRecord":
+        """Inverse of :meth:`as_dict` (the serialisation round-trip).
+
+        Unknown keys are ignored so payloads may grow fields without
+        breaking older readers; missing keys take the field defaults.
+        """
+        return cls(
+            kind=data["kind"],
+            seconds=float(data.get("seconds", 0.0)),
+            candidates=int(data.get("candidates", 0)),
+            proved=int(data.get("proved", 0)),
+            cex=int(data.get("cex", 0)),
+            miter_ands_after=int(data.get("miter_ands_after", 0)),
+        )
+
 
 @dataclass
 class EngineReport:
@@ -57,6 +73,40 @@ class EngineReport:
     #: Cache activity during this run (``None`` when no cache was
     #: configured); a per-run delta, not the process-wide totals.
     cache: Optional[CacheCounters] = None
+    #: Snapshot of the ambient tracer's metrics registry, taken when the
+    #: run finished with tracing enabled (empty otherwise).  Cumulative
+    #: for the recording process, not a per-run delta.
+    metrics: Dict = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        """Plain-dict view (benchmark payloads, worker result queues)."""
+        return {
+            "initial_ands": self.initial_ands,
+            "final_ands": self.final_ands,
+            "total_seconds": self.total_seconds,
+            "exhaustive_pairs": self.exhaustive_pairs,
+            "phases": [phase.as_dict() for phase in self.phases],
+            "cache": self.cache.as_dict() if self.cache is not None else None,
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "EngineReport":
+        """Inverse of :meth:`as_dict` — the round-trip the portfolio
+        workers use to ship their reports over the result queue."""
+        cache = data.get("cache")
+        return cls(
+            initial_ands=int(data.get("initial_ands", 0)),
+            final_ands=int(data.get("final_ands", 0)),
+            phases=[
+                PhaseRecord.from_dict(phase)
+                for phase in data.get("phases", [])
+            ],
+            total_seconds=float(data.get("total_seconds", 0.0)),
+            exhaustive_pairs=int(data.get("exhaustive_pairs", 0)),
+            cache=CacheCounters.from_dict(cache) if cache else None,
+            metrics=dict(data.get("metrics", {})),
+        )
 
     @property
     def reduction_percent(self) -> float:
@@ -131,6 +181,10 @@ class EngineRunRecord:
     #: AND count of the residue the engine returned (UNDECIDED only).
     residue_ands: Optional[int] = None
     failure: Optional[EngineFailure] = None
+    #: The engine's own :class:`EngineReport`, when it shipped one back
+    #: (parallel workers reconstruct it via the as_dict/from_dict
+    #: round-trip; inline stages attach it directly).
+    report: Optional[EngineReport] = None
 
     def as_dict(self) -> Dict[str, object]:
         """Plain-dict view for serialisation in benchmark output."""
@@ -140,6 +194,7 @@ class EngineRunRecord:
             "seconds": self.seconds,
             "residue_ands": self.residue_ands,
             "failure": str(self.failure) if self.failure else None,
+            "report": self.report.as_dict() if self.report else None,
         }
 
 
@@ -164,6 +219,24 @@ class PortfolioReport:
     #: Aggregated cache activity across all engines of the run (``None``
     #: when no cache was configured).
     cache: Optional[CacheCounters] = None
+    #: Metrics registry snapshot of the run's tracer — includes every
+    #: worker's merged registry when tracing was enabled (empty
+    #: otherwise).
+    metrics: Dict = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        """Plain-dict view for serialisation in benchmark output."""
+        return {
+            "engines": [record.as_dict() for record in self.engines],
+            "winner": self.winner,
+            "total_seconds": self.total_seconds,
+            "start_method": self.start_method,
+            "finisher": (
+                self.finisher.as_dict() if self.finisher is not None else None
+            ),
+            "cache": self.cache.as_dict() if self.cache is not None else None,
+            "metrics": self.metrics,
+        }
 
     @property
     def failures(self) -> List[EngineFailure]:

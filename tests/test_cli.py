@@ -89,8 +89,10 @@ def test_cec_verbose_prints_phases(circuit_files, capsys):
         0,
         2,
     )
-    out = capsys.readouterr().out
-    assert "phase P" in out
+    captured = capsys.readouterr()
+    # Diagnostics go to stderr; the payload on stdout stays clean.
+    assert "phase P" in captured.err
+    assert "phase P" not in captured.out
 
 
 def test_cec_parallel_verbose_prints_portfolio_report(
@@ -101,9 +103,63 @@ def test_cec_parallel_verbose_prints_portfolio_report(
         main(["cec", str(a), str(b), "--engine", "parallel", "--verbose"])
         == 0
     )
+    captured = capsys.readouterr()
+    assert "portfolio: start_method=" in captured.err
+    assert "engine " in captured.err
+    assert "portfolio:" not in captured.out
+
+
+def test_cec_stdout_payload_only(circuit_files, capsys):
+    """``cec … > out.txt`` captures exactly the machine-readable lines."""
+    a, b, _ = circuit_files
+    assert main(["cec", str(a), str(b), "--verbose"]) == 0
+    captured = capsys.readouterr()
+    for line in captured.out.strip().splitlines():
+        assert line.split(":", 1)[0] in (
+            "verdict", "cex", "residue", "time", "cache", "metrics"
+        ), line
+
+
+def test_cec_trace_writes_chrome_trace(circuit_files, capsys, tmp_path):
+    import json
+
+    a, b, _ = circuit_files
+    trace_path = tmp_path / "trace.json"
+    assert (
+        main(["cec", str(a), str(b), "--engine", "sim",
+              "--trace", str(trace_path)])
+        in (0, 2)
+    )
+    payload = json.loads(trace_path.read_text())
+    events = payload["traceEvents"]
+    assert any(e["name"] == "cec" and e["ph"] == "X" for e in events)
+    assert any(e["name"].startswith("phase.") for e in events)
+    # The ambient tracer is restored after the run.
+    from repro.obs import NULL_TRACER, get_tracer
+
+    assert get_tracer() is NULL_TRACER
+
+
+def test_cec_metrics_prints_counters(circuit_files, capsys):
+    a, b, _ = circuit_files
+    assert main(["cec", str(a), str(b), "--engine", "sim", "--metrics"]) in (
+        0,
+        2,
+    )
     out = capsys.readouterr().out
-    assert "portfolio: start_method=" in out
-    assert "engine " in out
+    assert "metrics:" in out
+    assert "counter" in out or "histogram" in out
+
+
+def test_cec_log_level_silences_diagnostics(circuit_files, capsys):
+    a, b, _ = circuit_files
+    assert (
+        main(["cec", str(a), str(b), "--engine", "sim", "--verbose",
+              "--log-level", "error"])
+        in (0, 2)
+    )
+    captured = capsys.readouterr()
+    assert "phase P" not in captured.err
 
 
 def test_module_entry_point():

@@ -103,3 +103,79 @@ def test_portfolio_report_failures_and_summary():
     data = report.engines[1].as_dict()
     assert data["status"] == "failed"
     assert "boom" in data["failure"]
+
+
+def test_phase_record_round_trip():
+    record = PhaseRecord(
+        "G", seconds=1.5, candidates=10, proved=7, cex=2,
+        miter_ands_after=33,
+    )
+    rebuilt = PhaseRecord.from_dict(record.as_dict())
+    assert rebuilt == record
+
+
+def test_phase_record_from_dict_tolerates_missing_and_unknown_keys():
+    rebuilt = PhaseRecord.from_dict({"kind": "P", "future_field": 1})
+    assert rebuilt.kind == "P"
+    assert rebuilt.seconds == 0.0
+    assert rebuilt.candidates == 0
+
+
+def test_engine_report_round_trip():
+    from repro.cache.counters import CacheCounters
+
+    report = EngineReport(
+        initial_ands=100,
+        final_ands=40,
+        total_seconds=2.5,
+        exhaustive_pairs=12,
+        phases=[
+            PhaseRecord("P", seconds=0.5, candidates=1, proved=1),
+            PhaseRecord("G", seconds=1.0, candidates=8, proved=5, cex=3),
+        ],
+        cache=CacheCounters(hits=4, misses=2),
+        metrics={"counters": {"sim.words_simulated": 64}, "histograms": {}},
+    )
+    rebuilt = EngineReport.from_dict(report.as_dict())
+    assert rebuilt.initial_ands == 100
+    assert rebuilt.final_ands == 40
+    assert rebuilt.total_seconds == 2.5
+    assert rebuilt.exhaustive_pairs == 12
+    assert rebuilt.phases == report.phases
+    assert rebuilt.cache.hits == 4
+    assert rebuilt.metrics == report.metrics
+    # The round-trip of the round-trip is stable.
+    assert rebuilt.as_dict() == report.as_dict()
+
+
+def test_engine_report_round_trip_without_cache():
+    report = EngineReport(initial_ands=10, final_ands=10)
+    rebuilt = EngineReport.from_dict(report.as_dict())
+    assert rebuilt.cache is None
+    assert rebuilt.phases == []
+
+
+def test_engine_run_record_as_dict_nests_report():
+    record = EngineRunRecord(
+        name="combined",
+        status="equivalent",
+        seconds=1.0,
+        report=EngineReport(initial_ands=5, final_ands=0),
+    )
+    data = record.as_dict()
+    assert data["report"]["initial_ands"] == 5
+    assert EngineRunRecord(name="x", status="y").as_dict()["report"] is None
+
+
+def test_portfolio_report_as_dict():
+    report = PortfolioReport(start_method="spawn", winner="sat")
+    report.engines = [
+        EngineRunRecord(name="sat", status="equivalent", seconds=1.0)
+    ]
+    report.metrics = {"counters": {"c": 1}, "histograms": {}}
+    data = report.as_dict()
+    assert data["winner"] == "sat"
+    assert data["start_method"] == "spawn"
+    assert data["engines"][0]["name"] == "sat"
+    assert data["metrics"]["counters"] == {"c": 1}
+    assert data["finisher"] is None

@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Validate a Chrome ``trace_event`` JSON file produced by ``repro.obs``.
+
+CI runs this against the trace artifact of the traced smoke job::
+
+    python tools/check_trace.py trace.json \
+        --require-phases phase.P phase.G phase.L --require-workers 2
+
+The checker enforces the subset of the Chrome trace format the
+``repro.obs`` tracer emits (no external jsonschema dependency needed —
+the rules below *are* the schema):
+
+- top level: an object with a non-empty ``traceEvents`` list;
+- every event: an object with string ``name``, ``ph`` in
+  ``{"X", "M", "i", "I", "C"}``, integer ``pid`` and ``tid``;
+- complete events (``ph == "X"``): numeric ``ts >= 0``, ``dur >= 0``
+  and a string ``cat``;
+- metadata events (``ph == "M"``): an ``args.name`` string;
+- ``--require-phases``: each named span must appear as an ``X`` event;
+- ``--require-workers N``: at least ``N`` distinct pids must both carry
+  a ``process_name`` metadata record starting with ``worker`` and have
+  at least one ``X`` event — i.e. the merged timeline really contains
+  span data from that many worker processes.
+
+Exit status: 0 when the trace validates, 1 otherwise (errors listed on
+stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Sequence
+
+ALLOWED_PHASES = {"X", "M", "i", "I", "C"}
+
+
+def validate_trace(
+    payload: object,
+    require_phases: Sequence[str] = (),
+    require_workers: int = 0,
+) -> List[str]:
+    """Check one parsed trace payload; returns a list of error strings."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return ["top level is not a JSON object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["traceEvents is missing, not a list, or empty"]
+
+    process_names: Dict[int, str] = {}
+    span_names = set()
+    pids_with_spans = set()
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: missing or non-string name")
+            continue
+        ph = event.get("ph")
+        if ph not in ALLOWED_PHASES:
+            errors.append(f"{where} ({name}): bad ph {ph!r}")
+            continue
+        for field in ("pid", "tid"):
+            if not isinstance(event.get(field), int):
+                errors.append(f"{where} ({name}): missing integer {field}")
+        if ph == "X":
+            ts = event.get("ts")
+            dur = event.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where} ({name}): X event needs ts >= 0")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where} ({name}): X event needs dur >= 0")
+            if not isinstance(event.get("cat"), str):
+                errors.append(f"{where} ({name}): X event needs a cat string")
+            span_names.add(name)
+            if isinstance(event.get("pid"), int):
+                pids_with_spans.add(event["pid"])
+        elif ph == "M":
+            args = event.get("args")
+            if not isinstance(args, dict) or not isinstance(
+                args.get("name"), str
+            ):
+                errors.append(
+                    f"{where} ({name}): M event needs an args.name string"
+                )
+            elif name == "process_name" and isinstance(event.get("pid"), int):
+                process_names[event["pid"]] = args["name"]
+
+    for phase in require_phases:
+        if phase not in span_names:
+            errors.append(f"required span {phase!r} not found in the trace")
+
+    if require_workers > 0:
+        worker_pids = {
+            pid
+            for pid, name in process_names.items()
+            if name.startswith("worker") and pid in pids_with_spans
+        }
+        if len(worker_pids) < require_workers:
+            errors.append(
+                f"trace has spans from {len(worker_pids)} worker "
+                f"process(es), need {require_workers}"
+            )
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate a repro.obs Chrome trace file"
+    )
+    parser.add_argument("trace", help="path to the trace JSON file")
+    parser.add_argument(
+        "--require-phases", nargs="*", default=[], metavar="SPAN",
+        help="span names that must appear as X events",
+    )
+    parser.add_argument(
+        "--require-workers", type=int, default=0, metavar="N",
+        help="minimum number of worker processes with spans",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read {args.trace}: {error}", file=sys.stderr)
+        return 1
+
+    errors = validate_trace(
+        payload,
+        require_phases=args.require_phases,
+        require_workers=args.require_workers,
+    )
+    if errors:
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 1
+    events = payload["traceEvents"]
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    pids = {e.get("pid") for e in events}
+    print(
+        f"ok: {args.trace} validates "
+        f"({spans} spans across {len(pids)} process(es))"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
