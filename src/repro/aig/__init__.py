@@ -29,6 +29,7 @@ from repro.aig.traversal import (
     supports,
 )
 from repro.aig.transform import cleanup, cone_aig, double, relabel_compact
+from repro.aig.rebuild import RebuildResult, rebuild_network
 from repro.aig.aiger import read_aiger, write_aiger
 
 __all__ = [
@@ -50,6 +51,8 @@ __all__ = [
     "lit_var",
     "node_levels",
     "read_aiger",
+    "RebuildResult",
+    "rebuild_network",
     "relabel_compact",
     "split_miter_po_cones",
     "support",

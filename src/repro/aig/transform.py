@@ -11,15 +11,25 @@ experimental protocol need:
   ABC ``double`` command the paper uses to enlarge benchmarks;
 - :func:`cone_aig` extracts the fanin cone of selected POs as a standalone
   network.
+
+The rebuild hot path is vectorised (:mod:`repro.aig.rebuild`): fanins are
+remapped with numpy gathers and strashing runs over sorted fanin-pair
+keys instead of a per-node Python loop.  The historical sequential
+builder implementations are kept as ``*_reference`` functions; the
+randomized cross-check in ``tests/test_sweep_state.py`` asserts the two
+paths produce bit-identical networks and maps.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.aig.builder import AigBuilder
 from repro.aig.literals import CONST0, lit, lit_var
 from repro.aig.network import Aig
+from repro.aig.rebuild import reachable_and_mask, rebuild_network
 
 
 def cleanup(aig: Aig, name: Optional[str] = None) -> Aig:
@@ -30,8 +40,13 @@ def cleanup(aig: Aig, name: Optional[str] = None) -> Aig:
     are compacted but the relative order is preserved, so the result is
     still topologically sorted.
     """
-    new_aig, _ = relabel_compact(aig, name=name)
-    return new_aig
+    return rebuild_network(aig, None, name=name, prune="before").aig
+
+
+def _map_as_dict(node_map: np.ndarray) -> Dict[int, int]:
+    """Convert an array node map to the historical dict form."""
+    kept = np.nonzero(node_map >= 0)[0]
+    return dict(zip(kept.tolist(), node_map[kept].tolist()))
 
 
 def relabel_compact(
@@ -40,6 +55,41 @@ def relabel_compact(
     """Like :func:`cleanup` but also return the old-node → new-literal map.
 
     Nodes that were swept away do not appear in the map.
+    """
+    result = rebuild_network(aig, None, name=name, prune="before")
+    return result.aig, _map_as_dict(result.node_map)
+
+
+def rebuild_with_replacements(
+    aig: Aig,
+    replacements: Dict[int, int],
+    name: Optional[str] = None,
+) -> Tuple[Aig, Dict[int, int]]:
+    """Merge equivalent nodes and rebuild the network.
+
+    ``replacements`` maps a node id to the literal it is equivalent to
+    (possibly complemented).  Chains (a → b, b → c) are resolved
+    transitively; every chain must *end* at a live literal of a node
+    with a strictly smaller id than the node it replaces — the sweeping
+    engine guarantees this because class representatives have the
+    minimum id of their class.  A chain that violates the invariant, or
+    never terminates (a cycle), raises :class:`ValueError` naming the
+    offending chain.
+
+    Returns the reduced, cleaned-up network together with the old-node →
+    new-literal map (missing entries were swept away).
+    """
+    result = rebuild_network(aig, replacements, name=name, prune="after")
+    return result.aig, _map_as_dict(result.node_map)
+
+
+def relabel_compact_reference(
+    aig: Aig, name: Optional[str] = None
+) -> Tuple[Aig, Dict[int, int]]:
+    """Sequential-builder implementation of :func:`relabel_compact`.
+
+    Retained as the independent oracle for the randomized cross-check
+    tests; production callers use the vectorised path.
     """
     builder = AigBuilder(aig.num_pis, name=name or aig.name)
     reachable = _reachable_from_pos(aig)
@@ -60,21 +110,15 @@ def relabel_compact(
     return builder.build(), new_lit
 
 
-def rebuild_with_replacements(
+def rebuild_with_replacements_reference(
     aig: Aig,
     replacements: Dict[int, int],
     name: Optional[str] = None,
 ) -> Tuple[Aig, Dict[int, int]]:
-    """Merge equivalent nodes and rebuild the network.
+    """Sequential-builder implementation of :func:`rebuild_with_replacements`.
 
-    ``replacements`` maps a node id to the literal it is equivalent to
-    (possibly complemented).  Every replacement target must refer to a
-    node with a *smaller* id — the sweeping engine guarantees this because
-    class representatives have the minimum id of their class.  Chains
-    (a → b, b → c) are resolved transitively.
-
-    Returns the reduced, cleaned-up network together with the old-node →
-    new-literal map (missing entries were swept away).
+    Retained as the independent oracle for the randomized cross-check
+    tests; production callers use the vectorised path.
     """
     for node, target in replacements.items():
         if lit_var(target) >= node:
@@ -104,7 +148,9 @@ def rebuild_with_replacements(
     for p in aig.pos:
         builder.add_po(new_lit[lit_var(p)] ^ (p & 1))
     reduced = builder.build()
-    cleaned, compact_map = relabel_compact(reduced, name=name or aig.name)
+    cleaned, compact_map = relabel_compact_reference(
+        reduced, name=name or aig.name
+    )
     final_map = {
         node: compact_map[lit_var(l)] ^ (l & 1)
         for node, l in new_lit.items()
@@ -167,15 +213,8 @@ def compose_pipeline(transforms: Iterable, aig: Aig) -> Aig:
     return result
 
 
-def _reachable_from_pos(aig: Aig) -> List[bool]:
-    reachable = [False] * aig.num_nodes
-    stack = [lit_var(p) for p in aig.pos]
-    while stack:
-        node = stack.pop()
-        if reachable[node] or not aig.is_and(node):
-            continue
-        reachable[node] = True
-        f0, f1 = aig.fanins(node)
-        stack.append(f0 >> 1)
-        stack.append(f1 >> 1)
-    return reachable
+def _reachable_from_pos(aig: Aig) -> np.ndarray:
+    """Bool mask over node ids; only POs-reachable AND nodes are True."""
+    f0, f1 = aig.fanin_literals()
+    roots = np.asarray(aig.pos, dtype=np.int64) >> 1
+    return reachable_and_mask(aig.num_nodes, aig.first_and, f0 >> 1, f1 >> 1, roots)

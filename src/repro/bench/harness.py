@@ -59,6 +59,13 @@ class Table2Row:
     #: Span summary of the traced combined run
     #: (:meth:`repro.obs.Tracer.summary`).
     trace: Dict = field(default_factory=dict)
+    #: Seconds spent in incremental ``SweepState`` rebuilds (sum of the
+    #: run's ``rebuild`` spans, workers included).
+    rebuild_s: float = 0.0
+    #: Carried / (carried + recomputed) signature words of the run —
+    #: 1.0 means every reduction carried its knowledge, 0.0 means the
+    #: run degenerated to rebuild-from-scratch.
+    carryover_ratio: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -90,6 +97,10 @@ class Fig6Row:
     phases: List[Dict] = field(default_factory=list)
     #: Span summary of the traced run (:meth:`repro.obs.Tracer.summary`).
     trace: Dict = field(default_factory=dict)
+    #: Seconds spent in incremental ``SweepState`` rebuilds.
+    rebuild_s: float = 0.0
+    #: Carried / (carried + recomputed) signature words of the run.
+    carryover_ratio: float = 0.0
 
 
 @dataclass
@@ -104,6 +115,27 @@ class Fig7Row:
     standalone_seconds: float
     normalized: Dict[str, float]
     reduced_ands: Dict[str, int]
+
+
+def _carry_stats(tracer: Tracer) -> Dict[str, float]:
+    """Rebuild time and carry-over ratio of one traced run.
+
+    ``rebuild_s`` sums the ``span.rebuild.seconds`` histogram (merged
+    worker spans included); the ratio divides carried signature words by
+    all words touched at reductions (carried + recomputed — the initial
+    full simulations are deliberately excluded: they exist on every
+    path, incremental or not).
+    """
+    histogram = tracer.metrics.histograms.get("span.rebuild.seconds")
+    rebuild_s = histogram.total if histogram is not None else 0.0
+    counters = tracer.metrics.counters
+    carried = counters.get("state.carried_words", 0)
+    recomputed = counters.get("state.recomputed_words", 0)
+    touched = carried + recomputed
+    return {
+        "rebuild_s": rebuild_s,
+        "carryover_ratio": carried / touched if touched else 0.0,
+    }
 
 
 def run_table2_case(
@@ -207,6 +239,7 @@ def run_table2_case(
             p.as_dict() for p in getattr(ours_result.report, "phases", [])
         ],
         trace=tracer.summary(),
+        **_carry_stats(tracer),
     )
 
 
@@ -259,6 +292,7 @@ def run_fig6(
                 ),
                 phases=[p.as_dict() for p in result.report.phases],
                 trace=tracer.summary(),
+                **_carry_stats(tracer),
             )
         )
     if json_out is not None:

@@ -115,15 +115,55 @@ class MiterFingerprints:
     the logic, so knowledge recorded against an earlier binding stays
     valid).  Truth tables are computed lazily per queried node and
     memoised; structural keys are built eagerly in one bottom-up pass.
+
+    The state-carry parameters let :class:`repro.sweep.state.SweepState`
+    hand knowledge from the previous binding across a reduction — sound
+    because all three are pure functions of each node's *logic*, which
+    merges of proved equivalences preserve:
+
+    - ``salt_matrix``: the ``(num_nodes, salt_words)`` signature matrix
+      under the fixed :data:`SALT_SEED` patterns, normally re-simulated
+      on every bind;
+    - ``table_carry``: memoised exact truth tables, keyed by node id of
+      *this* network;
+    - ``key_carry``: memoised final keys — only function-backed ``"T:"``
+      keys may be carried (structural keys depend on cone shape, which
+      reductions change).
     """
 
-    def __init__(self, aig: Aig, config: Optional[CacheConfig] = None) -> None:
+    def __init__(
+        self,
+        aig: Aig,
+        config: Optional[CacheConfig] = None,
+        *,
+        salt_matrix: Optional[np.ndarray] = None,
+        table_carry: Optional[
+            Dict[int, Tuple[int, Tuple[int, ...]]]
+        ] = None,
+        key_carry: Optional[Dict[int, str]] = None,
+    ) -> None:
         self.aig = aig
         self.config = config or CacheConfig()
         self._supports = supports_capped(aig, self.config.tt_support_limit)
-        self._tables: Dict[int, Optional[Tuple[int, Tuple[int, ...]]]] = {}
-        self._final_keys: Dict[int, str] = {}
-        self._salt = self._build_salt()
+        self._tables: Dict[int, Optional[Tuple[int, Tuple[int, ...]]]] = (
+            dict(table_carry) if table_carry else {}
+        )
+        self._final_keys: Dict[int, str] = {
+            node: key
+            for node, key in (key_carry or {}).items()
+            if key.startswith("T:")
+        }
+        if (
+            salt_matrix is not None
+            and self.config.salt_words > 0
+            and aig.num_pis > 0
+            and salt_matrix.shape == (aig.num_nodes, self.config.salt_words)
+        ):
+            self._salt: Optional[bytes] = np.ascontiguousarray(
+                salt_matrix
+            ).tobytes()
+        else:
+            self._salt = self._build_salt()
         self._structural = self._build_structural()
 
     # ------------------------------------------------------------------

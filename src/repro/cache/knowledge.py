@@ -87,9 +87,21 @@ class SweepCache:
         """Build a cache when configured, ``None`` otherwise."""
         return cls(config) if config is not None else None
 
-    def bind(self, miter: Aig) -> "BoundCache":
-        """Attach the cache to one concrete miter."""
-        return BoundCache(self, miter)
+    def bind(
+        self,
+        miter: Aig,
+        fingerprints: Optional[MiterFingerprints] = None,
+    ) -> "BoundCache":
+        """Attach the cache to one concrete miter.
+
+        ``fingerprints`` injects a prebuilt
+        :class:`~repro.cache.fingerprint.MiterFingerprints` — the
+        incremental :class:`~repro.sweep.state.SweepState` passes one
+        carrying the salt matrix and truth-table memos of the previous
+        binding, so a re-bind after a reduction costs a structural-hash
+        pass instead of a full re-simulation.
+        """
+        return BoundCache(self, miter, fingerprints=fingerprints)
 
     def flush(self) -> int:
         """Persist pending verdicts; returns the records written."""
@@ -111,10 +123,21 @@ class SweepCache:
 class BoundCache:
     """A :class:`SweepCache` bound to one miter's fingerprints."""
 
-    def __init__(self, cache: SweepCache, miter: Aig) -> None:
+    def __init__(
+        self,
+        cache: SweepCache,
+        miter: Aig,
+        fingerprints: Optional[MiterFingerprints] = None,
+    ) -> None:
         self.cache = cache
         self.miter = miter
-        self.fingerprints = MiterFingerprints(miter, cache.config)
+        if fingerprints is not None and fingerprints.aig is not miter:
+            raise ValueError("fingerprints were built for a different miter")
+        self.fingerprints = (
+            fingerprints
+            if fingerprints is not None
+            else MiterFingerprints(miter, cache.config)
+        )
 
     @property
     def counters(self) -> CacheCounters:

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -29,14 +29,14 @@ from repro.aig.literals import CONST0, lit
 from repro.aig.miter import build_miter, miter_is_trivially_unsat
 from repro.aig.network import Aig
 from repro.aig.transform import cleanup
-from repro.cache.knowledge import BoundCache, SweepCache
+from repro.cache.knowledge import SweepCache
 from repro.obs import get_tracer
 from repro.sat.cnf import CnfBuilder
 from repro.sat.solver import SatSolver, SolveStatus
 from repro.sweep.classes import SimulationState
 from repro.sweep.engine import CecResult, CecStatus
-from repro.sweep.reduction import reduce_miter
 from repro.sweep.report import EngineReport, PhaseRecord, PhaseTimer
+from repro.sweep.state import SweepState
 
 
 @dataclass
@@ -90,9 +90,6 @@ class SatSweepChecker:
         self.cache = cache
         self.stats = SatSweepStats()
 
-    def _bind(self, miter: Aig) -> Optional[BoundCache]:
-        return self.cache.bind(miter) if self.cache is not None else None
-
     # ------------------------------------------------------------------
 
     def check(self, aig_a: Aig, aig_b: Aig) -> CecResult:
@@ -100,20 +97,27 @@ class SatSweepChecker:
         return self.check_miter(build_miter(aig_a, aig_b))
 
     def check_miter(
-        self, miter: Aig, state: Optional[SimulationState] = None
+        self,
+        miter: Aig,
+        state: Optional[Union[SimulationState, SweepState]] = None,
     ) -> CecResult:
         """Run SAT sweeping on a miter.
 
-        ``state`` optionally transfers a pattern pool from a previous
-        engine (the EC-transfer extension of §V): its counter-examples
-        pre-split the classes, so pairs already disproved elsewhere are
-        never re-checked by SAT.
+        ``state`` optionally transfers knowledge from a previous engine
+        (the EC-transfer extension of §V).  A plain
+        :class:`~repro.sweep.classes.SimulationState` contributes its
+        pattern pool — counter-examples pre-split the classes, so pairs
+        already disproved elsewhere are never re-checked by SAT.  A
+        :class:`~repro.sweep.state.SweepState` whose network matches the
+        handed-over miter is adopted outright: its carried signature
+        matrix, classes and cache fingerprints are consumed in place and
+        the initial cleanup/re-simulation is skipped entirely.
         """
         start = time.perf_counter()
         self.stats = SatSweepStats()
         report = EngineReport(initial_ands=miter.num_ands)
         record = PhaseRecord("SAT")
-        miter = cleanup(miter)
+        sweep = self._adopt_state(miter, state)
         cache_snapshot = (
             self.cache.snapshot() if self.cache is not None else None
         )
@@ -138,40 +142,63 @@ class SatSweepChecker:
             start + self.time_limit if self.time_limit is not None else None
         )
         with tracer.span(
-            "sat.check_miter", category="sat", initial_ands=miter.num_ands
+            "sat.check_miter",
+            category="sat",
+            initial_ands=sweep.network().num_ands,
         ), PhaseTimer(record):
-            result = self._sweep(miter, state, record, deadline)
+            result = self._sweep(sweep, record, deadline)
         return finish(result)
 
     # ------------------------------------------------------------------
 
-    def _sweep(
+    def _adopt_state(
         self,
         miter: Aig,
-        state: Optional[SimulationState],
+        state: Optional[Union[SimulationState, SweepState]],
+    ) -> SweepState:
+        """Build the working :class:`SweepState` for this run.
+
+        A matching ``SweepState`` is reused verbatim (no cleanup — its
+        network is already compact, and cleaning would orphan the
+        carried knowledge).  Otherwise a fresh state is built from the
+        cleaned miter and any transferred pattern pool is adopted.
+        """
+        if isinstance(state, SweepState) and state.matches(miter):
+            return state
+        sweep = SweepState(
+            cleanup(miter),
+            num_random_words=self.num_random_words,
+            seed=self.seed,
+            strategy=self.pattern_strategy,
+        )
+        if state is not None and state.num_pis == sweep.num_pis:
+            pool = state.pool() if isinstance(state, SweepState) else state
+            sweep.adopt_pool(pool)
+        return sweep
+
+    def _sweep(
+        self,
+        sweep: SweepState,
         record: PhaseRecord,
         deadline: Optional[float],
     ) -> CecResult:
+        miter = sweep.network()
         if miter_is_trivially_unsat(miter):
             return CecResult(CecStatus.EQUIVALENT)
         if any(po == 1 for po in miter.pos):
             return CecResult(CecStatus.NONEQUIVALENT, cex=[0] * miter.num_pis)
-        if state is None or state.num_pis != miter.num_pis:
-            state = SimulationState(
-                miter.num_pis,
-                self.num_random_words,
-                self.seed,
-                strategy=self.pattern_strategy,
-            )
 
         for _ in range(self.max_rounds):
+            miter = sweep.network()
             if _expired(deadline):
-                return CecResult(CecStatus.UNDECIDED, reduced_miter=miter)
-            tables = state.tables(miter)
-            disproof = _po_disproof(miter, state, tables)
+                return CecResult(
+                    CecStatus.UNDECIDED, reduced_miter=miter, sim_state=sweep
+                )
+            tables = sweep.tables()
+            disproof = _po_disproof(miter, sweep, tables)
             if disproof is not None:
                 return disproof
-            classes = state.classes(miter, tables)
+            classes = sweep.classes(tables=tables)
             pairs = [
                 (r, n, phase)
                 for r, n, phase in classes.all_pairs()
@@ -180,7 +207,7 @@ class SatSweepChecker:
             if not pairs:
                 break
             record.candidates += len(pairs)
-            bound = self._bind(miter)
+            bound = sweep.bound_cache(self.cache)
             tracer = get_tracer()
             solver = SatSolver()
             cnf = CnfBuilder(miter, solver)
@@ -262,17 +289,21 @@ class SatSweepChecker:
                         )
             self.stats.rounds += 1
             if cex_patterns:
-                state.add_cex_patterns(cex_patterns)
+                sweep.add_cex_patterns(cex_patterns)
             if merges:
-                miter, _ = reduce_miter(miter, merges)
-            if miter_is_trivially_unsat(miter):
+                sweep.apply_merges(merges)
+            if miter_is_trivially_unsat(sweep.network()):
                 return CecResult(CecStatus.EQUIVALENT)
             if timed_out:
-                return CecResult(CecStatus.UNDECIDED, reduced_miter=miter)
+                return CecResult(
+                    CecStatus.UNDECIDED,
+                    reduced_miter=sweep.network(),
+                    sim_state=sweep,
+                )
             if not merges and not cex_patterns:
                 break
 
-        return self._prove_outputs(miter, deadline, record)
+        return self._prove_outputs(sweep, deadline, record)
 
     def _check_pair(
         self,
@@ -303,11 +334,12 @@ class SatSweepChecker:
 
     def _prove_outputs(
         self,
-        miter: Aig,
+        sweep: SweepState,
         deadline: Optional[float],
         record: PhaseRecord,
     ) -> CecResult:
-        bound = self._bind(miter)
+        miter = sweep.network()
+        bound = sweep.bound_cache(self.cache)
         tracer = get_tracer()
         solver = SatSolver()
         cnf = CnfBuilder(miter, solver)
@@ -374,18 +406,12 @@ class SatSweepChecker:
                         conflict_limit=self.conflict_limit,
                         seconds=po_seconds,
                     )
-        reduced = cleanup(
-            Aig(
-                miter.num_pis,
-                miter.fanin_literals()[0],
-                miter.fanin_literals()[1],
-                new_pos,
-                name=miter.name,
-            )
-        )
+        reduced = sweep.set_pos(new_pos)
         if not any_unknown and miter_is_trivially_unsat(reduced):
             return CecResult(CecStatus.EQUIVALENT)
-        return CecResult(CecStatus.UNDECIDED, reduced_miter=reduced)
+        return CecResult(
+            CecStatus.UNDECIDED, reduced_miter=reduced, sim_state=sweep
+        )
 
 
 def _expired(deadline: Optional[float]) -> bool:

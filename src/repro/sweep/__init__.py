@@ -14,6 +14,7 @@ from repro.sweep.classes import (
 from repro.sweep.config import EngineConfig
 from repro.sweep.engine import CecResult, CecStatus, SimSweepEngine
 from repro.sweep.report import EngineReport, PhaseRecord
+from repro.sweep.state import SweepState
 
 __all__ = [
     "CecResult",
@@ -24,5 +25,6 @@ __all__ = [
     "PhaseRecord",
     "SimSweepEngine",
     "SimulationState",
+    "SweepState",
     "initial_patterns",
 ]

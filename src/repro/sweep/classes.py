@@ -118,6 +118,49 @@ class EquivalenceClasses:
         for eq_class in self._classes:
             yield from eq_class.candidate_pairs()
 
+    def remap(self, node_map: np.ndarray) -> "EquivalenceClasses":
+        """Rewrite the classes through an old-node → new-literal map.
+
+        ``node_map`` is the array map of a structural rebuild
+        (:class:`repro.aig.rebuild.RebuildResult`): ``-1`` marks swept
+        nodes, merged nodes map onto (possibly complemented) literals of
+        their representative.  Because reductions only merge *proved*
+        pairs, the result is exactly what
+        :meth:`from_tables` would return for the reduced network under
+        the same (carried) signature matrix: swept members drop out,
+        merged members collapse onto their representative's new id, and
+        classes reduced below two members disappear.
+        """
+        classes: List[EqClass] = []
+        repr_of: Dict[int, int] = {}
+        for eq_class in self._classes:
+            members: List[int] = []
+            phases: List[int] = []
+            seen = set()
+            for member, phase in zip(eq_class.members, eq_class.phases):
+                mapped = int(node_map[member])
+                if mapped < 0:
+                    continue
+                node = mapped >> 1
+                if node in seen:
+                    # The member merged onto an earlier member of this
+                    # class (its representative); one row, one entry.
+                    continue
+                seen.add(node)
+                members.append(node)
+                phases.append(phase ^ (mapped & 1))
+            if len(members) < 2:
+                continue
+            # The map preserves id order on surviving nodes and merged
+            # members collapse onto *earlier* entries, so ``members`` is
+            # still ascending and members[0] is the representative.
+            remapped = EqClass(tuple(members), tuple(phases))
+            classes.append(remapped)
+            for node in members:
+                repr_of[node] = members[0]
+        classes.sort(key=lambda c: c.representative)
+        return EquivalenceClasses(classes, repr_of)
+
 
 def initial_patterns(
     num_pis: int, num_words: int, seed: int, strategy: str = "random"

@@ -46,9 +46,9 @@ from repro.simulation.exhaustive import (
 )
 from repro.simulation.merging import merge_windows
 from repro.simulation.window import Pair, Window, build_window
-from repro.sweep.classes import EquivalenceClasses, SimulationState
+from repro.sweep.classes import SimulationState
 from repro.sweep.config import EngineConfig
-from repro.sweep.reduction import reduce_miter
+from repro.sweep.state import SweepState
 from repro.sweep.report import (
     EngineReport,
     PhaseRecord,
@@ -82,10 +82,12 @@ class CecResult:
     report: Union[EngineReport, PortfolioReport] = field(
         default_factory=EngineReport
     )
-    #: Pattern pool of the run (random + CEX patterns).  Carried so a
-    #: downstream checker can reuse the refined equivalence classes —
-    #: the EC-transfer extension of §V.
-    sim_state: Optional["SimulationState"] = None
+    #: Sweep state of the run (pattern pool, carried signatures and
+    #: classes).  Carried so a downstream checker can reuse the refined
+    #: equivalence classes — the EC-transfer extension of §V.  A
+    #: :class:`~repro.sweep.state.SweepState` for the simulation engine;
+    #: plain :class:`SimulationState` producers remain compatible.
+    sim_state: Optional[Union["SweepState", "SimulationState"]] = None
 
     @property
     def is_equivalent(self) -> bool:
@@ -127,10 +129,6 @@ class SimSweepEngine:
             else SweepCache.from_config(self.config.cache)
         )
 
-    def _bind(self, miter: Aig) -> Optional[BoundCache]:
-        """Bind the knowledge cache to the current miter, if enabled."""
-        return self.cache.bind(miter) if self.cache is not None else None
-
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -161,7 +159,12 @@ class SimSweepEngine:
     ) -> CecResult:
         start = time.perf_counter()
         report = EngineReport(initial_ands=miter.num_ands)
-        miter = cleanup(miter)
+        state = SweepState(
+            cleanup(miter),
+            num_random_words=self.config.num_random_words,
+            seed=self.config.seed,
+            strategy=self.config.pattern_strategy,
+        )
         simulator = ExhaustiveSimulator(self.config.memory_budget_words)
         cache_snapshot = (
             self.cache.snapshot() if self.cache is not None else None
@@ -176,7 +179,8 @@ class SimSweepEngine:
             if self.on_phase is not None:
                 self.on_phase(record)
 
-        def finish(result: CecResult, current: Aig) -> CecResult:
+        def finish(result: CecResult) -> CecResult:
+            current = state.network()
             # ``final_ands`` is the miter size at verdict time: the
             # residue for UNDECIDED, zero for a full proof, and the
             # still-unproved miter for a disproof (a counter-example is
@@ -197,62 +201,54 @@ class SimSweepEngine:
             result.report = report
             return result
 
-        verdict = self._structural_verdict(miter)
+        verdict = self._structural_verdict(state.network())
         if verdict is not None:
-            return finish(verdict, miter)
+            return finish(verdict)
 
         # ---- P phase -------------------------------------------------
         record = PhaseRecord("P")
         with tracer.span("phase.P", category="phase") as span, PhaseTimer(
             record
         ):
-            outcome = self._po_phase(
-                miter, simulator, record, self._bind(miter)
-            )
+            outcome = self._po_phase(state, simulator, record)
             span.set("candidates", record.candidates)
             span.set("proved", record.proved)
         if isinstance(outcome, CecResult):
             note(record)
-            return finish(outcome, miter)
-        miter = outcome
-        record.miter_ands_after = miter.num_ands
+            return finish(outcome)
+        record.miter_ands_after = state.network().num_ands
         note(record)
-        if miter_is_trivially_unsat(miter):
-            return finish(CecResult(CecStatus.EQUIVALENT), miter)
+        if miter_is_trivially_unsat(state.network()):
+            return finish(CecResult(CecStatus.EQUIVALENT))
         if stop_after == "P":
             return finish(
-                CecResult(CecStatus.UNDECIDED, reduced_miter=miter), miter
+                CecResult(
+                    CecStatus.UNDECIDED, reduced_miter=state.network()
+                )
             )
-
-        state = SimulationState(
-            miter.num_pis,
-            self.config.num_random_words,
-            self.config.seed,
-            strategy=self.config.pattern_strategy,
-        )
 
         # ---- G phase -------------------------------------------------
         record = PhaseRecord("G")
         with tracer.span("phase.G", category="phase") as span, PhaseTimer(
             record
         ):
-            outcome = self._global_phase(miter, state, simulator, record)
+            outcome = self._global_phase(state, simulator, record)
             span.set("candidates", record.candidates)
             span.set("proved", record.proved)
         if isinstance(outcome, CecResult):
             note(record)
-            return finish(outcome, miter)
-        miter = outcome
-        record.miter_ands_after = miter.num_ands
+            return finish(outcome)
+        record.miter_ands_after = state.network().num_ands
         note(record)
-        if miter_is_trivially_unsat(miter):
-            return finish(CecResult(CecStatus.EQUIVALENT), miter)
+        if miter_is_trivially_unsat(state.network()):
+            return finish(CecResult(CecStatus.EQUIVALENT))
         if stop_after == "PG":
             return finish(
                 CecResult(
-                    CecStatus.UNDECIDED, reduced_miter=miter, sim_state=state
-                ),
-                miter,
+                    CecStatus.UNDECIDED,
+                    reduced_miter=state.network(),
+                    sim_state=state,
+                )
             )
 
         # ---- repeated L phases ----------------------------------------
@@ -263,18 +259,17 @@ class SimSweepEngine:
                 "phase.L", category="phase", round=phase_index
             ) as span, PhaseTimer(record):
                 outcome, progressed = self._local_phase(
-                    miter, state, simulator, record, disabled_passes
+                    state, simulator, record, disabled_passes
                 )
                 span.set("candidates", record.candidates)
                 span.set("proved", record.proved)
             if isinstance(outcome, CecResult):
                 note(record)
-                return finish(outcome, miter)
-            miter = outcome
-            record.miter_ands_after = miter.num_ands
+                return finish(outcome)
+            record.miter_ands_after = state.network().num_ands
             note(record)
-            if miter_is_trivially_unsat(miter):
-                return finish(CecResult(CecStatus.EQUIVALENT), miter)
+            if miter_is_trivially_unsat(state.network()):
+                return finish(CecResult(CecStatus.EQUIVALENT))
             if not progressed:
                 break
             if self.config.interleave_rewriting:
@@ -282,13 +277,14 @@ class SimSweepEngine:
                 # local phase enumerates genuinely new cuts.
                 from repro.synth.rewrite import cut_rewrite
 
-                miter = cut_rewrite(miter, k=4)
+                state.replace_network(cut_rewrite(state.network(), k=4))
 
         return finish(
             CecResult(
-                CecStatus.UNDECIDED, reduced_miter=miter, sim_state=state
-            ),
-            miter,
+                CecStatus.UNDECIDED,
+                reduced_miter=state.network(),
+                sim_state=state,
+            )
         )
 
     # ------------------------------------------------------------------
@@ -306,12 +302,13 @@ class SimSweepEngine:
 
     def _po_phase(
         self,
-        miter: Aig,
+        state: SweepState,
         simulator: ExhaustiveSimulator,
         record: PhaseRecord,
-        bound: Optional[BoundCache],
     ) -> Union[CecResult, Aig]:
         cfg = self.config
+        miter = state.network()
+        bound = state.bound_cache(self.cache)
         support_sets = supports_capped(miter, cfg.k_P)
         nontrivial = [(i, p) for i, p in enumerate(miter.pos) if p != CONST0]
         po_supports = {
@@ -369,63 +366,54 @@ class SimSweepEngine:
                         outcome.pair.lit_a, CONST0, context="P"
                     )
                 new_pos[outcome.pair.tag] = CONST0
-        if new_pos == list(miter.pos):
-            return miter
-        reduced = Aig(
-            miter.num_pis,
-            miter.fanin_literals()[0],
-            miter.fanin_literals()[1],
-            new_pos,
-            name=miter.name,
-        )
-        return cleanup(reduced)
+        return state.set_pos(new_pos)
 
     def _global_phase(
         self,
-        miter: Aig,
-        state: SimulationState,
+        state: SweepState,
         simulator: ExhaustiveSimulator,
         record: PhaseRecord,
-    ) -> Union[CecResult, Aig]:
+    ) -> Optional[CecResult]:
         cfg = self.config
         tracer = get_tracer()
         for iteration in range(cfg.max_global_iterations):
             with tracer.span(
                 "phase.G.round", category="phase", round=iteration
             ) as span:
-                verdict, miter, progressed = self._global_round(
-                    miter, state, simulator, record, span
+                verdict, progressed = self._global_round(
+                    state, simulator, record, span
                 )
             if verdict is not None:
                 return verdict
             if not progressed:
                 break
-        return miter
+        return None
 
     def _global_round(
         self,
-        miter: Aig,
-        state: SimulationState,
+        state: SweepState,
         simulator: ExhaustiveSimulator,
         record: PhaseRecord,
         span,
-    ) -> Tuple[Optional[CecResult], Aig, bool]:
+    ) -> Tuple[Optional[CecResult], bool]:
         """One check → refine → reduce cycle of the global phase.
 
-        Returns ``(verdict, miter, progressed)``: a conclusive verdict
-        ends the phase, ``progressed=False`` means the round changed
-        nothing and the iteration should stop.
+        Returns ``(verdict, progressed)``: a conclusive verdict ends the
+        phase, ``progressed=False`` means the round changed nothing and
+        the iteration should stop.  Merges are applied to ``state`` in
+        place (carrying signatures and classes across the rebuild).
         """
         cfg = self.config
-        tables = state.tables(miter)
+        miter = state.network()
+        tables = state.tables()
         disproof = self._po_disproof(miter, state, tables)
         if disproof is not None:
-            return disproof, miter, False
-        classes = state.classes(miter, tables)
+            return disproof, False
+        classes = state.classes(tables=tables)
         if len(classes) == 0:
-            return None, miter, False
+            return None, False
         span.set("classes", len(classes))
-        bound = self._bind(miter)
+        bound = state.bound_cache(self.cache)
         support_sets = supports_capped(miter, cfg.k_g)
         windows: List[Window] = []
         merges: Dict[int, Tuple[int, int]] = {}
@@ -465,7 +453,7 @@ class SimSweepEngine:
                 )
             )
         if not windows and not merges and not cex_patterns:
-            return None, miter, False
+            return None, False
         if windows:
             if cfg.window_merging:
                 windows = merge_windows(
@@ -504,30 +492,30 @@ class SimSweepEngine:
                 cex_patterns, distance1=cfg.distance1_cex
             )
         if merges:
-            miter, _ = reduce_miter(miter, merges)
+            state.apply_merges(merges)
         if not merges and not cex_patterns:
-            return None, miter, False
-        if miter_is_trivially_unsat(miter):
-            return None, miter, False
-        return None, miter, True
+            return None, False
+        if miter_is_trivially_unsat(state.network()):
+            return None, False
+        return None, True
 
     def _local_phase(
         self,
-        miter: Aig,
-        state: SimulationState,
+        state: SweepState,
         simulator: ExhaustiveSimulator,
         record: PhaseRecord,
         disabled_passes: Set[int],
-    ) -> Tuple[Union[CecResult, Aig], bool]:
+    ) -> Tuple[Optional[CecResult], bool]:
         cfg = self.config
-        tables = state.tables(miter)
+        miter = state.network()
+        tables = state.tables()
         disproof = self._po_disproof(miter, state, tables)
         if disproof is not None:
             return disproof, False
-        classes = state.classes(miter, tables)
+        classes = state.classes(tables=tables)
         if len(classes) == 0:
-            return miter, False
-        bound = self._bind(miter)
+            return None, False
+        bound = state.bound_cache(self.cache)
         pair_info: Dict[int, Tuple[int, int]] = {}
         repr_of: Dict[int, int] = {}
         for eq_class in classes:
@@ -584,9 +572,9 @@ class SimSweepEngine:
                 if proved == 0:
                     disabled_passes.add(pass_id)
         if not merges:
-            return miter, False
-        miter, _ = reduce_miter(miter, merges)
-        return miter, True
+            return None, False
+        state.apply_merges(merges)
+        return None, True
 
     def _run_cut_pass(
         self,
@@ -691,7 +679,7 @@ class SimSweepEngine:
     # ------------------------------------------------------------------
 
     def _po_disproof(
-        self, miter: Aig, state: SimulationState, tables: np.ndarray
+        self, miter: Aig, state: SweepState, tables: np.ndarray
     ) -> Optional[CecResult]:
         """Check whether the random pool already satisfies some miter PO."""
         from repro.sweep.disproof import find_po_disproof

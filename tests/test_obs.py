@@ -409,3 +409,45 @@ def test_check_trace_rejects_malformed_payloads():
     assert check_trace.validate_trace(ok) == []
     assert check_trace.validate_trace(ok, require_phases=("y",)) != []
     assert check_trace.validate_trace(ok, require_workers=1) != []
+
+
+def test_check_trace_require_rebuild(tmp_path):
+    check_trace = _load_check_trace()
+    no_rebuild = {
+        "traceEvents": [
+            {"name": "x", "ph": "X", "pid": 1, "tid": 0, "ts": 1.0,
+             "dur": 2.0, "cat": "c"}
+        ]
+    }
+    assert check_trace.validate_trace(no_rebuild) == []
+    assert check_trace.validate_trace(no_rebuild, require_rebuild=True) != []
+    # A rebuild span without its bookkeeping args must be rejected too.
+    bare = {
+        "traceEvents": [
+            {"name": "rebuild", "ph": "X", "pid": 1, "tid": 0, "ts": 1.0,
+             "dur": 2.0, "cat": "state"}
+        ]
+    }
+    assert check_trace.validate_trace(bare, require_rebuild=True) != []
+
+    # A real traced engine run on a reducible miter validates.  Small
+    # PO budgets keep the P phase from one-shotting the miter, so the
+    # global phase provably merges pairs and carries signatures.
+    from repro.sweep.config import EngineConfig
+    from repro.sweep.engine import SimSweepEngine
+
+    a = gen.multiplier(4)
+    b = compress2(a)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = SimSweepEngine(EngineConfig(k_P=4, k_p=4)).check(a, b)
+    assert result.is_equivalent
+    path = tracer.write(str(tmp_path / "rebuild_trace.json"))
+    errors = check_trace.validate_trace(
+        json.load(open(path)), require_rebuild=True
+    )
+    assert errors == []
+    counters = tracer.metrics.counters
+    assert counters.get("state.carried_words", 0) > counters.get(
+        "state.recomputed_words", 0
+    )

@@ -20,7 +20,13 @@ the rules below *are* the schema):
 - ``--require-workers N``: at least ``N`` distinct pids must both carry
   a ``process_name`` metadata record starting with ``worker`` and have
   at least one ``X`` event — i.e. the merged timeline really contains
-  span data from that many worker processes.
+  span data from that many worker processes;
+- ``--require-rebuild``: at least one incremental ``rebuild`` span
+  (category ``state``) must appear, and every rebuild span must carry
+  the ``merges``/``ands_before``/``ands_after``/``carried_words``
+  bookkeeping in its ``args`` — i.e. the run really went through the
+  carry-across-phases :class:`SweepState` path instead of a silent
+  rebuild-from-scratch fallback.
 
 Exit status: 0 when the trace validates, 1 otherwise (errors listed on
 stderr).
@@ -36,10 +42,14 @@ from typing import Dict, List, Sequence
 ALLOWED_PHASES = {"X", "M", "i", "I", "C"}
 
 
+REBUILD_ARGS = ("merges", "ands_before", "ands_after", "carried_words")
+
+
 def validate_trace(
     payload: object,
     require_phases: Sequence[str] = (),
     require_workers: int = 0,
+    require_rebuild: bool = False,
 ) -> List[str]:
     """Check one parsed trace payload; returns a list of error strings."""
     errors: List[str] = []
@@ -52,6 +62,7 @@ def validate_trace(
     process_names: Dict[int, str] = {}
     span_names = set()
     pids_with_spans = set()
+    rebuild_spans = 0
     for i, event in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(event, dict):
@@ -80,6 +91,20 @@ def validate_trace(
             span_names.add(name)
             if isinstance(event.get("pid"), int):
                 pids_with_spans.add(event["pid"])
+            if name == "rebuild":
+                rebuild_spans += 1
+                args = event.get("args")
+                if not isinstance(args, dict):
+                    errors.append(
+                        f"{where} (rebuild): span carries no args"
+                    )
+                else:
+                    for key in REBUILD_ARGS:
+                        if not isinstance(args.get(key), int):
+                            errors.append(
+                                f"{where} (rebuild): args.{key} missing "
+                                "or not an integer"
+                            )
         elif ph == "M":
             args = event.get("args")
             if not isinstance(args, dict) or not isinstance(
@@ -94,6 +119,12 @@ def validate_trace(
     for phase in require_phases:
         if phase not in span_names:
             errors.append(f"required span {phase!r} not found in the trace")
+
+    if require_rebuild and rebuild_spans == 0:
+        errors.append(
+            "no 'rebuild' span found: the run never went through the "
+            "incremental SweepState rebuild path"
+        )
 
     if require_workers > 0:
         worker_pids = {
@@ -122,6 +153,10 @@ def main(argv=None) -> int:
         "--require-workers", type=int, default=0, metavar="N",
         help="minimum number of worker processes with spans",
     )
+    parser.add_argument(
+        "--require-rebuild", action="store_true",
+        help="require at least one incremental 'rebuild' span",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -135,6 +170,7 @@ def main(argv=None) -> int:
         payload,
         require_phases=args.require_phases,
         require_workers=args.require_workers,
+        require_rebuild=args.require_rebuild,
     )
     if errors:
         for error in errors:
