@@ -66,6 +66,10 @@ class Table2Row:
     #: 1.0 means every reduction carried its knowledge, 0.0 means the
     #: run degenerated to rebuild-from-scratch.
     carryover_ratio: float = 0.0
+    #: Shared-memory data-plane counters of the run (segments created/
+    #: adopted/leaked, bytes shared vs pickled); empty when no parallel
+    #: stage ran or the plane was disabled.
+    shm: Dict[str, float] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -101,6 +105,9 @@ class Fig6Row:
     rebuild_s: float = 0.0
     #: Carried / (carried + recomputed) signature words of the run.
     carryover_ratio: float = 0.0
+    #: Shared-memory data-plane counters of the run; empty when no
+    #: parallel stage ran or the plane was disabled.
+    shm: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -138,15 +145,40 @@ def _carry_stats(tracer: Tracer) -> Dict[str, float]:
     }
 
 
+def _shm_stats(tracer: Tracer) -> Dict[str, float]:
+    """Data-plane counters of one traced run, for the row's ``shm`` dict.
+
+    Collects every ``shm.*`` counter plus ``ipc.bytes_pickled`` (the
+    queue-side complement needed to judge the zero-copy ratio).  Empty
+    when the run never touched the plane — inline engines, or a parallel
+    stage with ``REPRO_SHM=0``.
+    """
+    counters = tracer.metrics.counters
+    stats = {
+        name: float(value)
+        for name, value in counters.items()
+        if name.startswith("shm.")
+    }
+    if stats and "ipc.bytes_pickled" in counters:
+        stats["ipc.bytes_pickled"] = float(counters["ipc.bytes_pickled"])
+    return stats
+
+
 def run_table2_case(
     case: BenchmarkCase,
     config: Optional[EngineConfig] = None,
     sat_conflict_limit: int = 100_000,
     baseline_time_limit: Optional[float] = None,
     run_portfolio: bool = True,
+    parallel_portfolio: bool = False,
     cache: Optional[SweepCache] = None,
 ) -> Table2Row:
     """Run all three checkers of Table II on one case.
+
+    ``parallel_portfolio`` runs the commercial-tool stand-in as the
+    multiprocess :class:`ParallelPortfolioChecker` instead of the inline
+    cascade; the stage is traced so the row's ``shm`` dict reports the
+    data-plane traffic (segments, bytes shared vs pickled).
 
     Raises ``AssertionError`` if any conclusive verdicts disagree — the
     harness doubles as an end-to-end cross-check of every engine.
@@ -162,7 +194,30 @@ def run_table2_case(
     abc_seconds = time.perf_counter() - start
 
     cfm_engine_seconds: Dict[str, float] = {}
-    if run_portfolio:
+    cfm_shm: Dict[str, float] = {}
+    if run_portfolio and parallel_portfolio:
+        from repro.portfolio.parallel import ParallelPortfolioChecker
+
+        cfm = ParallelPortfolioChecker(time_limit=baseline_time_limit)
+        cfm_tracer = Tracer(process_name=f"bench-cfm:{case.name}")
+        start = time.perf_counter()
+        try:
+            with use_tracer(cfm_tracer):
+                cfm_result = cfm.check_miter(miter)
+            cfm_status = cfm_result.status.value
+        except PortfolioError:
+            cfm_result = None
+            cfm_status = "failed"
+        cfm_seconds = time.perf_counter() - start
+        cfm_shm = _shm_stats(cfm_tracer)
+        cfm_report = (
+            cfm_result.report if cfm_result is not None else None
+        )
+        if cfm_report is not None and hasattr(cfm_report, "engines"):
+            cfm_engine_seconds = {
+                rec.name: rec.seconds for rec in cfm_report.engines
+            }
+    elif run_portfolio:
         cfm = PortfolioChecker(
             sat_checker=SatSweepChecker(
                 conflict_limit=sat_conflict_limit,
@@ -239,6 +294,7 @@ def run_table2_case(
             p.as_dict() for p in getattr(ours_result.report, "phases", [])
         ],
         trace=tracer.summary(),
+        shm={**cfm_shm, **_shm_stats(tracer)},
         **_carry_stats(tracer),
     )
 
@@ -292,6 +348,7 @@ def run_fig6(
                 ),
                 phases=[p.as_dict() for p in result.report.phases],
                 trace=tracer.summary(),
+                shm=_shm_stats(tracer),
                 **_carry_stats(tracer),
             )
         )

@@ -14,8 +14,11 @@ line, last occurrence of a key wins.  The format is deliberately dumb:
   (counted in :attr:`ProofStore.load_errors`); a truncated record costs
   one cached verdict, never the run.
 
-On platforms without ``fcntl`` (Windows) locking degrades to a no-op;
-single-writer use stays correct, concurrent writers are best-effort.
+On platforms without ``fcntl`` (Windows) locking falls back to an
+``O_CREAT|O_EXCL`` lockfile protocol (spin until the exclusive create
+succeeds, break locks older than a staleness bound) and emits a
+``RuntimeWarning`` once — slower and advisory, but still mutual
+exclusion rather than the silent no-op it used to be.
 """
 
 from __future__ import annotations
@@ -23,6 +26,8 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -102,17 +107,81 @@ class Verdict:
 
 
 class _FileLock:
-    """Exclusive advisory lock on ``<directory>/.lock`` (context manager)."""
+    """Exclusive advisory lock on ``<directory>/.lock`` (context manager).
+
+    With ``fcntl`` available this is a plain ``flock``.  Without it the
+    lock is an ``O_CREAT|O_EXCL`` claim on a ``.lock.excl`` sidecar:
+    whoever creates the file owns the lock, everyone else spins.  A
+    claim file older than ``stale_after`` seconds is presumed to belong
+    to a dead process and is broken.  Entering never leaks the ``.lock``
+    fd: if acquiring the ``flock`` raises, the fd is closed before the
+    exception propagates.
+    """
+
+    #: Seconds after which an exclusive-create claim is considered
+    #: abandoned (its holder crashed without removing it).
+    _STALE_AFTER = 60.0
+    _SPIN_INTERVAL = 0.01
+    _warned_no_fcntl = False
 
     def __init__(self, directory: str) -> None:
         self._path = os.path.join(directory, LOCK_FILENAME)
+        self._excl_path = self._path + ".excl"
         self._fd: Optional[int] = None
+        self._claimed = False
 
     def __enter__(self) -> "_FileLock":
-        self._fd = os.open(self._path, os.O_CREAT | os.O_RDWR, 0o644)
         if fcntl is not None:
-            fcntl.flock(self._fd, fcntl.LOCK_EX)
+            fd = os.open(self._path, os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            except BaseException:
+                os.close(fd)
+                raise
+            self._fd = fd
+            return self
+        if not _FileLock._warned_no_fcntl:
+            _FileLock._warned_no_fcntl = True
+            warnings.warn(
+                "fcntl is unavailable: proof-store locking falls back to "
+                "an O_CREAT|O_EXCL lockfile protocol (slower, advisory)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        self._acquire_exclusive()
         return self
+
+    def _acquire_exclusive(self) -> None:
+        while True:
+            try:
+                fd = os.open(
+                    self._excl_path,
+                    os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                    0o644,
+                )
+            except FileExistsError:
+                self._break_stale_claim()
+                time.sleep(self._SPIN_INTERVAL)
+                continue
+            try:
+                os.write(fd, str(os.getpid()).encode("ascii"))
+            except OSError:
+                pass
+            finally:
+                os.close(fd)
+            self._claimed = True
+            return
+
+    def _break_stale_claim(self) -> None:
+        try:
+            age = time.time() - os.stat(self._excl_path).st_mtime
+        except OSError:
+            return  # holder released it between our open and stat
+        if age > self._STALE_AFTER:
+            try:
+                os.unlink(self._excl_path)
+            except OSError:
+                pass
 
     def __exit__(self, *exc_info: object) -> None:
         if self._fd is not None:
@@ -120,6 +189,12 @@ class _FileLock:
                 fcntl.flock(self._fd, fcntl.LOCK_UN)
             os.close(self._fd)
             self._fd = None
+        if self._claimed:
+            self._claimed = False
+            try:
+                os.unlink(self._excl_path)
+            except OSError:
+                pass
 
 
 @dataclass

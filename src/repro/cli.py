@@ -97,6 +97,7 @@ def _make_checker(
     time_limit: Optional[float],
     verbose: bool = False,
     cache_dir: Optional[str] = None,
+    use_shm: Optional[bool] = None,
 ):
     on_phase = _phase_printer if verbose else None
 
@@ -128,7 +129,7 @@ def _make_checker(
         )
     if engine == "parallel":
         return ParallelPortfolioChecker(
-            time_limit=time_limit, cache_dir=cache_dir
+            time_limit=time_limit, cache_dir=cache_dir, use_shm=use_shm
         )
     raise ValueError(f"unknown engine {engine!r}")
 
@@ -138,7 +139,11 @@ def cmd_cec(args: argparse.Namespace) -> int:
     aig_a = read_aiger(args.a)
     aig_b = read_aiger(args.b)
     checker = _make_checker(
-        args.engine, args.time_limit, args.verbose, cache_dir=args.cache
+        args.engine,
+        args.time_limit,
+        args.verbose,
+        cache_dir=args.cache,
+        use_shm=False if args.no_shm else None,
     )
     tracer: Optional[Tracer] = None
     if args.trace or args.metrics:
@@ -254,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
     cec.add_argument(
         "--metrics", action="store_true",
         help="print counters and histograms of the run to stdout",
+    )
+    cec.add_argument(
+        "--no-shm", action="store_true",
+        help="disable the shared-memory data plane of the parallel "
+        "engine (payloads cross the result queues pickled instead; "
+        "equivalent to REPRO_SHM=0)",
     )
     cec.add_argument(
         "--log-level", default=None, choices=list(LEVELS),

@@ -264,6 +264,28 @@ class Tracer:
             if attrs:
                 event["args"] = attrs
             events.append(event)
+        # Final counter values as Chrome counter ("C") events, stamped at
+        # the end of the timeline so trace viewers plot the run totals and
+        # tools/check_trace.py can assert over them (e.g. --require-shm).
+        counters = getattr(self.metrics, "counters", None)
+        if counters:
+            end_ts = 0.0
+            if all_spans:
+                end_ts = max(
+                    (span[2] + max(span[3], 0)) / 1000.0
+                    for _, span in all_spans
+                )
+            for name in sorted(counters):
+                events.append(
+                    {
+                        "name": name,
+                        "ph": "C",
+                        "ts": end_ts,
+                        "pid": self.pid,
+                        "tid": 0,
+                        "args": {"value": counters[name]},
+                    }
+                )
         return {
             "traceEvents": events,
             "displayTimeUnit": "ms",

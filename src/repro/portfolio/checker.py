@@ -85,9 +85,40 @@ class CombinedChecker:
         """Check two networks (builds the miter)."""
         return self.check_miter(build_miter(aig_a, aig_b))
 
-    def check_miter(self, miter: Aig) -> CecResult:
-        """Engine first; SAT sweeping on whatever is left."""
+    def check_miter(self, miter: Aig, state=None) -> CecResult:
+        """Engine first; SAT sweeping on whatever is left.
+
+        ``state`` is an optional carried
+        :class:`~repro.sweep.state.SweepState` for ``miter`` — the shape
+        the parallel portfolio's finisher hand-off delivers after
+        adopting a residue off the shared-memory data plane.  A state
+        that owns the miter means the simulation phases already ran on
+        it upstream, so the front-end engine is skipped and the SAT
+        sweeper adopts the carried signatures directly (zero
+        re-simulation).
+        """
         self.timings = CombinedTimings()
+        from repro.sweep.state import SweepState
+
+        if isinstance(state, SweepState) and state.matches(miter):
+            cache_snapshot = (
+                self.cache.snapshot() if self.cache is not None else None
+            )
+            self.timings.engine_status = "adopted"
+            start = time.perf_counter()
+            with get_tracer().span(
+                "combined.sat_residue",
+                category="sat",
+                residue_ands=miter.num_ands,
+            ):
+                sat_result = self.sat_checker.check_miter(miter, state=state)
+            self.timings.sat_seconds = time.perf_counter() - start
+            if self.cache is not None:
+                if sat_result.report is not None:
+                    sat_result.report.cache = self.cache.counters.diff(
+                        cache_snapshot
+                    )
+            return sat_result
         cache_snapshot = (
             self.cache.snapshot() if self.cache is not None else None
         )

@@ -21,7 +21,18 @@ orchestration layer the rest of the system builds on:
   the run raises :class:`PortfolioError` only when *every* engine fails.
 - **residue hand-off** — on global timeout the smallest residue
   collected so far is re-checked by a configurable finisher engine
-  before the run settles for UNDECIDED.
+  before the run settles for UNDECIDED; when the residue came with a
+  carried :class:`~repro.sweep.state.SweepState`, the finisher adopts it
+  and starts from the carried signatures instead of re-simulating.
+- **zero-copy data plane** — with shared memory available (the default;
+  opt out per instance via ``use_shm=False`` or globally via
+  ``REPRO_SHM=0``), the big arrays move through :mod:`repro.shm`
+  segments: workers receive a descriptor of the published miter instead
+  of a pickled copy, and ship residues, sweep state and sideband
+  payloads (report/trace/cache deltas) back the same way.  Queue
+  messages shrink to descriptor size, and the parent registry reaps
+  every segment of the run — including those of SIGKILLed workers — in
+  the teardown path.
 
 Engines are named specs so they pickle cleanly:
 
@@ -39,11 +50,15 @@ budget in seconds: ``("sat", {}, 10.0)``.
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing as mp
 import os
+import pickle
 import queue as queue_module
+import shutil
 import signal
 import sys
+import tempfile
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -55,6 +70,16 @@ from repro.cache.config import CacheConfig
 from repro.cache.counters import CacheCounters
 from repro.cache.knowledge import SweepCache
 from repro.obs import Tracer, get_tracer, set_tracer
+from repro.shm import (
+    SegmentDescriptor,
+    SegmentRegistry,
+    adopt_aig,
+    aig_shm_arrays,
+    detach_aig,
+    reap_orphans,
+    set_active_registry,
+    shm_available,
+)
 from repro.sweep.engine import CecResult, CecStatus
 from repro.sweep.report import (
     EngineFailure,
@@ -62,6 +87,7 @@ from repro.sweep.report import (
     EngineRunRecord,
     PortfolioReport,
 )
+from repro.sweep.state import SweepState
 
 EngineSpec = Union[Tuple[str, Dict], Tuple[str, Dict, float]]
 
@@ -78,6 +104,26 @@ START_METHOD_ENV = "REPRO_MP_START_METHOD"
 
 #: Default finisher: a conflict-limited SAT sweep over the best residue.
 DEFAULT_FINISHER: EngineSpec = ("sat", {"conflict_limit": 20_000})
+
+#: Environment variable disabling the shared-memory data plane
+#: (``REPRO_SHM=0`` forces the legacy pickled-queue payload path).
+SHM_ENV = "REPRO_SHM"
+
+
+def resolve_use_shm(requested: Optional[bool] = None) -> bool:
+    """Decide whether a portfolio run uses the shared-memory data plane.
+
+    Resolution order: explicit ``requested`` argument, then the
+    ``REPRO_SHM`` environment variable (``0``/``false``/``off``/``no``
+    disables), then on-by-default.  Either way the plane is only used
+    when the platform actually offers POSIX shared memory.
+    """
+    if requested is not None:
+        return bool(requested) and shm_available()
+    flag = os.environ.get(SHM_ENV, "").strip().lower()
+    if flag in ("0", "false", "off", "no"):
+        return False
+    return shm_available()
 
 
 class PortfolioError(RuntimeError):
@@ -178,6 +224,10 @@ def build_checker(
         from repro.portfolio.faults import CrashingChecker
 
         return CrashingChecker(**kwargs)
+    if kind == "leak":
+        from repro.portfolio.faults import LeakingChecker
+
+        return LeakingChecker(**kwargs)
     raise ValueError(f"unknown engine spec {kind!r}")
 
 
@@ -194,13 +244,90 @@ def _raise_worker_terminated(signum, frame) -> None:
     raise _WorkerTerminated()
 
 
+def _pack_residue(message: Dict, result: CecResult, registry) -> None:
+    """Attach an UNDECIDED result's residue to the outbound message.
+
+    On the data plane the residue is published as a segment — together
+    with the engine's carried :class:`SweepState` when the state still
+    owns that residue, so the parent (and the SAT finisher after it) can
+    adopt signatures, pattern pool and origin map without re-simulating.
+    Without a registry (or if publishing fails) the residue rides the
+    queue pickled, as it always has.
+    """
+    residue = result.reduced_miter
+    if residue is None or result.status is not CecStatus.UNDECIDED:
+        return
+    if registry is not None:
+        state = result.sim_state
+        try:
+            if isinstance(state, SweepState) and state.matches(residue):
+                arrays, meta = state.to_shm_arrays()
+            else:
+                arrays, meta = aig_shm_arrays(residue)
+            message["state_ref"] = registry.publish(arrays=arrays, meta=meta)
+            return
+        except Exception:
+            pass  # segment allocation failed: fall back to pickling
+    message["residue"] = residue
+
+
+def _attach_sideband(message: Dict, sideband: Dict, registry) -> None:
+    """Ship the bulky message parts (report/trace/cache) out of band.
+
+    On the data plane the sideband is pickled once into a blob segment
+    and the message carries only its descriptor; otherwise the entries
+    are inlined into the queue message (the legacy layout — the parent
+    accepts both).
+    """
+    if not sideband:
+        return
+    if registry is not None:
+        try:
+            blob = pickle.dumps(sideband, protocol=pickle.HIGHEST_PROTOCOL)
+            message["sideband_ref"] = registry.publish(blob=blob)
+            return
+        except Exception:
+            pass  # fall back to the inline layout
+    message.update(sideband)
+
+
+def _post_message(
+    queue: "mp.Queue", message: Dict, spill_path: Optional[str]
+) -> None:
+    """Post a worker message; spill it to disk when the queue is gone.
+
+    A cancelled loser can reach this after the parent's queue is already
+    torn down (e.g. the parent process itself was killed mid-grace).
+    The message — span buffer and cache delta included — is then written
+    to the per-worker spill file the parent collects in
+    ``_drain_late_messages``, instead of being silently dropped.
+    """
+    try:
+        queue.put(message)
+        return
+    except BaseException:
+        pass
+    if spill_path is None:
+        return
+    try:
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        staging = spill_path + ".tmp"
+        with open(staging, "wb") as handle:
+            handle.write(payload)
+        os.replace(staging, spill_path)
+    except Exception:
+        pass  # no queue and no spill target: the message is lost
+
+
 def _engine_worker(
     index: int,
     spec: EngineSpec,
-    miter: Aig,
+    miter: Union[Aig, SegmentDescriptor],
     queue: "mp.Queue",
     cache_dir: Optional[str] = None,
     trace: bool = False,
+    shm_token: Optional[str] = None,
+    spill_path: Optional[str] = None,
 ) -> None:
     """Run one engine in a child process and post its result.
 
@@ -216,6 +343,13 @@ def _engine_worker(
     handler turns the parent's staged termination into
     :class:`_WorkerTerminated`, so even a cancelled loser posts its
     partial trace during the terminate-grace window.
+
+    With ``shm_token`` the worker joins the run's shared-memory data
+    plane: ``miter`` arrives as a :class:`SegmentDescriptor` and is
+    adopted zero-copy, and outbound residues/sideband payloads are
+    published as segments under the run token.  The worker never unlinks
+    anything — the parent registry reaps every segment of the run,
+    which is what makes a SIGKILL at any point here leak-free.
     """
     start = time.perf_counter()
     tracer: Optional[Tracer] = None
@@ -227,7 +361,17 @@ def _engine_worker(
         except (ValueError, OSError):
             pass  # non-main thread or unsupported platform: spans on
             # normal completion still ship, cancelled ones are lost
+    registry = None
+    if shm_token is not None and shm_available():
+        registry = SegmentRegistry(token=shm_token, suffix=f"w{index}")
+        set_active_registry(registry)
     try:
+        if isinstance(miter, SegmentDescriptor):
+            if registry is None:
+                raise RuntimeError(
+                    "received a segment descriptor without a registry"
+                )
+            miter = adopt_aig(registry.adopt(miter))
         checker = build_checker(spec, cache_dir=cache_dir, cache_readonly=True)
         with get_tracer().span(
             f"engine:{spec[0]}", category="engine", engine=spec[0]
@@ -237,44 +381,55 @@ def _engine_worker(
             "index": index,
             "status": result.status.value,
             "cex": result.cex,
-            "residue": result.reduced_miter,
             "seconds": time.perf_counter() - start,
         }
+        sideband: Dict = {}
         if isinstance(result.report, EngineReport):
-            message["report"] = result.report.as_dict()
+            sideband["report"] = result.report.as_dict()
         cache = getattr(checker, "cache", None)
         if cache is not None:
-            message["cache"] = cache.counters.as_dict()
-            message["cache_delta"] = list(cache.store.pending)
+            sideband["cache"] = cache.counters.as_dict()
+            sideband["cache_delta"] = list(cache.store.pending)
+        _pack_residue(message, result, registry)
         if tracer is not None:
-            message["trace"] = tracer.export_payload()
-        queue.put(message)
+            sideband["trace"] = tracer.export_payload()
+        _attach_sideband(message, sideband, registry)
+        _post_message(queue, message, spill_path)
     except _WorkerTerminated:
-        try:
-            message = {
-                "index": index,
-                "status": "terminated",
-                "seconds": time.perf_counter() - start,
-            }
-            if tracer is not None:
-                message["trace"] = tracer.export_payload()
-            queue.put(message)
-        except Exception:
-            pass  # queue already torn down: the trace is lost, not the run
+        message = {
+            "index": index,
+            "status": "terminated",
+            "seconds": time.perf_counter() - start,
+        }
+        sideband = {}
+        if tracer is not None:
+            sideband["trace"] = tracer.export_payload()
+        _attach_sideband(message, sideband, registry)
+        _post_message(queue, message, spill_path)
     except BaseException as error:  # surface crashes as structured data
+        message = {
+            "index": index,
+            "status": "error",
+            "message": repr(error),
+            "traceback": traceback.format_exc(),
+            "seconds": time.perf_counter() - start,
+        }
+        sideband = {}
+        if tracer is not None:
+            sideband["trace"] = tracer.export_payload()
+        _attach_sideband(message, sideband, registry)
+        _post_message(queue, message, spill_path)
+    finally:
+        if registry is not None:
+            set_active_registry(None)
+            registry.close()
         try:
-            message = {
-                "index": index,
-                "status": "error",
-                "message": repr(error),
-                "traceback": traceback.format_exc(),
-                "seconds": time.perf_counter() - start,
-            }
-            if tracer is not None:
-                message["trace"] = tracer.export_payload()
-            queue.put(message)
-        except Exception:
-            pass  # unpicklable error payload: parent sees abnormal exit
+            # The message (or spill file) is out: a SIGTERM landing while
+            # the interpreter flushes queue feeder threads at exit must
+            # not re-raise _WorkerTerminated inside the finalizers.
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        except (ValueError, OSError):
+            pass
 
 
 @dataclass
@@ -292,6 +447,9 @@ class _WorkerState:
     #: Monotonic time the process was first observed dead without having
     #: posted a result (grace period for in-flight queue messages).
     dead_since: Optional[float] = None
+    #: Carried :class:`SweepState` adopted alongside an UNDECIDED
+    #: residue (shared-memory runs only).
+    sim_state: Optional[SweepState] = None
 
 
 class ParallelPortfolioChecker:
@@ -327,6 +485,11 @@ class ParallelPortfolioChecker:
         pre-seeded with a read-only snapshot; their verdict deltas ride
         back on the result messages and the parent merges and persists
         them — concurrent workers never write the store directly.
+    use_shm:
+        Whether to run the zero-copy shared-memory data plane
+        (:mod:`repro.shm`).  ``None`` (the default) resolves via the
+        ``REPRO_SHM`` environment variable, then defaults to on where
+        POSIX shared memory exists; see :func:`resolve_use_shm`.
 
     Raises
     ------
@@ -348,6 +511,7 @@ class ParallelPortfolioChecker:
         finisher_time_limit: float = 5.0,
         terminate_grace: float = 1.0,
         cache_dir: Optional[str] = None,
+        use_shm: Optional[bool] = None,
     ) -> None:
         self.engines = list(engines) if engines is not None else list(
             DEFAULT_ENGINES
@@ -380,6 +544,9 @@ class ParallelPortfolioChecker:
         #: Residue left by the last finisher run (smaller than the input
         #: when the finisher made partial progress).
         self._finisher_residue: Optional[Aig] = None
+        self.use_shm = resolve_use_shm(use_shm)
+        #: Live segment registry of the current run (parent = reaper).
+        self._registry: Optional[SegmentRegistry] = None
 
     def check(self, aig_a: Aig, aig_b: Aig) -> CecResult:
         """Check two networks for equivalence (builds the miter)."""
@@ -397,14 +564,52 @@ class ParallelPortfolioChecker:
         tracer = get_tracer()
         trace = tracer.enabled
 
+        registry: Optional[SegmentRegistry] = None
+        worker_payload: Union[Aig, SegmentDescriptor] = miter
+        if self.use_shm:
+            try:
+                # Blocks stranded by a long-dead parent (SIGKILL, power
+                # loss) have no reaper left; sweep them opportunistically.
+                reap_orphans()
+            except Exception:
+                pass
+            try:
+                registry = SegmentRegistry()
+                arrays, meta = aig_shm_arrays(miter)
+                worker_payload = registry.publish(arrays=arrays, meta=meta)
+            except Exception:
+                if registry is not None:
+                    registry.reap()
+                registry = None
+                worker_payload = miter
+        self._registry = registry
+        try:
+            spill_dir: Optional[str] = tempfile.mkdtemp(prefix="repro-ipc-")
+        except OSError:
+            spill_dir = None
+
         workers: List[_WorkerState] = []
         for index, spec in enumerate(self.engines):
             record = EngineRunRecord(name=spec[0], status="running")
             report.engines.append(record)
             budget = spec[2] if len(spec) > 2 else self.engine_time_limit
+            spill_path = (
+                os.path.join(spill_dir, f"worker{index}.msg")
+                if spill_dir is not None
+                else None
+            )
             process = context.Process(
                 target=_engine_worker,
-                args=(index, spec, miter, result_queue, self.cache_dir, trace),
+                args=(
+                    index,
+                    spec,
+                    worker_payload,
+                    result_queue,
+                    self.cache_dir,
+                    trace,
+                    registry.token if registry is not None else None,
+                    spill_path,
+                ),
                 daemon=False,
             )
             workers.append(
@@ -418,6 +623,7 @@ class ParallelPortfolioChecker:
             )
 
         best_residue: Optional[Aig] = None
+        best_state: Optional[SweepState] = None
         verdict: Optional[CecResult] = None
         timed_out = False
         run_span = tracer.span(
@@ -459,6 +665,7 @@ class ParallelPortfolioChecker:
                         or residue.num_ands < best_residue.num_ands
                     ):
                         best_residue = residue
+                        best_state = workers[message["index"]].sim_state
                 self._reap_workers(workers)
 
             if verdict is not None:
@@ -466,7 +673,7 @@ class ParallelPortfolioChecker:
                 report.winner = self.winner
                 report.total_seconds = time.monotonic() - started_at
                 verdict.report = report
-                return verdict
+                return self._detach_result(verdict)
 
             self._cancel_remaining(
                 workers, "timeout" if timed_out else "cancelled"
@@ -482,33 +689,50 @@ class ParallelPortfolioChecker:
                 raise PortfolioError(failures, report)
 
             if timed_out and best_residue is not None:
-                finished = self._run_finisher(best_residue, report)
+                finished = self._run_finisher(
+                    best_residue, report, state=best_state
+                )
                 if finished is not None:
                     report.total_seconds = time.monotonic() - started_at
                     finished.report = report
-                    return finished
+                    return self._detach_result(finished)
                 if (
                     self._finisher_residue is not None
                     and self._finisher_residue.num_ands
                     < best_residue.num_ands
                 ):
                     best_residue = self._finisher_residue
+                    best_state = None
 
             report.total_seconds = time.monotonic() - started_at
-            return CecResult(
-                CecStatus.UNDECIDED,
-                reduced_miter=(
-                    best_residue if best_residue is not None else miter
-                ),
-                report=report,
+            return self._detach_result(
+                CecResult(
+                    CecStatus.UNDECIDED,
+                    reduced_miter=(
+                        best_residue if best_residue is not None else miter
+                    ),
+                    report=report,
+                    sim_state=best_state,
+                )
             )
         finally:
             for state in workers:
                 self._stop_process(state.process, engine=state.name)
+            # Cancelled losers post their traces and cache deltas during
+            # the terminate-grace window; drain the queue to exhaustion
+            # (and collect any spill files) *before* closing it —
+            # cancel_join_thread after close would discard whatever the
+            # feeder threads still had in flight.
+            self._drain_late_messages(
+                result_queue,
+                workers,
+                spill_dir=spill_dir,
+                max_wait=2.0 if trace else 0.5,
+            )
+            if registry is not None:
+                registry.reap()
+                self._registry = None
             if trace:
-                # Cancelled losers post their partial traces during the
-                # terminate-grace window; collect them before closing.
-                self._drain_late_messages(result_queue, workers)
                 run_span.set("winner", self.winner or "")
             run_span.__exit__(None, None, None)
             if trace:
@@ -517,6 +741,8 @@ class ParallelPortfolioChecker:
             result_queue.cancel_join_thread()
             if self.cache is not None:
                 self.cache.flush()
+            if spill_dir is not None:
+                shutil.rmtree(spill_dir, ignore_errors=True)
 
     # ------------------------------------------------------------------
     # Orchestration internals
@@ -548,6 +774,76 @@ class ParallelPortfolioChecker:
         except queue_module.Empty:
             return None
 
+    def _unpack_message(self, message: Dict) -> Dict:
+        """Resolve a message's segment references into domain objects.
+
+        On the data plane a worker message carries descriptors instead
+        of payloads: ``sideband_ref`` (pickled report/trace/cache blob)
+        and ``state_ref`` (residue arrays, optionally a full carried
+        :class:`SweepState`).  Both are adopted here — the state by
+        mapping, not copying — and folded back into the message under
+        the legacy keys, so everything downstream sees one layout.
+        Traced runs also account the message's queue-borne size under
+        ``ipc.bytes_pickled``.
+        """
+        tracer = get_tracer()
+        if tracer.enabled:
+            try:
+                tracer.metrics.counter_add(
+                    "ipc.bytes_pickled",
+                    len(
+                        pickle.dumps(
+                            message, protocol=pickle.HIGHEST_PROTOCOL
+                        )
+                    ),
+                )
+            except Exception:
+                pass
+        registry = self._registry
+        ref = message.pop("sideband_ref", None)
+        if ref is not None and registry is not None:
+            try:
+                adoption = registry.adopt(ref)
+                sideband = pickle.loads(adoption.blob.tobytes())
+                registry.release(adoption)
+                message.update(sideband)
+            except Exception:
+                pass  # worker died mid-publish: sideband is lost
+        ref = message.pop("state_ref", None)
+        if ref is not None and registry is not None:
+            try:
+                adoption = registry.adopt(ref)
+                if ref.meta.get("kind") == "sweep_state":
+                    sweep = SweepState.attach(adoption.arrays, ref.meta)
+                    message["residue"] = sweep.network()
+                    message["sim_state"] = sweep
+                else:
+                    message["residue"] = adopt_aig(adoption)
+            except Exception:
+                pass  # worker died mid-publish: residue is lost
+        return message
+
+    def _detach_result(self, result: CecResult) -> CecResult:
+        """Copy a result off the data plane before the registry reaps.
+
+        Anything returned to the caller must own its memory: the
+        ``finally`` block unlinks and unmaps every segment of the run,
+        which would invalidate borrowed views.  Detaching copies exactly
+        the arrays that are still views (carried knowledge survives) and
+        is a no-op on queue-path runs.
+        """
+        if self._registry is None:
+            return result
+        state = result.sim_state
+        if isinstance(state, SweepState):
+            network = state.network()
+            state.detach()
+            if result.reduced_miter is network:
+                result.reduced_miter = state.network()
+        if result.reduced_miter is not None:
+            result.reduced_miter = detach_aig(result.reduced_miter)
+        return result
+
     def _record_message(
         self, state: _WorkerState, message: Dict
     ) -> Union[CecResult, Aig, None]:
@@ -556,6 +852,7 @@ class ParallelPortfolioChecker:
         Returns a :class:`CecResult` for a conclusive verdict, the
         residue network for an UNDECIDED report, ``None`` otherwise.
         """
+        message = self._unpack_message(message)
         # A worker posts at most one message, so trace and cache deltas
         # are safe to fold in even when the record is already settled
         # (late post from a worker the parent timed out or cancelled).
@@ -584,6 +881,7 @@ class ParallelPortfolioChecker:
             residue = message.get("residue")
             if residue is not None:
                 record.residue_ands = residue.num_ands
+                state.sim_state = message.get("sim_state")
             return residue
         record.status = status
         self.winner = state.name
@@ -604,24 +902,52 @@ class ParallelPortfolioChecker:
         self,
         result_queue: "mp.Queue",
         workers: List[_WorkerState],
+        spill_dir: Optional[str] = None,
         max_wait: float = 2.0,
     ) -> None:
         """Absorb messages still in flight after all workers stopped.
 
-        Only runs on traced runs: cancelled workers post their partial
-        traces (and cache deltas) from the SIGTERM handler, after the
-        main loop has already stopped reading the queue.
+        Runs on every teardown, before the queue is closed: cancelled
+        workers post their partial traces (and cache deltas) from the
+        SIGTERM handler after the main loop has stopped reading, and a
+        late loser's cache delta matters even without tracing.  Messages
+        a worker had to spill to disk (queue already torn down on its
+        side) are collected afterwards from ``spill_dir``.
         """
         deadline = time.monotonic() + max_wait
         while time.monotonic() < deadline:
             try:
-                message = result_queue.get(timeout=0.1)
+                message = result_queue.get(timeout=0.05)
             except (queue_module.Empty, OSError, ValueError):
-                return
+                break
             try:
                 self._record_message(workers[message["index"]], message)
             except (KeyError, IndexError, TypeError):
                 continue  # malformed late payload: drop it, keep draining
+        self._collect_spilled_messages(spill_dir, workers)
+
+    def _collect_spilled_messages(
+        self, spill_dir: Optional[str], workers: List[_WorkerState]
+    ) -> None:
+        """Fold in messages workers spilled to disk (see _post_message)."""
+        if spill_dir is None:
+            return
+        try:
+            names = sorted(os.listdir(spill_dir))
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".msg"):
+                continue
+            try:
+                with open(os.path.join(spill_dir, name), "rb") as handle:
+                    message = pickle.load(handle)
+            except Exception:
+                continue  # truncated or foreign file: skip it
+            try:
+                self._record_message(workers[message["index"]], message)
+            except (KeyError, IndexError, TypeError):
+                continue
 
     def _merge_worker_cache(self, message: Dict) -> None:
         """Fold a worker's knowledge delta and counters into the run."""
@@ -692,7 +1018,10 @@ class ParallelPortfolioChecker:
                 process.join(self.terminate_grace)
 
     def _run_finisher(
-        self, residue: Aig, report: PortfolioReport
+        self,
+        residue: Aig,
+        report: PortfolioReport,
+        state: Optional[SweepState] = None,
     ) -> Optional[CecResult]:
         """Re-check the best residue in-process after a global timeout.
 
@@ -700,6 +1029,12 @@ class ParallelPortfolioChecker:
         or disproves the residue, ``None`` otherwise.  Finisher crashes
         are recorded on the report, never raised — the portfolio still
         has its UNDECIDED answer to return.
+
+        ``state`` is the carried :class:`SweepState` adopted with the
+        residue off the data plane; a finisher whose ``check_miter``
+        accepts a ``state`` argument (the SAT sweeper does) picks up the
+        segment-mapped signatures and pattern pool directly instead of
+        re-simulating the residue from scratch.
         """
         self._finisher_residue: Optional[Aig] = None
         if self.finisher is None:
@@ -715,7 +1050,7 @@ class ParallelPortfolioChecker:
                 # cache loads them as part of its snapshot.
                 self.cache.flush()
             checker = build_checker(self.finisher, cache_dir=self.cache_dir)
-            result = checker.check_miter(residue)
+            result = self._dispatch_finisher(checker, residue, state)
         except Exception as error:
             record.seconds = time.perf_counter() - start
             record.status = "failed"
@@ -740,3 +1075,21 @@ class ParallelPortfolioChecker:
         self.winner = record.name
         report.winner = record.name
         return result
+
+    @staticmethod
+    def _dispatch_finisher(
+        checker, residue: Aig, state: Optional[SweepState]
+    ) -> CecResult:
+        """Invoke the finisher, handing over the carried state if it can.
+
+        Checkers advertise state adoption by accepting a ``state``
+        keyword on ``check_miter``; anything else gets the plain call.
+        """
+        if state is not None:
+            try:
+                params = inspect.signature(checker.check_miter).parameters
+            except (TypeError, ValueError):
+                params = {}
+            if "state" in params:
+                return checker.check_miter(residue, state=state)
+        return checker.check_miter(residue)

@@ -162,8 +162,19 @@ class SatSweepChecker:
         network is already compact, and cleaning would orphan the
         carried knowledge).  Otherwise a fresh state is built from the
         cleaned miter and any transferred pattern pool is adopted.
+
+        Verbatim adoption is the zero-re-simulation hand-off the
+        shared-memory data plane enables (the finisher maps another
+        process's carried state); it is counted as ``sat.state_adopted``
+        with the carried signature words under
+        ``sat.adopted_carried_words``.
         """
         if isinstance(state, SweepState) and state.matches(miter):
+            metrics = get_tracer().metrics
+            metrics.counter_add("sat.state_adopted")
+            metrics.counter_add(
+                "sat.adopted_carried_words", state.carried_words
+            )
             return state
         sweep = SweepState(
             cleanup(miter),

@@ -1,0 +1,56 @@
+"""Zero-copy shared-memory data plane for the parallel portfolio.
+
+The big arrays of a CEC run — AIG fanin tables, PI pattern pools,
+signature matrices, SweepState carry-over — move between the portfolio
+parent and its workers through POSIX shared-memory segments instead of
+pickled ``multiprocessing`` queue payloads.  Queue messages shrink to
+:class:`SegmentDescriptor` handles; the arrays themselves are written
+once and mapped read-only by every adopter.
+
+Layering:
+
+- :mod:`repro.shm.segment` — one block: header, ownership protocol
+  (create → publish → adopt → release), packed-array layout;
+- :mod:`repro.shm.registry` — per-run naming, adoption bookkeeping, and
+  the crash reaper that sweeps ``/dev/shm`` for segments of SIGKILLed
+  workers;
+- :mod:`repro.shm.plane` — codecs mapping AIGs and sweep state onto
+  segment arrays (the SweepState side lives on the class itself:
+  :meth:`repro.sweep.state.SweepState.attach` /
+  :meth:`~repro.sweep.state.SweepState.detach`).
+"""
+
+from .plane import adopt_aig, aig_from_arrays, aig_shm_arrays, detach_aig
+from .registry import (
+    Adoption,
+    SegmentRegistry,
+    get_active_registry,
+    reap_orphans,
+    set_active_registry,
+)
+from .segment import (
+    ArraySpec,
+    Segment,
+    SegmentDescriptor,
+    ShmUnavailableError,
+    build_layout,
+    shm_available,
+)
+
+__all__ = [
+    "Adoption",
+    "ArraySpec",
+    "Segment",
+    "SegmentDescriptor",
+    "SegmentRegistry",
+    "ShmUnavailableError",
+    "adopt_aig",
+    "aig_from_arrays",
+    "aig_shm_arrays",
+    "build_layout",
+    "detach_aig",
+    "get_active_registry",
+    "reap_orphans",
+    "set_active_registry",
+    "shm_available",
+]

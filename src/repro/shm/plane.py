@@ -1,0 +1,73 @@
+"""Payload codecs for the data plane: AIGs and sweep state.
+
+These helpers translate between the domain objects the engines speak
+(:class:`~repro.aig.network.Aig`, :class:`~repro.sweep.state.SweepState`)
+and the flat array dicts segments store.  Adoption constructs the
+objects *over* the segment's read-only views — the AIG's fanin arrays,
+the PI pattern pool, and the signature matrix are mapped, not copied.
+
+Because adopted objects borrow segment memory, anything that outlives
+the registry's reap must be detached first (:func:`detach_aig`,
+:meth:`SweepState.detach`): detaching copies exactly the arrays that are
+still views and leaves owned arrays alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.aig.network import Aig
+
+from .registry import Adoption
+
+__all__ = [
+    "aig_shm_arrays",
+    "aig_from_arrays",
+    "adopt_aig",
+    "detach_aig",
+]
+
+
+def aig_shm_arrays(aig: Aig) -> Tuple[Dict[str, np.ndarray], Dict]:
+    """Flatten an AIG into the segment array dict + metadata."""
+    fanin0, fanin1 = aig.fanin_literals()
+    arrays = {
+        "fanin0": fanin0,
+        "fanin1": fanin1,
+        "pos": np.asarray(aig.pos, dtype=np.int64),
+    }
+    meta = {"kind": "aig", "num_pis": int(aig.num_pis), "name": aig.name}
+    return arrays, meta
+
+
+def aig_from_arrays(arrays: Dict[str, np.ndarray], meta: Dict) -> Aig:
+    """Rebuild an AIG over segment views (int64 arrays pass zero-copy)."""
+    return Aig(
+        int(meta["num_pis"]),
+        arrays["fanin0"],
+        arrays["fanin1"],
+        [int(po) for po in arrays["pos"]],
+        name=str(meta.get("name", "aig")),
+    )
+
+
+def adopt_aig(adoption: Adoption) -> Aig:
+    """Map an adopted ``kind == "aig"`` segment as an Aig."""
+    return aig_from_arrays(adoption.arrays, adoption.meta)
+
+
+def detach_aig(aig: Aig) -> Aig:
+    """Return an AIG whose arrays own their memory.
+
+    The identity is preserved when the network already owns its fanin
+    arrays; otherwise a deep copy divorces it from the segment so the
+    reaper can safely close the mapping.
+    """
+    fanin0, fanin1 = aig.fanin_literals()
+    owns0 = fanin0.base is None or fanin0.flags.owndata
+    owns1 = fanin1.base is None or fanin1.flags.owndata
+    if owns0 and owns1:
+        return aig
+    return aig.copy()

@@ -1,0 +1,288 @@
+"""Segment registry: naming, adoption bookkeeping, and crash reaping.
+
+Every portfolio run owns one :class:`SegmentRegistry` in the parent; each
+worker builds a satellite registry sharing the parent's *token* so that
+all segments of a run — whichever process created them — carry names of
+the form ``rs<token><suffix>n<seq>``.  That shared prefix is what makes
+crash recovery possible: after the staged-termination hooks have stopped
+every worker, the parent's :meth:`SegmentRegistry.reap` unlinks all
+recorded segments *and* globs ``/dev/shm`` for the run prefix, catching
+blocks a SIGKILLed worker published (or half-published) but never got to
+announce.  Segments found only by the glob are counted as leaked
+(``shm.segments_leaked``).
+
+Names stay short (``rs`` + 8 hex chars + suffix) because macOS caps
+POSIX shm names at 31 bytes.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import secrets
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.obs import get_tracer
+
+from .segment import (
+    Segment,
+    SegmentDescriptor,
+    build_layout,
+    shm_available,
+)
+
+__all__ = [
+    "SegmentRegistry",
+    "Adoption",
+    "set_active_registry",
+    "get_active_registry",
+    "reap_orphans",
+    "SHM_DIR",
+    "NAME_PREFIX",
+]
+
+NAME_PREFIX = "rs"
+
+#: Where Linux materialises POSIX shared memory as files.
+SHM_DIR = "/dev/shm"
+
+#: The single blob pseudo-array name used for pickled sidebands.
+BLOB_KEY = "__blob__"
+
+
+@dataclass
+class Adoption:
+    """A mapped view of someone else's published segment."""
+
+    descriptor: SegmentDescriptor
+    segment: Segment
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def blob(self) -> Optional[np.ndarray]:
+        """The raw bytes array when the segment carries a pickled blob."""
+        return self.arrays.get(BLOB_KEY)
+
+    @property
+    def meta(self) -> Dict:
+        return self.descriptor.meta
+
+
+class SegmentRegistry:
+    """Tracks the segments one process created or adopted.
+
+    Parent registries (no ``suffix``) are reapers: :meth:`reap` unlinks
+    everything recorded plus anything the run-prefix glob turns up.
+    Worker registries (``suffix="w<i>"``) only create and close — they
+    never unlink, so a worker death at any point leaves blocks for the
+    parent to collect.
+    """
+
+    def __init__(
+        self,
+        token: Optional[str] = None,
+        suffix: str = "",
+        metrics=None,
+    ) -> None:
+        self.token = token if token is not None else secrets.token_hex(4)
+        self.suffix = suffix
+        self._seq = 0
+        self._owned: Dict[str, Segment] = {}
+        self._adopted: Dict[str, Adoption] = {}
+        self._known: set = set()
+        self._metrics = metrics
+
+    # -- helpers -------------------------------------------------------
+
+    @property
+    def metrics(self):
+        if self._metrics is not None:
+            return self._metrics
+        return get_tracer().metrics
+
+    def _next_name(self) -> str:
+        name = f"{NAME_PREFIX}{self.token}{self.suffix}n{self._seq}"
+        self._seq += 1
+        return name
+
+    @property
+    def prefix(self) -> str:
+        """The run-wide name prefix shared by every process's segments."""
+        return f"{NAME_PREFIX}{self.token}"
+
+    # -- ownership protocol --------------------------------------------
+
+    def publish(
+        self,
+        arrays: Optional[Dict[str, np.ndarray]] = None,
+        blob: Optional[bytes] = None,
+        meta: Optional[Dict] = None,
+    ) -> SegmentDescriptor:
+        """Create a segment, copy the payload in once, and publish it.
+
+        ``arrays`` maps names to numpy arrays; ``blob`` packs raw bytes
+        (e.g. a pickled sideband) as a single uint8 array.  Returns the
+        descriptor to hand to adopters.
+        """
+        payload: Dict[str, np.ndarray] = dict(arrays or {})
+        if blob is not None:
+            payload[BLOB_KEY] = np.frombuffer(blob, dtype=np.uint8)
+        specs, total = build_layout(payload)
+        name = self._next_name()
+        segment = Segment.create(name, total)
+        try:
+            segment.write_arrays(payload, specs)
+            segment.publish()
+        except BaseException:
+            segment.unlink()
+            segment.close()
+            raise
+        self._owned[name] = segment
+        descriptor = SegmentDescriptor(
+            segment=name,
+            nbytes=total,
+            arrays=specs,
+            meta=dict(meta or {}),
+        )
+        metrics = self.metrics
+        metrics.counter_add("shm.segments_created")
+        metrics.counter_add("shm.bytes_shared", total)
+        return descriptor
+
+    def adopt(self, descriptor: SegmentDescriptor) -> Adoption:
+        """Map a published segment's arrays without copying them."""
+        self._known.add(descriptor.segment)
+        cached = self._adopted.get(descriptor.segment)
+        if cached is not None:
+            return cached
+        segment = Segment.attach(descriptor.segment)
+        segment.incref()
+        adoption = Adoption(
+            descriptor=descriptor,
+            segment=segment,
+            arrays=segment.view_arrays(descriptor.arrays),
+        )
+        self._adopted[descriptor.segment] = adoption
+        self.metrics.counter_add("shm.segments_adopted")
+        return adoption
+
+    def release(self, adoption: Adoption) -> None:
+        """Drop an adoption's mapping (the reaper still unlinks later)."""
+        stored = self._adopted.pop(adoption.descriptor.segment, None)
+        if stored is None:
+            return
+        stored.arrays.clear()
+        stored.segment.decref()
+        stored.segment.close()
+        self.metrics.counter_add("shm.segments_released")
+
+    # -- teardown ------------------------------------------------------
+
+    def close(self) -> None:
+        """Worker-side teardown: unmap everything, unlink nothing."""
+        for adoption in list(self._adopted.values()):
+            self.release(adoption)
+        for segment in self._owned.values():
+            segment.close()
+        self._owned.clear()
+
+    def reap(self) -> int:
+        """Parent-side teardown: unlink every segment of this run.
+
+        Unlinks recorded segments (owned, adopted, or merely announced)
+        and sweeps ``/dev/shm`` for the run prefix to catch blocks from
+        crashed workers.  Returns the number of *leaked* segments — ones
+        only the sweep found, meaning their creator died before the
+        descriptor ever reached us.
+        """
+        for adoption in list(self._adopted.values()):
+            self.release(adoption)
+        seen = set(self._known)
+        for name, segment in self._owned.items():
+            seen.add(name)
+            segment.unlink()
+            segment.close()
+        self._owned.clear()
+        # Announced-but-never-adopted segments still need their unlink.
+        for name in self._known:
+            if name not in self._owned:
+                _unlink_by_name(name)
+        self._known.clear()
+
+        leaked = 0
+        for name in _scan_run_segments(self.prefix):
+            if name in seen:
+                continue
+            _unlink_by_name(name)
+            leaked += 1
+        if leaked:
+            self.metrics.counter_add("shm.segments_leaked", leaked)
+        return leaked
+
+
+def _unlink_by_name(name: str) -> None:
+    """Unlink a segment by name without keeping a mapping around."""
+    path = os.path.join(SHM_DIR, name)
+    if os.path.isdir(SHM_DIR):
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return
+    try:  # non-Linux: attach/unlink through the module instead
+        segment = Segment.attach(name)
+    except Exception:
+        return
+    segment.unlink()
+    segment.close()
+
+
+def _scan_run_segments(prefix: str):
+    """Names of live segments for a run prefix (Linux /dev/shm only)."""
+    if not os.path.isdir(SHM_DIR):
+        return []
+    return sorted(
+        os.path.basename(path)
+        for path in glob.glob(os.path.join(SHM_DIR, prefix + "*"))
+    )
+
+
+def reap_orphans(max_age: float = 3600.0) -> int:
+    """Unlink data-plane segments left over from long-dead runs.
+
+    A crash of the *parent* process (SIGKILL, power loss) strands the
+    whole run's segments: nobody holds the registry any more.  Any
+    ``rs*`` block older than ``max_age`` seconds cannot belong to a live
+    run, so the next portfolio run sweeps it.  Returns the count.
+    """
+    if not os.path.isdir(SHM_DIR):
+        return 0
+    now = time.time()
+    reaped = 0
+    for path in glob.glob(os.path.join(SHM_DIR, NAME_PREFIX + "*")):
+        try:
+            if now - os.stat(path).st_mtime < max_age:
+                continue
+            os.unlink(path)
+            reaped += 1
+        except OSError:
+            continue
+    return reaped
+
+
+#: Process-wide active registry, so fault-injection checkers (and any
+#: engine running inside a worker) can publish segments into the run.
+_ACTIVE: Optional[SegmentRegistry] = None
+
+
+def set_active_registry(registry: Optional[SegmentRegistry]) -> None:
+    global _ACTIVE
+    _ACTIVE = registry
+
+
+def get_active_registry() -> Optional[SegmentRegistry]:
+    return _ACTIVE

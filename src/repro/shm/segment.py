@@ -1,0 +1,333 @@
+"""Shared-memory segments: the zero-copy unit of the data plane.
+
+A :class:`Segment` wraps one ``multiprocessing.shared_memory`` block and
+gives it a tiny on-buffer header (magic, format version, lifecycle
+state, an advisory refcount) followed by a 64-byte-aligned payload of
+packed numpy arrays.  The lifecycle is the ownership protocol the whole
+plane is built on:
+
+- **create** — the owner allocates the block and may write the payload;
+- **publish** — the owner freezes the payload and issues a
+  :class:`SegmentDescriptor`, a tiny picklable handle (name + array
+  table + metadata) that crosses process boundaries instead of the
+  payload itself;
+- **adopt** — a peer attaches by name and maps the arrays as read-only
+  numpy views: no bytes are copied, the kernel shares the pages;
+- **release** — an adopter drops its mapping (and its advisory ref).
+
+Unlinking is *not* part of adopt/release: exactly one process — the
+registry owner, in practice the portfolio parent — reaps every segment
+of a run (:meth:`repro.shm.registry.SegmentRegistry.reap`), so a worker
+that is SIGKILLed mid-publish can never strand a block.  The refcount is
+advisory bookkeeping (surfaced through the ``shm.*`` counters), not a
+destruction trigger; pure-Python processes cannot atomically
+read-modify-write a shared integer, and the single-reaper model does not
+need them to.
+
+Python's ``multiprocessing.resource_tracker`` would otherwise unlink
+every segment at interpreter shutdown (with a noisy warning per block);
+create/attach therefore bypass tracker registration entirely — the
+registry is the component responsible for reaping.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # gate so the module imports on builds without shared memory
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic platforms only
+    _shared_memory = None  # type: ignore[assignment]
+
+__all__ = [
+    "ArraySpec",
+    "SegmentDescriptor",
+    "Segment",
+    "ShmUnavailableError",
+    "shm_available",
+    "build_layout",
+    "HEADER_BYTES",
+]
+
+#: Magic bytes identifying a data-plane segment.
+MAGIC = b"RSM1"
+
+#: Bump when the header or packing layout changes incompatibly.
+FORMAT_VERSION = 1
+
+#: Header layout: magic (4s), version (H), state (H), refcount (q),
+#: payload bytes (q); the payload starts at the next 64-byte boundary.
+_HEADER = struct.Struct("<4sHHqq")
+HEADER_BYTES = 64
+
+_ALIGN = 64
+
+#: Lifecycle states stored in the header.
+STATE_CREATED = 1
+STATE_PUBLISHED = 2
+
+
+class ShmUnavailableError(RuntimeError):
+    """Raised when the platform offers no POSIX shared memory."""
+
+
+def shm_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` is importable."""
+    return _shared_memory is not None
+
+
+class _suppress_tracking:
+    """Keep a SharedMemory open/create out of the resource tracker.
+
+    The registry owns reaping; left to its own devices the tracker would
+    unlink (and warn about) every segment at interpreter shutdown —
+    including blocks another process still has published.  Unregistering
+    *after* the fact is not enough either: the tracker's cache is a set,
+    so two processes attaching the same block collapse to one entry and
+    the second UNREGISTER crashes the tracker loop with a KeyError.  The
+    clean fix is to never talk to the tracker at all — this context
+    manager no-ops ``resource_tracker.register`` *and* ``unregister``
+    (``SharedMemory.unlink`` sends the latter) for the duration of the
+    wrapped call (pre-3.13 Python has no ``track=False``).
+    """
+
+    def __enter__(self):
+        try:
+            from multiprocessing import resource_tracker
+
+            self._module = resource_tracker
+            self._register = resource_tracker.register
+            self._unregister = resource_tracker.unregister
+            resource_tracker.register = lambda name, rtype: None
+            resource_tracker.unregister = lambda name, rtype: None
+        except Exception:
+            self._module = None
+        return self
+
+    def __exit__(self, *exc_info):
+        if self._module is not None:
+            self._module.register = self._register
+            self._module.unregister = self._unregister
+        return False
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Location of one packed array inside a segment's payload."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class SegmentDescriptor:
+    """Picklable handle to a published segment.
+
+    This is what crosses the queue instead of the payload: a few hundred
+    bytes naming the block, tabulating its arrays, and carrying a small
+    metadata dict (e.g. the AIG's PI count).  ``meta`` values must be
+    picklable scalars/containers; big data belongs in the arrays.
+    """
+
+    segment: str
+    nbytes: int
+    arrays: Tuple[ArraySpec, ...] = ()
+    meta: Dict = field(default_factory=dict)
+
+
+def build_layout(
+    arrays: Dict[str, np.ndarray],
+) -> Tuple[Tuple[ArraySpec, ...], int]:
+    """Compute the packed payload layout for a dict of arrays.
+
+    Returns the specs (offsets relative to the segment start) and the
+    total segment size in bytes.  Arrays are packed C-contiguously at
+    64-byte-aligned offsets, in insertion order.
+    """
+    specs = []
+    offset = HEADER_BYTES
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        specs.append(
+            ArraySpec(
+                name=name,
+                dtype=array.dtype.str,
+                shape=tuple(int(d) for d in array.shape),
+                offset=offset,
+            )
+        )
+        offset = _align(offset + array.nbytes)
+    return tuple(specs), offset
+
+
+class Segment:
+    """One shared-memory block plus its header bookkeeping."""
+
+    def __init__(self, shm, name: str, owner: bool) -> None:
+        self._shm = shm
+        self.name = name
+        self.owner = owner
+        self.closed = False
+
+    # -- lifecycle -----------------------------------------------------
+
+    @classmethod
+    def create(cls, name: str, nbytes: int) -> "Segment":
+        """Allocate a block and stamp a CREATED header (owner side)."""
+        if _shared_memory is None:
+            raise ShmUnavailableError(
+                "multiprocessing.shared_memory is not available"
+            )
+        with _suppress_tracking():
+            shm = _shared_memory.SharedMemory(
+                name=name, create=True, size=max(nbytes, HEADER_BYTES)
+            )
+        segment = cls(shm, name, owner=True)
+        segment._write_header(STATE_CREATED, 0, nbytes)
+        return segment
+
+    @classmethod
+    def attach(cls, name: str) -> "Segment":
+        """Map an existing block (adopter side); validates the header."""
+        if _shared_memory is None:
+            raise ShmUnavailableError(
+                "multiprocessing.shared_memory is not available"
+            )
+        with _suppress_tracking():
+            shm = _shared_memory.SharedMemory(name=name, create=False)
+        segment = cls(shm, name, owner=False)
+        magic, version, state, _refs, _nbytes = segment._read_header()
+        if magic != MAGIC or version != FORMAT_VERSION:
+            segment.close()
+            raise ValueError(f"segment {name!r} is not a data-plane block")
+        if state != STATE_PUBLISHED:
+            segment.close()
+            raise ValueError(f"segment {name!r} was never published")
+        return segment
+
+    def publish(self) -> None:
+        """Freeze the payload: mark PUBLISHED with the owner's ref."""
+        self._write_header(STATE_PUBLISHED, 1, self.payload_nbytes)
+
+    def close(self) -> None:
+        """Drop this process's mapping (the block itself survives)."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._shm.close()
+        except BufferError:
+            # Live numpy views still pin the mapping; it will be freed
+            # when they are garbage collected.  The name-level unlink is
+            # independent, so nothing leaks in /dev/shm either way.
+            self.closed = False
+        except OSError:
+            pass
+
+    def unlink(self) -> None:
+        """Remove the block's name; mappings stay valid until closed."""
+        try:
+            # SharedMemory.unlink() also sends an UNREGISTER to the
+            # resource tracker; since create/attach never registered,
+            # that message would crash the tracker loop with a KeyError.
+            with _suppress_tracking():
+                self._shm.unlink()
+        except OSError:
+            pass
+
+    # -- payload access ------------------------------------------------
+
+    @property
+    def buf(self):
+        return self._shm.buf
+
+    @property
+    def payload_nbytes(self) -> int:
+        try:
+            return self._read_header()[4]
+        except (struct.error, TypeError, ValueError):
+            return 0
+
+    def write_arrays(
+        self, arrays: Dict[str, np.ndarray], specs: Sequence[ArraySpec]
+    ) -> None:
+        """Copy the arrays into the payload at their packed offsets."""
+        for spec in specs:
+            source = np.ascontiguousarray(arrays[spec.name])
+            if source.nbytes == 0:
+                continue
+            view = np.ndarray(
+                spec.shape,
+                dtype=np.dtype(spec.dtype),
+                buffer=self._shm.buf,
+                offset=spec.offset,
+            )
+            view[...] = source
+
+    def view_arrays(
+        self, specs: Sequence[ArraySpec]
+    ) -> Dict[str, np.ndarray]:
+        """Map the packed arrays as read-only views — zero copies."""
+        views: Dict[str, np.ndarray] = {}
+        for spec in specs:
+            view = np.ndarray(
+                spec.shape,
+                dtype=np.dtype(spec.dtype),
+                buffer=self._shm.buf,
+                offset=spec.offset,
+            )
+            view.flags.writeable = False
+            views[spec.name] = view
+        return views
+
+    # -- header --------------------------------------------------------
+
+    def _write_header(self, state: int, refcount: int, nbytes: int) -> None:
+        _HEADER.pack_into(
+            self._shm.buf, 0, MAGIC, FORMAT_VERSION, state, refcount, nbytes
+        )
+
+    def _read_header(self):
+        return _HEADER.unpack_from(self._shm.buf, 0)
+
+    @property
+    def refcount(self) -> int:
+        """Advisory adopter count (not atomic across processes)."""
+        return self._read_header()[3]
+
+    def incref(self) -> int:
+        magic, version, state, refs, nbytes = self._read_header()
+        refs += 1
+        _HEADER.pack_into(
+            self._shm.buf, 0, magic, version, state, refs, nbytes
+        )
+        return refs
+
+    def decref(self) -> int:
+        magic, version, state, refs, nbytes = self._read_header()
+        refs = max(0, refs - 1)
+        _HEADER.pack_into(
+            self._shm.buf, 0, magic, version, state, refs, nbytes
+        )
+        return refs
+
+    def __repr__(self) -> str:
+        role = "owner" if self.owner else "adopter"
+        return f"Segment({self.name!r}, {role})"

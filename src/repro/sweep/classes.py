@@ -235,6 +235,28 @@ class SimulationState:
             num_pis, num_random_words, seed, strategy
         )
         self._cex_patterns: List[Sequence[int]] = []
+        #: Counter-example patterns already folded into ``pi_words`` by a
+        #: previous incarnation of this pool (shared-memory adoption).
+        self._cex_carried = 0
+
+    @classmethod
+    def from_pool(
+        cls, num_pis: int, pi_words: np.ndarray, num_cex: int = 0
+    ) -> "SimulationState":
+        """Wrap an existing pattern-word matrix without regenerating it.
+
+        Used when adopting a pool out of a shared-memory segment: the
+        words (random initials plus every CEX found so far) already
+        exist, possibly as a read-only view over the segment buffer.
+        ``num_cex`` records how many of the packed patterns came from
+        counter-examples, so :attr:`num_cex` stays truthful.
+        """
+        state = cls.__new__(cls)
+        state.num_pis = num_pis
+        state.pi_words = pi_words
+        state._cex_patterns = []
+        state._cex_carried = num_cex
+        return state
 
     @property
     def num_patterns(self) -> int:
@@ -244,7 +266,7 @@ class SimulationState:
     @property
     def num_cex(self) -> int:
         """Number of counter-example patterns added so far."""
-        return len(self._cex_patterns)
+        return len(self._cex_patterns) + getattr(self, "_cex_carried", 0)
 
     def add_cex_patterns(
         self,

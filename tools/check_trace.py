@@ -26,7 +26,15 @@ the rules below *are* the schema):
   the ``merges``/``ands_before``/``ands_after``/``carried_words``
   bookkeeping in its ``args`` — i.e. the run really went through the
   carry-across-phases :class:`SweepState` path instead of a silent
-  rebuild-from-scratch fallback.
+  rebuild-from-scratch fallback;
+- ``--require-shm``: the run must have used the shared-memory data
+  plane, judged from the counter (``C``) events: segments were created
+  and adopted, ``shm.segments_leaked`` is zero, the bytes published as
+  segments dominate the bytes that crossed the queues pickled
+  (``shm.bytes_shared > ipc.bytes_pickled``), and the carry-over ratio
+  held across the process boundary (``state.carried_words >
+  state.recomputed_words`` in the *merged* counters — workers carried,
+  the parent adopted).
 
 Exit status: 0 when the trace validates, 1 otherwise (errors listed on
 stderr).
@@ -44,12 +52,20 @@ ALLOWED_PHASES = {"X", "M", "i", "I", "C"}
 
 REBUILD_ARGS = ("merges", "ands_before", "ands_after", "carried_words")
 
+#: Counters that must be present and positive under ``--require-shm``.
+SHM_REQUIRED_COUNTERS = (
+    "shm.segments_created",
+    "shm.segments_adopted",
+    "shm.bytes_shared",
+)
+
 
 def validate_trace(
     payload: object,
     require_phases: Sequence[str] = (),
     require_workers: int = 0,
     require_rebuild: bool = False,
+    require_shm: bool = False,
 ) -> List[str]:
     """Check one parsed trace payload; returns a list of error strings."""
     errors: List[str] = []
@@ -62,6 +78,7 @@ def validate_trace(
     process_names: Dict[int, str] = {}
     span_names = set()
     pids_with_spans = set()
+    counters: Dict[str, float] = {}
     rebuild_spans = 0
     for i, event in enumerate(events):
         where = f"traceEvents[{i}]"
@@ -115,6 +132,16 @@ def validate_trace(
                 )
             elif name == "process_name" and isinstance(event.get("pid"), int):
                 process_names[event["pid"]] = args["name"]
+        elif ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not isinstance(
+                args.get("value"), (int, float)
+            ):
+                errors.append(
+                    f"{where} ({name}): C event needs a numeric args.value"
+                )
+            else:
+                counters[name] = args["value"]
 
     for phase in require_phases:
         if phase not in span_names:
@@ -137,6 +164,35 @@ def validate_trace(
                 f"trace has spans from {len(worker_pids)} worker "
                 f"process(es), need {require_workers}"
             )
+
+    if require_shm:
+        for counter in SHM_REQUIRED_COUNTERS:
+            if counters.get(counter, 0) <= 0:
+                errors.append(
+                    f"counter {counter!r} missing or zero: the run did "
+                    "not use the shared-memory data plane"
+                )
+        if counters.get("shm.segments_leaked", 0) != 0:
+            errors.append(
+                f"shm.segments_leaked = {counters['shm.segments_leaked']}: "
+                "worker segments had to be recovered by the prefix sweep"
+            )
+        shared = counters.get("shm.bytes_shared", 0)
+        pickled = counters.get("ipc.bytes_pickled", 0)
+        if shared and pickled and pickled >= shared:
+            errors.append(
+                f"ipc.bytes_pickled ({pickled:.0f}) >= shm.bytes_shared "
+                f"({shared:.0f}): the bulk data did not move through "
+                "segments"
+            )
+        carried = counters.get("state.carried_words", 0)
+        recomputed = counters.get("state.recomputed_words", 0)
+        if carried <= recomputed:
+            errors.append(
+                f"state.carried_words ({carried:.0f}) <= "
+                f"state.recomputed_words ({recomputed:.0f}): the carry-over "
+                "ratio did not hold across the process boundary"
+            )
     return errors
 
 
@@ -157,6 +213,12 @@ def main(argv=None) -> int:
         "--require-rebuild", action="store_true",
         help="require at least one incremental 'rebuild' span",
     )
+    parser.add_argument(
+        "--require-shm", action="store_true",
+        help="require shared-memory data-plane counters (created/adopted "
+        "segments, zero leaks, bytes_shared > bytes_pickled, carry-over "
+        "held across processes)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -171,6 +233,7 @@ def main(argv=None) -> int:
         require_phases=args.require_phases,
         require_workers=args.require_workers,
         require_rebuild=args.require_rebuild,
+        require_shm=args.require_shm,
     )
     if errors:
         for error in errors:
