@@ -111,6 +111,28 @@ class Fig6Row:
 
 
 @dataclass
+class ServeRow:
+    """One query of the serve-mode benchmark (per round, per case).
+
+    ``latency`` is the client-observed submit→result time (queueing and
+    protocol included); ``seconds`` is the worker-side engine time.  The
+    cold round pays worker warm-up (cache load, pool generation); the
+    warm round measures the steady state the daemon exists for.
+    """
+
+    name: str
+    round: str
+    status: str
+    seconds: float
+    latency: float
+    cache_hits: int
+    cache_lookups: int
+    worker: int
+    #: Counter dict in the shape :func:`bench_payload` aggregates.
+    cache: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
 class Fig7Row:
     """Normalised SAT time on intermediate miters (Fig. 7).
 
@@ -410,6 +432,104 @@ def run_fig7(
     return rows
 
 
+def run_serve(
+    cases: Sequence[BenchmarkCase],
+    workers: int = 2,
+    cache_root: Optional[str] = None,
+    rounds: int = 2,
+    json_out: Optional[str] = None,
+) -> List[ServeRow]:
+    """Benchmark the serve daemon: per-query latency, cold vs warm.
+
+    A real :class:`~repro.serve.server.CecServer` runs on a temporary
+    Unix socket (in a helper thread) and every case is submitted through
+    :class:`~repro.serve.client.ServeClient` for ``rounds`` rounds — so
+    the measured latency includes protocol framing, admission, queueing,
+    shm publication, and the engine itself.  Round 0 is the cold round;
+    later rounds hit the workers' resident caches and pattern pools.
+    """
+    import asyncio
+    import tempfile
+    import threading
+
+    from repro.serve.client import ServeClient
+    from repro.serve.server import CecServer
+
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    rows: List[ServeRow] = []
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as scratch:
+        socket_path = os.path.join(scratch, "cec.sock")
+        root = cache_root if cache_root is not None else os.path.join(
+            scratch, "cache"
+        )
+        server = CecServer(
+            socket_path,
+            workers=workers,
+            cache_root=root,
+            max_pending=max(64, len(cases) * 2),
+            max_batch=max(16, len(cases)),
+        )
+        thread = threading.Thread(
+            target=lambda: asyncio.run(server.serve_forever()), daemon=True
+        )
+        thread.start()
+        try:
+            with ServeClient(
+                socket_path, timeout=None, connect_retries=50
+            ) as client:
+                for round_index in range(rounds):
+                    label = "cold" if round_index == 0 else "warm"
+                    records = client.submit_batch(
+                        [case.miter for case in cases],
+                        names=[case.name for case in cases],
+                    )
+                    for record in records:
+                        hits = int(record["cache_hits"])
+                        lookups = int(record["cache_lookups"])
+                        rows.append(
+                            ServeRow(
+                                name=str(record["name"]),
+                                round=label,
+                                status=str(record["status"]),
+                                seconds=float(record["seconds"]),
+                                latency=float(record["latency"]),
+                                cache_hits=hits,
+                                cache_lookups=lookups,
+                                worker=int(record["worker"]),
+                                cache={
+                                    "hits": hits,
+                                    "misses": lookups - hits,
+                                },
+                            )
+                        )
+                client.shutdown()
+        finally:
+            thread.join(timeout=30)
+    if json_out is not None:
+        write_bench_json(json_out, "serve", rows)
+    return rows
+
+
+def latency_percentiles(values: Sequence[float]) -> Dict[str, float]:
+    """p50/p90/p99/mean/max of a latency sample (empty → zeros)."""
+    if not values:
+        return {"p50": 0.0, "p90": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    ordered = sorted(values)
+
+    def pct(q: float) -> float:
+        index = min(len(ordered) - 1, int(math.ceil(q * len(ordered))) - 1)
+        return ordered[max(0, index)]
+
+    return {
+        "p50": pct(0.50),
+        "p90": pct(0.90),
+        "p99": pct(0.99),
+        "mean": sum(ordered) / len(ordered),
+        "max": ordered[-1],
+    }
+
+
 def _suite_cache(cache_dir: Optional[str]) -> Optional[SweepCache]:
     """One shared knowledge cache for a whole suite run (or ``None``)."""
     if cache_dir is None:
@@ -475,6 +595,30 @@ def format_fig7(rows: Sequence[Fig7Row]) -> str:
     return "\n".join(lines)
 
 
+def format_serve(rows: Sequence[ServeRow]) -> str:
+    """Render serve-mode rows plus the per-round latency percentiles."""
+    lines = [
+        f"{'Benchmark':<16}{'Round':>6}{'Status':>14}{'Engine(s)':>11}"
+        f"{'Latency(s)':>12}{'Hits':>6}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:<16}{row.round:>6}{row.status:>14}"
+            f"{row.seconds:>11.3f}{row.latency:>12.3f}{row.cache_hits:>6}"
+        )
+    for label in ("cold", "warm"):
+        sample = [r.latency for r in rows if r.round == label]
+        if not sample:
+            continue
+        stats = latency_percentiles(sample)
+        lines.append(
+            f"{label} latency: p50 {stats['p50']:.3f}s, "
+            f"p90 {stats['p90']:.3f}s, p99 {stats['p99']:.3f}s, "
+            f"mean {stats['mean']:.3f}s"
+        )
+    return "\n".join(lines)
+
+
 def _sat_seconds(miter, conflict_limit: int, time_limit: Optional[float]):
     checker = SatSweepChecker(
         conflict_limit=conflict_limit, time_limit=time_limit
@@ -501,6 +645,16 @@ def bench_payload(experiment: str, rows: Sequence) -> Dict:
             record["cache_hit_rate"] = row.cache_hit_rate
         serialized.append(record)
     payload: Dict = {"experiment": experiment, "rows": serialized}
+    if experiment == "serve":
+        latency: Dict[str, Dict[str, float]] = {}
+        for label in ("cold", "warm"):
+            sample = [r.latency for r in rows if r.round == label]
+            if sample:
+                latency[label] = latency_percentiles(sample)
+        payload["latency"] = latency
+        cold = latency.get("cold", {}).get("p50", 0.0)
+        warm = latency.get("warm", {}).get("p50", 0.0)
+        payload["warm_speedup_p50"] = cold / warm if warm > 0 else 0.0
     if experiment == "table2":
         payload["geomeans"] = {
             "speedup_vs_abc": geomean([r.speedup_vs_abc for r in rows]),
@@ -554,8 +708,9 @@ def main(argv=None) -> int:
         description="regenerate Table II / Fig. 6 / Fig. 7 data",
     )
     parser.add_argument(
-        "experiment", choices=["table2", "fig6", "fig7"],
-        help="which paper artefact to regenerate",
+        "experiment", choices=["table2", "fig6", "fig7", "serve"],
+        help="which paper artefact to regenerate (serve: daemon "
+        "per-query latency percentiles, cold vs warm)",
     )
     parser.add_argument(
         "--profile", default="tiny",
@@ -577,6 +732,14 @@ def main(argv=None) -> int:
         "--no-portfolio", action="store_true",
         help="skip the portfolio baseline in table2 (faster smoke runs)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="serve-mode daemon worker count",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=2,
+        help="serve-mode submission rounds (round 0 is cold)",
+    )
     args = parser.parse_args(argv)
 
     cases = default_suite(args.profile, only=args.only)
@@ -593,6 +756,15 @@ def main(argv=None) -> int:
             cases, cache_dir=args.cache_dir, json_out=args.json_out
         )
         print(format_fig6(rows))
+    elif args.experiment == "serve":
+        rows = run_serve(
+            cases,
+            workers=args.workers,
+            cache_root=args.cache_dir,
+            rounds=args.rounds,
+            json_out=args.json_out,
+        )
+        print(format_serve(rows))
     else:
         rows = run_fig7(cases, json_out=args.json_out)
         print(format_fig7(rows))

@@ -1,0 +1,145 @@
+"""Sharded proof stores for multi-tenant serving.
+
+A single ``proofs.jsonl`` serialises every writer behind one file lock.
+That is fine for a portfolio run (the parent is the only writer) but not
+for a long-lived daemon flushing deltas for many tenants while queries
+are in flight: every flush would contend on the same lock and every
+compaction would rewrite the whole store.
+
+:class:`ShardedProofStore` splits the key space over ``n`` sub-stores,
+each living in its own ``shardNN/`` subdirectory with an independent
+JSONL file and lock.  Routing is a stable content hash
+(``crc32(key) % n``), so a key always lands in the same shard across
+processes and runs — growing or shrinking the shard count is the only
+operation that invalidates placement (old shards are still *read*
+correctly only if the count matches; pick the count once per cache
+directory).
+
+The class duck-types the :class:`~repro.cache.store.ProofStore` surface
+the rest of the package uses (``get``/``put``/``discard``/``merge``,
+``pending``, ``append_pending``/``compact``/``load``), so
+:class:`~repro.cache.SweepCache` and the portfolio's delta-merge path
+work unchanged on top of it.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from typing import Iterator, List, Optional, Tuple
+
+from repro.cache.store import ProofStore, Verdict
+
+__all__ = ["ShardedProofStore", "shard_name"]
+
+#: Largest shard count accepted — beyond this the per-shard files are
+#: too small to be worth their directory entries and locks.
+MAX_SHARDS = 64
+
+
+def shard_name(index: int) -> str:
+    """Directory name of one shard (``shard00`` … ``shard63``)."""
+    return f"shard{index:02d}"
+
+
+class ShardedProofStore:
+    """``n`` independent :class:`ProofStore` instances behind one router."""
+
+    def __init__(self, shards: List[ProofStore]) -> None:
+        if not shards:
+            raise ValueError("need at least one shard")
+        self._shards = shards
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_index(self, key: str) -> int:
+        """Stable shard of a key (same across processes and runs)."""
+        return zlib.crc32(key.encode("utf-8")) % len(self._shards)
+
+    def shard_of(self, key: str) -> ProofStore:
+        return self._shards[self.shard_index(key)]
+
+    # ------------------------------------------------------------------
+    # ProofStore surface
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Verdict]:
+        return self.shard_of(key).get(key)
+
+    def put(self, key: str, verdict: Verdict) -> bool:
+        return self.shard_of(key).put(key, verdict)
+
+    def discard(self, key: str) -> None:
+        self.shard_of(key).discard(key)
+
+    def merge(self, other) -> int:
+        """Adopt another store's entries; returns how many were taken."""
+        taken = 0
+        for key in other:
+            verdict = other.get(key)
+            if verdict is not None and self.put(key, verdict):
+                taken += 1
+        return taken
+
+    @property
+    def pending(self) -> List[Tuple[str, Verdict]]:
+        """Un-flushed verdicts across all shards (aggregated view)."""
+        combined: List[Tuple[str, Verdict]] = []
+        for shard in self._shards:
+            combined.extend(shard.pending)
+        return combined
+
+    def clear_pending(self) -> None:
+        """Forget un-flushed verdicts in every shard (delta shipped)."""
+        for shard in self._shards:
+            shard.clear_pending()
+
+    @property
+    def load_errors(self) -> int:
+        return sum(shard.load_errors for shard in self._shards)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __iter__(self) -> Iterator[str]:
+        for shard in self._shards:
+            yield from shard
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, directory: str, num_shards: int) -> "ShardedProofStore":
+        """Load every shard of a cache directory (missing ones start empty)."""
+        if not 1 <= num_shards <= MAX_SHARDS:
+            raise ValueError(
+                f"shard count must be in [1, {MAX_SHARDS}], got {num_shards}"
+            )
+        return cls(
+            [
+                ProofStore.load(os.path.join(directory, shard_name(i)))
+                for i in range(num_shards)
+            ]
+        )
+
+    def append_pending(self, directory: str) -> int:
+        """Flush each shard's pending verdicts under its own lock."""
+        written = 0
+        for index, shard in enumerate(self._shards):
+            if shard.pending:
+                written += shard.append_pending(
+                    os.path.join(directory, shard_name(index))
+                )
+        return written
+
+    def compact(self, directory: str) -> None:
+        """Compact every shard file (each under its own lock)."""
+        for index, shard in enumerate(self._shards):
+            shard.compact(os.path.join(directory, shard_name(index)))

@@ -244,6 +244,15 @@ class ProofStore:
         """
         self.entries.pop(key, None)
 
+    def clear_pending(self) -> None:
+        """Forget un-flushed verdicts without writing them.
+
+        Used by readonly holders (serve workers) after shipping their
+        delta to the owning process — the entries stay in the in-memory
+        view, only the outbound list is reset.
+        """
+        self.pending.clear()
+
     def merge(self, other: "ProofStore") -> int:
         """Adopt another store's entries; returns how many were taken."""
         taken = 0

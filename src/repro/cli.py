@@ -16,9 +16,16 @@ Subcommands
     ``log2``, ``sin``, ``hyp``, ``voter``, ``adder``).
 ``miter A.aig B.aig OUT.aig``
     Write the miter of two networks.
+``serve --socket PATH``
+    Run the CEC-as-a-service daemon: a persistent warm worker pool
+    behind a Unix socket (see ``docs/serving.md``).
+``submit A.aig B.aig --socket PATH``
+    Check a pair against a running daemon.  Repeatable pairs: pass
+    ``--pair C.aig D.aig`` for each extra job in the batch.
 
 Exit status for ``cec``: 0 equivalent, 1 nonequivalent, 2 undecided,
-3 when every portfolio engine failed.
+3 when every portfolio engine failed.  ``submit`` uses the same codes
+(a batch exits with the worst verdict across its jobs).
 
 Stream contract: the machine-readable payload (``verdict:``, ``cex:``,
 ``residue:``, ``time:``, ``cache:``, ``metrics``) goes to *stdout*;
@@ -227,6 +234,95 @@ def cmd_miter(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve.server import CecServer
+
+    log = get_logger("serve")
+    server = CecServer(
+        args.socket,
+        workers=args.workers,
+        cache_root=args.cache_root,
+        shards=args.shards,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        job_deadline=args.job_deadline,
+        trace=args.trace is not None,
+        use_shm=False if args.no_shm else None,
+    )
+
+    async def run() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, server.stop)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        log.info(
+            f"serving on {args.socket} with {args.workers} warm workers "
+            f"(cache root: {args.cache_root or 'none'})"
+        )
+        await server.serve_forever()
+
+    asyncio.run(run())
+    if args.trace is not None:
+        server.write_trace(args.trace)
+        log.info(f"trace written to {args.trace}")
+    log.info("daemon stopped")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeClient, ServeError
+
+    log = get_logger("submit")
+    pairs = [(args.a, args.b)] + [tuple(extra) for extra in args.pair or []]
+    miters = []
+    names = []
+    for path_a, path_b in pairs:
+        miters.append(build_miter(read_aiger(path_a), read_aiger(path_b)))
+        names.append(f"{path_a}:{path_b}")
+    try:
+        with ServeClient(
+            args.socket, timeout=args.timeout, connect_retries=args.connect_retries
+        ) as client:
+            if args.stats_only:
+                import json
+
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+                return 0
+            results = client.submit_batch(
+                miters,
+                tenant=args.tenant,
+                engine=args.engine,
+                deadline=args.job_deadline,
+                names=names,
+            )
+            if args.do_shutdown:
+                client.shutdown()
+    except (ConnectionError, ServeError) as error:
+        log.error(str(error))
+        return 3
+    worst = 0
+    ranks = {"equivalent": 0, "nonequivalent": 1, "undecided": 2, "error": 3}
+    for record in results:
+        print(
+            f"{record['name']}: {record['status']} "
+            f"({record['seconds']:.3f}s engine, "
+            f"{record['latency']:.3f}s latency, "
+            f"{record['cache_hits']} cache hits)"
+        )
+        if record["status"] == "nonequivalent" and record.get("cex"):
+            print("cex:", "".join(str(b) for b in record["cex"]))
+        if record.get("error"):
+            log.error(f"{record['name']}: {record['error']}")
+        worst = max(worst, ranks.get(record["status"], 3))
+    return worst
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="simulation-based parallel sweeping CEC"
@@ -294,6 +390,77 @@ def build_parser() -> argparse.ArgumentParser:
     miter.add_argument("b")
     miter.add_argument("output")
     miter.set_defaults(func=cmd_miter)
+
+    serve = sub.add_parser(
+        "serve", help="run the CEC-as-a-service daemon (warm worker pool)"
+    )
+    serve.add_argument(
+        "--socket", required=True, metavar="PATH",
+        help="Unix socket to listen on",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="persistent worker processes (default: 2)",
+    )
+    serve.add_argument(
+        "--cache-root", metavar="DIR", default=None,
+        help="root directory for per-tenant knowledge caches "
+        "(omit for in-memory only)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=4,
+        help="proof-store shards per tenant (default: 4; keep constant "
+        "for the lifetime of the cache root)",
+    )
+    serve.add_argument("--max-pending", type=int, default=64)
+    serve.add_argument("--max-batch", type=int, default=16)
+    serve.add_argument(
+        "--job-deadline", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock deadline; over-deadline workers are "
+        "killed and respawned warm",
+    )
+    serve.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a merged daemon+worker Chrome trace on shutdown",
+    )
+    serve.add_argument("--no-shm", action="store_true")
+    serve.add_argument("--log-level", default=None, choices=list(LEVELS))
+    serve.set_defaults(func=cmd_serve, verbose=True)
+
+    submit = sub.add_parser(
+        "submit", help="check AIG pairs against a running serve daemon"
+    )
+    submit.add_argument("a")
+    submit.add_argument("b")
+    submit.add_argument(
+        "--pair", nargs=2, action="append", metavar=("A", "B"),
+        help="additional pair for the same batch (repeatable)",
+    )
+    submit.add_argument("--socket", required=True, metavar="PATH")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument(
+        "--engine", default="combined",
+        choices=["combined", "sim", "sat", "bdd"],
+    )
+    submit.add_argument("--job-deadline", type=float, default=None)
+    submit.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="socket timeout per response (default: 300s)",
+    )
+    submit.add_argument(
+        "--connect-retries", type=int, default=25,
+        help="connection attempts while the daemon starts up",
+    )
+    submit.add_argument(
+        "--stats-only", action="store_true",
+        help="print the daemon's stats snapshot as JSON and exit",
+    )
+    submit.add_argument(
+        "--shutdown", dest="do_shutdown", action="store_true",
+        help="ask the daemon to drain and exit after this batch",
+    )
+    submit.add_argument("--log-level", default=None, choices=list(LEVELS))
+    submit.set_defaults(func=cmd_submit)
 
     return parser
 

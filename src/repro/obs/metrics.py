@@ -94,6 +94,10 @@ class MetricsRegistry:
         """Add ``value`` to the named monotonic counter."""
         self.counters[name] = self.counters.get(name, 0) + value
 
+    def counter_value(self, name: str, default: float = 0.0) -> float:
+        """Current value of a counter (``default`` when never touched)."""
+        return self.counters.get(name, default)
+
     def observe(self, name: str, value: float) -> None:
         """Record one observation into the named histogram."""
         histogram = self.histograms.get(name)
@@ -138,6 +142,9 @@ class NullMetrics:
 
     def counter_add(self, name: str, value: float = 1) -> None:
         pass
+
+    def counter_value(self, name: str, default: float = 0.0) -> float:
+        return default
 
     def observe(self, name: str, value: float) -> None:
         pass

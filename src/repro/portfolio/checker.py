@@ -67,6 +67,7 @@ class CombinedChecker:
         sat_checker: Optional[SatSweepChecker] = None,
         transfer_ecs: bool = True,
         cache: Optional[SweepCache] = None,
+        initial_pool=None,
     ) -> None:
         # One shared knowledge cache: what the engine proves, records, or
         # disproves is visible to the SAT back end within the same run.
@@ -74,7 +75,9 @@ class CombinedChecker:
             cache if cache is not None
             else SweepCache.from_config(config.cache if config else None)
         )
-        self.engine = SimSweepEngine(config, cache=self.cache)
+        self.engine = SimSweepEngine(
+            config, cache=self.cache, initial_pool=initial_pool
+        )
         self.sat_checker = sat_checker or SatSweepChecker(cache=self.cache)
         if self.sat_checker.cache is None and self.cache is not None:
             self.sat_checker.cache = self.cache

@@ -80,6 +80,7 @@ from repro.shm import (
     set_active_registry,
     shm_available,
 )
+from repro.sweep.classes import SharedPool
 from repro.sweep.engine import CecResult, CecStatus
 from repro.sweep.report import (
     EngineFailure,
@@ -174,6 +175,8 @@ def build_checker(
     spec: EngineSpec,
     cache_dir: Optional[str] = None,
     cache_readonly: bool = False,
+    cache: Optional[SweepCache] = None,
+    initial_pool: Optional[SharedPool] = None,
 ):
     """Instantiate a checker from a picklable spec.
 
@@ -182,11 +185,17 @@ def build_checker(
     ``cache_dir`` attaches a functional-knowledge cache to the engines
     that support one; ``cache_readonly`` loads it as a snapshot whose
     deltas are never written back (portfolio workers — the parent merges
-    their deltas on join instead).
+    their deltas on join instead).  ``cache`` injects an already-loaded
+    cache object instead (serve workers keep theirs resident across
+    jobs); it wins over ``cache_dir``.  ``initial_pool`` hands the
+    simulation engines a pre-generated pattern pool (typically mapped
+    out of a shared-memory segment) so they skip regenerating it.
     """
     kind, kwargs = spec[0], spec[1]
 
     def knowledge_cache() -> Optional[SweepCache]:
+        if cache is not None:
+            return cache
         if cache_dir is None:
             return None
         return SweepCache(
@@ -197,13 +206,21 @@ def build_checker(
         from repro.sweep.config import EngineConfig
         from repro.sweep.engine import SimSweepEngine
 
-        return SimSweepEngine(EngineConfig(**kwargs), cache=knowledge_cache())
+        return SimSweepEngine(
+            EngineConfig(**kwargs),
+            cache=knowledge_cache(),
+            initial_pool=initial_pool,
+        )
     if kind == "combined":
         from repro.portfolio.checker import CombinedChecker
         from repro.sweep.config import EngineConfig
 
         config = EngineConfig(**kwargs) if kwargs else None
-        return CombinedChecker(config=config, cache=knowledge_cache())
+        return CombinedChecker(
+            config=config,
+            cache=knowledge_cache(),
+            initial_pool=initial_pool,
+        )
     if kind == "sat":
         from repro.sat.sweeping import SatSweepChecker
 
@@ -229,6 +246,82 @@ def build_checker(
 
         return LeakingChecker(**kwargs)
     raise ValueError(f"unknown engine spec {kind!r}")
+
+
+def stop_process_staged(
+    process: "mp.process.BaseProcess", grace: float, engine: str = ""
+) -> None:
+    """Staged termination: SIGTERM, join grace, then SIGKILL.
+
+    The one stop path for every orchestrator — the portfolio racer and
+    the serve daemon's worker reaper both funnel through here, so the
+    escalation policy (and its ``portfolio.terminate`` span) stays
+    uniform.
+    """
+    if not process.is_alive():
+        return
+    with get_tracer().span(
+        "portfolio.terminate", category="portfolio", engine=engine
+    ) as span:
+        process.terminate()
+        process.join(grace)
+        if process.is_alive():
+            span.set("escalated", "SIGKILL")
+            process.kill()
+            process.join(grace)
+
+
+def shared_pool_for_specs(
+    specs: Sequence[EngineSpec], num_pis: int
+) -> Optional[SharedPool]:
+    """Generate the run's shared pattern pool, if any engine wants one.
+
+    The pool parameters come from the first simulation-capable spec
+    (``sim``/``combined``); workers whose own config differs simply fail
+    the :meth:`SharedPool.compatible` check and regenerate locally, so a
+    mixed portfolio stays correct.  Returns ``None`` when no spec runs
+    the simulation engine or the config cannot be built.
+    """
+    for spec in specs:
+        if spec[0] not in ("sim", "combined"):
+            continue
+        try:
+            from repro.sweep.config import EngineConfig
+
+            config = EngineConfig(**spec[1]) if spec[1] else EngineConfig()
+            return SharedPool.generate(
+                num_pis,
+                config.num_random_words,
+                config.seed,
+                config.pattern_strategy,
+            )
+        except Exception:
+            return None
+    return None
+
+
+def pool_from_adoption(adoption) -> Optional[SharedPool]:
+    """Rebuild the shared pool from an adopted miter segment, if present.
+
+    The pool words stay a read-only view of the segment — safe because
+    :meth:`~repro.sweep.classes.SimulationState.add_cex_patterns`
+    replaces the matrix wholesale instead of writing it in place.
+    """
+    words = adoption.arrays.get("pi_words")
+    info = adoption.meta.get("pool")
+    if words is None or not info:
+        return None
+    try:
+        return SharedPool(
+            pi_words=words,
+            num_pis=int(adoption.meta["num_pis"]),
+            num_random_words=int(info["num_random_words"]),
+            seed=int(info["seed"]),
+            strategy=str(info["strategy"]),
+            num_cex=int(info.get("num_cex", 0)),
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
 
 
 class _WorkerTerminated(BaseException):
@@ -328,6 +421,7 @@ def _engine_worker(
     trace: bool = False,
     shm_token: Optional[str] = None,
     spill_path: Optional[str] = None,
+    run_pid: Optional[int] = None,
 ) -> None:
     """Run one engine in a child process and post its result.
 
@@ -363,16 +457,31 @@ def _engine_worker(
             # normal completion still ship, cancelled ones are lost
     registry = None
     if shm_token is not None and shm_available():
-        registry = SegmentRegistry(token=shm_token, suffix=f"w{index}")
+        # Segments this worker creates are stamped with the *parent's*
+        # pid: the parent registry is the reaper, so another daemon's
+        # orphan sweep must key liveness off the parent, not the worker.
+        registry = SegmentRegistry(
+            token=shm_token,
+            suffix=f"w{index}",
+            owner_pid=run_pid if run_pid is not None else os.getppid(),
+        )
         set_active_registry(registry)
+    initial_pool: Optional[SharedPool] = None
     try:
         if isinstance(miter, SegmentDescriptor):
             if registry is None:
                 raise RuntimeError(
                     "received a segment descriptor without a registry"
                 )
-            miter = adopt_aig(registry.adopt(miter))
-        checker = build_checker(spec, cache_dir=cache_dir, cache_readonly=True)
+            adoption = registry.adopt(miter)
+            initial_pool = pool_from_adoption(adoption)
+            miter = adopt_aig(adoption)
+        checker = build_checker(
+            spec,
+            cache_dir=cache_dir,
+            cache_readonly=True,
+            initial_pool=initial_pool,
+        )
         with get_tracer().span(
             f"engine:{spec[0]}", category="engine", engine=spec[0]
         ):
@@ -576,6 +685,18 @@ class ParallelPortfolioChecker:
             try:
                 registry = SegmentRegistry()
                 arrays, meta = aig_shm_arrays(miter)
+                pool = shared_pool_for_specs(self.engines, miter.num_pis)
+                if pool is not None:
+                    # Satellite of ROADMAP item 2: generate the initial
+                    # PI pattern pool once and ship it read-only with
+                    # the miter instead of regenerating it per worker.
+                    arrays["pi_words"] = pool.pi_words
+                    meta["pool"] = {
+                        "num_random_words": pool.num_random_words,
+                        "seed": pool.seed,
+                        "strategy": pool.strategy,
+                        "num_cex": pool.num_cex,
+                    }
                 worker_payload = registry.publish(arrays=arrays, meta=meta)
             except Exception:
                 if registry is not None:
@@ -609,6 +730,7 @@ class ParallelPortfolioChecker:
                     trace,
                     registry.token if registry is not None else None,
                     spill_path,
+                    os.getpid(),
                 ),
                 daemon=False,
             )
@@ -1005,17 +1127,7 @@ class ParallelPortfolioChecker:
         self, process: "mp.process.BaseProcess", engine: str = ""
     ) -> None:
         """Staged termination: SIGTERM, join grace, then SIGKILL."""
-        if not process.is_alive():
-            return
-        with get_tracer().span(
-            "portfolio.terminate", category="portfolio", engine=engine
-        ) as span:
-            process.terminate()
-            process.join(self.terminate_grace)
-            if process.is_alive():
-                span.set("escalated", "SIGKILL")
-                process.kill()
-                process.join(self.terminate_grace)
+        stop_process_staged(process, self.terminate_grace, engine=engine)
 
     def _run_finisher(
         self,

@@ -1,0 +1,63 @@
+"""CEC-as-a-service: a daemon with a persistent warm worker pool.
+
+One-shot ``cec`` invocations pay process spawn, module import, knowledge
+-cache load and PI pattern-pool generation on every query.  For
+workloads that check many miters against the same design family —
+regression farms, incremental synthesis loops — those fixed costs
+dominate.  ``repro.serve`` amortises them:
+
+- :mod:`repro.serve.server` — asyncio front end on a local Unix socket,
+  speaking the length-prefixed JSON protocol of
+  :mod:`repro.serve.protocol`;
+- :mod:`repro.serve.pool` — persistent worker processes that keep
+  per-tenant knowledge caches, compiled engine structures and pattern
+  pools hot across queries, fed zero-copy through :mod:`repro.shm`;
+- :mod:`repro.serve.tenants` — per-tenant cache namespaces backed by
+  sharded proof stores (:mod:`repro.cache.sharding`);
+- :mod:`repro.serve.admission` — bounded queues, ``busy`` backpressure,
+  and draining graceful shutdown;
+- :mod:`repro.serve.client` — the blocking :class:`ServeClient` library
+  API used by ``cec submit`` and the bench harness.
+
+See ``docs/serving.md`` for the architecture and operational guide.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionError
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.pool import ServeJob, ServeResult, WorkerPool
+from repro.serve.protocol import (
+    ProtocolError,
+    aig_from_wire,
+    aig_to_wire,
+    pack_frame,
+    read_frame_sync,
+    write_frame_sync,
+)
+from repro.serve.server import CecServer
+from repro.serve.tenants import (
+    DEFAULT_TENANT,
+    TenantError,
+    TenantManager,
+    validate_tenant,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "CecServer",
+    "DEFAULT_TENANT",
+    "ProtocolError",
+    "ServeClient",
+    "ServeError",
+    "ServeJob",
+    "ServeResult",
+    "TenantError",
+    "TenantManager",
+    "WorkerPool",
+    "aig_from_wire",
+    "aig_to_wire",
+    "pack_frame",
+    "read_frame_sync",
+    "validate_tenant",
+    "write_frame_sync",
+]

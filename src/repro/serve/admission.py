@@ -1,0 +1,119 @@
+"""Admission control: bounded queues, backpressure, draining shutdown.
+
+The daemon must degrade predictably under overload: rather than letting
+an unbounded queue eat memory and stretch every caller's latency, the
+:class:`AdmissionController` caps the number of jobs in flight and
+rejects the excess *at the front door* with a structured ``busy``
+response the client can retry on.  Shutdown is a two-step drain:
+``begin_drain`` stops admissions while in-flight jobs finish, ``stop``
+ends the lifecycle once the daemon is down.
+
+The controller is deliberately synchronous-and-dumb (a counter and a
+state enum behind the caller's single asyncio thread); the interesting
+policy — what to reject and what to queue — stays in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["AdmissionController", "AdmissionError"]
+
+ACCEPTING = "accepting"
+DRAINING = "draining"
+STOPPED = "stopped"
+
+
+class AdmissionError(RuntimeError):
+    """A rejected admission; ``code`` is the wire-level error tag."""
+
+    def __init__(self, code: str, message: str) -> None:
+        self.code = code
+        super().__init__(message)
+
+
+class AdmissionController:
+    """Bounded in-flight job accounting with lifecycle states.
+
+    Parameters
+    ----------
+    max_pending:
+        Upper bound on jobs admitted but not yet completed, across all
+        connections.  Admissions beyond it fail with ``busy``.
+    max_batch:
+        Upper bound on one submission's job count — a single giant batch
+        must not monopolise the whole admission budget.
+    """
+
+    def __init__(self, max_pending: int = 64, max_batch: int = 16) -> None:
+        if max_pending < 1 or max_batch < 1:
+            raise ValueError("max_pending and max_batch must be positive")
+        self.max_pending = max_pending
+        self.max_batch = max_batch
+        self.state = ACCEPTING
+        self.pending = 0
+        #: Totals for the stats endpoint.
+        self.admitted = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+
+    def try_admit(self, count: int) -> None:
+        """Admit ``count`` jobs or raise :class:`AdmissionError`.
+
+        Raises ``draining``/``stopped`` during shutdown, ``batch`` for
+        oversized submissions, and ``busy`` when the in-flight budget is
+        exhausted (the backpressure signal — clients should retry with
+        backoff).
+        """
+        if self.state != ACCEPTING:
+            self.rejected += count
+            raise AdmissionError(
+                self.state, f"server is {self.state}, not accepting jobs"
+            )
+        if count < 1:
+            raise AdmissionError("batch", "batch must contain at least one job")
+        if count > self.max_batch:
+            self.rejected += count
+            raise AdmissionError(
+                "batch",
+                f"batch of {count} exceeds max_batch ({self.max_batch})",
+            )
+        if self.pending + count > self.max_pending:
+            self.rejected += count
+            raise AdmissionError(
+                "busy",
+                f"{self.pending} jobs in flight, admitting {count} would "
+                f"exceed max_pending ({self.max_pending}); retry later",
+            )
+        self.pending += count
+        self.admitted += count
+
+    def release(self, count: int = 1) -> None:
+        """Return completed (or failed) jobs to the admission budget."""
+        self.pending = max(0, self.pending - count)
+
+    # ------------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Refuse new admissions; in-flight jobs keep running."""
+        if self.state == ACCEPTING:
+            self.state = DRAINING
+
+    def stop(self) -> None:
+        self.state = STOPPED
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is in flight (drain can complete)."""
+        return self.pending == 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "pending": self.pending,
+            "max_pending": self.max_pending,
+            "max_batch": self.max_batch,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+        }

@@ -1,0 +1,192 @@
+"""Synchronous client library for the serve daemon.
+
+:class:`ServeClient` wraps the Unix-socket protocol in a blocking API:
+one socket, framed JSON requests, framed JSON responses.  It is what
+``cec submit`` and the bench harness's serve mode use, and the shape
+library users embed::
+
+    with ServeClient("/tmp/cec.sock") as client:
+        client.ping()
+        results = client.submit_pair(aig_a, aig_b)
+
+The client is intentionally synchronous — callers that want concurrency
+submit batches (the daemon parallelises across its worker pool) rather
+than juggling many sockets.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.aig.miter import build_miter
+from repro.aig.network import Aig
+from repro.serve.protocol import (
+    ProtocolError,
+    aig_to_wire,
+    read_frame_sync,
+    write_frame_sync,
+)
+from repro.serve.tenants import DEFAULT_TENANT
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A structured error response from the daemon; ``code`` is its tag."""
+
+    def __init__(self, code: str, detail: str) -> None:
+        self.code = code
+        super().__init__(f"{code}: {detail}")
+
+
+class ServeClient:
+    """Blocking client for a :class:`~repro.serve.server.CecServer`.
+
+    Parameters
+    ----------
+    socket_path:
+        The daemon's Unix socket.
+    timeout:
+        Socket timeout in seconds for connect and each response
+        (``None`` → block forever; batches of slow miters need either
+        a generous value or ``None``).
+    connect_retries / connect_interval:
+        Connection attempts before giving up — covers the window where
+        the daemon process exists but has not bound its socket yet.
+    """
+
+    def __init__(
+        self,
+        socket_path: str,
+        timeout: Optional[float] = 300.0,
+        connect_retries: int = 1,
+        connect_interval: float = 0.2,
+    ) -> None:
+        self.socket_path = socket_path
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._connect_retries = max(1, connect_retries)
+        self._connect_interval = connect_interval
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        if self._sock is not None:
+            return self
+        last_error: Optional[Exception] = None
+        for attempt in range(self._connect_retries):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(self.socket_path)
+            except OSError as error:
+                sock.close()
+                last_error = error
+                if attempt + 1 < self._connect_retries:
+                    time.sleep(self._connect_interval)
+                continue
+            self._sock = sock
+            return self
+        raise ConnectionError(
+            f"cannot connect to serve daemon at {self.socket_path}: "
+            f"{last_error}"
+        )
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+
+    def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self.connect()
+        assert self._sock is not None
+        write_frame_sync(self._sock, payload)
+        response = read_frame_sync(self._sock)
+        if response is None:
+            self.close()
+            raise ConnectionError("serve daemon closed the connection")
+        if not response.get("ok", False):
+            raise ServeError(
+                str(response.get("error", "unknown")),
+                str(response.get("detail", "")),
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def ping(self) -> int:
+        """Liveness probe; returns the daemon's pid."""
+        return int(self._request({"op": "ping"})["pid"])
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's ``/metrics``-style stats snapshot."""
+        return self._request({"op": "stats"})["stats"]
+
+    def submit_batch(
+        self,
+        miters: List[Aig],
+        tenant: str = DEFAULT_TENANT,
+        engine: str = "combined",
+        engine_kwargs: Optional[Dict[str, Any]] = None,
+        deadline: Optional[float] = None,
+        names: Optional[List[str]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Check a batch of miters; returns result records in order.
+
+        Each record carries ``status`` (``equivalent``/``nonequivalent``/
+        ``undecided``/``error``), ``cex``, worker-side ``seconds``,
+        queue-inclusive ``latency``, and the job's warm-cache
+        ``cache_hits``/``cache_lookups``.
+        """
+        if names is not None and len(names) != len(miters):
+            raise ValueError("names must match miters one-to-one")
+        jobs = []
+        for index, miter in enumerate(miters):
+            job: Dict[str, Any] = {
+                "miter": aig_to_wire(miter),
+                "engine": engine,
+            }
+            if engine_kwargs:
+                job["engine_kwargs"] = dict(engine_kwargs)
+            if deadline is not None:
+                job["deadline"] = deadline
+            if names is not None:
+                job["name"] = names[index]
+            jobs.append(job)
+        response = self._request(
+            {"op": "submit", "tenant": tenant, "jobs": jobs}
+        )
+        results = response.get("results")
+        if not isinstance(results, list) or len(results) != len(miters):
+            raise ProtocolError("malformed submit response")
+        return results
+
+    def submit_pair(
+        self, left: Aig, right: Aig, **kwargs: Any
+    ) -> Dict[str, Any]:
+        """Build the miter of two AIGs client-side and check it."""
+        miter = build_miter(left, right)
+        return self.submit_batch([miter], **kwargs)[0]
+
+    def shutdown(self) -> None:
+        """Ask the daemon to drain and exit."""
+        self._request({"op": "shutdown"})
+        self.close()

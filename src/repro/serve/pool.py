@@ -1,0 +1,758 @@
+"""The persistent warm worker pool behind the serve daemon.
+
+One-shot portfolio runs pay fork/spawn, module import, cache load and
+pattern-pool generation on *every* query.  The pool amortises all four:
+worker processes are spawned once and stay resident, keeping per-tenant
+knowledge caches, engine structures and PI pattern pools hot across
+queries.  Miters travel to workers zero-copy through the
+:mod:`repro.shm` data plane (one published segment per job, unpublished
+as soon as its result lands), and verdict deltas travel back on the
+result queue for the parent to merge into the tenant caches and persist
+— exactly the parent-merges ownership model of the parallel portfolio.
+
+Fault tolerance mirrors PR 1's orchestration layer: a worker that
+crashes or blows its per-job deadline is stopped with the staged
+SIGTERM → SIGKILL machinery (:func:`repro.portfolio.parallel.stop_process_staged`)
+and respawned; the respawn starts *warm* because it reloads the merged
+tenant caches from disk.  The in-flight job is reported as an error —
+the daemon never hangs on a wedged engine.
+
+:class:`WorkerPool` is deliberately synchronous (blocking queue I/O,
+explicit :meth:`poll`); the asyncio front end in
+:mod:`repro.serve.server` drives it from an executor thread.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.aig.network import Aig
+from repro.cache.config import CacheConfig
+from repro.cache.knowledge import SweepCache
+from repro.obs import Tracer, get_tracer, set_tracer
+from repro.portfolio.parallel import (
+    build_checker,
+    pool_from_adoption,
+    resolve_start_method,
+    resolve_use_shm,
+    stop_process_staged,
+)
+from repro.shm import (
+    SegmentDescriptor,
+    SegmentRegistry,
+    adopt_aig,
+    aig_shm_arrays,
+    reap_orphans,
+    shm_available,
+)
+from repro.sweep.classes import SharedPool
+from repro.sweep.config import EngineConfig
+from repro.serve.tenants import DEFAULT_TENANT, TenantManager
+
+__all__ = ["ServeJob", "ServeResult", "WorkerPool"]
+
+
+@dataclass
+class ServeJob:
+    """One miter to check, with its tenancy and engine choice."""
+
+    miter: Aig
+    tenant: str = DEFAULT_TENANT
+    engine: str = "combined"
+    engine_kwargs: Dict = field(default_factory=dict)
+    #: Per-job wall-clock deadline in seconds (None → pool default).
+    deadline: Optional[float] = None
+    name: str = ""
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one served job."""
+
+    job_id: int
+    name: str
+    tenant: str
+    status: str
+    cex: Optional[List[int]] = None
+    #: Worker-side check seconds (engine time only).
+    seconds: float = 0.0
+    #: Parent-stamped submit→result seconds (queueing included) — the
+    #: number the bench harness turns into latency percentiles.
+    latency: float = 0.0
+    worker: int = -1
+    error: str = ""
+    cache_hits: int = 0
+    cache_lookups: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("equivalent", "nonequivalent", "undecided")
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "job": self.job_id,
+            "name": self.name,
+            "tenant": self.tenant,
+            "status": self.status,
+            "cex": self.cex,
+            "seconds": round(self.seconds, 6),
+            "latency": round(self.latency, 6),
+            "worker": self.worker,
+            "error": self.error,
+            "cache_hits": self.cache_hits,
+            "cache_lookups": self.cache_lookups,
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+
+
+def _load_worker_cache(
+    caches: Dict[Tuple[str, int], SweepCache],
+    spec: Optional[Tuple[str, int]],
+) -> Optional[SweepCache]:
+    """The worker-resident readonly cache for one tenant (lazy-loaded)."""
+    if spec is None:
+        return None
+    directory, shards = str(spec[0]), int(spec[1])
+    key = (directory, shards)
+    cached = caches.get(key)
+    if cached is None:
+        cached = SweepCache(
+            CacheConfig(directory=directory, readonly=True, shards=shards)
+        )
+        caches[key] = cached
+    return cached
+
+
+def _resident_pool(
+    pools: Dict[Tuple, SharedPool],
+    adopted: Optional[SharedPool],
+    spec: Tuple[str, Dict],
+    num_pis: int,
+) -> Optional[SharedPool]:
+    """The worker-resident pattern pool for one miter shape.
+
+    First preference is the pool already resident from an earlier query
+    (fully warm).  Otherwise the pool shipped in the job's segment is
+    copied once off the mapping and kept — the segment is unpublished
+    after the job, so the resident copy must own its words.  Workers
+    never regenerate patterns a parent already generated.
+    """
+    if spec[0] not in ("sim", "combined"):
+        return None
+    try:
+        config = EngineConfig(**spec[1]) if spec[1] else EngineConfig()
+    except Exception:
+        return None
+    key = (
+        num_pis,
+        int(config.num_random_words),
+        int(config.seed),
+        str(config.pattern_strategy),
+    )
+    resident = pools.get(key)
+    if resident is not None:
+        return resident
+    if adopted is not None and adopted.compatible(config, num_pis):
+        resident = SharedPool(
+            pi_words=adopted.pi_words.copy(),
+            num_pis=adopted.num_pis,
+            num_random_words=adopted.num_random_words,
+            seed=adopted.seed,
+            strategy=adopted.strategy,
+            num_cex=adopted.num_cex,
+        )
+    else:
+        resident = SharedPool.generate(
+            num_pis,
+            config.num_random_words,
+            config.seed,
+            config.pattern_strategy,
+        )
+    pools[key] = resident
+    return resident
+
+
+def _serve_worker_main(
+    index: int,
+    job_queue: "mp.Queue",
+    result_queue: "mp.Queue",
+    shm_token: Optional[str],
+    run_pid: int,
+    trace: bool,
+) -> None:
+    """Long-lived worker loop: adopt, check, report, stay warm.
+
+    The process exits only on the ``None`` sentinel (drain) or a kill
+    signal.  Per-job failures are reported and survived — one malformed
+    miter must not cost the pool a warm worker.  Every segment the
+    worker creates (none today, but the active registry makes engine
+    internals free to publish) is stamped with the daemon's pid, so a
+    foreign daemon's orphan sweep leaves this run alone.
+    """
+    tracer: Optional[Tracer] = None
+    if trace:
+        # The "worker:" prefix matches the portfolio convention and is
+        # what tools/check_trace.py --require-workers keys on.
+        tracer = Tracer(process_name=f"worker:serve{index}")
+        set_tracer(tracer)
+    registry = None
+    if shm_token is not None and shm_available():
+        registry = SegmentRegistry(
+            token=shm_token, suffix=f"w{index}", owner_pid=run_pid
+        )
+    caches: Dict[Tuple[str, int], SweepCache] = {}
+    pools: Dict[Tuple, SharedPool] = {}
+    jobs_done = 0
+    try:
+        while True:
+            message = job_queue.get()
+            if message is None:
+                break
+            job_id = message.get("job")
+            started = time.perf_counter()
+            adoption = None
+            try:
+                ref = message.get("miter_ref")
+                if ref is not None:
+                    if registry is None:
+                        raise RuntimeError(
+                            "segment descriptor without a registry"
+                        )
+                    adoption = registry.adopt(ref)
+                    shipped_pool = pool_from_adoption(adoption)
+                    miter = adopt_aig(adoption)
+                else:
+                    shipped_pool = None
+                    miter = message["miter"]
+                spec = tuple(message["spec"])
+                cache = _load_worker_cache(caches, message.get("cache"))
+                pool = _resident_pool(
+                    pools, shipped_pool, spec, miter.num_pis
+                )
+                snapshot = cache.snapshot() if cache is not None else None
+                checker = build_checker(
+                    spec, cache=cache, initial_pool=pool
+                )
+                with get_tracer().span(
+                    "serve.job", category="serve", job=job_id, engine=spec[0]
+                ):
+                    result = checker.check_miter(miter)
+                reply = {
+                    "kind": "result",
+                    "job": job_id,
+                    "index": index,
+                    "status": result.status.value,
+                    "cex": result.cex,
+                    "seconds": time.perf_counter() - started,
+                }
+                if cache is not None:
+                    delta = cache.counters.diff(snapshot)
+                    reply["hits"] = delta.hits
+                    reply["lookups"] = delta.lookups
+                    reply["cache_delta"] = list(cache.store.pending)
+                    # The delta now belongs to the parent; keep only the
+                    # in-memory entries (they are what makes us warm).
+                    cache.store.clear_pending()
+                result_queue.put(reply)
+                jobs_done += 1
+            except Exception as error:
+                result_queue.put(
+                    {
+                        "kind": "result",
+                        "job": job_id,
+                        "index": index,
+                        "status": "error",
+                        "error": repr(error),
+                        "seconds": time.perf_counter() - started,
+                    }
+                )
+            finally:
+                if adoption is not None:
+                    registry.release(adoption)
+    finally:
+        bye = {"kind": "bye", "index": index, "jobs_done": jobs_done}
+        if tracer is not None:
+            bye["trace"] = tracer.export_payload()
+        try:
+            result_queue.put(bye)
+        except BaseException:
+            pass
+        if registry is not None:
+            registry.close()
+
+
+# ----------------------------------------------------------------------
+# Parent-side pool
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _WorkerHandle:
+    """Parent-side bookkeeping for one persistent worker."""
+
+    index: int
+    process: "mp.process.BaseProcess"
+    job_queue: "mp.Queue"
+    #: Job ids queued on this worker, oldest first (the head is the one
+    #: the worker is executing).
+    assigned: List[int] = field(default_factory=list)
+    jobs_done: int = 0
+    respawns: int = 0
+
+
+@dataclass
+class _Inflight:
+    """One submitted-but-unresolved job."""
+
+    job: ServeJob
+    worker: int
+    submitted: float
+    deadline_at: Optional[float]
+    descriptor: Optional[SegmentDescriptor] = None
+
+
+class WorkerPool:
+    """A fixed-size pool of persistent warm CEC workers.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.
+    tenants:
+        The daemon's :class:`~repro.serve.tenants.TenantManager`; a
+        persistence-less manager is built when omitted.
+    job_deadline:
+        Default per-job wall-clock deadline in seconds (None → no
+        deadline).  A worker past it is reaped and respawned warm.
+    terminate_grace:
+        SIGTERM → SIGKILL escalation grace, as in the portfolio.
+    start_method / use_shm / trace:
+        As for :class:`~repro.portfolio.parallel.ParallelPortfolioChecker`.
+    """
+
+    _POLL_INTERVAL = 0.05
+
+    def __init__(
+        self,
+        workers: int = 2,
+        tenants: Optional[TenantManager] = None,
+        job_deadline: Optional[float] = None,
+        terminate_grace: float = 1.0,
+        start_method: Optional[str] = None,
+        use_shm: Optional[bool] = None,
+        trace: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.num_workers = workers
+        self.tenants = tenants if tenants is not None else TenantManager(None)
+        self.job_deadline = job_deadline
+        self.terminate_grace = terminate_grace
+        self._context = mp.get_context(resolve_start_method(start_method))
+        self.use_shm = resolve_use_shm(use_shm)
+        self.trace = trace
+        self.registry: Optional[SegmentRegistry] = None
+        self._result_queue: Optional[mp.Queue] = None
+        self._workers: List[_WorkerHandle] = []
+        self._inflight: Dict[int, _Inflight] = {}
+        self._results: Dict[int, ServeResult] = {}
+        self._next_job_id = 0
+        #: Parent-side pools generated once per miter shape and shipped
+        #: read-only with every job segment.
+        self._pools: Dict[Tuple, SharedPool] = {}
+        self.started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self.started:
+            return
+        if self.use_shm:
+            try:
+                reap_orphans()
+            except Exception:
+                pass
+            try:
+                self.registry = SegmentRegistry()
+            except Exception:
+                self.registry = None
+        self._result_queue = self._context.Queue()
+        for index in range(self.num_workers):
+            self._workers.append(self._spawn(index))
+        self.started = True
+
+    def _spawn(self, index: int, respawns: int = 0) -> _WorkerHandle:
+        job_queue: "mp.Queue" = self._context.Queue()
+        process = self._context.Process(
+            target=_serve_worker_main,
+            args=(
+                index,
+                job_queue,
+                self._result_queue,
+                self.registry.token if self.registry is not None else None,
+                os.getpid(),
+                self.trace,
+            ),
+            daemon=False,
+        )
+        process.start()
+        return _WorkerHandle(
+            index=index,
+            process=process,
+            job_queue=job_queue,
+            respawns=respawns,
+        )
+
+    def shutdown(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the pool: optionally drain, then stop every worker.
+
+        With ``drain`` the pool first waits (up to ``timeout``) for
+        in-flight jobs; workers then get the sentinel and a join grace
+        before the staged SIGTERM → SIGKILL path runs.  The registry
+        reap at the end guarantees zero leaked segments, whatever state
+        the workers died in.
+        """
+        if not self.started:
+            return
+        deadline = time.monotonic() + timeout
+        if drain:
+            while self._inflight and time.monotonic() < deadline:
+                self.poll(self._POLL_INTERVAL)
+        for worker in self._workers:
+            try:
+                worker.job_queue.put(None)
+            except BaseException:
+                pass
+        join_grace = max(0.5, min(5.0, deadline - time.monotonic()))
+        for worker in self._workers:
+            worker.process.join(join_grace)
+        # Collect the byes (worker trace payloads ride on them).
+        self.poll(0.2)
+        for worker in self._workers:
+            stop_process_staged(
+                worker.process,
+                self.terminate_grace,
+                engine=f"serve-w{worker.index}",
+            )
+            worker.job_queue.close()
+            worker.job_queue.cancel_join_thread()
+        if self._result_queue is not None:
+            self._result_queue.close()
+            self._result_queue.cancel_join_thread()
+        if self.registry is not None:
+            self.registry.reap()
+            self.registry = None
+        self.tenants.flush()
+        self._workers.clear()
+        self.started = False
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, job: ServeJob) -> int:
+        """Queue one job on the least-loaded worker; returns its id."""
+        if not self.started:
+            self.start()
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        worker = min(self._workers, key=lambda w: len(w.assigned))
+        payload: Dict[str, object] = {
+            "job": job_id,
+            "spec": (job.engine, dict(job.engine_kwargs)),
+            "cache": self.tenants.worker_config(job.tenant),
+        }
+        descriptor = None
+        if self.registry is not None:
+            try:
+                arrays, meta = aig_shm_arrays(job.miter)
+                pool = self._shared_pool(job)
+                if pool is not None:
+                    arrays["pi_words"] = pool.pi_words
+                    meta["pool"] = {
+                        "num_random_words": pool.num_random_words,
+                        "seed": pool.seed,
+                        "strategy": pool.strategy,
+                        "num_cex": pool.num_cex,
+                    }
+                descriptor = self.registry.publish(arrays=arrays, meta=meta)
+                payload["miter_ref"] = descriptor
+            except Exception:
+                descriptor = None
+        if descriptor is None:
+            payload["miter"] = job.miter
+        deadline = job.deadline if job.deadline is not None else self.job_deadline
+        self._inflight[job_id] = _Inflight(
+            job=job,
+            worker=worker.index,
+            submitted=time.monotonic(),
+            deadline_at=(
+                time.monotonic() + deadline if deadline is not None else None
+            ),
+            descriptor=descriptor,
+        )
+        worker.assigned.append(job_id)
+        worker.job_queue.put(payload)
+        get_tracer().metrics.counter_add("serve.jobs_submitted")
+        return job_id
+
+    def _shared_pool(self, job: ServeJob) -> Optional[SharedPool]:
+        """The once-generated pattern pool for this job's miter shape."""
+        if job.engine not in ("sim", "combined"):
+            return None
+        try:
+            config = (
+                EngineConfig(**job.engine_kwargs)
+                if job.engine_kwargs
+                else EngineConfig()
+            )
+        except Exception:
+            return None
+        key = (
+            job.miter.num_pis,
+            int(config.num_random_words),
+            int(config.seed),
+            str(config.pattern_strategy),
+        )
+        pool = self._pools.get(key)
+        if pool is None:
+            pool = SharedPool.generate(
+                job.miter.num_pis,
+                config.num_random_words,
+                config.seed,
+                config.pattern_strategy,
+            )
+            self._pools[key] = pool
+        return pool
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+
+    def poll(self, timeout: float = 0.1) -> List[ServeResult]:
+        """Advance the pool: absorb results, enforce deadlines, respawn.
+
+        Returns the results that completed during this call.  Safe to
+        call from exactly one thread (the server's executor pump).
+        """
+        completed: List[ServeResult] = []
+        if not self.started:
+            return completed
+        deadline = time.monotonic() + max(timeout, 0.0)
+        first = True
+        while True:
+            wait = deadline - time.monotonic()
+            if not first:
+                wait = 0.0
+            if wait < 0:
+                wait = 0.0
+            try:
+                message = self._result_queue.get(timeout=wait)
+            except (queue_module.Empty, OSError, ValueError):
+                break
+            first = False
+            result = self._absorb_message(message)
+            if result is not None:
+                completed.append(result)
+        completed.extend(self._enforce_deadlines())
+        completed.extend(self._reap_dead_workers())
+        return completed
+
+    def _absorb_message(self, message: Dict) -> Optional[ServeResult]:
+        kind = message.get("kind")
+        if kind == "bye":
+            trace_payload = message.get("trace")
+            tracer = get_tracer()
+            if trace_payload is not None and tracer.enabled:
+                tracer.merge_child(trace_payload)
+            return None
+        if kind != "result":
+            return None
+        job_id = message.get("job")
+        entry = self._inflight.pop(job_id, None)
+        if entry is None:
+            return None  # job already settled (deadline kill raced it)
+        worker = self._workers[entry.worker]
+        if job_id in worker.assigned:
+            worker.assigned.remove(job_id)
+        worker.jobs_done += 1
+        self._release_segment(entry)
+        delta = message.get("cache_delta")
+        if delta:
+            self.tenants.merge_delta(entry.job.tenant, delta)
+        result = ServeResult(
+            job_id=job_id,
+            name=entry.job.name,
+            tenant=entry.job.tenant,
+            status=str(message.get("status", "error")),
+            cex=message.get("cex"),
+            seconds=float(message.get("seconds", 0.0)),
+            latency=time.monotonic() - entry.submitted,
+            worker=entry.worker,
+            error=str(message.get("error", "")),
+            cache_hits=int(message.get("hits", 0)),
+            cache_lookups=int(message.get("lookups", 0)),
+        )
+        metrics = get_tracer().metrics
+        metrics.counter_add("serve.jobs_completed")
+        metrics.counter_add("cache.hits", result.cache_hits)
+        metrics.counter_add("cache.lookups", result.cache_lookups)
+        metrics.observe("serve.job.latency_seconds", result.latency)
+        self._results[job_id] = result
+        return result
+
+    def _release_segment(self, entry: _Inflight) -> None:
+        if entry.descriptor is not None and self.registry is not None:
+            try:
+                self.registry.unpublish(entry.descriptor)
+            except Exception:
+                pass
+            entry.descriptor = None
+
+    def _fail_worker_jobs(
+        self, worker: _WorkerHandle, reason: str
+    ) -> List[ServeResult]:
+        """Settle every job assigned to a dead worker as an error."""
+        failed: List[ServeResult] = []
+        for job_id in list(worker.assigned):
+            entry = self._inflight.pop(job_id, None)
+            if entry is None:
+                continue
+            self._release_segment(entry)
+            result = ServeResult(
+                job_id=job_id,
+                name=entry.job.name,
+                tenant=entry.job.tenant,
+                status="error",
+                latency=time.monotonic() - entry.submitted,
+                worker=worker.index,
+                error=reason,
+            )
+            self._results[job_id] = result
+            failed.append(result)
+        worker.assigned.clear()
+        return failed
+
+    def _respawn(self, worker: _WorkerHandle) -> None:
+        """Replace a dead worker in place (same index, fresh process)."""
+        stop_process_staged(
+            worker.process,
+            self.terminate_grace,
+            engine=f"serve-w{worker.index}",
+        )
+        try:
+            worker.job_queue.close()
+            worker.job_queue.cancel_join_thread()
+        except BaseException:
+            pass
+        # Persist merged knowledge first so the replacement loads it and
+        # comes up warm, not cold.
+        self.tenants.flush()
+        fresh = self._spawn(worker.index, respawns=worker.respawns + 1)
+        fresh.jobs_done = worker.jobs_done
+        self._workers[worker.index] = fresh
+        get_tracer().metrics.counter_add("serve.workers_respawned")
+
+    def _enforce_deadlines(self) -> List[ServeResult]:
+        now = time.monotonic()
+        completed: List[ServeResult] = []
+        for worker in list(self._workers):
+            if not worker.assigned:
+                continue
+            head = worker.assigned[0]
+            entry = self._inflight.get(head)
+            if (
+                entry is None
+                or entry.deadline_at is None
+                or now < entry.deadline_at
+            ):
+                continue
+            get_tracer().metrics.counter_add("serve.deadline_kills")
+            completed.extend(
+                self._fail_worker_jobs(worker, "job deadline exceeded")
+            )
+            self._respawn(worker)
+        return completed
+
+    def _reap_dead_workers(self) -> List[ServeResult]:
+        completed: List[ServeResult] = []
+        for worker in list(self._workers):
+            if worker.process.is_alive():
+                continue
+            if worker.assigned:
+                completed.extend(
+                    self._fail_worker_jobs(
+                        worker,
+                        "worker died "
+                        f"(exit code {worker.process.exitcode})",
+                    )
+                )
+            self._respawn(worker)
+        return completed
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def run_batch(
+        self, jobs: List[ServeJob], timeout: Optional[float] = None
+    ) -> List[ServeResult]:
+        """Submit a batch and wait for every result (submission order)."""
+        ids = [self.submit(job) for job in jobs]
+        wanted = set(ids)
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while wanted - set(self._results):
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            self.poll(self._POLL_INTERVAL)
+        self.tenants.flush()
+        results = []
+        for job_id in ids:
+            result = self._results.pop(job_id, None)
+            if result is None:
+                result = ServeResult(
+                    job_id=job_id,
+                    name="",
+                    tenant="",
+                    status="error",
+                    error="batch timeout",
+                )
+            results.append(result)
+        return results
+
+    def take_result(self, job_id: int) -> Optional[ServeResult]:
+        """Pop a completed result by id (server-side future resolution)."""
+        return self._results.pop(job_id, None)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "workers": self.num_workers,
+            "inflight": len(self._inflight),
+            "jobs_done": sum(w.jobs_done for w in self._workers),
+            "respawns": sum(w.respawns for w in self._workers),
+            "shm": self.registry is not None,
+            "per_worker": [
+                {
+                    "index": w.index,
+                    "pid": w.process.pid,
+                    "alive": w.process.is_alive(),
+                    "queued": len(w.assigned),
+                    "jobs_done": w.jobs_done,
+                    "respawns": w.respawns,
+                }
+                for w in self._workers
+            ],
+        }

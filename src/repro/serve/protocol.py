@@ -1,0 +1,172 @@
+"""Length-prefixed JSON framing and wire codecs for the serve daemon.
+
+The wire format is deliberately minimal: every message is one JSON
+object preceded by a 4-byte big-endian length.  JSON (not pickle)
+because the socket is a trust boundary — a daemon must never unpickle
+client bytes — and because it keeps the protocol inspectable with
+``socat`` and implementable from any language.
+
+Messages are dicts with an ``op`` (requests) or ``ok`` (responses)
+field; AIGs travel as flat literal arrays (the exact representation
+:class:`~repro.aig.network.Aig` uses internally), so encode/decode is a
+``tolist``/``asarray`` pair, not a graph walk.
+
+Both sync (blocking socket, used by :class:`~repro.serve.client.ServeClient`)
+and asyncio (``StreamReader``/``StreamWriter``, used by the server)
+variants of the framing are provided.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.aig.network import Aig
+
+__all__ = [
+    "MAX_FRAME",
+    "ProtocolError",
+    "pack_frame",
+    "read_frame_sync",
+    "write_frame_sync",
+    "read_frame",
+    "write_frame",
+    "aig_to_wire",
+    "aig_from_wire",
+]
+
+#: Hard ceiling on one frame's JSON payload.  Big enough for the paper's
+#: largest benchmark miters as literal arrays, small enough that a
+#: corrupt length prefix cannot make the daemon allocate gigabytes.
+MAX_FRAME = 256 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame, oversized payload, or invalid wire object."""
+
+
+def pack_frame(obj: Dict[str, Any]) -> bytes:
+    """Serialise one message: 4-byte length prefix + compact JSON."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    return _LEN.pack(len(payload)) + payload
+
+
+def _decode(payload: bytes) -> Dict[str, Any]:
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from error
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return obj
+
+
+def _check_length(raw: bytes) -> int:
+    (length,) = _LEN.unpack(raw)
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"announced frame of {length} bytes exceeds MAX_FRAME"
+        )
+    return length
+
+
+# ----------------------------------------------------------------------
+# Blocking variants (client side)
+# ----------------------------------------------------------------------
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None  # peer closed
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_sync(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read one message; ``None`` on orderly peer close."""
+    raw = _recv_exact(sock, _LEN.size)
+    if raw is None:
+        return None
+    payload = _recv_exact(sock, _check_length(raw))
+    if payload is None:
+        raise ProtocolError("connection closed mid-frame")
+    return _decode(payload)
+
+
+def write_frame_sync(sock: socket.socket, obj: Dict[str, Any]) -> None:
+    sock.sendall(pack_frame(obj))
+
+
+# ----------------------------------------------------------------------
+# Asyncio variants (server side)
+# ----------------------------------------------------------------------
+
+
+async def read_frame(reader) -> Optional[Dict[str, Any]]:
+    """Read one message from a StreamReader; ``None`` on peer close."""
+    import asyncio
+
+    try:
+        raw = await reader.readexactly(_LEN.size)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    try:
+        payload = await reader.readexactly(_check_length(raw))
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError("connection closed mid-frame") from error
+    return _decode(payload)
+
+
+async def write_frame(writer, obj: Dict[str, Any]) -> None:
+    writer.write(pack_frame(obj))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# AIG wire codec
+# ----------------------------------------------------------------------
+
+
+def aig_to_wire(aig: Aig) -> Dict[str, Any]:
+    """Flatten a network into JSON-serialisable literal arrays."""
+    fanin0, fanin1 = aig.fanin_literals()
+    return {
+        "num_pis": int(aig.num_pis),
+        "fanin0": [int(x) for x in fanin0],
+        "fanin1": [int(x) for x in fanin1],
+        "pos": [int(po) for po in aig.pos],
+        "name": str(aig.name),
+    }
+
+
+def aig_from_wire(payload: Dict[str, Any]) -> Aig:
+    """Rebuild a network from its wire form; validates shapes."""
+    try:
+        num_pis = int(payload["num_pis"])
+        fanin0 = np.asarray(payload["fanin0"], dtype=np.int64)
+        fanin1 = np.asarray(payload["fanin1"], dtype=np.int64)
+        pos = [int(po) for po in payload["pos"]]
+        name = str(payload.get("name", "wire"))
+    except (KeyError, TypeError, ValueError, OverflowError) as error:
+        raise ProtocolError(f"malformed AIG payload: {error}") from error
+    if num_pis < 0 or fanin0.shape != fanin1.shape or fanin0.ndim != 1:
+        raise ProtocolError("malformed AIG payload: inconsistent shapes")
+    try:
+        return Aig(num_pis, fanin0, fanin1, pos, name=name)
+    except (ValueError, IndexError) as error:
+        raise ProtocolError(f"invalid AIG: {error}") from error

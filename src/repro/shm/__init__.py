@@ -32,8 +32,10 @@ from .segment import (
     ArraySpec,
     Segment,
     SegmentDescriptor,
+    SegmentHeader,
     ShmUnavailableError,
     build_layout,
+    peek_header,
     shm_available,
 )
 
@@ -42,6 +44,7 @@ __all__ = [
     "ArraySpec",
     "Segment",
     "SegmentDescriptor",
+    "SegmentHeader",
     "SegmentRegistry",
     "ShmUnavailableError",
     "adopt_aig",
@@ -50,6 +53,7 @@ __all__ = [
     "build_layout",
     "detach_aig",
     "get_active_registry",
+    "peek_header",
     "reap_orphans",
     "set_active_registry",
     "shm_available",

@@ -32,6 +32,7 @@ from .segment import (
     Segment,
     SegmentDescriptor,
     build_layout,
+    peek_header,
     shm_available,
 )
 
@@ -87,9 +88,16 @@ class SegmentRegistry:
         token: Optional[str] = None,
         suffix: str = "",
         metrics=None,
+        owner_pid: Optional[int] = None,
     ) -> None:
         self.token = token if token is not None else secrets.token_hex(4)
         self.suffix = suffix
+        #: Pid stamped into every created segment's header — the run
+        #: owner responsible for reaping.  Parents default to their own
+        #: pid; worker satellites must pass the parent's pid so another
+        #: daemon's :func:`reap_orphans` never mistakes a live run's
+        #: blocks for orphans just because the *worker* died.
+        self.owner_pid = int(owner_pid) if owner_pid is not None else os.getpid()
         self._seq = 0
         self._owned: Dict[str, Segment] = {}
         self._adopted: Dict[str, Adoption] = {}
@@ -133,7 +141,7 @@ class SegmentRegistry:
             payload[BLOB_KEY] = np.frombuffer(blob, dtype=np.uint8)
         specs, total = build_layout(payload)
         name = self._next_name()
-        segment = Segment.create(name, total)
+        segment = Segment.create(name, total, owner_pid=self.owner_pid)
         try:
             segment.write_arrays(payload, specs)
             segment.publish()
@@ -179,6 +187,23 @@ class SegmentRegistry:
         stored.segment.decref()
         stored.segment.close()
         self.metrics.counter_add("shm.segments_released")
+
+    def unpublish(self, descriptor: SegmentDescriptor) -> None:
+        """Unlink one owned segment before the run-level reap.
+
+        Long-running owners (the serve daemon publishes one miter
+        segment per job) cannot wait for :meth:`reap` — they would
+        accumulate a segment per query until shutdown.  Unlinking keeps
+        adopters' existing mappings valid; only the name disappears.
+        """
+        segment = self._owned.pop(descriptor.segment, None)
+        if segment is None:
+            self._known.discard(descriptor.segment)
+            _unlink_by_name(descriptor.segment)
+            return
+        segment.unlink()
+        segment.close()
+        self.metrics.counter_add("shm.segments_unpublished")
 
     # -- teardown ------------------------------------------------------
 
@@ -251,21 +276,45 @@ def _scan_run_segments(prefix: str):
     )
 
 
+def _pid_alive(pid: int) -> bool:
+    """True when ``pid`` names a live process on this machine."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        # The process exists but belongs to another user.
+        return True
+    except OSError:
+        return False
+    return True
+
+
 def reap_orphans(max_age: float = 3600.0) -> int:
-    """Unlink data-plane segments left over from long-dead runs.
+    """Unlink data-plane segments whose run owner is dead.
 
     A crash of the *parent* process (SIGKILL, power loss) strands the
-    whole run's segments: nobody holds the registry any more.  Any
-    ``rs*`` block older than ``max_age`` seconds cannot belong to a live
-    run, so the next portfolio run sweeps it.  Returns the count.
+    whole run's segments: nobody holds the registry any more.  Every
+    block's header records its run-owner pid, so the sweep is precise:
+    a segment is an orphan iff that pid is no longer alive.  Age never
+    condemns a block with a live owner — two daemons sharing a machine
+    cannot collect each other's long-lived warm-pool segments.  Blocks
+    whose header is unreadable or from a foreign format fall back to the
+    ``max_age`` mtime heuristic.  Returns the count reaped.
     """
     if not os.path.isdir(SHM_DIR):
         return 0
     now = time.time()
     reaped = 0
     for path in glob.glob(os.path.join(SHM_DIR, NAME_PREFIX + "*")):
+        header = peek_header(path)
         try:
-            if now - os.stat(path).st_mtime < max_age:
+            if header is not None and header.valid:
+                if _pid_alive(header.owner_pid):
+                    continue
+            elif now - os.stat(path).st_mtime < max_age:
                 continue
             os.unlink(path)
             reaped += 1

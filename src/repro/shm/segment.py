@@ -47,9 +47,11 @@ __all__ = [
     "ArraySpec",
     "SegmentDescriptor",
     "Segment",
+    "SegmentHeader",
     "ShmUnavailableError",
     "shm_available",
     "build_layout",
+    "peek_header",
     "HEADER_BYTES",
 ]
 
@@ -57,11 +59,13 @@ __all__ = [
 MAGIC = b"RSM1"
 
 #: Bump when the header or packing layout changes incompatibly.
-FORMAT_VERSION = 1
+#: Version 2 added the run-owner pid (crash forensics + orphan reaping).
+FORMAT_VERSION = 2
 
 #: Header layout: magic (4s), version (H), state (H), refcount (q),
-#: payload bytes (q); the payload starts at the next 64-byte boundary.
-_HEADER = struct.Struct("<4sHHqq")
+#: payload bytes (q), run-owner pid (q); the payload starts at the next
+#: 64-byte boundary.
+_HEADER = struct.Struct("<4sHHqqq")
 HEADER_BYTES = 64
 
 _ALIGN = 64
@@ -73,6 +77,46 @@ STATE_PUBLISHED = 2
 
 class ShmUnavailableError(RuntimeError):
     """Raised when the platform offers no POSIX shared memory."""
+
+
+@dataclass(frozen=True)
+class SegmentHeader:
+    """Decoded on-buffer header of a data-plane segment."""
+
+    magic: bytes
+    version: int
+    state: int
+    refcount: int
+    nbytes: int
+    owner_pid: int
+
+    @property
+    def valid(self) -> bool:
+        return self.magic == MAGIC and self.version == FORMAT_VERSION
+
+
+def peek_header(path: str) -> Optional[SegmentHeader]:
+    """Decode a segment header straight from its ``/dev/shm`` file.
+
+    Lets the orphan reaper inspect a block's run-owner pid without
+    mapping it (no attach, no refcount churn).  Returns ``None`` when
+    the file is unreadable or too short to carry a header; callers must
+    additionally check :attr:`SegmentHeader.valid` before trusting the
+    fields — any ``rs*``-named file could be a foreign or stale-format
+    block.
+    """
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read(_HEADER.size)
+    except OSError:
+        return None
+    if len(raw) < _HEADER.size:
+        return None
+    try:
+        fields = _HEADER.unpack_from(raw, 0)
+    except struct.error:
+        return None
+    return SegmentHeader(*fields)
 
 
 def shm_available() -> bool:
@@ -185,12 +229,23 @@ class Segment:
         self.name = name
         self.owner = owner
         self.closed = False
+        #: Pid of the run owner recorded in the header (0 when unknown).
+        self.owner_pid = 0
 
     # -- lifecycle -----------------------------------------------------
 
     @classmethod
-    def create(cls, name: str, nbytes: int) -> "Segment":
-        """Allocate a block and stamp a CREATED header (owner side)."""
+    def create(
+        cls, name: str, nbytes: int, owner_pid: int = 0
+    ) -> "Segment":
+        """Allocate a block and stamp a CREATED header (owner side).
+
+        ``owner_pid`` records the pid of the *run owner* — the process
+        whose registry is responsible for reaping this block (the
+        portfolio parent or the serve daemon), not necessarily the
+        worker that created it.  :func:`repro.shm.registry.reap_orphans`
+        only collects blocks whose recorded owner is dead.
+        """
         if _shared_memory is None:
             raise ShmUnavailableError(
                 "multiprocessing.shared_memory is not available"
@@ -200,6 +255,7 @@ class Segment:
                 name=name, create=True, size=max(nbytes, HEADER_BYTES)
             )
         segment = cls(shm, name, owner=True)
+        segment.owner_pid = int(owner_pid)
         segment._write_header(STATE_CREATED, 0, nbytes)
         return segment
 
@@ -213,7 +269,10 @@ class Segment:
         with _suppress_tracking():
             shm = _shared_memory.SharedMemory(name=name, create=False)
         segment = cls(shm, name, owner=False)
-        magic, version, state, _refs, _nbytes = segment._read_header()
+        magic, version, state, _refs, _nbytes, owner_pid = (
+            segment._read_header()
+        )
+        segment.owner_pid = owner_pid
         if magic != MAGIC or version != FORMAT_VERSION:
             segment.close()
             raise ValueError(f"segment {name!r} is not a data-plane block")
@@ -301,7 +360,14 @@ class Segment:
 
     def _write_header(self, state: int, refcount: int, nbytes: int) -> None:
         _HEADER.pack_into(
-            self._shm.buf, 0, MAGIC, FORMAT_VERSION, state, refcount, nbytes
+            self._shm.buf,
+            0,
+            MAGIC,
+            FORMAT_VERSION,
+            state,
+            refcount,
+            nbytes,
+            self.owner_pid,
         )
 
     def _read_header(self):
@@ -313,18 +379,18 @@ class Segment:
         return self._read_header()[3]
 
     def incref(self) -> int:
-        magic, version, state, refs, nbytes = self._read_header()
+        magic, version, state, refs, nbytes, owner_pid = self._read_header()
         refs += 1
         _HEADER.pack_into(
-            self._shm.buf, 0, magic, version, state, refs, nbytes
+            self._shm.buf, 0, magic, version, state, refs, nbytes, owner_pid
         )
         return refs
 
     def decref(self) -> int:
-        magic, version, state, refs, nbytes = self._read_header()
+        magic, version, state, refs, nbytes, owner_pid = self._read_header()
         refs = max(0, refs - 1)
         _HEADER.pack_into(
-            self._shm.buf, 0, magic, version, state, refs, nbytes
+            self._shm.buf, 0, magic, version, state, refs, nbytes, owner_pid
         )
         return refs
 

@@ -310,3 +310,70 @@ class SimulationState:
         if tables is None:
             tables = self.tables(miter)
         return EquivalenceClasses.from_tables(tables)
+
+
+@dataclass
+class SharedPool:
+    """An initial pattern pool generated once and shared read-only.
+
+    The portfolio parent (or the serve daemon) generates the pool a
+    single time and ships the word matrix to every simulation worker
+    through the :mod:`repro.shm` data plane; each engine then wraps it in
+    a *fresh* :class:`SimulationState` instead of regenerating identical
+    random words per process.  Sharing only the base ndarray is safe
+    because :meth:`SimulationState.add_cex_patterns` hstack-replaces
+    ``pi_words`` — the shared matrix is never written in place.
+
+    ``num_cex`` is nonzero when the pool already folded in
+    counter-examples from a previous run (warm serving).
+    """
+
+    pi_words: np.ndarray
+    num_pis: int
+    num_random_words: int
+    seed: int
+    strategy: str
+    num_cex: int = 0
+
+    @classmethod
+    def generate(
+        cls,
+        num_pis: int,
+        num_random_words: int = 32,
+        seed: int = 2025,
+        strategy: str = "random",
+    ) -> "SharedPool":
+        """Generate the initial pool once (the parent-side call)."""
+        words = initial_patterns(num_pis, num_random_words, seed, strategy)
+        return cls(
+            pi_words=words,
+            num_pis=num_pis,
+            num_random_words=num_random_words,
+            seed=seed,
+            strategy=strategy,
+        )
+
+    def compatible(self, config, num_pis: int) -> bool:
+        """True when an engine with ``config`` would generate this pool.
+
+        Engines are deterministic given their pool parameters, so a pool
+        is adoptable exactly when the PI count and the three generation
+        parameters match — a mismatched pool would silently change the
+        engine's verdict trajectory.
+        """
+        return (
+            num_pis == self.num_pis
+            and int(config.num_random_words) == self.num_random_words
+            and int(config.seed) == self.seed
+            and str(config.pattern_strategy) == self.strategy
+        )
+
+    def simulation_state(self) -> SimulationState:
+        """A fresh :class:`SimulationState` wrapper over the shared words.
+
+        Each run must get its own wrapper: the wrapper's CEX list is
+        mutated per run, while the underlying word matrix is shared.
+        """
+        return SimulationState.from_pool(
+            self.num_pis, self.pi_words, num_cex=self.num_cex
+        )

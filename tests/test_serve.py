@@ -1,0 +1,431 @@
+"""Tests for the CEC-as-a-service daemon (:mod:`repro.serve`)."""
+
+import asyncio
+import glob
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.aig.miter import build_miter
+from repro.bench.generators import multiplier, voter
+from repro.aig.network import negate_outputs
+from repro.cache.store import Verdict
+from repro.obs import Tracer, use_tracer
+from repro.serve import (
+    AdmissionController,
+    AdmissionError,
+    CecServer,
+    ProtocolError,
+    ServeClient,
+    ServeError,
+    TenantError,
+    TenantManager,
+    aig_from_wire,
+    aig_to_wire,
+    validate_tenant,
+)
+from repro.serve.pool import ServeJob, WorkerPool
+from repro.serve.protocol import (
+    pack_frame,
+    read_frame_sync,
+    write_frame_sync,
+)
+from repro.sweep.classes import SharedPool
+from repro.sweep.config import EngineConfig
+from repro.sweep.engine import CecStatus, SimSweepEngine
+from repro.synth.resyn import compress2
+
+from conftest import random_aig
+
+SHM_DIR = "/dev/shm"
+
+
+def _run_segments():
+    if not os.path.isdir(SHM_DIR):
+        return []
+    return sorted(glob.glob(os.path.join(SHM_DIR, "rs*")))
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_segments():
+    """Every serve test must leave /dev/shm as clean as it found it."""
+    before = _run_segments()
+    yield
+    assert _run_segments() == before
+
+
+def _equivalent_miter(width=9):
+    original = voter(width)
+    return build_miter(original, compress2(original))
+
+
+def _nonequivalent_miter(width=3):
+    original = multiplier(width)
+    return build_miter(original, negate_outputs(compress2(original), [1]))
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+
+
+def test_frame_round_trip_over_socketpair():
+    left, right = socket.socketpair()
+    try:
+        payload = {"op": "ping", "nested": {"x": [1, 2, 3]}}
+        write_frame_sync(left, payload)
+        assert read_frame_sync(right) == payload
+        left.close()
+        assert read_frame_sync(right) is None  # clean EOF
+    finally:
+        right.close()
+
+
+def test_frame_rejects_non_object_payloads():
+    left, right = socket.socketpair()
+    try:
+        left.sendall(pack_frame({"ok": True})[:4] + b"[1,2,3]"[:4])
+        left.close()
+        with pytest.raises(ProtocolError):
+            read_frame_sync(right)
+    finally:
+        right.close()
+
+
+def test_pack_frame_rejects_oversized_payloads(monkeypatch):
+    import repro.serve.protocol as protocol
+
+    monkeypatch.setattr(protocol, "MAX_FRAME", 64)
+    with pytest.raises(ProtocolError):
+        protocol.pack_frame({"blob": "x" * 128})
+
+
+def test_aig_wire_round_trip():
+    aig = random_aig(num_pis=5, num_nodes=30, num_pos=2, seed=77)
+    clone = aig_from_wire(aig_to_wire(aig))
+    assert clone.num_pis == aig.num_pis
+    assert clone.num_ands == aig.num_ands
+    pattern = [1, 0, 1, 1, 0]
+    assert clone.evaluate(pattern) == aig.evaluate(pattern)
+
+
+def test_aig_from_wire_rejects_malformed():
+    with pytest.raises(ProtocolError):
+        aig_from_wire({"num_pis": 2})
+    with pytest.raises(ProtocolError):
+        aig_from_wire("not an object")
+
+
+# ---------------------------------------------------------------------------
+# Admission control
+# ---------------------------------------------------------------------------
+
+
+def test_admission_bounds_and_backpressure():
+    admission = AdmissionController(max_pending=4, max_batch=2)
+    admission.try_admit(2)
+    admission.try_admit(2)
+    with pytest.raises(AdmissionError) as busy:
+        admission.try_admit(1)
+    assert busy.value.code == "busy"
+    admission.release(2)
+    admission.try_admit(1)  # budget freed
+    with pytest.raises(AdmissionError) as batch:
+        admission.try_admit(3)
+    assert batch.value.code == "batch"
+    assert admission.rejected >= 4
+
+
+def test_admission_drain_and_stop_lifecycle():
+    admission = AdmissionController()
+    admission.try_admit(1)
+    admission.begin_drain()
+    with pytest.raises(AdmissionError) as draining:
+        admission.try_admit(1)
+    assert draining.value.code == "draining"
+    assert not admission.idle
+    admission.release()
+    assert admission.idle
+    admission.stop()
+    with pytest.raises(AdmissionError) as stopped:
+        admission.try_admit(1)
+    assert stopped.value.code == "stopped"
+
+
+# ---------------------------------------------------------------------------
+# Tenants
+# ---------------------------------------------------------------------------
+
+
+def test_tenant_name_validation():
+    validate_tenant("team-a.prod_2")
+    for bad in ("", "../escape", ".hidden", "a/b", "x" * 65, 42):
+        with pytest.raises(TenantError):
+            validate_tenant(bad)
+
+
+def test_tenant_isolation_and_merge(tmp_path):
+    manager = TenantManager(str(tmp_path), shards=2)
+    taken = manager.merge_delta(
+        "team-a", [("key1", Verdict(status="equivalent"))]
+    )
+    assert taken == 1
+    manager.merge_delta("team-b", [("key2", Verdict(status="equivalent"))])
+    assert manager.flush() == 2
+    assert manager.tenants == ("team-a", "team-b")
+    # Knowledge stays in its namespace.
+    assert manager.cache("team-a").store.get("key2") is None
+    assert manager.cache("team-b").store.get("key2") is not None
+    directory, shards = manager.worker_config("team-a")
+    assert directory == str(tmp_path / "team-a")
+    assert shards == 2
+
+
+def test_tenant_manager_without_root_is_memory_only():
+    manager = TenantManager(None)
+    assert manager.worker_config("default") is None
+    manager.merge_delta("default", [("k", Verdict(status="equivalent"))])
+    assert manager.flush() == 0  # nothing persisted
+
+
+# ---------------------------------------------------------------------------
+# Shared pattern pools
+# ---------------------------------------------------------------------------
+
+
+def test_shared_pool_adopted_by_engine():
+    pool = SharedPool.generate(9, 4, 42, "random")
+    config = EngineConfig(num_random_words=4, seed=42)
+    assert pool.compatible(config, 9)
+    assert not pool.compatible(config, 8)
+    tracer = Tracer("test")
+    with use_tracer(tracer):
+        engine = SimSweepEngine(config, initial_pool=pool)
+        result = engine.check_miter(_equivalent_miter(9))
+    assert result.status is CecStatus.EQUIVALENT
+    assert tracer.metrics.counters.get("state.pool_adopted", 0) == 1
+
+
+def test_incompatible_pool_is_ignored():
+    pool = SharedPool.generate(9, 2, 7, "random")  # wrong seed/words
+    tracer = Tracer("test")
+    with use_tracer(tracer):
+        engine = SimSweepEngine(EngineConfig(), initial_pool=pool)
+        result = engine.check_miter(_equivalent_miter(9))
+    assert result.status is CecStatus.EQUIVALENT
+    assert tracer.metrics.counters.get("state.pool_adopted", 0) == 0
+
+
+# ---------------------------------------------------------------------------
+# Worker pool: warm serving, crash recovery, deadlines
+# ---------------------------------------------------------------------------
+
+
+def test_pool_warm_submission_hits_resident_cache(tmp_path):
+    """The second identical submission must hit the worker-resident
+    cache: ``cache.hits`` increases and wall-clock drops."""
+    miter = _equivalent_miter(9)
+    pool = WorkerPool(workers=1, tenants=TenantManager(str(tmp_path)))
+    try:
+        cold = pool.run_batch([ServeJob(miter=miter)], timeout=60)[0]
+        warm = pool.run_batch([ServeJob(miter=miter)], timeout=60)[0]
+    finally:
+        pool.shutdown()
+    assert cold.status == "equivalent"
+    assert warm.status == "equivalent"
+    assert cold.cache_hits == 0
+    assert warm.cache_hits > 0
+    assert warm.seconds < cold.seconds
+    # Same persistent process served both: no respawn, no re-import.
+    assert cold.worker == warm.worker
+    assert pool.stats()["respawns"] == 0
+
+
+def test_pool_reports_counterexamples(tmp_path):
+    result = WorkerPool(workers=1)
+    try:
+        record = result.run_batch(
+            [ServeJob(miter=_nonequivalent_miter())], timeout=60
+        )[0]
+    finally:
+        result.shutdown()
+    assert record.status == "nonequivalent"
+    assert record.cex is not None
+
+
+def test_pool_killed_worker_respawns_and_serves(tmp_path):
+    """A SIGKILLed worker is detected, respawned, and the pool keeps
+    serving — with the respawn warm from the flushed tenant cache."""
+    miter = _equivalent_miter(9)
+    pool = WorkerPool(workers=1, tenants=TenantManager(str(tmp_path)))
+    try:
+        first = pool.run_batch([ServeJob(miter=miter)], timeout=60)[0]
+        assert first.status == "equivalent"
+        victim = pool._workers[0].process
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(10)
+        pool.poll(0.2)  # detect the death, respawn in place
+        assert pool.stats()["respawns"] == 1
+        again = pool.run_batch([ServeJob(miter=miter)], timeout=60)[0]
+    finally:
+        pool.shutdown()
+    assert again.status == "equivalent"
+    # The respawn reloaded the flushed tenant cache: still warm.
+    assert again.cache_hits > 0
+
+
+def test_pool_job_lost_to_crash_is_reported_as_error():
+    """A job in flight when its worker dies resolves as an error result
+    instead of hanging the batch."""
+    pool = WorkerPool(workers=1)
+    try:
+        job_id = pool.submit(
+            ServeJob(miter=_equivalent_miter(9), engine="sleep",
+                     engine_kwargs={"seconds": 30.0})
+        )
+        deadline = time.monotonic() + 10
+        while pool._workers[0].process.pid is None:
+            time.sleep(0.01)
+        time.sleep(0.3)  # let the worker pick the job up
+        os.kill(pool._workers[0].process.pid, signal.SIGKILL)
+        result = None
+        while result is None and time.monotonic() < deadline:
+            for done in pool.poll(0.2):
+                if done.job_id == job_id:
+                    result = done
+    finally:
+        pool.shutdown()
+    assert result is not None
+    assert result.status == "error"
+    assert "died" in result.error
+
+
+def test_pool_deadline_kill_respawns_warm(tmp_path):
+    """An over-deadline worker is staged-killed and respawned."""
+    pool = WorkerPool(
+        workers=1,
+        tenants=TenantManager(str(tmp_path)),
+        terminate_grace=0.2,
+    )
+    try:
+        stuck = pool.run_batch(
+            [
+                ServeJob(
+                    miter=_equivalent_miter(9),
+                    engine="sleep",
+                    engine_kwargs={"seconds": 60.0},
+                    deadline=0.5,
+                )
+            ],
+            timeout=30,
+        )[0]
+        assert stuck.status == "error"
+        assert "deadline" in stuck.error
+        assert pool.stats()["respawns"] == 1
+        healthy = pool.run_batch(
+            [ServeJob(miter=_equivalent_miter(9))], timeout=60
+        )[0]
+    finally:
+        pool.shutdown()
+    assert healthy.status == "equivalent"
+
+
+def test_pool_shutdown_leaves_no_segments(tmp_path):
+    pool = WorkerPool(workers=2, tenants=TenantManager(str(tmp_path)))
+    pool.start()
+    miter = _equivalent_miter(9)
+    pool.run_batch([ServeJob(miter=miter), ServeJob(miter=miter)], timeout=60)
+    pool.shutdown()
+    assert _run_segments() == []
+
+
+# ---------------------------------------------------------------------------
+# End-to-end daemon
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def daemon(tmp_path):
+    """A real CecServer on a Unix socket, torn down via the protocol."""
+    sock = str(tmp_path / "cec.sock")
+    server = CecServer(
+        sock,
+        workers=1,
+        cache_root=str(tmp_path / "cache"),
+        max_pending=8,
+        max_batch=4,
+    )
+    thread = threading.Thread(
+        target=lambda: asyncio.run(server.serve_forever()), daemon=True
+    )
+    thread.start()
+    yield sock, server
+    if thread.is_alive():
+        try:
+            with ServeClient(sock, connect_retries=5) as client:
+                client.shutdown()
+        except (ConnectionError, ServeError, OSError):
+            server.stop()
+        thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+def test_server_round_trip_matches_oneshot(daemon):
+    """The daemon's verdicts match a one-shot check of the same pairs,
+    and the second batch is served warm (hits > 0, no respawn)."""
+    sock, server = daemon
+    eq = _equivalent_miter(9)
+    neq = _nonequivalent_miter()
+    with ServeClient(sock, connect_retries=50) as client:
+        assert client.ping() == os.getpid()
+        cold = client.submit_batch([eq, neq], names=["eq", "neq"])
+        warm = client.submit_batch([eq, neq], names=["eq", "neq"])
+        stats = client.stats()
+    assert [r["status"] for r in cold] == ["equivalent", "nonequivalent"]
+    assert [r["status"] for r in warm] == ["equivalent", "nonequivalent"]
+    # One-shot ground truth.
+    oneshot = SimSweepEngine(EngineConfig())
+    assert oneshot.check_miter(eq).status is CecStatus.EQUIVALENT
+    assert oneshot.check_miter(neq).status is CecStatus.NONEQUIVALENT
+    # Warm serving: resident-cache hits, same persistent worker.
+    assert warm[0]["cache_hits"] > 0
+    assert stats["pool"]["respawns"] == 0
+    assert stats["admission"]["admitted"] == 4
+    assert stats["tenants"]["default"]["entries"] > 0
+
+
+def test_server_rejects_oversized_batches(daemon):
+    sock, _ = daemon
+    miter = _equivalent_miter(9)
+    with ServeClient(sock, connect_retries=50) as client:
+        with pytest.raises(ServeError) as error:
+            client.submit_batch([miter] * 5)  # max_batch is 4
+    assert error.value.code == "batch"
+
+
+def test_server_rejects_bad_tenants_and_jobs(daemon):
+    sock, _ = daemon
+    with ServeClient(sock, connect_retries=50) as client:
+        with pytest.raises(ServeError):
+            client.submit_batch([_equivalent_miter(9)], tenant="../escape")
+        with pytest.raises(ServeError):
+            client._request({"op": "submit", "jobs": "nope"})
+        with pytest.raises(ServeError):
+            client._request({"op": "no-such-op"})
+
+
+def test_server_shutdown_drains_and_unlinks_socket(daemon):
+    sock, server = daemon
+    with ServeClient(sock, connect_retries=50) as client:
+        record = client.submit_pair(voter(9), compress2(voter(9)))
+        assert record["status"] == "equivalent"
+        client.shutdown()
+    deadline = time.monotonic() + 15
+    while os.path.exists(sock) and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert not os.path.exists(sock)
+    assert _run_segments() == []

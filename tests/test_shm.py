@@ -411,3 +411,106 @@ def test_filelock_fallback_breaks_stale_claims(tmp_path, monkeypatch):
     with store_module._FileLock(str(tmp_path)):
         pass  # the dead holder's claim was broken, not spun on forever
     assert not os.path.exists(excl)
+
+
+# ---------------------------------------------------------------------------
+# Pid-safe orphan reaping (two daemons sharing a machine)
+# ---------------------------------------------------------------------------
+
+
+def test_reap_orphans_spares_segments_of_live_owners():
+    """A second daemon's sweep must not collect a live run's segments."""
+    from repro.shm import peek_header, reap_orphans
+
+    registry = SegmentRegistry()  # owner_pid defaults to this process
+    descriptor = registry.publish(
+        arrays={"x": np.arange(16, dtype=np.uint64)}
+    )
+    path = os.path.join(SHM_DIR, descriptor.segment)
+    header = peek_header(path)
+    assert header is not None and header.valid
+    assert header.owner_pid == os.getpid()
+    # Another daemon's startup sweep: we are alive, so nothing to reap.
+    assert reap_orphans(max_age=0.0) == 0
+    assert os.path.exists(path)
+    registry.reap()
+
+
+def test_reap_orphans_collects_segments_of_dead_owners(tmp_path):
+    """A crashed daemon's segments are collected by the next sweep."""
+    import multiprocessing as mp
+
+    from repro.shm import reap_orphans
+
+    context = mp.get_context("fork")
+    name_file = str(tmp_path / "segment-name")
+
+    def _leak(path):
+        leaker = SegmentRegistry(owner_pid=os.getpid())
+        descriptor = leaker.publish(
+            arrays={"x": np.arange(8, dtype=np.uint64)}
+        )
+        with open(path, "w", encoding="ascii") as handle:
+            handle.write(descriptor.segment)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os._exit(0)  # die without cleanup, like a SIGKILLed daemon
+
+    process = context.Process(target=_leak, args=(name_file,))
+    process.start()
+    process.join(timeout=10)
+    with open(name_file, encoding="ascii") as handle:
+        name = handle.read().strip()
+    path = os.path.join(SHM_DIR, name)
+    assert os.path.exists(path)
+    assert reap_orphans(max_age=0.0) >= 1
+    assert not os.path.exists(path)
+
+
+def test_reap_orphans_uses_age_for_headerless_files():
+    """Files without a valid header fall back to the mtime age bound."""
+    from repro.shm import reap_orphans
+    from repro.shm.registry import NAME_PREFIX
+
+    path = os.path.join(SHM_DIR, NAME_PREFIX + "headerless-test")
+    with open(path, "wb") as handle:
+        handle.write(b"\x00" * 32)
+    try:
+        # Young and headerless: left alone.
+        reap_orphans(max_age=3600.0)
+        assert os.path.exists(path)
+        stale = os.stat(path).st_mtime - 7200.0
+        os.utime(path, (stale, stale))
+        reap_orphans(max_age=3600.0)
+        assert not os.path.exists(path)
+    finally:
+        if os.path.exists(path):
+            os.unlink(path)
+
+
+def test_worker_segments_carry_the_run_owner_pid():
+    """Worker-created segments are stamped with the *run's* pid, not the
+    worker's — a worker death must not expose the run to foreign sweeps."""
+    from repro.shm import peek_header
+
+    run_pid = os.getpid()
+    worker_view = SegmentRegistry(
+        token="cafecafe", suffix="w0", owner_pid=run_pid
+    )
+    descriptor = worker_view.publish(
+        arrays={"x": np.arange(4, dtype=np.uint64)}
+    )
+    header = peek_header(os.path.join(SHM_DIR, descriptor.segment))
+    assert header is not None and header.owner_pid == run_pid
+    worker_view.reap()
+
+
+def test_registry_unpublish_releases_one_segment():
+    """``unpublish`` drops a single owned segment without a full reap."""
+    registry = SegmentRegistry()
+    keep = registry.publish(arrays={"x": np.arange(4, dtype=np.uint64)})
+    drop = registry.publish(arrays={"y": np.arange(4, dtype=np.uint64)})
+    registry.unpublish(drop)
+    assert not os.path.exists(os.path.join(SHM_DIR, drop.segment))
+    assert os.path.exists(os.path.join(SHM_DIR, keep.segment))
+    registry.reap()
