@@ -173,34 +173,7 @@ class BddSweepChecker:
         node_bdds: Dict[int, int],
         node: int,
     ) -> int:
-        """Build (and memoise) a node's global BDD, iteratively."""
-        stack = [node]
-        f0l, f1l = miter.fanin_lists()
-        num_pis = miter.num_pis
-        while stack:
-            current = stack[-1]
-            if current in node_bdds:
-                stack.pop()
-                continue
-            if 1 <= current <= num_pis:
-                node_bdds[current] = manager.var(current - 1)
-                stack.pop()
-                continue
-            v0 = f0l[current] >> 1
-            v1 = f1l[current] >> 1
-            pending = [v for v in (v0, v1) if v not in node_bdds]
-            if pending:
-                stack.extend(pending)
-                continue
-            b0 = node_bdds[v0]
-            if f0l[current] & 1:
-                b0 = manager.apply_not(b0)
-            b1 = node_bdds[v1]
-            if f1l[current] & 1:
-                b1 = manager.apply_not(b1)
-            node_bdds[current] = manager.apply_and(b0, b1)
-            stack.pop()
-        return node_bdds[node]
+        return node_bdd(miter, manager, node_bdds, node)
 
     def _prove_outputs(self, miter: Aig, record: PhaseRecord) -> CecResult:
         manager = BddManager(node_limit=self.node_limit)
@@ -238,6 +211,48 @@ class BddSweepChecker:
         if not any_unknown and miter_is_trivially_unsat(reduced):
             return CecResult(CecStatus.EQUIVALENT)
         return CecResult(CecStatus.UNDECIDED, reduced_miter=reduced)
+
+
+def node_bdd(
+    miter: Aig,
+    manager: BddManager,
+    node_bdds: Dict[int, int],
+    node: int,
+) -> int:
+    """Build (and memoise) a node's global BDD, iteratively.
+
+    Shared between the sweeping checker and the scheduler's BDD lane:
+    ``node_bdds`` memoises per manager (seed it with ``{0: ZERO}``), and
+    :class:`~repro.bdd.manager.BddLimitExceeded` escapes to the caller
+    when the manager's node budget blows.
+    """
+    stack = [node]
+    f0l, f1l = miter.fanin_lists()
+    num_pis = miter.num_pis
+    while stack:
+        current = stack[-1]
+        if current in node_bdds:
+            stack.pop()
+            continue
+        if 1 <= current <= num_pis:
+            node_bdds[current] = manager.var(current - 1)
+            stack.pop()
+            continue
+        v0 = f0l[current] >> 1
+        v1 = f1l[current] >> 1
+        pending = [v for v in (v0, v1) if v not in node_bdds]
+        if pending:
+            stack.extend(pending)
+            continue
+        b0 = node_bdds[v0]
+        if f0l[current] & 1:
+            b0 = manager.apply_not(b0)
+        b1 = node_bdds[v1]
+        if f1l[current] & 1:
+            b1 = manager.apply_not(b1)
+        node_bdds[current] = manager.apply_and(b0, b1)
+        stack.pop()
+    return node_bdds[node]
 
 
 def _expired(deadline: Optional[float]) -> bool:

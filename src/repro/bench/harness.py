@@ -70,6 +70,11 @@ class Table2Row:
     #: adopted/leaked, bytes shared vs pickled); empty when no parallel
     #: stage ran or the plane was disabled.
     shm: Dict[str, float] = field(default_factory=dict)
+    #: Adaptive-scheduler comparison of the row: cold ``auto`` vs cold
+    #: ``fixed`` wall-clock (``speedup`` = fixed/auto), the auto run's
+    #: per-lane ``dispatch`` counts, ``mispredicts``, and the batched
+    #: SAT lane's ``sat_batch`` pairs/solves.
+    sched: Dict[str, object] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -186,6 +191,26 @@ def _shm_stats(tracer: Tracer) -> Dict[str, float]:
     return stats
 
 
+def _sched_stats(tracer: Tracer) -> Dict[str, object]:
+    """Adaptive-scheduler counters of one traced ``--sched auto`` run.
+
+    Per-lane dispatch counts, mispredictions, and the batched SAT
+    lane's pairs/solves (all zero when the P phase settled the miter
+    before the dispatcher ever saw a pair)."""
+    counters = tracer.metrics.counters
+    return {
+        "dispatch": {
+            lane: int(counters.get(f"sched.dispatch.{lane}", 0))
+            for lane in ("sim", "cut", "bdd", "sat")
+        },
+        "mispredicts": int(counters.get("sched.mispredict", 0)),
+        "sat_batch": {
+            "pairs": int(counters.get("sat.batch.pairs", 0)),
+            "solves": int(counters.get("sat.batch.solves", 0)),
+        },
+    }
+
+
 def run_table2_case(
     case: BenchmarkCase,
     config: Optional[EngineConfig] = None,
@@ -281,11 +306,51 @@ def run_table2_case(
         else {}
     )
 
+    # Adaptive-vs-fixed scheduling comparison, both against the same
+    # cache state ("ours" already ran auto; a shared suite cache would
+    # warm whichever mode runs second, so the comparison pair runs cold).
+    fixed_checker = CombinedChecker(
+        config=config,
+        sat_checker=SatSweepChecker(conflict_limit=sat_conflict_limit),
+        sched="fixed",
+    )
+    start = time.perf_counter()
+    fixed_result = fixed_checker.check_miter(miter)
+    fixed_seconds = time.perf_counter() - start
+    if cache is None:
+        auto_result = ours_result
+        auto_seconds = ours.timings.total_seconds
+        sched_tracer = tracer
+    else:
+        auto_checker = CombinedChecker(
+            config=config,
+            sat_checker=SatSweepChecker(conflict_limit=sat_conflict_limit),
+        )
+        sched_tracer = Tracer(process_name=f"bench-sched:{case.name}")
+        start = time.perf_counter()
+        with use_tracer(sched_tracer):
+            auto_result = auto_checker.check_miter(miter)
+        auto_seconds = time.perf_counter() - start
+    assert auto_result.status == fixed_result.status, (
+        f"scheduler modes disagree on {case.name}: "
+        f"auto={auto_result.status}, fixed={fixed_result.status}"
+    )
+    sched_stats = _sched_stats(sched_tracer)
+    sched_stats.update(
+        {
+            "auto_seconds": auto_seconds,
+            "fixed_seconds": fixed_seconds,
+            "speedup": fixed_seconds / auto_seconds if auto_seconds else 0.0,
+            "status": auto_result.status.value,
+        }
+    )
+
     verdicts = {
         v
         for v in (
             abc_result.status,
             ours_result.status,
+            fixed_result.status,
             cfm_result.status if cfm_result else None,
         )
         if v is not None and v is not CecStatus.UNDECIDED
@@ -317,6 +382,7 @@ def run_table2_case(
         ],
         trace=tracer.summary(),
         shm={**cfm_shm, **_shm_stats(tracer)},
+        sched=sched_stats,
         **_carry_stats(tracer),
     )
 
@@ -567,6 +633,13 @@ def format_table2(rows: Sequence[Table2Row]) -> str:
         f"{geomean([r.speedup_vs_abc for r in rows]):>16.2f}"
         f"{geomean([r.speedup_vs_cfm for r in rows if not math.isnan(r.cfm_seconds)]):>7.2f}"
     )
+    sched = geomean(
+        [float(r.sched.get("speedup", 0.0)) for r in rows if r.sched]
+    )
+    if sched:
+        lines.append(
+            f"Scheduler geomean (fixed pipeline / adaptive): {sched:.2f}x"
+        )
     return "\n".join(lines)
 
 
@@ -665,7 +738,17 @@ def bench_payload(experiment: str, rows: Sequence) -> Dict:
                     if not math.isnan(r.cfm_seconds)
                 ]
             ),
+            "sched_speedup": geomean(
+                [
+                    float(r.sched.get("speedup", 0.0))
+                    for r in rows
+                    if r.sched
+                ]
+            ),
         }
+        # The acceptance headline (adaptive vs fixed pipeline, identical
+        # verdicts) also lives at the top level for easy grepping.
+        payload["sched_speedup"] = payload["geomeans"]["sched_speedup"]
     totals: Dict[str, int] = {}
     for row in rows:
         for key, value in getattr(row, "cache", {}).items():

@@ -105,6 +105,7 @@ def _make_checker(
     verbose: bool = False,
     cache_dir: Optional[str] = None,
     use_shm: Optional[bool] = None,
+    sched: str = "auto",
 ):
     on_phase = _phase_printer if verbose else None
 
@@ -117,6 +118,7 @@ def _make_checker(
         checker = CombinedChecker(
             sat_checker=SatSweepChecker(time_limit=time_limit),
             cache=knowledge_cache(),
+            sched=sched,
         )
         checker.engine.on_phase = on_phase
         return checker
@@ -151,6 +153,7 @@ def cmd_cec(args: argparse.Namespace) -> int:
         args.verbose,
         cache_dir=args.cache,
         use_shm=False if args.no_shm else None,
+        sched=args.sched,
     )
     tracer: Optional[Tracer] = None
     if args.trace or args.metrics:
@@ -248,6 +251,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         max_pending=args.max_pending,
         max_batch=args.max_batch,
+        tenant_quota=args.tenant_quota,
         job_deadline=args.job_deadline,
         trace=args.trace is not None,
         use_shm=False if args.no_shm else None,
@@ -339,6 +343,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cec.add_argument("--time-limit", type=float, default=None)
     cec.add_argument(
+        "--sched", default="auto", choices=["auto", "fixed"],
+        help="combined-engine residue scheduling: 'auto' dispatches each "
+        "candidate pair to the predicted-cheapest engine lane "
+        "(sim/cuts/BDD/batched SAT); 'fixed' is the kill switch for the "
+        "original P-G-L-SAT pipeline",
+    )
+    cec.add_argument(
         "--cache", metavar="DIR", default=None,
         help="functional-knowledge cache directory (warm-starts reruns)",
     )
@@ -414,6 +425,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--max-pending", type=int, default=64)
     serve.add_argument("--max-batch", type=int, default=16)
+    serve.add_argument(
+        "--tenant-quota", type=int, default=None, metavar="N",
+        help="cap one tenant's in-flight jobs at N; excess submissions "
+        "are rejected with a structured 'quota' error while other "
+        "tenants keep flowing (default: no per-tenant cap)",
+    )
     serve.add_argument(
         "--job-deadline", type=float, default=None, metavar="SECONDS",
         help="per-job wall-clock deadline; over-deadline workers are "

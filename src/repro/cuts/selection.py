@@ -84,6 +84,18 @@ class CutSelector:
         )
         self.use_similarity = use_similarity
 
+    @classmethod
+    def for_network(
+        cls, aig, pass_id: int = 1, use_similarity: bool = True
+    ):
+        """Selector over a whole network's metric arrays.
+
+        Convenience constructor for callers that do not already hold the
+        fanout/level arrays (the scheduler's cut lane builds one selector
+        per dispatch round).
+        """
+        return cls(pass_id, aig.fanout_counts(), aig.levels(), use_similarity)
+
     def sort_key(self, cut: Cut) -> Tuple[float, ...]:
         """Ascending sort key implementing the pass criteria.
 

@@ -46,9 +46,40 @@ class Histogram:
         exponent = math.frexp(value)[1] if value > 0 else 0
         self.buckets[exponent] = self.buckets.get(exponent, 0) + 1
 
-    @property
     def mean(self) -> float:
+        """Arithmetic mean of every observation (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile reconstructed from the log₂ buckets.
+
+        The estimate is the geometric midpoint of the bucket holding the
+        ``ceil(q·count)``-th observation, clamped to the exact observed
+        ``[min, max]`` range so single-bucket histograms stay tight.
+        Survives :meth:`merge_dict`: bucket counts and min/max both merge
+        exactly, so the post-merge quantile is as accurate as either
+        input's.  The error is bounded by the bucket width (a factor of
+        two), which is plenty for the scheduler's p50/p90 cost estimates.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            return self.vmin
+        rank = math.ceil(q * self.count)
+        seen = 0
+        for exponent, n in sorted(self.buckets.items()):
+            seen += n
+            if seen >= rank:
+                if exponent == 0 and self.vmin <= 0:
+                    # Sentinel bucket: zero/negative observations.
+                    return max(self.vmin, 0.0) if self.vmin <= 0 else self.vmin
+                # Bucket ``e`` holds v in [2^(e-1), 2^e); midpoint of that
+                # span is 1.5 · 2^(e-1).
+                estimate = 1.5 * math.pow(2.0, exponent - 1)
+                return min(max(estimate, self.vmin), self.vmax)
+        return self.vmax  # pragma: no cover - rank <= count always lands
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -76,7 +107,7 @@ class Histogram:
         if self.count == 0:
             return "count=0"
         return (
-            f"count={self.count} sum={self.total:.6g} mean={self.mean:.6g} "
+            f"count={self.count} sum={self.total:.6g} mean={self.mean():.6g} "
             f"min={self.vmin:.6g} max={self.vmax:.6g}"
         )
 

@@ -59,6 +59,15 @@ class CombinedChecker:
         Enable the §V EC-transfer extension: the engine's pattern pool
         (with all its counter-examples) seeds the SAT sweeper's classes
         so disproved pairs are never re-checked.
+    sched:
+        ``"auto"`` (default) runs the P phase, then hands the residue to
+        the adaptive per-pair scheduler (cost-model dispatch over
+        sim/cut/BDD/batched-SAT lanes, see ``repro.sched``).  ``"fixed"``
+        is the kill switch: the original P→G→L→SAT pipeline, byte for
+        byte.
+    cost_model:
+        Optional externally-owned :class:`~repro.sched.CostModel` for
+        the auto path (the serve pool keeps one warm per tenant).
     """
 
     def __init__(
@@ -68,7 +77,11 @@ class CombinedChecker:
         transfer_ecs: bool = True,
         cache: Optional[SweepCache] = None,
         initial_pool=None,
+        sched: str = "auto",
+        cost_model=None,
     ) -> None:
+        if sched not in ("auto", "fixed"):
+            raise ValueError(f"unknown sched mode {sched!r}")
         # One shared knowledge cache: what the engine proves, records, or
         # disproves is visible to the SAT back end within the same run.
         self.cache = (
@@ -82,7 +95,24 @@ class CombinedChecker:
         if self.sat_checker.cache is None and self.cache is not None:
             self.sat_checker.cache = self.cache
         self.transfer_ecs = transfer_ecs
+        self.sched = sched
+        self.cost_model = cost_model
+        self._sweeper = None
         self.timings = CombinedTimings()
+
+    def _adaptive_sweeper(self):
+        """The (lazily built, reused) adaptive residue scheduler."""
+        if self._sweeper is None:
+            from repro.sched import AdaptiveSweeper
+
+            self._sweeper = AdaptiveSweeper(
+                config=self.engine.config,
+                conflict_limit=self.sat_checker.conflict_limit,
+                time_limit=self.sat_checker.time_limit,
+                cache=self.cache,
+                cost_model=self.cost_model,
+            )
+        return self._sweeper
 
     def check(self, aig_a: Aig, aig_b: Aig) -> CecResult:
         """Check two networks (builds the miter)."""
@@ -128,7 +158,13 @@ class CombinedChecker:
         tracer = get_tracer()
         start = time.perf_counter()
         with tracer.span("combined.engine", category="engine"):
-            engine_result = self.engine.check_miter(miter)
+            # Under adaptive scheduling the front end stops after the
+            # one-shot P phase: everything P cannot settle outright goes
+            # to the per-pair dispatcher instead of the fixed G→L→SAT
+            # tail.  "fixed" runs the full original pipeline.
+            engine_result = self.engine.check_miter(
+                miter, stop_after="P" if self.sched == "auto" else None
+            )
         self.timings.engine_seconds = time.perf_counter() - start
         self.timings.reduction_percent = (
             engine_result.report.reduction_percent
@@ -140,11 +176,41 @@ class CombinedChecker:
         assert residue is not None
         state = engine_result.sim_state if self.transfer_ecs else None
         start = time.perf_counter()
+        if self.sched == "auto":
+            with tracer.span(
+                "combined.sched_residue",
+                category="sched",
+                residue_ands=residue.num_ands,
+            ):
+                sat_result = self._adaptive_sweeper().check_miter(
+                    residue, state=state
+                )
+            self.timings.sat_seconds = time.perf_counter() - start
+            # Keep the engine phases and append the scheduler's record.
+            if sat_result.report is not None:
+                engine_result.report.phases.extend(sat_result.report.phases)
+                engine_result.report.final_ands = (
+                    sat_result.report.final_ands
+                )
+                engine_result.report.metrics = sat_result.report.metrics
+                engine_result.report.total_seconds += (
+                    sat_result.report.total_seconds
+                )
+            sat_result.report = engine_result.report
+            if self.cache is not None:
+                sat_result.report.cache = self.cache.counters.diff(
+                    cache_snapshot
+                )
+            return sat_result
         with tracer.span(
             "combined.sat_residue", category="sat", residue_ands=residue.num_ands
         ):
             sat_result = self.sat_checker.check_miter(residue, state=state)
         self.timings.sat_seconds = time.perf_counter() - start
+        if sat_result.report is not None:
+            engine_result.report.total_seconds += (
+                sat_result.report.total_seconds
+            )
         sat_result.report = engine_result.report  # keep the engine phases
         if self.cache is not None:
             # Replace the engine-only delta with the combined one.

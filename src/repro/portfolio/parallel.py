@@ -177,6 +177,7 @@ def build_checker(
     cache_readonly: bool = False,
     cache: Optional[SweepCache] = None,
     initial_pool: Optional[SharedPool] = None,
+    cost_model=None,
 ):
     """Instantiate a checker from a picklable spec.
 
@@ -190,6 +191,9 @@ def build_checker(
     jobs); it wins over ``cache_dir``.  ``initial_pool`` hands the
     simulation engines a pre-generated pattern pool (typically mapped
     out of a shared-memory segment) so they skip regenerating it.
+    ``cost_model`` hands the combined checker an externally-owned lane
+    cost model (serve workers keep one resident per tenant, so the
+    adaptive scheduler stays calibrated across jobs).
     """
     kind, kwargs = spec[0], spec[1]
 
@@ -215,11 +219,15 @@ def build_checker(
         from repro.portfolio.checker import CombinedChecker
         from repro.sweep.config import EngineConfig
 
+        kwargs = dict(kwargs)
+        sched = kwargs.pop("sched", "auto")
         config = EngineConfig(**kwargs) if kwargs else None
         return CombinedChecker(
             config=config,
             cache=knowledge_cache(),
             initial_pool=initial_pool,
+            sched=sched,
+            cost_model=cost_model,
         )
     if kind == "sat":
         from repro.sat.sweeping import SatSweepChecker

@@ -7,7 +7,7 @@ deep inside a large miter never pays for the whole network.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.aig.network import Aig
 from repro.sat.solver import SatSolver
@@ -43,6 +43,39 @@ class CnfBuilder:
             var = self._var_of.get(pi)
             pattern.append(self.solver.model_value(var) if var is not None else 0)
         return pattern
+
+    @property
+    def encoded_nodes(self) -> int:
+        """Nodes encoded so far — the incremental cone-size signal."""
+        return len(self._var_of)
+
+    # ------------------------------------------------------------------
+    # Assumption-guarded pair queries (the batched incremental protocol)
+    # ------------------------------------------------------------------
+
+    def open_pair_query(self, lit_a: int, lit_b: int) -> Tuple[int, int, int]:
+        """Open an inequivalence query for a pair of AIG literals.
+
+        Returns ``(sel, sol_a, sol_b)``: solving under assumption ``sel``
+        searches for a pattern on which the two literals differ.  Many
+        queries can share one solver — each gets its own selector, so
+        retired queries never constrain later ones.
+        """
+        sol_a = self.literal(lit_a)
+        sol_b = self.literal(lit_b)
+        sel = self.solver.new_var() << 1
+        self.solver.add_clause([sel ^ 1, sol_a, sol_b])
+        self.solver.add_clause([sel ^ 1, sol_a ^ 1, sol_b ^ 1])
+        return sel, sol_a, sol_b
+
+    def retire_query(self, sel: int) -> None:
+        """Permanently disable an open selector (its query is settled)."""
+        self.solver.add_clause([sel ^ 1])
+
+    def assert_equal(self, sol_a: int, sol_b: int) -> None:
+        """Assert a proved equivalence so later queries benefit from it."""
+        self.solver.add_clause([sol_a, sol_b ^ 1])
+        self.solver.add_clause([sol_a ^ 1, sol_b])
 
     # ------------------------------------------------------------------
 

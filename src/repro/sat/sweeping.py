@@ -325,22 +325,16 @@ class SatSweepChecker:
         deadline: Optional[float] = None,
     ) -> SolveStatus:
         """One equivalence query: SAT ⇔ the pair differs on some pattern."""
-        sol_a = cnf.literal(lit_a)
-        sol_b = cnf.literal(lit_b)
-        selector = solver.new_var()
-        sel = selector << 1
-        solver.add_clause([sel ^ 1, sol_a, sol_b])
-        solver.add_clause([sel ^ 1, sol_a ^ 1, sol_b ^ 1])
+        sel, sol_a, sol_b = cnf.open_pair_query(lit_a, lit_b)
         status = solver.solve(
             assumptions=[sel],
             conflict_limit=self.conflict_limit,
             deadline=deadline,
         )
-        solver.add_clause([sel ^ 1])  # retire the query
+        cnf.retire_query(sel)
         if status is SolveStatus.UNSAT:
             # Assert the proved equivalence so later queries benefit.
-            solver.add_clause([sol_a, sol_b ^ 1])
-            solver.add_clause([sol_a ^ 1, sol_b])
+            cnf.assert_equal(sol_a, sol_b)
         return status
 
     def _prove_outputs(

@@ -1,0 +1,367 @@
+"""The adaptive per-pair scheduler (``--sched auto``).
+
+Replaces the fixed pair pipeline of the residual-SAT stage with
+feature-based dispatch: every candidate pair of every refinement round
+is scored against four lanes — exhaustive-simulation window, cut-based
+local check, size-limited BDD, batched incremental SAT — and routed to
+the predicted-cheapest one.  Lane latencies feed back into the
+:class:`~repro.sched.cost.CostModel` (ε-greedy, misprediction
+penalties), so the routing adapts to the workload within a run, and —
+in the serve daemon — across the jobs of one tenant.
+
+Correctness does not depend on the model: lanes only ever *prove* or
+*refute* with sound certificates (full-support windows, canonical BDDs,
+exact SAT), anything a lane cannot settle reroutes to the batched SAT
+backstop, and the final PO proof always runs at the full conflict
+limit.  A bad cost model costs time, never the verdict.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.aig.literals import lit
+from repro.aig.miter import build_miter, miter_is_trivially_unsat
+from repro.aig.network import Aig
+from repro.aig.transform import cleanup
+from repro.cache.knowledge import SweepCache
+from repro.obs import get_tracer
+from repro.sat.sweeping import _po_disproof
+from repro.sched.cost import LANES, CostModel
+from repro.sched.features import FeatureExtractor
+from repro.sched.lanes import (
+    BddLane,
+    CutLane,
+    LaneOutcome,
+    RoundContext,
+    RoutedPair,
+    SatBatchLane,
+    SimLane,
+    _expired,
+    prove_pos_batched,
+)
+from repro.simulation.exhaustive import ExhaustiveSimulator
+from repro.sweep.classes import SimulationState
+from repro.sweep.config import EngineConfig
+from repro.sweep.engine import CecResult, CecStatus
+from repro.sweep.report import EngineReport, PhaseRecord, PhaseTimer
+from repro.sweep.state import SweepState
+
+
+class AdaptiveSweeper:
+    """Cost-model-dispatched sweeping over a (residual) miter.
+
+    Drop-in peer of :class:`~repro.sat.sweeping.SatSweepChecker`: same
+    ``check_miter(miter, state)`` contract, same state-adoption rules,
+    same UNDECIDED hand-back shape — but each candidate pair goes to
+    whichever engine the cost model predicts is cheapest for it.
+
+    Parameters
+    ----------
+    config:
+        Engine knobs reused by the lanes (``k_g`` caps the sim windows,
+        ``k_l``/``C`` drive the cut lane, the memory budget bounds the
+        simulator).
+    conflict_limit:
+        Full SAT budget for the final PO proof; the per-pair batched
+        budgets are derived from it (an order of magnitude smaller).
+    cost_model:
+        Optional externally-owned model; the serve pool passes one per
+        tenant so calibration survives across jobs.  A fresh model is
+        seeded deterministically otherwise.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        conflict_limit: int = 100_000,
+        time_limit: Optional[float] = None,
+        max_rounds: int = 16,
+        cache: Optional[SweepCache] = None,
+        cost_model: Optional[CostModel] = None,
+        bdd_node_limit: int = 50_000,
+        chunk_size: int = 64,
+        sat_round_seconds: float = 1.0,
+    ) -> None:
+        self.config = config if config is not None else EngineConfig()
+        self.conflict_limit = conflict_limit
+        self.time_limit = time_limit
+        self.max_rounds = max_rounds
+        self.cache = cache
+        self.model = (
+            cost_model
+            if cost_model is not None
+            else CostModel(seed=self.config.seed, sim_cap=self.config.k_g)
+        )
+        self.simulator = ExhaustiveSimulator(
+            memory_budget_words=self.config.memory_budget_words
+        )
+        self.lanes = {
+            "sim": SimLane(self.config),
+            "cut": CutLane(self.config),
+            "bdd": BddLane(node_limit=bdd_node_limit),
+            "sat": SatBatchLane(
+                conflict_budget=max(200, conflict_limit // 100)
+            ),
+        }
+        self.chunk_size = max(1, chunk_size)
+        #: Wall-clock slice the in-round SAT batch may spend per round.
+        #: Small on purpose: merges from the cheap lanes shrink supports
+        #: between rounds, turning SAT-only pairs into sim/cut/BDD pairs
+        #: — solving them *now* at seconds each would buy nothing.
+        self.sat_round_seconds = sat_round_seconds
+        #: Full-budget drain for stalled rounds (the fixed pipeline's
+        #: SAT sweep, paid only when every cheaper avenue is dry).
+        self._drain_lane = SatBatchLane(conflict_budget=conflict_limit)
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+
+    def check(self, aig_a: Aig, aig_b: Aig) -> CecResult:
+        """Check two networks for equivalence (builds the miter)."""
+        return self.check_miter(build_miter(aig_a, aig_b))
+
+    def check_miter(
+        self,
+        miter: Aig,
+        state: Optional[Union[SimulationState, SweepState]] = None,
+    ) -> CecResult:
+        """Run the adaptive sweep on a miter.
+
+        ``state`` follows the same EC-transfer contract as the SAT
+        checker: a matching :class:`SweepState` is adopted verbatim
+        (signatures, classes and cache fingerprints carried in place), a
+        pattern pool is adopted into a fresh state.
+        """
+        start = time.perf_counter()
+        report = EngineReport(initial_ands=miter.num_ands)
+        record = PhaseRecord("SCHED")
+        sweep = self._adopt_state(miter, state)
+        cache_snapshot = (
+            self.cache.snapshot() if self.cache is not None else None
+        )
+        tracer = get_tracer()
+        metrics = tracer.metrics
+        # Pre-register the dispatch counters so a traced run exports
+        # every lane (and the misprediction count) even when zero.
+        for lane in LANES:
+            metrics.counter_add(f"sched.dispatch.{lane}", 0)
+        metrics.counter_add("sched.mispredict", 0)
+        metrics.counter_add("sat.batch.pairs", 0)
+        metrics.counter_add("sat.batch.solves", 0)
+
+        def finish(result: CecResult) -> CecResult:
+            record.miter_ands_after = (
+                result.reduced_miter.num_ands if result.reduced_miter else 0
+            )
+            report.final_ands = record.miter_ands_after
+            report.phases.append(record)
+            report.total_seconds = time.perf_counter() - start
+            if self.cache is not None:
+                self.cache.flush()
+                report.cache = self.cache.counters.diff(cache_snapshot)
+            if tracer.enabled:
+                report.metrics = tracer.metrics.as_dict()
+            result.report = report
+            return result
+
+        deadline = (
+            start + self.time_limit if self.time_limit is not None else None
+        )
+        with tracer.span(
+            "sched.check_miter",
+            category="sched",
+            initial_ands=sweep.network().num_ands,
+        ), PhaseTimer(record):
+            result = self._sweep(sweep, record, deadline)
+        return finish(result)
+
+    # ------------------------------------------------------------------
+
+    def _adopt_state(
+        self,
+        miter: Aig,
+        state: Optional[Union[SimulationState, SweepState]],
+    ) -> SweepState:
+        if isinstance(state, SweepState) and state.matches(miter):
+            metrics = get_tracer().metrics
+            metrics.counter_add("sched.state_adopted")
+            return state
+        sweep = SweepState(
+            cleanup(miter),
+            num_random_words=self.config.num_random_words,
+            seed=self.config.seed,
+        )
+        if state is not None and state.num_pis == sweep.num_pis:
+            pool = state.pool() if isinstance(state, SweepState) else state
+            sweep.adopt_pool(pool)
+        return sweep
+
+    # ------------------------------------------------------------------
+
+    def _sweep(
+        self,
+        sweep: SweepState,
+        record: PhaseRecord,
+        deadline: Optional[float],
+    ) -> CecResult:
+        miter = sweep.network()
+        if miter_is_trivially_unsat(miter):
+            return CecResult(CecStatus.EQUIVALENT)
+        if any(po == 1 for po in miter.pos):
+            return CecResult(CecStatus.NONEQUIVALENT, cex=[0] * miter.num_pis)
+
+        metrics = get_tracer().metrics
+        model = self.model
+        for _ in range(self.max_rounds):
+            miter = sweep.network()
+            if _expired(deadline):
+                return CecResult(
+                    CecStatus.UNDECIDED, reduced_miter=miter, sim_state=sweep
+                )
+            tables = sweep.tables()
+            disproof = _po_disproof(miter, sweep, tables)
+            if disproof is not None:
+                return disproof
+            classes = sweep.classes(tables=tables)
+            pairs = [
+                (r, n, phase)
+                for r, n, phase in classes.all_pairs()
+                if miter.is_and(n) or miter.is_pi(n)
+            ]
+            if not pairs:
+                break
+            record.candidates += len(pairs)
+            bound = sweep.bound_cache(self.cache)
+            extractor = FeatureExtractor(
+                sweep, cap=max(self.config.k_g, model.bdd_cap)
+            )
+            class_sizes = extractor.class_sizes(classes)
+            merges: Dict[int, Tuple[int, int]] = {}
+            cex_patterns: List[List[int]] = []
+            ctx = RoundContext(
+                state=sweep,
+                miter=miter,
+                simulator=self.simulator,
+                bound=bound,
+                deadline=deadline,
+            )
+            tracer = get_tracer()
+            # Route in chunks: lane feedback from early chunks steers
+            # the routing of later ones, so a cold model recovers from a
+            # bad seed *within* the first round instead of after it.
+            # SAT reroutes accumulate across chunks and solve as one
+            # batch on a single shared solver at the end of the round.
+            sat_pending: List[RoutedPair] = []
+            for chunk_start in range(0, len(pairs), self.chunk_size):
+                chunk = pairs[chunk_start:chunk_start + self.chunk_size]
+                routed: Dict[str, List[RoutedPair]] = {
+                    lane: [] for lane in LANES
+                }
+                for repr_node, node, phase in chunk:
+                    # Cache-hit fingerprint: a cached verdict is the
+                    # cheapest lane of all — short-circuit before
+                    # scoring anything.
+                    if bound is not None:
+                        known = bound.lookup_pair(
+                            lit(repr_node), lit(node, phase),
+                            want_inconclusive=False,
+                        )
+                        if known is not None:
+                            if known.is_equivalent:
+                                merges[node] = (repr_node, phase)
+                                continue
+                            if known.is_nonequivalent:
+                                cex_patterns.append(known.cex)
+                                continue
+                    features = extractor.pair(
+                        repr_node, node, class_sizes.get(node, 2)
+                    )
+                    lane = model.choose(features)
+                    metrics.counter_add(f"sched.dispatch.{lane}")
+                    routed[lane].append(
+                        RoutedPair(repr_node, node, phase, features)
+                    )
+                for lane_name in ("sim", "cut", "bdd"):
+                    lane_pairs = routed[lane_name]
+                    if not lane_pairs:
+                        continue
+                    with tracer.span(
+                        f"sched.lane.{lane_name}",
+                        category="sched",
+                        pairs=len(lane_pairs),
+                    ):
+                        outcome = self.lanes[lane_name].run(
+                            ctx, lane_pairs, model
+                        )
+                    merges.update(outcome.merges)
+                    cex_patterns.extend(outcome.cex_patterns)
+                    # Everything a lane could not settle falls through
+                    # to the batched SAT backstop of the same round.
+                    sat_pending.extend(outcome.unresolved)
+                sat_pending.extend(routed["sat"])
+            sat_unresolved: List[RoutedPair] = []
+            if sat_pending:
+                # Shallow cones first (they UNSAT in milliseconds), and
+                # only a bounded wall-clock slice: anything the slice
+                # cannot settle stays in its class — the next round's
+                # merges may shrink it into a cheap lane's reach.
+                sat_pending.sort(key=lambda rp: rp.features.level)
+                slice_deadline = time.perf_counter() + self.sat_round_seconds
+                if deadline is not None:
+                    slice_deadline = min(slice_deadline, deadline)
+                sat_ctx = RoundContext(
+                    state=sweep,
+                    miter=miter,
+                    simulator=self.simulator,
+                    bound=bound,
+                    deadline=slice_deadline,
+                )
+                with tracer.span(
+                    "sched.lane.sat", category="sched",
+                    pairs=len(sat_pending),
+                ):
+                    outcome = self.lanes["sat"].run(
+                        sat_ctx, sat_pending, model
+                    )
+                merges.update(outcome.merges)
+                cex_patterns.extend(outcome.cex_patterns)
+                sat_unresolved = outcome.unresolved
+            record.proved += len(merges)
+            record.cex += len(cex_patterns)
+            self.rounds += 1
+            if not merges and not cex_patterns and sat_unresolved:
+                # Stalled: the cheap lanes are dry and the SAT slice
+                # settled nothing.  Pay the fixed pipeline's price once
+                # — a full-budget batched sweep over the survivors —
+                # under the overall deadline only.
+                with tracer.span(
+                    "sched.lane.sat_drain", category="sched",
+                    pairs=len(sat_unresolved),
+                ):
+                    outcome = self._drain_lane.run(
+                        ctx, sat_unresolved, model
+                    )
+                merges.update(outcome.merges)
+                cex_patterns.extend(outcome.cex_patterns)
+                record.proved += len(outcome.merges)
+                record.cex += len(outcome.cex_patterns)
+            if cex_patterns:
+                sweep.add_cex_patterns(cex_patterns)
+            if merges:
+                sweep.apply_merges(merges)
+            if miter_is_trivially_unsat(sweep.network()):
+                return CecResult(CecStatus.EQUIVALENT)
+            if _expired(deadline):
+                return CecResult(
+                    CecStatus.UNDECIDED,
+                    reduced_miter=sweep.network(),
+                    sim_state=sweep,
+                )
+            if not merges and not cex_patterns:
+                break
+
+        return prove_pos_batched(
+            sweep, self.cache, self.conflict_limit, deadline, record
+        )

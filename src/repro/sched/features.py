@@ -1,0 +1,90 @@
+"""Cheap per-pair features off the live :class:`~repro.sweep.state.SweepState`.
+
+The dispatcher needs to predict, *before* running anything, how much
+each lane would cost on a candidate pair.  Everything here is either a
+per-round linear pass (capped supports, levels — memoised on the state
+against the current network) or an O(1) per-pair lookup, so feature
+extraction never competes with the engines it is scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from repro.sweep.state import SweepState
+
+
+@dataclass(frozen=True)
+class PairFeatures:
+    """Dispatch features of one candidate pair.
+
+    ``union_size`` is ``-1`` when either side's structural support blew
+    the extraction cap (the pair is then infeasible for the exhaustive
+    simulation lane).  ``agreement_words`` is the signature agreement
+    depth: the number of 64-bit pool words on which the pair's class has
+    survived refinement so far — deeper agreement means the pair is more
+    likely equivalent, which favours proving lanes over refuting ones.
+    """
+
+    support_a: int
+    support_b: int
+    union_size: int
+    level: int
+    class_size: int
+    agreement_words: int
+    node_is_and: bool
+    #: The actual union support, carried so the sim lane can build its
+    #: window without recomputing it (``None`` when capped).
+    union_support: Optional[FrozenSet[int]] = None
+
+
+class FeatureExtractor:
+    """Per-round feature tables for one dispatch round.
+
+    Construct once per round (the support/level arrays are memoised on
+    the state, so even that is usually a dictionary hit), then call
+    :meth:`pair` per candidate pair.
+    """
+
+    def __init__(self, state: SweepState, cap: int) -> None:
+        self.state = state
+        self.cap = cap
+        self.miter = state.network()
+        self.supports = state.support_sets(cap)
+        self.levels = state.levels().tolist()
+        self.agreement_words = state.agreement_words
+
+    def class_sizes(self, classes) -> Dict[int, int]:
+        """Map every class member to its class size (one pass)."""
+        sizes: Dict[int, int] = {}
+        for eq_class in classes:
+            size = len(eq_class.members)
+            for member in eq_class.members:
+                sizes[member] = size
+        return sizes
+
+    def pair(
+        self,
+        repr_node: int,
+        node: int,
+        class_size: int,
+    ) -> PairFeatures:
+        """Features of one ``(representative, node)`` candidate pair."""
+        supp_r = self.supports[repr_node]
+        supp_n = self.supports[node]
+        union: Optional[FrozenSet[int]] = None
+        if supp_r is not None and supp_n is not None:
+            union = frozenset(supp_r | supp_n)
+        level_r = self.levels[repr_node]
+        level_n = self.levels[node]
+        return PairFeatures(
+            support_a=len(supp_r) if supp_r is not None else -1,
+            support_b=len(supp_n) if supp_n is not None else -1,
+            union_size=len(union) if union is not None else -1,
+            level=max(level_r, level_n),
+            class_size=class_size,
+            agreement_words=self.agreement_words,
+            node_is_and=self.miter.is_and(node),
+            union_support=union,
+        )

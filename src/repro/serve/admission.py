@@ -4,18 +4,21 @@ The daemon must degrade predictably under overload: rather than letting
 an unbounded queue eat memory and stretch every caller's latency, the
 :class:`AdmissionController` caps the number of jobs in flight and
 rejects the excess *at the front door* with a structured ``busy``
-response the client can retry on.  Shutdown is a two-step drain:
-``begin_drain`` stops admissions while in-flight jobs finish, ``stop``
-ends the lifecycle once the daemon is down.
+response the client can retry on.  A per-tenant quota additionally stops
+one noisy tenant from monopolising the shared budget: its submissions
+are rejected with a ``quota`` code while other tenants keep flowing.
+Shutdown is a two-step drain: ``begin_drain`` stops admissions while
+in-flight jobs finish, ``stop`` ends the lifecycle once the daemon is
+down.
 
-The controller is deliberately synchronous-and-dumb (a counter and a
+The controller is deliberately synchronous-and-dumb (counters and a
 state enum behind the caller's single asyncio thread); the interesting
 policy — what to reject and what to queue — stays in one place.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 __all__ = ["AdmissionController", "AdmissionError"]
 
@@ -43,28 +46,52 @@ class AdmissionController:
     max_batch:
         Upper bound on one submission's job count — a single giant batch
         must not monopolise the whole admission budget.
+    tenant_quota:
+        Optional upper bound on one tenant's in-flight jobs.  ``None``
+        (the default) disables per-tenant accounting entirely.
+        Admissions that would push any tenant past the quota fail with a
+        ``quota`` code — and reject the whole batch, so a submission is
+        never half-admitted.
     """
 
-    def __init__(self, max_pending: int = 64, max_batch: int = 16) -> None:
+    def __init__(
+        self,
+        max_pending: int = 64,
+        max_batch: int = 16,
+        tenant_quota: Optional[int] = None,
+    ) -> None:
         if max_pending < 1 or max_batch < 1:
             raise ValueError("max_pending and max_batch must be positive")
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ValueError("tenant_quota must be positive (or None)")
         self.max_pending = max_pending
         self.max_batch = max_batch
+        self.tenant_quota = tenant_quota
         self.state = ACCEPTING
         self.pending = 0
+        #: In-flight jobs per tenant (tracked only with a quota set).
+        self.tenant_pending: Dict[str, int] = {}
         #: Totals for the stats endpoint.
         self.admitted = 0
         self.rejected = 0
 
     # ------------------------------------------------------------------
 
-    def try_admit(self, count: int) -> None:
+    def try_admit(
+        self, count: int, tenants: Optional[Dict[str, int]] = None
+    ) -> None:
         """Admit ``count`` jobs or raise :class:`AdmissionError`.
 
+        ``tenants`` maps tenant name → how many of the batch's jobs
+        belong to it (required for quota enforcement; ignored when no
+        quota is configured).  All checks run before any state is
+        committed, so a rejected batch leaves the accounting untouched.
+
         Raises ``draining``/``stopped`` during shutdown, ``batch`` for
-        oversized submissions, and ``busy`` when the in-flight budget is
+        oversized submissions, ``busy`` when the in-flight budget is
         exhausted (the backpressure signal — clients should retry with
-        backoff).
+        backoff), and ``quota`` when one tenant would exceed its
+        per-tenant allowance (other tenants are unaffected).
         """
         if self.state != ACCEPTING:
             self.rejected += count
@@ -86,12 +113,34 @@ class AdmissionController:
                 f"{self.pending} jobs in flight, admitting {count} would "
                 f"exceed max_pending ({self.max_pending}); retry later",
             )
+        if self.tenant_quota is not None and tenants:
+            for tenant, tenant_count in tenants.items():
+                in_flight = self.tenant_pending.get(tenant, 0)
+                if in_flight + tenant_count > self.tenant_quota:
+                    self.rejected += count
+                    raise AdmissionError(
+                        "quota",
+                        f"tenant {tenant!r} has {in_flight} jobs in "
+                        f"flight; admitting {tenant_count} more would "
+                        f"exceed its quota ({self.tenant_quota})",
+                    )
         self.pending += count
         self.admitted += count
+        if self.tenant_quota is not None and tenants:
+            for tenant, tenant_count in tenants.items():
+                self.tenant_pending[tenant] = (
+                    self.tenant_pending.get(tenant, 0) + tenant_count
+                )
 
-    def release(self, count: int = 1) -> None:
+    def release(self, count: int = 1, tenant: Optional[str] = None) -> None:
         """Return completed (or failed) jobs to the admission budget."""
         self.pending = max(0, self.pending - count)
+        if tenant is not None and tenant in self.tenant_pending:
+            remaining = self.tenant_pending[tenant] - count
+            if remaining > 0:
+                self.tenant_pending[tenant] = remaining
+            else:
+                del self.tenant_pending[tenant]
 
     # ------------------------------------------------------------------
 
@@ -109,7 +158,7 @@ class AdmissionController:
         return self.pending == 0
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "state": self.state,
             "pending": self.pending,
             "max_pending": self.max_pending,
@@ -117,3 +166,7 @@ class AdmissionController:
             "admitted": self.admitted,
             "rejected": self.rejected,
         }
+        if self.tenant_quota is not None:
+            payload["tenant_quota"] = self.tenant_quota
+            payload["tenant_pending"] = dict(self.tenant_pending)
+        return payload

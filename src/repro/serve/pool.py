@@ -211,6 +211,10 @@ def _serve_worker_main(
         )
     caches: Dict[Tuple[str, int], SweepCache] = {}
     pools: Dict[Tuple, SharedPool] = {}
+    # Per-tenant adaptive-scheduler cost models: lane latency histograms
+    # calibrated on one tenant's workload stay warm across its jobs, so
+    # repeat submissions dispatch with a trained model from pair one.
+    cost_models: Dict[str, object] = {}
     jobs_done = 0
     try:
         while True:
@@ -239,8 +243,18 @@ def _serve_worker_main(
                     pools, shipped_pool, spec, miter.num_pis
                 )
                 snapshot = cache.snapshot() if cache is not None else None
+                cost_model = None
+                if spec[0] == "combined":
+                    from repro.sched import CostModel
+
+                    tenant = message.get("tenant", DEFAULT_TENANT)
+                    cost_model = cost_models.get(tenant)
+                    if cost_model is None:
+                        cost_model = CostModel()
+                        cost_models[tenant] = cost_model
                 checker = build_checker(
-                    spec, cache=cache, initial_pool=pool
+                    spec, cache=cache, initial_pool=pool,
+                    cost_model=cost_model,
                 )
                 with get_tracer().span(
                     "serve.job", category="serve", job=job_id, engine=spec[0]
@@ -472,6 +486,7 @@ class WorkerPool:
             "job": job_id,
             "spec": (job.engine, dict(job.engine_kwargs)),
             "cache": self.tenants.worker_config(job.tenant),
+            "tenant": job.tenant,
         }
         descriptor = None
         if self.registry is not None:

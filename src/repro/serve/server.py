@@ -81,6 +81,7 @@ class CecServer:
         shards: int = 4,
         max_pending: int = 64,
         max_batch: int = 16,
+        tenant_quota: Optional[int] = None,
         job_deadline: Optional[float] = None,
         trace: bool = False,
         use_shm: Optional[bool] = None,
@@ -92,7 +93,9 @@ class CecServer:
             set_tracer(Tracer(process_name="cec-serve"))
         self.tenants = TenantManager(cache_root, shards=shards)
         self.admission = AdmissionController(
-            max_pending=max_pending, max_batch=max_batch
+            max_pending=max_pending,
+            max_batch=max_batch,
+            tenant_quota=tenant_quota,
         )
         self.pool = WorkerPool(
             workers=workers,
@@ -105,6 +108,8 @@ class CecServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._pump_task: Optional[asyncio.Task] = None
         self._futures: Dict[int, asyncio.Future] = {}
+        #: job id → tenant, so completions release the right quota slot.
+        self._job_tenants: Dict[int, str] = {}
         self._stopping = asyncio.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
 
@@ -184,7 +189,9 @@ class CecServer:
         while True:
             results = await loop.run_in_executor(None, self.pool.poll, 0.2)
             for result in results:
-                self.admission.release()
+                self.admission.release(
+                    tenant=self._job_tenants.pop(result.job_id, None)
+                )
                 future = self._futures.pop(result.job_id, None)
                 if future is not None and not future.done():
                     future.set_result(result)
@@ -255,14 +262,18 @@ class CecServer:
             jobs = [self._decode_job(entry, tenant) for entry in jobs_wire]
         except (ProtocolError, TenantError, TypeError, ValueError) as error:
             return {"ok": False, "error": "job", "detail": str(error)}
+        tenant_counts: Dict[str, int] = {}
+        for job in jobs:
+            tenant_counts[job.tenant] = tenant_counts.get(job.tenant, 0) + 1
         try:
-            self.admission.try_admit(len(jobs))
+            self.admission.try_admit(len(jobs), tenants=tenant_counts)
         except AdmissionError as error:
             return {"ok": False, "error": error.code, "detail": str(error)}
         futures: List[asyncio.Future] = []
         try:
             for job in jobs:
                 job_id = self.pool.submit(job)
+                self._job_tenants[job_id] = job.tenant
                 future = self._loop.create_future()
                 self._futures[job_id] = future
                 existing = self.pool.take_result(job_id)
@@ -274,7 +285,8 @@ class CecServer:
         except Exception as error:
             # Give back the admissions that will never produce results —
             # a leaked slot would wedge the shutdown drain.
-            self.admission.release(len(jobs) - len(futures))
+            for job in jobs[len(futures):]:
+                self.admission.release(tenant=job.tenant)
             return {"ok": False, "error": "job", "detail": repr(error)}
         results = await asyncio.gather(*futures)
         return {

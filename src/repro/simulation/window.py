@@ -109,6 +109,30 @@ def build_window(
     )
 
 
+def build_pair_window(
+    aig: Aig,
+    inputs: Sequence[int],
+    lit_a: int,
+    lit_b: int,
+    phase_or_tag: int = -1,
+) -> Window:
+    """Window resolving one candidate pair over ``inputs``.
+
+    Convenience wrapper shared by the global phase and the scheduler's
+    exhaustive-simulation lane: the roots are the pair's nodes minus the
+    constant and anything already among the inputs, and the single
+    :class:`Pair` is tagged with ``phase_or_tag`` (callers usually pass
+    the non-representative node id).
+    """
+    input_set = set(inputs)
+    roots = [
+        x for x in (lit_a >> 1, lit_b >> 1) if x != 0 and x not in input_set
+    ]
+    return build_window(
+        aig, inputs, roots, pairs=[Pair(lit_a, lit_b, tag=phase_or_tag)]
+    )
+
+
 def window_local_levels(aig: Aig, window: Window) -> np.ndarray:
     """Topological levels of the window nodes, inputs at level zero.
 

@@ -45,7 +45,12 @@ from repro.simulation.exhaustive import (
     PairStatus,
 )
 from repro.simulation.merging import merge_windows
-from repro.simulation.window import Pair, Window, build_window
+from repro.simulation.window import (
+    Pair,
+    Window,
+    build_pair_window,
+    build_window,
+)
 from repro.sweep.classes import SharedPool, SimulationState
 from repro.sweep.config import EngineConfig
 from repro.sweep.state import SweepState
@@ -233,9 +238,14 @@ class SimSweepEngine:
         if miter_is_trivially_unsat(state.network()):
             return finish(CecResult(CecStatus.EQUIVALENT))
         if stop_after == "P":
+            # Carry the state: the adaptive scheduler (and the Fig. 7
+            # experiment's downstream engines) resume from the P-phase
+            # pool and classes instead of re-simulating.
             return finish(
                 CecResult(
-                    CecStatus.UNDECIDED, reduced_miter=state.network()
+                    CecStatus.UNDECIDED,
+                    reduced_miter=state.network(),
+                    sim_state=state,
                 )
             )
 
@@ -453,15 +463,13 @@ class SimSweepEngine:
             if len(union) > cfg.k_g:
                 continue
             record.candidates += 1
-            roots = [
-                x for x in (repr_node, node) if x != 0 and x not in union
-            ]
             windows.append(
-                build_window(
+                build_pair_window(
                     miter,
                     sorted(union),
-                    roots=roots,
-                    pairs=[Pair(lit(repr_node), lit(node, phase), tag=node)],
+                    lit(repr_node),
+                    lit(node, phase),
+                    node,
                 )
             )
         if not windows and not merges and not cex_patterns:

@@ -106,6 +106,12 @@ class SweepState:
         #: nodes (a :meth:`replace_network` restructure severs the link).
         self.origin_valid = True
         self.rebuilds = 0
+        #: Feature memos for the adaptive scheduler (supports / levels of
+        #: the *current* network; recomputed when the network changes).
+        self._feature_net: Optional[Aig] = None
+        self._feature_cap = -1
+        self._feature_supports: Optional[list] = None
+        self._feature_levels: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Pattern pool (SimulationState surface)
@@ -150,6 +156,52 @@ class SweepState:
     def num_patterns(self) -> int:
         """Total simulation patterns in the pool (64 per word)."""
         return self._pool().num_patterns
+
+    # ------------------------------------------------------------------
+    # Feature extraction (the adaptive scheduler's dispatch hook)
+    # ------------------------------------------------------------------
+
+    def support_sets(self, cap: int) -> list:
+        """Capped structural supports of the current network, memoised.
+
+        Same contract as :func:`repro.aig.traversal.supports_capped`
+        (frozenset per node, ``None`` above ``cap``), but cached against
+        the live network so the scheduler's per-round feature extraction
+        pays the linear pass once per reduction instead of once per
+        round.
+        """
+        if (
+            self._feature_supports is None
+            or self._feature_net is not self._aig
+            or self._feature_cap != cap
+        ):
+            from repro.aig.traversal import supports_capped
+
+            self._feature_supports = supports_capped(self._aig, cap)
+            self._feature_levels = None
+            self._feature_net = self._aig
+            self._feature_cap = cap
+        return self._feature_supports
+
+    def levels(self) -> np.ndarray:
+        """Per-node AIG levels of the current network, memoised."""
+        if self._feature_levels is None or self._feature_net is not self._aig:
+            self._feature_levels = self._aig.levels()
+            if self._feature_net is not self._aig:
+                self._feature_supports = None
+                self._feature_cap = -1
+            self._feature_net = self._aig
+        return self._feature_levels
+
+    @property
+    def agreement_words(self) -> int:
+        """Signature agreement depth of the current classes, in words.
+
+        Same-class pairs agree on *every* pool signature, so the pool
+        width is the depth to which their conjectured equivalence has
+        survived simulation — a confidence feature for the scheduler.
+        """
+        return int(self.pi_words.shape[1])
 
     @property
     def num_cex(self) -> int:
@@ -646,6 +698,10 @@ class SweepState:
         # process-local resources, so neither crosses the wire.
         self._tables = None
         self._classes = None
+        self._feature_net = None
+        self._feature_cap = -1
+        self._feature_supports = None
+        self._feature_levels = None
         self._classes_words = -1
         self._salt = None
         self._bound = None

@@ -256,8 +256,67 @@ def test_histogram_summary_statistics():
     assert hist.total == pytest.approx(6.0)
     assert hist.vmin == 0.0
     assert hist.vmax == 4.0
-    assert hist.mean == pytest.approx(1.5)
+    assert hist.mean() == pytest.approx(1.5)
     assert sum(hist.buckets.values()) == 4
+
+
+def test_histogram_quantile_bounds_and_order():
+    hist = Histogram()
+    assert hist.quantile(0.5) == 0.0  # empty histogram
+    for v in (0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4, 12.8):
+        hist.observe(v)
+    assert hist.quantile(0.0) == pytest.approx(0.1)
+    assert hist.quantile(1.0) == pytest.approx(12.8, rel=0.5)
+    p50 = hist.quantile(0.5)
+    p90 = hist.quantile(0.9)
+    assert hist.vmin <= p50 <= p90 <= hist.vmax
+    # Each estimate must land within a factor of two of the exact value
+    # (the bucket width bounds the error).
+    assert 0.4 / 2 <= p50 <= 0.8 * 2
+    assert 6.4 / 2 <= p90 <= 12.8 * 2
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_histogram_quantile_single_value_is_exact():
+    hist = Histogram()
+    for _ in range(10):
+        hist.observe(3.0)
+    # min/max clamping collapses the bucket estimate onto the true value.
+    assert hist.quantile(0.5) == pytest.approx(3.0)
+    assert hist.mean() == pytest.approx(3.0)
+
+
+def test_histogram_quantile_zero_sentinel_bucket():
+    hist = Histogram()
+    for _ in range(8):
+        hist.observe(0.0)
+    hist.observe(4.0)
+    assert hist.quantile(0.5) == 0.0
+    assert hist.quantile(1.0) == 4.0
+
+
+def test_histogram_quantile_and_mean_after_merge():
+    a = Histogram()
+    b = Histogram()
+    values_a = [0.25, 0.5, 1.0, 2.0]
+    values_b = [4.0, 8.0, 16.0, 32.0]
+    for v in values_a:
+        a.observe(v)
+    for v in values_b:
+        b.observe(v)
+    a.merge_dict(b.as_dict())
+    everything = sorted(values_a + values_b)
+    assert a.count == len(everything)
+    assert a.mean() == pytest.approx(sum(everything) / len(everything))
+    # The merged quantiles must match a histogram built from the union
+    # stream exactly — bucket counts and min/max merge losslessly.
+    union = Histogram()
+    for v in everything:
+        union.observe(v)
+    for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+        assert a.quantile(q) == pytest.approx(union.quantile(q))
+    assert a.vmin == 0.25 and a.vmax == 32.0
 
 
 def test_registry_round_trip_and_merge():
@@ -451,3 +510,51 @@ def test_check_trace_require_rebuild(tmp_path):
     assert counters.get("state.carried_words", 0) > counters.get(
         "state.recomputed_words", 0
     )
+
+
+def test_check_trace_require_sched(tmp_path):
+    check_trace = _load_check_trace()
+
+    def counter(name, value):
+        return {"name": name, "ph": "C", "pid": 1, "tid": 0, "ts": 1.0,
+                "args": {"value": value}}
+
+    span = {"name": "x", "ph": "X", "pid": 1, "tid": 0, "ts": 1.0,
+            "dur": 2.0, "cat": "c"}
+    # No sched counters at all: rejected.
+    assert check_trace.validate_trace(
+        {"traceEvents": [span]}, require_sched=True
+    ) != []
+    # All lanes present but SAT queries were not batched: rejected.
+    unbatched = {
+        "traceEvents": [span]
+        + [counter(f"sched.dispatch.{lane}", 1)
+           for lane in ("sim", "cut", "bdd", "sat")]
+        + [counter("sched.mispredict", 0),
+           counter("sat.batch.pairs", 3), counter("sat.batch.solves", 3)]
+    }
+    assert check_trace.validate_trace(unbatched, require_sched=True) != []
+    batched = {
+        "traceEvents": [span]
+        + [counter(f"sched.dispatch.{lane}", 1)
+           for lane in ("sim", "cut", "bdd", "sat")]
+        + [counter("sched.mispredict", 2),
+           counter("sat.batch.pairs", 9), counter("sat.batch.solves", 2)]
+    }
+    assert check_trace.validate_trace(batched, require_sched=True) == []
+
+    # A real traced adaptive run validates end to end.
+    from repro.sched import AdaptiveSweeper
+    from repro.sweep.config import EngineConfig
+
+    a = gen.multiplier(4)
+    b = compress2(a)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        result = AdaptiveSweeper(EngineConfig.fast()).check(a, b)
+    assert result.is_equivalent
+    path = tracer.write(str(tmp_path / "sched_trace.json"))
+    errors = check_trace.validate_trace(
+        json.load(open(path)), require_sched=True
+    )
+    assert errors == []

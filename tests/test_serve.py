@@ -140,6 +140,41 @@ def test_admission_bounds_and_backpressure():
     assert admission.rejected >= 4
 
 
+def test_admission_tenant_quota_rejects_noisy_tenant():
+    admission = AdmissionController(
+        max_pending=16, max_batch=8, tenant_quota=2
+    )
+    admission.try_admit(2, tenants={"noisy": 2})
+    # The noisy tenant is full; a third job is rejected with 'quota'.
+    with pytest.raises(AdmissionError) as quota:
+        admission.try_admit(1, tenants={"noisy": 1})
+    assert quota.value.code == "quota"
+    # Other tenants are unaffected by the noisy one's rejection.
+    admission.try_admit(2, tenants={"quiet": 2})
+    # A mixed batch is all-or-nothing: nothing is admitted when one
+    # tenant in it would blow its quota.
+    pending_before = admission.pending
+    with pytest.raises(AdmissionError) as mixed:
+        admission.try_admit(2, tenants={"noisy": 1, "quiet": 1})
+    assert mixed.value.code == "quota"
+    assert admission.pending == pending_before
+    assert admission.tenant_pending == {"noisy": 2, "quiet": 2}
+    # Completions free the tenant's slots again.
+    admission.release(tenant="noisy")
+    admission.try_admit(1, tenants={"noisy": 1})
+    stats = admission.as_dict()
+    assert stats["tenant_quota"] == 2
+    assert stats["tenant_pending"]["noisy"] == 2
+
+
+def test_admission_without_quota_ignores_tenants():
+    admission = AdmissionController(max_pending=4, max_batch=4)
+    admission.try_admit(4, tenants={"one": 4})  # no quota → no cap
+    assert admission.tenant_pending == {}
+    assert "tenant_quota" not in admission.as_dict()
+    admission.release(4, tenant="one")  # harmless without accounting
+
+
 def test_admission_drain_and_stop_lifecycle():
     admission = AdmissionController()
     admission.try_admit(1)
@@ -396,6 +431,30 @@ def test_server_round_trip_matches_oneshot(daemon):
     assert stats["pool"]["respawns"] == 0
     assert stats["admission"]["admitted"] == 4
     assert stats["tenants"]["default"]["entries"] > 0
+
+
+def test_server_tenant_quota_rejects_before_pool(tmp_path):
+    """A quota rejection happens at the front door: structured 'quota'
+    error, nothing submitted to the worker pool."""
+    server = CecServer(
+        str(tmp_path / "quota.sock"),
+        workers=1,
+        tenant_quota=1,
+    )
+    entry = {"miter": aig_to_wire(_equivalent_miter(9))}
+
+    async def run():
+        server._loop = asyncio.get_running_loop()
+        return await server._handle_submit(
+            {"op": "submit", "jobs": [entry, entry], "tenant": "noisy"}
+        )
+
+    reply = asyncio.run(run())
+    assert reply["ok"] is False
+    assert reply["error"] == "quota"
+    assert "noisy" in reply["detail"]
+    assert not server.pool.started  # rejected before any worker spawned
+    assert server.admission.pending == 0
 
 
 def test_server_rejects_oversized_batches(daemon):

@@ -34,7 +34,13 @@ the rules below *are* the schema):
   (``shm.bytes_shared > ipc.bytes_pickled``), and the carry-over ratio
   held across the process boundary (``state.carried_words >
   state.recomputed_words`` in the *merged* counters — workers carried,
-  the parent adopted).
+  the parent adopted);
+- ``--require-sched``: the run must have gone through the adaptive
+  per-pair scheduler: every ``sched.dispatch.<lane>`` counter is
+  present (pre-registered at zero, so absence means the dispatcher
+  never ran), ``sched.mispredict`` is recorded, and the batched SAT
+  lane actually batched — ``sat.batch.pairs > sat.batch.solves`` with
+  at least one solve, i.e. many pairs shared each solver instance.
 
 Exit status: 0 when the trace validates, 1 otherwise (errors listed on
 stderr).
@@ -59,6 +65,9 @@ SHM_REQUIRED_COUNTERS = (
     "shm.bytes_shared",
 )
 
+#: The adaptive scheduler's dispatch lanes (``--require-sched``).
+SCHED_LANES = ("sim", "cut", "bdd", "sat")
+
 
 def validate_trace(
     payload: object,
@@ -66,6 +75,7 @@ def validate_trace(
     require_workers: int = 0,
     require_rebuild: bool = False,
     require_shm: bool = False,
+    require_sched: bool = False,
 ) -> List[str]:
     """Check one parsed trace payload; returns a list of error strings."""
     errors: List[str] = []
@@ -193,6 +203,35 @@ def validate_trace(
                 f"state.recomputed_words ({recomputed:.0f}): the carry-over "
                 "ratio did not hold across the process boundary"
             )
+
+    if require_sched:
+        for lane in SCHED_LANES:
+            counter = f"sched.dispatch.{lane}"
+            if counter not in counters:
+                errors.append(
+                    f"counter {counter!r} missing: the adaptive scheduler "
+                    "never exported its dispatch counters (counters are "
+                    "pre-registered at zero, so absence means the "
+                    "dispatcher never ran)"
+                )
+        if "sched.mispredict" not in counters:
+            errors.append(
+                "counter 'sched.mispredict' missing: the cost model's "
+                "feedback loop never reported"
+            )
+        pairs = counters.get("sat.batch.pairs", 0)
+        solves = counters.get("sat.batch.solves", 0)
+        if solves < 1:
+            errors.append(
+                "sat.batch.solves < 1: the batched SAT lane never solved "
+                "(the final PO proof alone should produce one batch)"
+            )
+        elif pairs <= solves:
+            errors.append(
+                f"sat.batch.pairs ({pairs:.0f}) <= sat.batch.solves "
+                f"({solves:.0f}): SAT queries were not batched — each "
+                "solver instance should serve many pairs"
+            )
     return errors
 
 
@@ -219,6 +258,12 @@ def main(argv=None) -> int:
         "segments, zero leaks, bytes_shared > bytes_pickled, carry-over "
         "held across processes)",
     )
+    parser.add_argument(
+        "--require-sched", action="store_true",
+        help="require adaptive-scheduler counters (all sched.dispatch.* "
+        "lanes present, sched.mispredict recorded, sat.batch.pairs > "
+        "sat.batch.solves)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -234,6 +279,7 @@ def main(argv=None) -> int:
         require_workers=args.require_workers,
         require_rebuild=args.require_rebuild,
         require_shm=args.require_shm,
+        require_sched=args.require_sched,
     )
     if errors:
         for error in errors:
