@@ -540,6 +540,7 @@ def run_serve(
             target=lambda: asyncio.run(server.serve_forever()), daemon=True
         )
         thread.start()
+        daemon_stats: Dict = {}
         try:
             with ServeClient(
                 socket_path, timeout=None, connect_retries=50
@@ -569,11 +570,18 @@ def run_serve(
                                 },
                             )
                         )
+                # Snapshot the daemon's own telemetry (respawns, SLO
+                # tallies, worker RSS) into the payload before the
+                # shutdown tears the pool down — ``check_bench`` gates
+                # on the respawn count staying at the baseline's zero.
+                daemon_stats = client.stats()
                 client.shutdown()
         finally:
             thread.join(timeout=30)
     if json_out is not None:
-        write_bench_json(json_out, "serve", rows)
+        write_bench_json(
+            json_out, "serve", rows, extra={"daemon": daemon_stats}
+        )
     return rows
 
 
@@ -701,13 +709,18 @@ def _sat_seconds(miter, conflict_limit: int, time_limit: Optional[float]):
     return time.perf_counter() - start
 
 
-def bench_payload(experiment: str, rows: Sequence) -> Dict:
+def bench_payload(
+    experiment: str, rows: Sequence, extra: Optional[Dict] = None
+) -> Dict:
     """Machine-readable payload for one experiment's rows.
 
     ``rows`` are the dataclass rows of the matching ``run_*`` function.
     Besides the per-row fields the payload carries the suite-level
     aggregates a CI job greps for: speed-up geomeans (Table II) and the
-    combined knowledge-cache counters with their hit rate.
+    combined knowledge-cache counters with their hit rate.  ``extra``
+    merges additional top-level sections into the payload — ``run_serve``
+    ships the daemon's final ``stats`` snapshot as ``daemon`` so the
+    regression gate can check respawn counts and SLO tallies.
     """
     serialized = []
     for row in rows:
@@ -758,10 +771,14 @@ def bench_payload(experiment: str, rows: Sequence) -> Dict:
         "counters": totals,
         "hit_rate": totals.get("hits", 0) / lookups if lookups else 0.0,
     }
+    if extra:
+        payload.update(extra)
     return payload
 
 
-def write_bench_json(path: str, experiment: str, rows: Sequence) -> str:
+def write_bench_json(
+    path: str, experiment: str, rows: Sequence, extra: Optional[Dict] = None
+) -> str:
     """Write ``bench_payload`` to disk; returns the path written.
 
     When ``path`` is a directory the file is named
@@ -771,7 +788,7 @@ def write_bench_json(path: str, experiment: str, rows: Sequence) -> str:
     """
     if os.path.isdir(path):
         path = os.path.join(path, f"BENCH_{experiment}.json")
-    payload = bench_payload(experiment, rows)
+    payload = bench_payload(experiment, rows, extra=extra)
     tmp_path = path + ".tmp"
     with open(tmp_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -22,6 +22,9 @@ Subcommands
 ``submit A.aig B.aig --socket PATH``
     Check a pair against a running daemon.  Repeatable pairs: pass
     ``--pair C.aig D.aig`` for each extra job in the batch.
+``top --socket PATH``
+    Live terminal view of a running daemon: worker health, per-tenant
+    SLO burn rates, admission totals.  ``--once`` for a single frame.
 
 Exit status for ``cec``: 0 equivalent, 1 nonequivalent, 2 undecided,
 3 when every portfolio engine failed.  ``submit`` uses the same codes
@@ -156,7 +159,7 @@ def cmd_cec(args: argparse.Namespace) -> int:
         sched=args.sched,
     )
     tracer: Optional[Tracer] = None
-    if args.trace or args.metrics:
+    if args.trace or args.metrics or args.prom:
         tracer = Tracer(process_name="cec")
         set_tracer(tracer)
     try:
@@ -199,6 +202,12 @@ def cmd_cec(args: argparse.Namespace) -> int:
             if args.trace:
                 tracer.write(args.trace)
                 log.info(f"trace written to {args.trace}")
+            if args.prom:
+                from repro.obs import encode_prometheus
+
+                with open(args.prom, "w", encoding="utf-8") as handle:
+                    handle.write(encode_prometheus(tracer.metrics))
+                log.info(f"prometheus metrics written to {args.prom}")
             set_tracer(None)
 
 
@@ -255,6 +264,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         job_deadline=args.job_deadline,
         trace=args.trace is not None,
         use_shm=False if args.no_shm else None,
+        metrics_port=args.metrics_port,
+        slo=args.slo,
+        postmortem_dir=args.postmortem_dir,
     )
 
     async def run() -> None:
@@ -269,6 +281,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"serving on {args.socket} with {args.workers} warm workers "
             f"(cache root: {args.cache_root or 'none'})"
         )
+        if server.metrics_port is not None:
+            log.info(
+                "prometheus scrape endpoint on "
+                f"http://127.0.0.1:{server.metrics_port}/metrics"
+            )
         await server.serve_forever()
 
     asyncio.run(run())
@@ -327,6 +344,40 @@ def cmd_submit(args: argparse.Namespace) -> int:
     return worst
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    import time as time_module
+
+    from repro.serve.client import ServeClient, ServeError
+    from repro.serve.telemetry import format_top
+
+    log = get_logger("top")
+    iterations = 1 if args.once else args.iterations
+    count = 0
+    try:
+        with ServeClient(
+            args.socket,
+            timeout=args.timeout,
+            connect_retries=args.connect_retries,
+        ) as client:
+            while iterations is None or count < iterations:
+                frame = format_top(client.stats())
+                if not args.raw:
+                    # ANSI clear + home — a plain repaint loop, no curses.
+                    sys.stdout.write("\x1b[2J\x1b[H")
+                sys.stdout.write(frame)
+                sys.stdout.flush()
+                count += 1
+                if iterations is not None and count >= iterations:
+                    break
+                time_module.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (ConnectionError, ServeError) as error:
+        log.error(str(error))
+        return 3
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="simulation-based parallel sweeping CEC"
@@ -368,6 +419,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print counters and histograms of the run to stdout",
     )
     cec.add_argument(
+        "--prom", metavar="FILE", default=None,
+        help="write the run's counters and histograms as Prometheus "
+        "text exposition to FILE (for textfile collectors / CI "
+        "artifacts)",
+    )
+    cec.add_argument(
         "--no-shm", action="store_true",
         help="disable the shared-memory data plane of the parallel "
         "engine (payloads cross the result queues pickled instead; "
@@ -377,6 +434,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-level", default=None, choices=list(LEVELS),
         help="stderr diagnostic verbosity (default: info with "
         "--verbose, warning otherwise)",
+    )
+    cec.add_argument(
+        "--log-json", action="store_true",
+        help="emit stderr diagnostics as one JSON object per line",
     )
     cec.set_defaults(func=cmd_cec)
 
@@ -440,8 +501,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE", default=None,
         help="write a merged daemon+worker Chrome trace on shutdown",
     )
+    serve.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus text on http://127.0.0.1:PORT/metrics "
+        "(0 binds an ephemeral port; omit to disable HTTP — the socket "
+        "'metrics' op is always available)",
+    )
+    serve.add_argument(
+        "--slo", action="append", default=None, metavar="SPEC",
+        help="per-tenant latency objective, e.g. 'p99=5s' or "
+        "'p95=500ms' (repeatable); enables SLO burn-rate accounting "
+        "in stats, the scrape output, and 'top'",
+    )
+    serve.add_argument(
+        "--postmortem-dir", metavar="DIR", default=None,
+        help="dump a flight-recorder postmortem JSON here whenever a "
+        "worker is killed for a crash or deadline",
+    )
     serve.add_argument("--no-shm", action="store_true")
     serve.add_argument("--log-level", default=None, choices=list(LEVELS))
+    serve.add_argument(
+        "--log-json", action="store_true",
+        help="emit stderr diagnostics as one JSON object per line",
+    )
     serve.set_defaults(func=cmd_serve, verbose=True)
 
     submit = sub.add_parser(
@@ -477,7 +559,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="ask the daemon to drain and exit after this batch",
     )
     submit.add_argument("--log-level", default=None, choices=list(LEVELS))
+    submit.add_argument(
+        "--log-json", action="store_true",
+        help="emit stderr diagnostics as one JSON object per line",
+    )
     submit.set_defaults(func=cmd_submit)
+
+    top = sub.add_parser(
+        "top", help="live terminal view of a running serve daemon"
+    )
+    top.add_argument("--socket", required=True, metavar="PATH")
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes (default: 2)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N frames (default: run until interrupted)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (implies --raw-friendly use)",
+    )
+    top.add_argument(
+        "--raw", action="store_true",
+        help="no ANSI screen clearing — frames append (for pipes/logs)",
+    )
+    top.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="socket timeout per stats poll (default: 10s)",
+    )
+    top.add_argument(
+        "--connect-retries", type=int, default=5,
+        help="connection attempts while the daemon starts up",
+    )
+    top.add_argument("--log-level", default=None, choices=list(LEVELS))
+    top.add_argument(
+        "--log-json", action="store_true",
+        help="emit stderr diagnostics as one JSON object per line",
+    )
+    top.set_defaults(func=cmd_top)
 
     return parser
 
@@ -488,7 +609,7 @@ def main(argv=None) -> int:
     level = getattr(args, "log_level", None)
     if level is None:
         level = "info" if getattr(args, "verbose", False) else "warning"
-    configure_logging(level)
+    configure_logging(level, json_format=getattr(args, "log_json", False))
     return args.func(args)
 
 

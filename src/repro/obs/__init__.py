@@ -26,8 +26,16 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Optional, Union
 
-from repro.obs.logging import configure_logging, get_logger
+from repro.obs.logging import JsonFormatter, configure_logging, get_logger
 from repro.obs.metrics import NULL_METRICS, Histogram, MetricsRegistry, NullMetrics
+from repro.obs.telemetry import (
+    FlightRecorder,
+    FlightRecorderHandler,
+    ResourceSampler,
+    encode_prometheus,
+    read_cpu_seconds,
+    read_rss_bytes,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -44,6 +52,13 @@ __all__ = [
     "use_tracer",
     "configure_logging",
     "get_logger",
+    "JsonFormatter",
+    "encode_prometheus",
+    "FlightRecorder",
+    "FlightRecorderHandler",
+    "ResourceSampler",
+    "read_rss_bytes",
+    "read_cpu_seconds",
 ]
 
 _TRACER: Union[Tracer, NullTracer] = NULL_TRACER

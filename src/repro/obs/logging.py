@@ -11,6 +11,7 @@ stream) without touching handlers installed by embedding applications.
 
 from __future__ import annotations
 
+import json
 import logging
 import sys
 import time
@@ -50,6 +51,31 @@ class KeyValueFormatter(logging.Formatter):
         return " ".join(parts)
 
 
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: machine-ingestible daemon logs.
+
+    Keys: ``ts`` (epoch seconds, float), ``level``, ``logger``, ``msg``,
+    plus any per-record structured fields passed via
+    ``extra={"kv": {...}}`` and ``exc`` when an exception is attached.
+    Selected with ``cec … --log-json``; :class:`KeyValueFormatter`
+    stays the default for humans.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in sorted(getattr(record, "kv", {}).items()):
+            if key not in payload:
+                payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc"] = record.exc_info[0].__name__
+        return json.dumps(payload, default=str, separators=(",", ":"))
+
+
 def get_logger(name: Optional[str] = None) -> logging.Logger:
     """The ``repro`` logger, or the ``repro.<name>`` child."""
     if not name:
@@ -60,9 +86,11 @@ def get_logger(name: Optional[str] = None) -> logging.Logger:
 
 
 def configure_logging(
-    level: str = "warning", stream: Optional[TextIO] = None
+    level: str = "warning",
+    stream: Optional[TextIO] = None,
+    json_format: bool = False,
 ) -> logging.Logger:
-    """Install (or refresh) the stderr key=value handler.
+    """Install (or refresh) the stderr structured-log handler.
 
     Parameters
     ----------
@@ -71,6 +99,9 @@ def configure_logging(
     stream:
         Output stream; defaults to the *current* ``sys.stderr`` so the
         payload on stdout stays machine-readable.
+    json_format:
+        Emit one JSON object per line (:class:`JsonFormatter`) instead
+        of human-readable ``key=value`` records.
     """
     if level not in LEVELS:
         raise ValueError(f"unknown log level {level!r} (choices: {LEVELS})")
@@ -81,7 +112,7 @@ def configure_logging(
         if getattr(handler, _HANDLER_FLAG, False):
             logger.removeHandler(handler)
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
-    handler.setFormatter(KeyValueFormatter())
+    handler.setFormatter(JsonFormatter() if json_format else KeyValueFormatter())
     setattr(handler, _HANDLER_FLAG, True)
     logger.addHandler(handler)
     return logger

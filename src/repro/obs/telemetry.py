@@ -1,0 +1,480 @@
+"""Live telemetry primitives: Prometheus exposition, flight recording,
+resource sampling.
+
+This module is the process-agnostic half of the telemetry plane (the
+serve-daemon half — SLO accounting, the scrape endpoint, ``cec top`` —
+lives in :mod:`repro.serve.telemetry`).  Three pieces:
+
+- :func:`encode_prometheus` renders a
+  :class:`~repro.obs.metrics.MetricsRegistry` as Prometheus text
+  exposition format (version 0.0.4): counters become ``# TYPE …
+  counter`` samples with the conventional ``_total`` suffix, and the
+  log₂ :class:`~repro.obs.metrics.Histogram`\\ s become cumulative
+  ``le``-bucketed histogram series with ``_sum``/``_count`` — the log₂
+  exponents *are* the bucket bounds, so no re-binning happens at scrape
+  time.  Extra gauges (SLO state, pool health) ride along as labelled
+  ``gauge`` samples.
+- :class:`FlightRecorder` is a bounded ring of recent structured events
+  (job milestones, kills, log records via
+  :class:`FlightRecorderHandler`).  Workers ship their new events on
+  every result; the parent folds them into a per-worker ring and dumps
+  the lot as a postmortem JSON artifact when a worker is staged-killed
+  for a crash or deadline — the black box that survives the SIGKILL.
+- :class:`ResourceSampler` is a daemon thread sampling per-pid RSS and
+  CPU from ``/proc`` into registry histograms, so long-lived pools get
+  memory/CPU telemetry without any third-party dependency.
+
+Everything here is stdlib-only by design: the scrape path must work in
+the barest container the daemon ships in.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import math
+import os
+import re
+import threading
+import time
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "encode_prometheus",
+    "prometheus_name",
+    "FlightRecorder",
+    "FlightRecorderHandler",
+    "ResourceSampler",
+    "read_rss_bytes",
+    "read_cpu_seconds",
+    "proc_available",
+]
+
+#: A labelled gauge sample: ``(name, labels, value)``.  ``name`` is
+#: sanitised and prefixed by the encoder; labels may be empty.
+GaugeSample = Tuple[str, Dict[str, str], float]
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_ESCAPES = str.maketrans({"\\": r"\\", '"': r"\"", "\n": r"\n"})
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """Map a dotted registry name onto a legal Prometheus metric name.
+
+    ``serve.job.latency_seconds`` → ``repro_serve_job_latency_seconds``.
+    Any character outside ``[a-zA-Z0-9_:]`` becomes ``_``; a leading
+    digit is guarded by the prefix.
+    """
+    flat = _INVALID_CHARS.sub("_", name)
+    return f"{prefix}_{flat}" if prefix else flat
+
+
+def _format_labels(labels: Optional[Dict[str, str]]) -> str:
+    if not labels:
+        return ""
+    rendered = ",".join(
+        f'{_INVALID_CHARS.sub("_", str(key))}='
+        f'"{str(value).translate(_LABEL_ESCAPES)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + rendered + "}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def encode_prometheus(
+    metrics: Any,
+    gauges: Optional[Sequence[GaugeSample]] = None,
+    prefix: str = "repro",
+) -> str:
+    """Render a metrics registry as Prometheus text exposition format.
+
+    Parameters
+    ----------
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry`, or its
+        :meth:`~repro.obs.metrics.MetricsRegistry.as_dict` payload (so a
+        snapshot shipped over the wire encodes identically).
+    gauges:
+        Extra ``(name, labels, value)`` gauge samples appended after the
+        registry series — the hook for SLO state, pool health, uptime.
+    prefix:
+        Metric-name prefix (no trailing underscore).
+
+    Counters get the conventional ``_total`` suffix; histograms expand
+    to cumulative ``le`` buckets whose upper bounds are the log₂ bucket
+    boundaries (``2^e``) plus the mandatory ``+Inf``, followed by
+    ``_sum`` and ``_count``.  Families are emitted sorted by name so the
+    output is deterministic and diff-friendly.
+    """
+    if hasattr(metrics, "as_dict"):
+        payload = metrics.as_dict()
+    elif isinstance(metrics, dict):
+        payload = metrics
+    else:
+        raise TypeError(f"cannot encode metrics of type {type(metrics)!r}")
+    counters: Dict[str, float] = dict(payload.get("counters", {}))
+    histograms: Dict[str, Any] = dict(payload.get("histograms", {}))
+
+    lines: List[str] = []
+    for name in sorted(counters):
+        metric = prometheus_name(name, prefix)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# HELP {metric} Monotonic counter {name}.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(float(counters[name]))}")
+
+    for name in sorted(histograms):
+        histogram = histograms[name]
+        if isinstance(histogram, Histogram):
+            histogram = histogram.as_dict()
+        metric = prometheus_name(name, prefix)
+        lines.append(f"# HELP {metric} Log2-bucketed histogram {name}.")
+        lines.append(f"# TYPE {metric} histogram")
+        count = int(histogram.get("count", 0))
+        cumulative = 0
+        for exponent, bucket_count in sorted(
+            (int(exp), int(n))
+            for exp, n in histogram.get("buckets", {}).items()
+        ):
+            cumulative += bucket_count
+            le = _format_value(math.pow(2.0, exponent))
+            lines.append(
+                f'{metric}_bucket{{le="{le}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+        lines.append(
+            f"{metric}_sum {_format_value(float(histogram.get('sum', 0.0)))}"
+        )
+        lines.append(f"{metric}_count {count}")
+
+    seen_gauge_types = set()
+    for name, labels, value in gauges or ():
+        metric = prometheus_name(name, prefix)
+        if metric not in seen_gauge_types:
+            seen_gauge_types.add(metric)
+            lines.append(f"# HELP {metric} Gauge {name}.")
+            lines.append(f"# TYPE {metric} gauge")
+        lines.append(
+            f"{metric}{_format_labels(labels)} {_format_value(float(value))}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Flight recorder
+# ----------------------------------------------------------------------
+
+
+class FlightRecorder:
+    """A bounded ring of recent structured events — the black box.
+
+    Events are plain dicts with a monotonically-increasing ``seq``, a
+    wall-clock ``ts``, a ``kind`` (``job``/``kill``/``log``/…), a
+    ``name``, and arbitrary JSON-scalar fields.  The ring keeps only
+    the newest ``capacity`` events, so a worker that serves thousands
+    of jobs still ships a few-KB postmortem.
+
+    Two usage patterns:
+
+    - *worker side*: ``record(...)`` during jobs, ``take_new()`` on
+      every result message (ships only events not shipped before);
+    - *parent side*: one recorder per worker, ``extend(...)`` with each
+      shipped batch plus parent-recorded milestones, ``to_json()`` into
+      the postmortem artifact at kill time.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: "deque[Dict[str, Any]]" = deque(maxlen=capacity)
+        self._seq = 0
+        self._shipped_seq = 0
+        self._lock = threading.Lock()
+
+    def record(
+        self, kind: str, name: str, /, **fields: Any
+    ) -> Dict[str, Any]:
+        """Append one event; returns the event dict.
+
+        ``kind`` and ``name`` are positional-only so field names are
+        unrestricted (``record('job', 'submitted', name=...)`` works).
+        """
+        with self._lock:
+            self._seq += 1
+            event: Dict[str, Any] = {
+                "seq": self._seq,
+                "ts": round(time.time(), 6),
+                "kind": kind,
+                "name": name,
+            }
+            for key, value in fields.items():
+                if value is not None:
+                    event[key] = value
+            self._events.append(event)
+            return event
+
+    def extend(self, events: Iterable[Dict[str, Any]]) -> int:
+        """Fold foreign events (a worker's shipped batch) into the ring.
+
+        Foreign sequence numbers are preserved under a ``worker_seq``
+        key; the ring assigns its own ``seq`` so ordering stays total
+        even when parent milestones interleave with shipped batches.
+        """
+        folded = 0
+        for event in events:
+            if not isinstance(event, dict):
+                continue
+            fields = {
+                key: value
+                for key, value in event.items()
+                if key not in ("seq", "kind", "name")
+            }
+            if "seq" in event:
+                fields["worker_seq"] = event["seq"]
+            recorded = self.record(
+                str(event.get("kind", "event")),
+                str(event.get("name", "")),
+                **fields,
+            )
+            # Keep the original wall clock: the worker stamped it at the
+            # moment the event actually happened.
+            if "ts" in event:
+                recorded["ts"] = event["ts"]
+            folded += 1
+        return folded
+
+    def events(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._events)
+
+    def take_new(self) -> List[Dict[str, Any]]:
+        """Events recorded since the previous ``take_new`` call."""
+        with self._lock:
+            fresh = [e for e in self._events if e["seq"] > self._shipped_seq]
+            self._shipped_seq = self._seq
+            return fresh
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def to_json(self) -> List[Dict[str, Any]]:
+        """JSON-safe copy of the ring (non-serialisable fields dropped)."""
+        safe: List[Dict[str, Any]] = []
+        for event in self.events():
+            try:
+                json.dumps(event)
+                safe.append(event)
+            except (TypeError, ValueError):
+                safe.append(
+                    {
+                        key: value
+                        for key, value in event.items()
+                        if isinstance(
+                            value, (str, int, float, bool, type(None))
+                        )
+                    }
+                )
+        return safe
+
+
+class FlightRecorderHandler(logging.Handler):
+    """A logging handler feeding records into a :class:`FlightRecorder`.
+
+    Attach to the ``repro`` logger so diagnostic log lines land in the
+    black box alongside job milestones — the postmortem then shows what
+    the worker *said* right before it died, not just what it did.
+    """
+
+    def __init__(
+        self, recorder: FlightRecorder, level: int = logging.DEBUG
+    ) -> None:
+        super().__init__(level=level)
+        self.recorder = recorder
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            self.recorder.record(
+                "log",
+                record.name,
+                level=record.levelname.lower(),
+                msg=record.getMessage(),
+                **{
+                    str(k): v
+                    for k, v in sorted(
+                        getattr(record, "kv", {}).items()
+                    )
+                    if str(k) not in ("level", "msg")
+                },
+            )
+        except Exception:  # pragma: no cover - never break the app on logging
+            self.handleError(record)
+
+
+# ----------------------------------------------------------------------
+# Resource sampling
+# ----------------------------------------------------------------------
+
+_PAGE_SIZE = 4096
+try:  # pragma: no cover - constant probe
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, ValueError, OSError):
+    pass
+
+_CLK_TCK = 100.0
+try:  # pragma: no cover - constant probe
+    _CLK_TCK = float(os.sysconf("SC_CLK_TCK"))
+except (AttributeError, ValueError, OSError):
+    pass
+
+
+def proc_available() -> bool:
+    """True when the Linux ``/proc`` filesystem is readable."""
+    return os.path.isdir("/proc/self")
+
+
+def read_rss_bytes(pid: Optional[int] = None) -> Optional[float]:
+    """Resident-set size of ``pid`` (default: this process) in bytes.
+
+    Reads ``/proc/<pid>/statm``; for the calling process it falls back
+    to ``resource.getrusage`` where ``/proc`` is absent (macOS).  Returns
+    ``None`` when the process is gone or unreadable.
+    """
+    target = os.getpid() if pid is None else pid
+    try:
+        with open(f"/proc/{target}/statm", "r", encoding="ascii") as handle:
+            fields = handle.read().split()
+        return float(int(fields[1]) * _PAGE_SIZE)
+    except (OSError, IndexError, ValueError):
+        if pid is None or target == os.getpid():
+            try:
+                import resource
+
+                rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                # Linux reports KB, macOS bytes; both only reach this
+                # path without /proc, i.e. macOS.
+                return float(rss_kb)
+            except Exception:
+                return None
+        return None
+
+
+def read_cpu_seconds(pid: Optional[int] = None) -> Optional[float]:
+    """Cumulative user+system CPU seconds of ``pid`` (``/proc`` only)."""
+    target = os.getpid() if pid is None else pid
+    try:
+        with open(f"/proc/{target}/stat", "r", encoding="ascii") as handle:
+            stat = handle.read()
+        # Field 2 (comm) may contain spaces; split after the closing paren.
+        after = stat.rsplit(")", 1)[1].split()
+        utime, stime = int(after[11]), int(after[12])
+        return (utime + stime) / _CLK_TCK
+    except (OSError, IndexError, ValueError):
+        return None
+
+
+class ResourceSampler(threading.Thread):
+    """Daemon thread sampling per-pid RSS/CPU into registry histograms.
+
+    Parameters
+    ----------
+    pids:
+        Zero-argument callable returning the pids to sample on each
+        tick (dead or unreadable pids are skipped silently — workers
+        come and go).
+    metrics:
+        The registry receiving ``<prefix>.rss_bytes`` and
+        ``<prefix>.cpu_percent`` histogram observations plus a
+        ``<prefix>.samples`` counter.
+    interval:
+        Seconds between sampling ticks.
+    """
+
+    def __init__(
+        self,
+        pids: Callable[[], Iterable[Optional[int]]],
+        metrics: MetricsRegistry,
+        prefix: str = "proc",
+        interval: float = 0.5,
+    ) -> None:
+        super().__init__(name=f"resource-sampler:{prefix}", daemon=True)
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._pids = pids
+        self.metrics = metrics
+        self.prefix = prefix
+        self.interval = interval
+        self._stop_event = threading.Event()
+        #: pid → (cpu_seconds, monotonic) of the previous tick, for the
+        #: cpu_percent delta.
+        self._last_cpu: Dict[int, Tuple[float, float]] = {}
+        #: Latest RSS per pid (gauge-style snapshot for stats payloads).
+        self.last_rss: Dict[int, float] = {}
+
+    def sample_once(self) -> int:
+        """One sampling tick; returns the number of pids sampled."""
+        sampled = 0
+        now = time.monotonic()
+        live: Dict[int, float] = {}
+        for pid in list(self._pids() or ()):
+            if pid is None:
+                continue
+            rss = read_rss_bytes(pid)
+            if rss is None:
+                self._last_cpu.pop(pid, None)
+                continue
+            sampled += 1
+            live[pid] = rss
+            self.metrics.observe(f"{self.prefix}.rss_bytes", rss)
+            cpu = read_cpu_seconds(pid)
+            if cpu is not None:
+                previous = self._last_cpu.get(pid)
+                self._last_cpu[pid] = (cpu, now)
+                if previous is not None and now > previous[1]:
+                    percent = max(
+                        0.0, 100.0 * (cpu - previous[0]) / (now - previous[1])
+                    )
+                    self.metrics.observe(
+                        f"{self.prefix}.cpu_percent", percent
+                    )
+        self.last_rss = live
+        if sampled:
+            self.metrics.counter_add(f"{self.prefix}.samples", sampled)
+        return sampled
+
+    def run(self) -> None:  # pragma: no cover - exercised via threads
+        while not self._stop_event.wait(self.interval):
+            try:
+                self.sample_once()
+            except Exception:
+                # Sampling must never take the host process down.
+                pass
+
+    def stop(self, join_timeout: float = 2.0) -> None:
+        self._stop_event.set()
+        if self.is_alive():
+            self.join(join_timeout)

@@ -763,12 +763,25 @@ class ParallelPortfolioChecker:
             start_method=method,
         )
         run_span.__enter__()
+        sampler = None
         try:
             for state in workers:
                 state.process.start()
                 state.started = time.monotonic()
                 if state.budget is not None:
                     state.deadline = state.started + state.budget
+            if trace:
+                # Per-worker RSS/CPU histograms for the merged dump —
+                # only worth a thread when someone will read the trace.
+                from repro.obs.telemetry import ResourceSampler
+
+                sampler = ResourceSampler(
+                    lambda: [w.process.pid for w in workers],
+                    tracer.metrics,
+                    prefix="portfolio.worker",
+                    interval=0.25,
+                )
+                sampler.start()
             global_deadline = (
                 started_at + self.time_limit
                 if self.time_limit is not None
@@ -846,6 +859,8 @@ class ParallelPortfolioChecker:
                 )
             )
         finally:
+            if sampler is not None:
+                sampler.stop()
             for state in workers:
                 self._stop_process(state.process, engine=state.name)
             # Cancelled losers post their traces and cache deltas during

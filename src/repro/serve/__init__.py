@@ -17,7 +17,9 @@ dominate.  ``repro.serve`` amortises them:
 - :mod:`repro.serve.admission` — bounded queues, ``busy`` backpressure,
   and draining graceful shutdown;
 - :mod:`repro.serve.client` — the blocking :class:`ServeClient` library
-  API used by ``cec submit`` and the bench harness.
+  API used by ``cec submit`` and the bench harness;
+- :mod:`repro.serve.telemetry` — per-tenant SLO accounting, the
+  Prometheus HTTP scrape thread, and the ``cec top`` renderer.
 
 See ``docs/serving.md`` for the architecture and operational guide.
 """
@@ -34,6 +36,13 @@ from repro.serve.protocol import (
     write_frame_sync,
 )
 from repro.serve.server import CecServer
+from repro.serve.telemetry import (
+    MetricsHttpServer,
+    SloObjective,
+    SloRegistry,
+    format_top,
+    parse_slo_spec,
+)
 from repro.serve.tenants import (
     DEFAULT_TENANT,
     TenantError,
@@ -46,17 +55,22 @@ __all__ = [
     "AdmissionError",
     "CecServer",
     "DEFAULT_TENANT",
+    "MetricsHttpServer",
     "ProtocolError",
     "ServeClient",
     "ServeError",
     "ServeJob",
     "ServeResult",
+    "SloObjective",
+    "SloRegistry",
     "TenantError",
     "TenantManager",
     "WorkerPool",
     "aig_from_wire",
     "aig_to_wire",
+    "format_top",
     "pack_frame",
+    "parse_slo_spec",
     "read_frame_sync",
     "validate_tenant",
     "write_frame_sync",

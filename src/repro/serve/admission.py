@@ -74,6 +74,10 @@ class AdmissionController:
         #: Totals for the stats endpoint.
         self.admitted = 0
         self.rejected = 0
+        #: Lifetime per-tenant admitted/rejected totals (tracked for
+        #: every batch that names its tenants) — the labelled series
+        #: behind ``repro_serve_tenant_admitted``/``…_rejected``.
+        self.tenant_totals: Dict[str, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------
 
@@ -94,20 +98,20 @@ class AdmissionController:
         per-tenant allowance (other tenants are unaffected).
         """
         if self.state != ACCEPTING:
-            self.rejected += count
+            self._reject(count, tenants)
             raise AdmissionError(
                 self.state, f"server is {self.state}, not accepting jobs"
             )
         if count < 1:
             raise AdmissionError("batch", "batch must contain at least one job")
         if count > self.max_batch:
-            self.rejected += count
+            self._reject(count, tenants)
             raise AdmissionError(
                 "batch",
                 f"batch of {count} exceeds max_batch ({self.max_batch})",
             )
         if self.pending + count > self.max_pending:
-            self.rejected += count
+            self._reject(count, tenants)
             raise AdmissionError(
                 "busy",
                 f"{self.pending} jobs in flight, admitting {count} would "
@@ -117,7 +121,7 @@ class AdmissionController:
             for tenant, tenant_count in tenants.items():
                 in_flight = self.tenant_pending.get(tenant, 0)
                 if in_flight + tenant_count > self.tenant_quota:
-                    self.rejected += count
+                    self._reject(count, tenants)
                     raise AdmissionError(
                         "quota",
                         f"tenant {tenant!r} has {in_flight} jobs in "
@@ -126,11 +130,26 @@ class AdmissionController:
                     )
         self.pending += count
         self.admitted += count
-        if self.tenant_quota is not None and tenants:
-            for tenant, tenant_count in tenants.items():
+        for tenant, tenant_count in (tenants or {}).items():
+            self._tenant_total(tenant)["admitted"] += tenant_count
+            if self.tenant_quota is not None:
                 self.tenant_pending[tenant] = (
                     self.tenant_pending.get(tenant, 0) + tenant_count
                 )
+
+    def _tenant_total(self, tenant: str) -> Dict[str, int]:
+        totals = self.tenant_totals.get(tenant)
+        if totals is None:
+            totals = {"admitted": 0, "rejected": 0}
+            self.tenant_totals[tenant] = totals
+        return totals
+
+    def _reject(
+        self, count: int, tenants: Optional[Dict[str, int]]
+    ) -> None:
+        self.rejected += count
+        for tenant, tenant_count in (tenants or {}).items():
+            self._tenant_total(tenant)["rejected"] += tenant_count
 
     def release(self, count: int = 1, tenant: Optional[str] = None) -> None:
         """Return completed (or failed) jobs to the admission budget."""
@@ -169,4 +188,9 @@ class AdmissionController:
         if self.tenant_quota is not None:
             payload["tenant_quota"] = self.tenant_quota
             payload["tenant_pending"] = dict(self.tenant_pending)
+        if self.tenant_totals:
+            payload["per_tenant"] = {
+                tenant: dict(totals)
+                for tenant, totals in self.tenant_totals.items()
+            }
         return payload

@@ -49,9 +49,15 @@ class ServeClient:
     socket_path:
         The daemon's Unix socket.
     timeout:
-        Socket timeout in seconds for connect and each response
-        (``None`` → block forever; batches of slow miters need either
-        a generous value or ``None``).
+        Socket timeout in seconds for each response (``None`` → block
+        forever; batches of slow miters need either a generous value or
+        ``None``).  A response that blows the timeout surfaces as a
+        structured ``ServeError`` with code ``timeout`` (and the
+        connection is dropped — the late reply cannot be re-framed).
+    connect_timeout:
+        Timeout for the connect handshake alone (defaults to
+        ``timeout``) — lets a caller fail fast on a wedged daemon while
+        still waiting minutes for slow batches.
     connect_retries / connect_interval:
         Connection attempts before giving up — covers the window where
         the daemon process exists but has not bound its socket yet.
@@ -63,9 +69,13 @@ class ServeClient:
         timeout: Optional[float] = 300.0,
         connect_retries: int = 1,
         connect_interval: float = 0.2,
+        connect_timeout: Optional[float] = None,
     ) -> None:
         self.socket_path = socket_path
         self.timeout = timeout
+        self.connect_timeout = (
+            connect_timeout if connect_timeout is not None else timeout
+        )
         self._sock: Optional[socket.socket] = None
         self._connect_retries = max(1, connect_retries)
         self._connect_interval = connect_interval
@@ -80,7 +90,7 @@ class ServeClient:
         last_error: Optional[Exception] = None
         for attempt in range(self._connect_retries):
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(self.timeout)
+            sock.settimeout(self.connect_timeout)
             try:
                 sock.connect(self.socket_path)
             except OSError as error:
@@ -89,6 +99,7 @@ class ServeClient:
                 if attempt + 1 < self._connect_retries:
                     time.sleep(self._connect_interval)
                 continue
+            sock.settimeout(self.timeout)
             self._sock = sock
             return self
         raise ConnectionError(
@@ -116,8 +127,19 @@ class ServeClient:
     def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         self.connect()
         assert self._sock is not None
-        write_frame_sync(self._sock, payload)
-        response = read_frame_sync(self._sock)
+        try:
+            write_frame_sync(self._sock, payload)
+            response = read_frame_sync(self._sock)
+        except socket.timeout:
+            # The frame stream is now mid-message; the connection cannot
+            # be reused.  Surface a structured error the caller can
+            # branch on instead of a raw socket exception.
+            self.close()
+            raise ServeError(
+                "timeout",
+                f"no response from {self.socket_path} within "
+                f"{self.timeout}s",
+            ) from None
         if response is None:
             self.close()
             raise ConnectionError("serve daemon closed the connection")
@@ -139,6 +161,10 @@ class ServeClient:
     def stats(self) -> Dict[str, Any]:
         """The daemon's ``/metrics``-style stats snapshot."""
         return self._request({"op": "stats"})["stats"]
+
+    def metrics(self) -> str:
+        """The daemon's Prometheus text exposition (the scrape body)."""
+        return str(self._request({"op": "metrics"})["text"])
 
     def submit_batch(
         self,

@@ -24,17 +24,28 @@ explicit :meth:`poll`); the asyncio front end in
 
 from __future__ import annotations
 
+import json
 import multiprocessing as mp
 import os
 import queue as queue_module
+import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.aig.network import Aig
 from repro.cache.config import CacheConfig
 from repro.cache.knowledge import SweepCache
-from repro.obs import Tracer, get_tracer, set_tracer
+from repro.obs import (
+    FlightRecorder,
+    FlightRecorderHandler,
+    MetricsRegistry,
+    ResourceSampler,
+    Tracer,
+    get_logger,
+    get_tracer,
+    set_tracer,
+)
 from repro.portfolio.parallel import (
     build_checker,
     pool_from_adoption,
@@ -204,6 +215,12 @@ def _serve_worker_main(
         # what tools/check_trace.py --require-workers keys on.
         tracer = Tracer(process_name=f"worker:serve{index}")
         set_tracer(tracer)
+    # The worker's half of the flight recorder: job milestones plus any
+    # repro.* log lines, shipped incrementally on every result so the
+    # parent's ring stays current even if this process is SIGKILLed next.
+    recorder = FlightRecorder(capacity=128)
+    flight_handler = FlightRecorderHandler(recorder)
+    get_logger().addHandler(flight_handler)
     registry = None
     if shm_token is not None and shm_available():
         registry = SegmentRegistry(
@@ -224,6 +241,13 @@ def _serve_worker_main(
             job_id = message.get("job")
             started = time.perf_counter()
             adoption = None
+            recorder.record(
+                "job",
+                "start",
+                job=job_id,
+                tenant=message.get("tenant"),
+                engine=(message.get("spec") or ["?"])[0],
+            )
             try:
                 ref = message.get("miter_ref")
                 if ref is not None:
@@ -276,9 +300,20 @@ def _serve_worker_main(
                     # The delta now belongs to the parent; keep only the
                     # in-memory entries (they are what makes us warm).
                     cache.store.clear_pending()
+                recorder.record(
+                    "job",
+                    "done",
+                    job=job_id,
+                    status=reply["status"],
+                    seconds=round(reply["seconds"], 6),
+                )
+                reply["flight"] = recorder.take_new()
                 result_queue.put(reply)
                 jobs_done += 1
             except Exception as error:
+                recorder.record(
+                    "job", "error", job=job_id, error=repr(error)
+                )
                 result_queue.put(
                     {
                         "kind": "result",
@@ -287,15 +322,22 @@ def _serve_worker_main(
                         "status": "error",
                         "error": repr(error),
                         "seconds": time.perf_counter() - started,
+                        "flight": recorder.take_new(),
                     }
                 )
             finally:
                 if adoption is not None:
                     registry.release(adoption)
     finally:
-        bye = {"kind": "bye", "index": index, "jobs_done": jobs_done}
+        bye = {
+            "kind": "bye",
+            "index": index,
+            "jobs_done": jobs_done,
+            "flight": recorder.take_new(),
+        }
         if tracer is not None:
             bye["trace"] = tracer.export_payload()
+        get_logger().removeHandler(flight_handler)
         try:
             result_queue.put(bye)
         except BaseException:
@@ -351,9 +393,24 @@ class WorkerPool:
         SIGTERM → SIGKILL escalation grace, as in the portfolio.
     start_method / use_shm / trace:
         As for :class:`~repro.portfolio.parallel.ParallelPortfolioChecker`.
+    slo:
+        Optional :class:`~repro.serve.telemetry.SloRegistry`; when set,
+        every completion/failure/deadline-kill/respawn is scored against
+        the configured per-tenant objectives.
+    postmortem_dir:
+        Directory for flight-recorder postmortem JSON artifacts, written
+        whenever a worker is staged-killed for a crash or deadline.
+        ``None`` disables the dumps (the in-memory rings still run).
+    sample_interval:
+        Seconds between resource-sampler ticks (worker RSS/CPU
+        histograms); ``0`` disables the sampler thread.
     """
 
     _POLL_INTERVAL = 0.05
+    #: Flight-ring capacity per worker (parent side).
+    _FLIGHT_CAPACITY = 256
+    #: How many recent postmortem paths `stats()` reports.
+    _POSTMORTEM_STATS = 8
 
     def __init__(
         self,
@@ -364,6 +421,9 @@ class WorkerPool:
         start_method: Optional[str] = None,
         use_shm: Optional[bool] = None,
         trace: bool = False,
+        slo: Optional[Any] = None,
+        postmortem_dir: Optional[str] = None,
+        sample_interval: float = 0.5,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -374,6 +434,17 @@ class WorkerPool:
         self._context = mp.get_context(resolve_start_method(start_method))
         self.use_shm = resolve_use_shm(use_shm)
         self.trace = trace
+        # With tracing on, pool counters land in the ambient tracer's
+        # registry (one merged timeline+metrics dump).  Without it the
+        # ambient registry is the no-op NULL_METRICS — the pool then
+        # keeps its own, so the telemetry plane works untraced.
+        tracer = get_tracer()
+        self.metrics: MetricsRegistry = (
+            tracer.metrics if tracer.enabled else MetricsRegistry()
+        )
+        self.slo = slo
+        self.postmortem_dir = postmortem_dir
+        self.sample_interval = sample_interval
         self.registry: Optional[SegmentRegistry] = None
         self._result_queue: Optional[mp.Queue] = None
         self._workers: List[_WorkerHandle] = []
@@ -383,7 +454,16 @@ class WorkerPool:
         #: Parent-side pools generated once per miter shape and shipped
         #: read-only with every job segment.
         self._pools: Dict[Tuple, SharedPool] = {}
+        #: Parent-side flight ring per worker index: shipped worker
+        #: events folded in with parent milestones (submit, kill).
+        self._flight: Dict[int, FlightRecorder] = {}
+        self._sampler: Optional[ResourceSampler] = None
+        #: Paths of postmortem artifacts written this run.
+        self.postmortems: List[str] = []
         self.started = False
+        #: Set while ``shutdown`` runs: workers exiting on the bye
+        #: sentinel are orderly, not crashes to respawn and postmortem.
+        self._draining = False
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -404,7 +484,26 @@ class WorkerPool:
         self._result_queue = self._context.Queue()
         for index in range(self.num_workers):
             self._workers.append(self._spawn(index))
+        if self.sample_interval > 0:
+            self._sampler = ResourceSampler(
+                self._worker_pids,
+                self.metrics,
+                prefix="serve.worker",
+                interval=self.sample_interval,
+            )
+            self._sampler.start()
+        self._draining = False
         self.started = True
+
+    def _worker_pids(self) -> List[Optional[int]]:
+        return [w.process.pid for w in self._workers]
+
+    def _flight_ring(self, index: int) -> FlightRecorder:
+        ring = self._flight.get(index)
+        if ring is None:
+            ring = FlightRecorder(capacity=self._FLIGHT_CAPACITY)
+            self._flight[index] = ring
+        return ring
 
     def _spawn(self, index: int, respawns: int = 0) -> _WorkerHandle:
         job_queue: "mp.Queue" = self._context.Queue()
@@ -439,6 +538,10 @@ class WorkerPool:
         """
         if not self.started:
             return
+        self._draining = True
+        if self._sampler is not None:
+            self._sampler.stop()
+            self._sampler = None
         deadline = time.monotonic() + timeout
         if drain:
             while self._inflight and time.monotonic() < deadline:
@@ -519,7 +622,15 @@ class WorkerPool:
         )
         worker.assigned.append(job_id)
         worker.job_queue.put(payload)
-        get_tracer().metrics.counter_add("serve.jobs_submitted")
+        self.metrics.counter_add("serve.jobs_submitted")
+        self._flight_ring(worker.index).record(
+            "job",
+            "submitted",
+            job=job_id,
+            tenant=job.tenant,
+            engine=job.engine,
+            name=job.name or None,
+        )
         return job_id
 
     def _shared_pool(self, job: ServeJob) -> Optional[SharedPool]:
@@ -586,6 +697,9 @@ class WorkerPool:
 
     def _absorb_message(self, message: Dict) -> Optional[ServeResult]:
         kind = message.get("kind")
+        shipped_flight = message.get("flight")
+        if shipped_flight and "index" in message:
+            self._flight_ring(int(message["index"])).extend(shipped_flight)
         if kind == "bye":
             trace_payload = message.get("trace")
             tracer = get_tracer()
@@ -619,11 +733,14 @@ class WorkerPool:
             cache_hits=int(message.get("hits", 0)),
             cache_lookups=int(message.get("lookups", 0)),
         )
-        metrics = get_tracer().metrics
-        metrics.counter_add("serve.jobs_completed")
-        metrics.counter_add("cache.hits", result.cache_hits)
-        metrics.counter_add("cache.lookups", result.cache_lookups)
-        metrics.observe("serve.job.latency_seconds", result.latency)
+        self.metrics.counter_add("serve.jobs_completed")
+        self.metrics.counter_add("cache.hits", result.cache_hits)
+        self.metrics.counter_add("cache.lookups", result.cache_lookups)
+        self.metrics.observe("serve.job.latency_seconds", result.latency)
+        if self.slo is not None:
+            self.slo.record_job(
+                result.tenant, result.latency, failed=not result.ok
+            )
         self._results[job_id] = result
         return result
 
@@ -636,9 +753,14 @@ class WorkerPool:
             entry.descriptor = None
 
     def _fail_worker_jobs(
-        self, worker: _WorkerHandle, reason: str
+        self, worker: _WorkerHandle, reason: str, deadline_job: int = -1
     ) -> List[ServeResult]:
-        """Settle every job assigned to a dead worker as an error."""
+        """Settle every job assigned to a dead worker as an error.
+
+        ``deadline_job`` marks the job whose deadline triggered the kill
+        — its tenant is charged a deadline miss in the SLO ledger; the
+        rest of the assigned jobs are collateral hard failures.
+        """
         failed: List[ServeResult] = []
         for job_id in list(worker.assigned):
             entry = self._inflight.pop(job_id, None)
@@ -654,13 +776,81 @@ class WorkerPool:
                 worker=worker.index,
                 error=reason,
             )
+            if self.slo is not None:
+                if job_id == deadline_job:
+                    self.slo.record_deadline_miss(result.tenant)
+                else:
+                    self.slo.record_job(
+                        result.tenant, result.latency, failed=True
+                    )
             self._results[job_id] = result
             failed.append(result)
         worker.assigned.clear()
         return failed
 
-    def _respawn(self, worker: _WorkerHandle) -> None:
+    def _write_postmortem(
+        self,
+        worker: _WorkerHandle,
+        reason: str,
+        failed: List[ServeResult],
+    ) -> Optional[str]:
+        """Dump the worker's flight ring as a postmortem JSON artifact."""
+        ring = self._flight_ring(worker.index)
+        ring.record(
+            "kill",
+            reason,
+            worker=worker.index,
+            pid=worker.process.pid,
+            exitcode=worker.process.exitcode,
+            failed_jobs=[r.job_id for r in failed],
+        )
+        if self.postmortem_dir is None:
+            return None
+        try:
+            os.makedirs(self.postmortem_dir, exist_ok=True)
+            payload = {
+                "worker": worker.index,
+                "pid": worker.process.pid,
+                "reason": reason,
+                "exitcode": worker.process.exitcode,
+                "respawns": worker.respawns,
+                "ts": round(time.time(), 6),
+                "failed_jobs": [r.as_dict() for r in failed],
+                "events": ring.to_json(),
+            }
+            name = (
+                f"postmortem_w{worker.index}_"
+                f"{int(time.time() * 1000)}_{len(self.postmortems)}.json"
+            )
+            path = os.path.join(self.postmortem_dir, name)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.postmortem_dir, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, indent=1, sort_keys=True)
+                os.replace(tmp, path)  # atomic: readers never see a torso
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self.postmortems.append(path)
+            self.metrics.counter_add("serve.postmortems_written")
+            return path
+        except Exception:
+            # Telemetry failure must never stop the respawn.
+            return None
+
+    def _respawn(
+        self,
+        worker: _WorkerHandle,
+        reason: str = "crash",
+        failed: Optional[List[ServeResult]] = None,
+    ) -> None:
         """Replace a dead worker in place (same index, fresh process)."""
+        self._write_postmortem(worker, reason, failed or [])
         stop_process_staged(
             worker.process,
             self.terminate_grace,
@@ -677,7 +867,14 @@ class WorkerPool:
         fresh = self._spawn(worker.index, respawns=worker.respawns + 1)
         fresh.jobs_done = worker.jobs_done
         self._workers[worker.index] = fresh
-        get_tracer().metrics.counter_add("serve.workers_respawned")
+        # Fresh process, fresh black box — the old ring is in the
+        # postmortem (or gone with nothing to tell).
+        self._flight[worker.index] = FlightRecorder(
+            capacity=self._FLIGHT_CAPACITY
+        )
+        self.metrics.counter_add("serve.workers_respawned")
+        if self.slo is not None:
+            self.slo.record_respawn()
 
     def _enforce_deadlines(self) -> List[ServeResult]:
         now = time.monotonic()
@@ -693,11 +890,12 @@ class WorkerPool:
                 or now < entry.deadline_at
             ):
                 continue
-            get_tracer().metrics.counter_add("serve.deadline_kills")
-            completed.extend(
-                self._fail_worker_jobs(worker, "job deadline exceeded")
+            self.metrics.counter_add("serve.deadline_kills")
+            failed = self._fail_worker_jobs(
+                worker, "job deadline exceeded", deadline_job=head
             )
-            self._respawn(worker)
+            completed.extend(failed)
+            self._respawn(worker, reason="deadline", failed=failed)
         return completed
 
     def _reap_dead_workers(self) -> List[ServeResult]:
@@ -705,15 +903,20 @@ class WorkerPool:
         for worker in list(self._workers):
             if worker.process.is_alive():
                 continue
+            failed: List[ServeResult] = []
             if worker.assigned:
-                completed.extend(
-                    self._fail_worker_jobs(
-                        worker,
-                        "worker died "
-                        f"(exit code {worker.process.exitcode})",
-                    )
+                failed = self._fail_worker_jobs(
+                    worker,
+                    "worker died "
+                    f"(exit code {worker.process.exitcode})",
                 )
-            self._respawn(worker)
+                completed.extend(failed)
+            if self._draining:
+                # Workers exit on the bye sentinel during shutdown;
+                # that is orderly, not a crash to postmortem and
+                # respawn (a replacement would outlive the pool).
+                continue
+            self._respawn(worker, reason="crash", failed=failed)
         return completed
 
     # ------------------------------------------------------------------
@@ -753,20 +956,34 @@ class WorkerPool:
         return self._results.pop(job_id, None)
 
     def stats(self) -> Dict[str, object]:
+        sampled_rss = self._sampler.last_rss if self._sampler else {}
         return {
             "workers": self.num_workers,
             "inflight": len(self._inflight),
             "jobs_done": sum(w.jobs_done for w in self._workers),
             "respawns": sum(w.respawns for w in self._workers),
+            "jobs_submitted": int(
+                self.metrics.counter_value("serve.jobs_submitted")
+            ),
+            "jobs_completed": int(
+                self.metrics.counter_value("serve.jobs_completed")
+            ),
+            "deadline_kills": int(
+                self.metrics.counter_value("serve.deadline_kills")
+            ),
             "shm": self.registry is not None,
+            "postmortems": self.postmortems[-self._POSTMORTEM_STATS:],
             "per_worker": [
                 {
                     "index": w.index,
                     "pid": w.process.pid,
                     "alive": w.process.is_alive(),
                     "queued": len(w.assigned),
+                    "assigned": len(w.assigned),
                     "jobs_done": w.jobs_done,
                     "respawns": w.respawns,
+                    "rss_bytes": sampled_rss.get(w.process.pid),
+                    "flight_events": len(self._flight.get(w.index) or ()),
                 }
                 for w in self._workers
             ],

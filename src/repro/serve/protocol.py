@@ -11,6 +11,10 @@ field; AIGs travel as flat literal arrays (the exact representation
 :class:`~repro.aig.network.Aig` uses internally), so encode/decode is a
 ``tolist``/``asarray`` pair, not a graph walk.
 
+Request ops: ``ping``, ``stats``, ``metrics`` (Prometheus text
+exposition in the response's ``text`` field), ``submit``, ``shutdown``
+— see :mod:`repro.serve.server` for semantics.
+
 Both sync (blocking socket, used by :class:`~repro.serve.client.ServeClient`)
 and asyncio (``StreamReader``/``StreamWriter``, used by the server)
 variants of the framing are provided.

@@ -29,9 +29,10 @@ from __future__ import annotations
 
 import asyncio
 import os
-from typing import Dict, List, Optional
+import time
+from typing import Dict, List, Optional, Sequence
 
-from repro.obs import Tracer, get_tracer, set_tracer
+from repro.obs import Tracer, encode_prometheus, get_tracer, read_rss_bytes, set_tracer
 from repro.serve.admission import AdmissionController, AdmissionError
 from repro.serve.pool import ServeJob, WorkerPool
 from repro.serve.protocol import (
@@ -39,6 +40,11 @@ from repro.serve.protocol import (
     aig_from_wire,
     read_frame,
     write_frame,
+)
+from repro.serve.telemetry import (
+    MetricsHttpServer,
+    SloRegistry,
+    parse_slo_spec,
 )
 from repro.serve.tenants import (
     DEFAULT_TENANT,
@@ -71,6 +77,19 @@ class CecServer:
     trace:
         Enable tracing in the daemon and its workers; retrieve via the
         ``stats`` op or :meth:`write_trace`.
+    metrics_port:
+        When not ``None``, serve Prometheus text on
+        ``http://127.0.0.1:<port>/metrics`` from a stdlib HTTP thread
+        (``0`` binds an ephemeral port — read :attr:`metrics_port`
+        after :meth:`start`).  The same text is always available via
+        the socket ``metrics`` op.
+    slo:
+        Latency-objective specs (``["p99=5s", …]``) or a prebuilt
+        :class:`~repro.serve.telemetry.SloRegistry`; enables per-tenant
+        SLO accounting in ``stats``, the scrape output, and ``cec top``.
+    postmortem_dir:
+        Directory for flight-recorder postmortem artifacts written when
+        a worker is staged-killed (see :class:`WorkerPool`).
     """
 
     def __init__(
@@ -86,6 +105,9 @@ class CecServer:
         trace: bool = False,
         use_shm: Optional[bool] = None,
         start_method: Optional[str] = None,
+        metrics_port: Optional[int] = None,
+        slo: Optional[Sequence[str]] = None,
+        postmortem_dir: Optional[str] = None,
     ) -> None:
         self.socket_path = socket_path
         self.trace = trace
@@ -97,6 +119,12 @@ class CecServer:
             max_batch=max_batch,
             tenant_quota=tenant_quota,
         )
+        if isinstance(slo, SloRegistry):
+            self.slo: Optional[SloRegistry] = slo
+        elif slo:
+            self.slo = SloRegistry([parse_slo_spec(spec) for spec in slo])
+        else:
+            self.slo = None
         self.pool = WorkerPool(
             workers=workers,
             tenants=self.tenants,
@@ -104,7 +132,12 @@ class CecServer:
             use_shm=use_shm,
             start_method=start_method,
             trace=trace,
+            slo=self.slo,
+            postmortem_dir=postmortem_dir,
         )
+        self._metrics_port_requested = metrics_port
+        self._metrics_http: Optional[MetricsHttpServer] = None
+        self._started_at = time.monotonic()
         self._server: Optional[asyncio.base_events.Server] = None
         self._pump_task: Optional[asyncio.Task] = None
         self._futures: Dict[int, asyncio.Future] = {}
@@ -117,10 +150,20 @@ class CecServer:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    @property
+    def metrics_port(self) -> Optional[int]:
+        """The bound HTTP scrape port (None when not serving HTTP)."""
+        return self._metrics_http.port if self._metrics_http else None
+
     async def start(self) -> None:
         """Spawn the pool, bind the socket, start the result pump."""
         self._loop = asyncio.get_running_loop()
+        self._started_at = time.monotonic()
         self.pool.start()
+        if self._metrics_port_requested is not None:
+            self._metrics_http = MetricsHttpServer(
+                self.prometheus_text, port=self._metrics_port_requested
+            ).start()
         if os.path.exists(self.socket_path):
             os.unlink(self.socket_path)  # stale socket from a dead daemon
         parent = os.path.dirname(self.socket_path)
@@ -145,6 +188,9 @@ class CecServer:
 
     async def _shutdown_sequence(self) -> None:
         self.admission.begin_drain()
+        if self._metrics_http is not None:
+            self._metrics_http.stop()
+            self._metrics_http = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -241,6 +287,12 @@ class CecServer:
             return {"ok": True, "op": "ping", "pid": os.getpid()}
         if op == "stats":
             return {"ok": True, "op": "stats", "stats": self.stats()}
+        if op == "metrics":
+            return {
+                "ok": True,
+                "op": "metrics",
+                "text": self.prometheus_text(),
+            }
         if op == "submit":
             return await self._handle_submit(request)
         if op == "shutdown":
@@ -325,16 +377,76 @@ class CecServer:
 
     def stats(self) -> Dict[str, object]:
         """The ``/metrics``-style snapshot served on the ``stats`` op."""
-        tracer = get_tracer()
-        metrics = (
-            tracer.metrics.as_dict()
-            if hasattr(tracer.metrics, "as_dict")
-            else {}
-        )
-        return {
+        payload: Dict[str, object] = {
             "pid": os.getpid(),
+            "uptime_seconds": round(
+                time.monotonic() - self._started_at, 3
+            ),
+            "rss_bytes": read_rss_bytes(),
             "admission": self.admission.as_dict(),
             "pool": self.pool.stats(),
             "tenants": self.tenants.stats(),
-            "metrics": metrics,
+            "metrics": self.pool.metrics.as_dict(),
         }
+        if self.slo is not None:
+            payload["slo"] = self.slo.snapshot()
+        if self.metrics_port is not None:
+            payload["metrics_port"] = self.metrics_port
+        return payload
+
+    def prometheus_text(self) -> str:
+        """Render the live registries as Prometheus text exposition.
+
+        Served identically on the socket ``metrics`` op and the HTTP
+        scrape thread: the pool's counter/histogram registry plus
+        computed gauges (uptime, parent RSS, pool health, per-tenant
+        admission totals, SLO state).
+        """
+        gauges = [
+            (
+                "serve.uptime_seconds",
+                {},
+                time.monotonic() - self._started_at,
+            ),
+            ("serve.workers", {}, float(self.pool.num_workers)),
+            ("serve.inflight", {}, float(len(self.pool._inflight))),
+            (
+                "serve.admission_pending",
+                {},
+                float(self.admission.pending),
+            ),
+            ("serve.admitted", {}, float(self.admission.admitted)),
+            ("serve.rejected", {}, float(self.admission.rejected)),
+        ]
+        rss = read_rss_bytes()
+        if rss is not None:
+            gauges.append(("serve.parent_rss_bytes", {}, rss))
+        for tenant, totals in sorted(
+            self.admission.tenant_totals.items()
+        ):
+            labels = {"tenant": tenant}
+            gauges.append(
+                (
+                    "serve.tenant_admitted",
+                    dict(labels),
+                    float(totals.get("admitted", 0)),
+                )
+            )
+            gauges.append(
+                (
+                    "serve.tenant_rejected",
+                    dict(labels),
+                    float(totals.get("rejected", 0)),
+                )
+            )
+        if self.slo is not None:
+            gauges.extend(self.slo.gauges())
+        # The pool's registry mutates concurrently (pump thread, resource
+        # sampler); retry the snapshot rather than lock the hot path.
+        for attempt in range(5):
+            try:
+                return encode_prometheus(self.pool.metrics, gauges=gauges)
+            except RuntimeError:
+                if attempt == 4:
+                    raise
+        raise AssertionError("unreachable")

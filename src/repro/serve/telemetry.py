@@ -1,0 +1,481 @@
+"""Daemon-side telemetry: SLO accounting, the scrape endpoint, ``cec top``.
+
+Builds on the process-agnostic primitives in :mod:`repro.obs.telemetry`
+(the Prometheus encoder, flight recorder, resource sampler) and adds
+the parts that only make sense inside a long-lived serve daemon:
+
+- :class:`SloRegistry` — per-tenant latency objectives (``p99=5s``),
+  error budgets, and rolling multi-window burn rates.  Every completed
+  job is scored against each objective; deadline misses and hard
+  failures consume budget unconditionally; crash respawns are tracked
+  daemon-wide.  Burn rate is the classic SRE ratio: *(bad fraction in
+  window) / (budget fraction)* — 1.0 means "spending exactly the
+  budget", sustained >1 means the objective will be violated.
+- :class:`MetricsHttpServer` — a stdlib ``http.server`` thread serving
+  ``GET /metrics`` so off-the-shelf Prometheus scrapers work without
+  speaking the Unix-socket protocol.
+- :func:`format_top` — renders a daemon ``stats`` payload as a live
+  terminal view for ``cec top``.
+"""
+
+from __future__ import annotations
+
+import http.server
+import re
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.telemetry import GaugeSample
+
+__all__ = [
+    "SloObjective",
+    "parse_slo_spec",
+    "SloRegistry",
+    "MetricsHttpServer",
+    "format_top",
+    "DEFAULT_BURN_WINDOWS",
+]
+
+#: Rolling burn-rate windows in seconds (5 minutes / 1 hour) — the short
+#: window catches fast burns, the long one slow leaks.
+DEFAULT_BURN_WINDOWS: Tuple[float, ...] = (300.0, 3600.0)
+
+_SLO_SPEC = re.compile(
+    r"^p(?P<pct>\d{1,2}(?:\.\d+)?)\s*=\s*(?P<value>\d+(?:\.\d+)?)\s*"
+    r"(?P<unit>ms|s|m)?$"
+)
+
+_UNIT_SECONDS = {"ms": 1e-3, "s": 1.0, "m": 60.0, None: 1.0}
+
+
+class SloObjective:
+    """One latency objective: ``quantile`` of jobs must finish ≤ ``target``.
+
+    The error budget is the complement of the quantile — a ``p99``
+    objective tolerates 1% bad events.
+    """
+
+    __slots__ = ("quantile", "target_seconds")
+
+    def __init__(self, quantile: float, target_seconds: float) -> None:
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+        if target_seconds <= 0.0:
+            raise ValueError("target must be positive")
+        self.quantile = quantile
+        self.target_seconds = target_seconds
+
+    @property
+    def budget_fraction(self) -> float:
+        return 1.0 - self.quantile
+
+    @property
+    def name(self) -> str:
+        pct = self.quantile * 100.0
+        text = f"{pct:.4f}".rstrip("0").rstrip(".")
+        return f"p{text}"
+
+    def spec(self) -> str:
+        return f"{self.name}={self.target_seconds:g}s"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SloObjective({self.spec()})"
+
+
+def parse_slo_spec(spec: str) -> SloObjective:
+    """Parse an ``--slo`` spec like ``p99=5s``, ``p95=500ms``, ``p50=1``.
+
+    The quantile is a percentile (``p99`` → 0.99); the target accepts
+    ``ms``/``s``/``m`` suffixes and defaults to seconds.
+    """
+    match = _SLO_SPEC.match(spec.strip())
+    if not match:
+        raise ValueError(
+            f"bad SLO spec {spec!r} (expected e.g. 'p99=5s', 'p95=500ms')"
+        )
+    pct = float(match.group("pct"))
+    if not 0.0 < pct < 100.0:
+        raise ValueError(f"bad SLO percentile in {spec!r}")
+    seconds = float(match.group("value")) * _UNIT_SECONDS[match.group("unit")]
+    return SloObjective(pct / 100.0, seconds)
+
+
+class _TenantWindow:
+    """Bounded event ring for one tenant: ``(ts, latency, hard_failure)``."""
+
+    __slots__ = ("events", "total", "failures", "deadline_misses", "bad")
+
+    def __init__(self, capacity: int, objectives: int) -> None:
+        self.events: Deque[Tuple[float, float, bool]] = deque(maxlen=capacity)
+        self.total = 0
+        self.failures = 0
+        self.deadline_misses = 0
+        #: Lifetime bad-event count per objective index.
+        self.bad = [0] * objectives
+
+
+class SloRegistry:
+    """Per-tenant SLO accounting for the serve daemon.
+
+    Thread-safe; called from the pool's poll loop (job completions,
+    deadline kills, respawns) and read from the asyncio ``stats``/
+    ``metrics`` handlers.
+
+    An event is *bad for an objective* when its latency exceeds the
+    objective's target, or when it was a hard failure (worker crash,
+    deadline kill) — a job the caller never got a verdict for can't
+    count as "within SLO" at any latency.
+    """
+
+    def __init__(
+        self,
+        objectives: Sequence[SloObjective],
+        windows: Sequence[float] = DEFAULT_BURN_WINDOWS,
+        capacity: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.objectives = list(objectives)
+        self.windows = tuple(sorted(float(w) for w in windows))
+        if not self.windows:
+            raise ValueError("need at least one burn-rate window")
+        self.capacity = capacity
+        self._clock = clock
+        self._tenants: Dict[str, _TenantWindow] = {}
+        self._respawns = 0
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.objectives)
+
+    def _tenant(self, tenant: str) -> _TenantWindow:
+        window = self._tenants.get(tenant)
+        if window is None:
+            window = _TenantWindow(self.capacity, len(self.objectives))
+            self._tenants[tenant] = window
+        return window
+
+    def record_job(
+        self, tenant: str, latency_seconds: float, failed: bool = False
+    ) -> None:
+        """Score one completed (or failed) job against every objective."""
+        with self._lock:
+            window = self._tenant(tenant)
+            window.events.append(
+                (self._clock(), float(latency_seconds), bool(failed))
+            )
+            window.total += 1
+            if failed:
+                window.failures += 1
+            for index, objective in enumerate(self.objectives):
+                if failed or latency_seconds > objective.target_seconds:
+                    window.bad[index] += 1
+
+    def record_deadline_miss(self, tenant: str) -> None:
+        """A job killed at its deadline: a hard failure plus its own tally."""
+        with self._lock:
+            self._tenant(tenant).deadline_misses += 1
+        self.record_job(tenant, float("inf"), failed=True)
+
+    def record_respawn(self) -> None:
+        """A worker crash-respawn (daemon-wide, not attributable to a tenant)."""
+        with self._lock:
+            self._respawns += 1
+
+    def _burn_rates(
+        self, window: _TenantWindow, now: float
+    ) -> Dict[str, Dict[str, float]]:
+        """``{objective: {window_seconds: burn_rate}}`` over the event ring."""
+        rates: Dict[str, Dict[str, float]] = {}
+        for index, objective in enumerate(self.objectives):
+            per_window: Dict[str, float] = {}
+            for span in self.windows:
+                cutoff = now - span
+                total = bad = 0
+                for ts, latency, failed in window.events:
+                    if ts < cutoff:
+                        continue
+                    total += 1
+                    if failed or latency > objective.target_seconds:
+                        bad += 1
+                if total == 0:
+                    per_window[f"{int(span)}s"] = 0.0
+                else:
+                    bad_fraction = bad / total
+                    per_window[f"{int(span)}s"] = (
+                        bad_fraction / objective.budget_fraction
+                    )
+            rates[objective.name] = per_window
+        return rates
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe state for the daemon ``stats`` op and ``cec top``."""
+        now = self._clock()
+        with self._lock:
+            tenants: Dict[str, Any] = {}
+            for tenant, window in sorted(self._tenants.items()):
+                objectives: Dict[str, Any] = {}
+                burn = self._burn_rates(window, now)
+                for index, objective in enumerate(self.objectives):
+                    bad = window.bad[index]
+                    budget = objective.budget_fraction * window.total
+                    objectives[objective.name] = {
+                        "target_seconds": objective.target_seconds,
+                        "bad_events": bad,
+                        # >0 means budget left, <0 means blown (lifetime).
+                        "budget_remaining": round(budget - bad, 6),
+                        "burn_rates": burn[objective.name],
+                    }
+                tenants[tenant] = {
+                    "jobs": window.total,
+                    "failures": window.failures,
+                    "deadline_misses": window.deadline_misses,
+                    "objectives": objectives,
+                }
+            return {
+                "objectives": [o.spec() for o in self.objectives],
+                "windows_seconds": list(self.windows),
+                "respawns": self._respawns,
+                "tenants": tenants,
+            }
+
+    def gauges(self) -> List[GaugeSample]:
+        """Per-tenant SLO state as labelled Prometheus gauge samples."""
+        samples: List[GaugeSample] = []
+        snapshot = self.snapshot()
+        samples.append(
+            ("slo.worker_respawns", {}, float(snapshot["respawns"]))
+        )
+        for tenant, state in snapshot["tenants"].items():
+            base = {"tenant": tenant}
+            samples.append(("slo.jobs", dict(base), float(state["jobs"])))
+            samples.append(
+                ("slo.failures", dict(base), float(state["failures"]))
+            )
+            samples.append(
+                (
+                    "slo.deadline_misses",
+                    dict(base),
+                    float(state["deadline_misses"]),
+                )
+            )
+            for name, objective in state["objectives"].items():
+                labels = {"tenant": tenant, "objective": name}
+                samples.append(
+                    (
+                        "slo.bad_events",
+                        dict(labels),
+                        float(objective["bad_events"]),
+                    )
+                )
+                samples.append(
+                    (
+                        "slo.error_budget_remaining",
+                        dict(labels),
+                        float(objective["budget_remaining"]),
+                    )
+                )
+                for window, rate in objective["burn_rates"].items():
+                    samples.append(
+                        (
+                            "slo.burn_rate",
+                            {**labels, "window": window},
+                            float(rate),
+                        )
+                    )
+        return samples
+
+
+# ----------------------------------------------------------------------
+# HTTP scrape endpoint
+# ----------------------------------------------------------------------
+
+
+class _MetricsHandler(http.server.BaseHTTPRequestHandler):
+    server_version = "repro-metrics/1"
+    render: Callable[[], str] = staticmethod(lambda: "")
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics is served here")
+            return
+        # The registries mutate concurrently (pool poll loop, sampler
+        # thread); dict iteration can race.  Retry a few times rather
+        # than lock every hot-path counter bump.
+        text = ""
+        for _ in range(5):
+            try:
+                text = type(self).render()
+                break
+            except RuntimeError:
+                continue
+        body = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+        )
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args: Any) -> None:  # noqa: D102 - silence stderr
+        pass
+
+
+class MetricsHttpServer:
+    """A stdlib HTTP thread serving Prometheus text on ``GET /metrics``.
+
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    :meth:`start`) — the form every test uses.  The render callable is
+    invoked per scrape, so the output always reflects live registries.
+    """
+
+    def __init__(
+        self,
+        render: Callable[[], str],
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self._render = render
+        self._requested = (host, port)
+        self._httpd: Optional[http.server.ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> Optional[int]:
+        return self._httpd.server_address[1] if self._httpd else None
+
+    def start(self) -> "MetricsHttpServer":
+        if self._httpd is not None:
+            return self
+        handler = type(
+            "BoundMetricsHandler",
+            (_MetricsHandler,),
+            {"render": staticmethod(self._render)},
+        )
+        self._httpd = http.server.ThreadingHTTPServer(self._requested, handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(2.0)
+        self._httpd = None
+        self._thread = None
+
+
+# ----------------------------------------------------------------------
+# `cec top` rendering
+# ----------------------------------------------------------------------
+
+
+def _human_bytes(value: Optional[float]) -> str:
+    if not value:
+        return "-"
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024.0
+    return f"{value:.1f}GiB"  # pragma: no cover - unreachable
+
+
+def _human_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    seconds = int(value)
+    if seconds < 60:
+        return f"{seconds}s"
+    if seconds < 3600:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+
+
+def format_top(stats: Dict[str, Any]) -> str:
+    """Render a daemon ``stats`` payload as a ``cec top`` screen.
+
+    Pure function of the payload: the CLI polls ``ServeClient.stats()``
+    and reprints.  Degrades gracefully when optional blocks (SLO,
+    resources) are absent — old daemons still render.
+    """
+    lines: List[str] = []
+    pool = stats.get("pool", {})
+    admission = stats.get("admission", {})
+    uptime = _human_seconds(stats.get("uptime_seconds"))
+    rss = _human_bytes(stats.get("rss_bytes"))
+    lines.append(
+        f"cec daemon pid={stats.get('pid', '-')} "
+        f"uptime={uptime} rss={rss} state={admission.get('state', '-')}"
+    )
+    lines.append(
+        f"jobs: submitted={pool.get('jobs_submitted', 0)} "
+        f"completed={pool.get('jobs_completed', 0)} "
+        f"inflight={pool.get('inflight', 0)} "
+        f"pending={admission.get('pending', 0)}"
+        f"/{admission.get('max_pending', '-')} "
+        f"respawns={pool.get('respawns', 0)} "
+        f"deadline_kills={pool.get('deadline_kills', 0)}"
+    )
+    workers = pool.get("per_worker", [])
+    if workers:
+        lines.append("")
+        lines.append(
+            f"{'WORKER':>6} {'PID':>8} {'BUSY':>5} {'DONE':>7} "
+            f"{'RESPAWNS':>8} {'RSS':>10}"
+        )
+        for worker in workers:
+            lines.append(
+                f"{worker.get('index', '-'):>6} "
+                f"{worker.get('pid', '-') or '-':>8} "
+                f"{worker.get('assigned', 0):>5} "
+                f"{worker.get('jobs_done', 0):>7} "
+                f"{worker.get('respawns', 0):>8} "
+                f"{_human_bytes(worker.get('rss_bytes')):>10}"
+            )
+    slo = stats.get("slo")
+    if slo and slo.get("tenants"):
+        window_names: List[str] = [
+            f"{int(w)}s" for w in slo.get("windows_seconds", [])
+        ]
+        lines.append("")
+        header = f"{'TENANT':<16} {'OBJECTIVE':<12} {'JOBS':>6} {'BAD':>5} "
+        header += f"{'BUDGET':>8} " + " ".join(
+            f"{'burn/' + name:>10}" for name in window_names
+        )
+        lines.append(header)
+        for tenant, state in sorted(slo["tenants"].items()):
+            for name, objective in state["objectives"].items():
+                row = (
+                    f"{tenant:<16} "
+                    f"{name + '<' + format(objective['target_seconds'], 'g') + 's':<12} "
+                    f"{state['jobs']:>6} {objective['bad_events']:>5} "
+                    f"{objective['budget_remaining']:>8.2f} "
+                )
+                row += " ".join(
+                    f"{objective['burn_rates'].get(name_, 0.0):>10.2f}"
+                    for name_ in window_names
+                )
+                lines.append(row)
+    per_tenant = (
+        admission.get("per_tenant") if isinstance(admission, dict) else None
+    )
+    if per_tenant:
+        lines.append("")
+        lines.append(f"{'TENANT':<16} {'ADMITTED':>9} {'REJECTED':>9}")
+        for tenant, counts in sorted(per_tenant.items()):
+            lines.append(
+                f"{tenant:<16} {counts.get('admitted', 0):>9} "
+                f"{counts.get('rejected', 0):>9}"
+            )
+    return "\n".join(lines) + "\n"

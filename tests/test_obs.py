@@ -25,7 +25,11 @@ from repro.obs import (
     set_tracer,
     use_tracer,
 )
-from repro.obs.logging import KeyValueFormatter, configure_logging
+from repro.obs.logging import (
+    JsonFormatter,
+    KeyValueFormatter,
+    configure_logging,
+)
 from repro.synth.resyn import compress2
 
 
@@ -394,6 +398,49 @@ def test_formatter_appends_kv_pairs():
     line = KeyValueFormatter().format(record)
     assert "engine=sat" in line
     assert line.endswith('msg="m"')
+
+
+def test_configure_logging_json_mode_emits_one_object_per_line(capsys):
+    configure_logging("info", json_format=True)
+    get_logger("test").info(
+        "warm hit", extra={"kv": {"engine": "sim", "hits": 3}}
+    )
+    get_logger("test").warning("slow")
+    captured = capsys.readouterr()
+    lines = [l for l in captured.err.splitlines() if l]
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first["level"] == "info"
+    assert first["logger"] == "repro.test"
+    assert first["msg"] == "warm hit"
+    assert first["engine"] == "sim"
+    assert first["hits"] == 3
+    assert isinstance(first["ts"], float)
+    assert json.loads(lines[1])["level"] == "warning"
+    # Reconfiguring back to key=value replaces the handler in place.
+    configure_logging("info")
+    get_logger("test").info("plain")
+    assert 'msg="plain"' in capsys.readouterr().err
+
+
+def test_json_formatter_protects_reserved_keys_and_exceptions():
+    import logging
+
+    record = logging.LogRecord(
+        "repro.x", logging.ERROR, __file__, 1, "boom", (), None
+    )
+    record.kv = {"msg": "spoofed", "worker": 2, "obj": object()}
+    try:
+        raise RuntimeError("die")
+    except RuntimeError:
+        import sys as _sys
+
+        record.exc_info = _sys.exc_info()
+    payload = json.loads(JsonFormatter().format(record))
+    assert payload["msg"] == "boom"  # kv cannot shadow the record's msg
+    assert payload["worker"] == 2
+    assert payload["exc"] == "RuntimeError"
+    assert isinstance(payload["obj"], str)  # default=str keeps it JSON
 
 
 # ----------------------------------------------------------------------

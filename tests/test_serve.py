@@ -2,6 +2,7 @@
 
 import asyncio
 import glob
+import json
 import os
 import signal
 import socket
@@ -16,6 +17,7 @@ from repro.aig.network import negate_outputs
 from repro.cache.store import Verdict
 from repro.obs import Tracer, use_tracer
 from repro.serve import (
+    DEFAULT_TENANT,
     AdmissionController,
     AdmissionError,
     CecServer,
@@ -488,3 +490,162 @@ def test_server_shutdown_drains_and_unlinks_socket(daemon):
         time.sleep(0.05)
     assert not os.path.exists(sock)
     assert _run_segments() == []
+
+
+# ---------------------------------------------------------------------------
+# Telemetry plane: flight recorder postmortems, SLOs, scrape endpoints
+# ---------------------------------------------------------------------------
+
+
+def test_pool_untraced_metrics_and_flight_ring(tmp_path):
+    """Telemetry works without a tracer: the pool keeps its own registry
+    and worker flight events arrive on every result."""
+    from repro.obs import encode_prometheus
+
+    pool = WorkerPool(workers=1, tenants=TenantManager(str(tmp_path)))
+    try:
+        record = pool.run_batch(
+            [ServeJob(miter=_equivalent_miter(9))], timeout=60
+        )[0]
+        stats = pool.stats()
+    finally:
+        pool.shutdown()
+    assert record.status == "equivalent"
+    assert stats["jobs_submitted"] == 1
+    assert stats["jobs_completed"] == 1
+    assert stats["deadline_kills"] == 0
+    assert stats["postmortems"] == []
+    # The worker shipped its job/start + job/done milestones parent-side.
+    assert stats["per_worker"][0]["flight_events"] >= 3
+    text = encode_prometheus(pool.metrics)
+    assert "repro_serve_jobs_submitted_total 1" in text
+    assert "repro_serve_job_latency_seconds_bucket" in text
+
+
+def test_pool_deadline_kill_writes_postmortem(tmp_path):
+    """A deadline-killed worker leaves a flight-recorder postmortem and
+    consumes SLO error budget as a deadline miss."""
+    from repro.serve import SloRegistry, parse_slo_spec
+
+    pm_dir = tmp_path / "postmortems"
+    slo = SloRegistry([parse_slo_spec("p99=1s")])
+    pool = WorkerPool(
+        workers=1,
+        tenants=TenantManager(str(tmp_path / "cache")),
+        terminate_grace=0.2,
+        slo=slo,
+        postmortem_dir=str(pm_dir),
+    )
+    try:
+        stuck = pool.run_batch(
+            [
+                ServeJob(
+                    miter=_equivalent_miter(9),
+                    engine="sleep",
+                    engine_kwargs={"seconds": 60.0},
+                    deadline=0.5,
+                    name="wedged",
+                )
+            ],
+            timeout=30,
+        )[0]
+        stats = pool.stats()
+    finally:
+        pool.shutdown()
+    assert stuck.status == "error"
+    artifacts = sorted(glob.glob(str(pm_dir / "postmortem_w0_*.json")))
+    assert len(artifacts) == 1
+    with open(artifacts[0], "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["worker"] == 0
+    assert payload["reason"] == "deadline"
+    assert [job["name"] for job in payload["failed_jobs"]] == ["wedged"]
+    assert payload["failed_jobs"][0]["error"] == "job deadline exceeded"
+    kinds = {event["kind"] for event in payload["events"]}
+    assert "job" in kinds and "kill" in kinds
+    assert stats["postmortems"] == artifacts
+    assert stats["deadline_kills"] == 1
+    # The miss consumed SLO budget for the default tenant.
+    tenant = slo.snapshot()["tenants"][DEFAULT_TENANT]
+    assert tenant["deadline_misses"] == 1
+    assert tenant["objectives"]["p99"]["bad_events"] == 1
+
+
+def test_server_metrics_op_http_scrape_and_slo_stats(tmp_path):
+    """The daemon exposes one coherent scrape over both transports, and
+    stats carries uptime, parent RSS, and the SLO snapshot."""
+    import urllib.request
+
+    sock = str(tmp_path / "cec.sock")
+    server = CecServer(
+        sock,
+        workers=1,
+        cache_root=str(tmp_path / "cache"),
+        metrics_port=0,
+        slo=["p99=5s"],
+        postmortem_dir=str(tmp_path / "pm"),
+    )
+    thread = threading.Thread(
+        target=lambda: asyncio.run(server.serve_forever()), daemon=True
+    )
+    thread.start()
+    try:
+        with ServeClient(sock, connect_retries=50) as client:
+            client.submit_batch(
+                [_equivalent_miter(9)], tenant="acme", names=["eq"]
+            )
+            stats = client.stats()
+            text = client.metrics()
+            port = stats["metrics_port"]
+            assert port == server.metrics_port and port > 0
+            url = f"http://127.0.0.1:{port}/metrics"
+            with urllib.request.urlopen(url, timeout=5) as response:
+                assert response.status == 200
+                scraped = response.read().decode("utf-8")
+            client.shutdown()
+    finally:
+        thread.join(timeout=30)
+    assert not thread.is_alive()
+    for body in (text, scraped):
+        assert "# TYPE repro_serve_jobs_submitted_total counter" in body
+        assert "repro_serve_job_latency_seconds_bucket" in body
+        assert "repro_serve_uptime_seconds" in body
+        assert 'repro_serve_tenant_admitted{tenant="acme"} 1' in body
+        assert (
+            'repro_slo_burn_rate{objective="p99",tenant="acme"' in body
+        )
+    assert stats["uptime_seconds"] > 0
+    assert stats["rss_bytes"] and stats["rss_bytes"] > 1024 * 1024
+    assert stats["slo"]["objectives"] == ["p99=5s"]
+    assert stats["slo"]["tenants"]["acme"]["jobs"] == 1
+    assert stats["admission"]["per_tenant"]["acme"]["admitted"] == 1
+
+
+def test_client_timeout_surfaces_structured_error(tmp_path):
+    """A wedged daemon yields ServeError('timeout'), not a raw socket
+    exception, and the connection is dropped for reuse safety."""
+    path = str(tmp_path / "wedged.sock")
+    listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    listener.bind(path)
+    listener.listen(1)
+    release = threading.Event()
+
+    def hold():
+        conn, _ = listener.accept()
+        release.wait(5.0)
+        conn.close()
+
+    holder = threading.Thread(target=hold, daemon=True)
+    holder.start()
+    try:
+        client = ServeClient(path, timeout=0.3, connect_timeout=5.0)
+        assert client.connect_timeout == 5.0
+        with pytest.raises(ServeError) as error:
+            client.ping()
+        assert error.value.code == "timeout"
+        assert "0.3" in str(error.value)
+        assert client._sock is None  # dropped: frame stream is mid-message
+    finally:
+        release.set()
+        holder.join(5.0)
+        listener.close()
