@@ -75,6 +75,12 @@ class Table2Row:
     #: per-lane ``dispatch`` counts, ``mispredicts``, and the batched
     #: SAT lane's ``sat_batch`` pairs/solves.
     sched: Dict[str, object] = field(default_factory=dict)
+    #: Cube-and-conquer comparison of the row: the distributed cube
+    #: race vs the single-solver monolith on the same raw miter POs —
+    #: both wall-clocks, ``speedup`` (mono / race), both statuses, and
+    #: the race counters (splits, races, cancellations).  Empty when
+    #: the comparison was skipped (``--no-cubes``).
+    cube: Dict[str, object] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -201,13 +207,91 @@ def _sched_stats(tracer: Tracer) -> Dict[str, object]:
     return {
         "dispatch": {
             lane: int(counters.get(f"sched.dispatch.{lane}", 0))
-            for lane in ("sim", "cut", "bdd", "sat")
+            for lane in ("sim", "cut", "bdd", "cube", "sat")
         },
         "mispredicts": int(counters.get("sched.mispredict", 0)),
         "sat_batch": {
             "pairs": int(counters.get("sat.batch.pairs", 0)),
             "solves": int(counters.get("sat.batch.solves", 0)),
         },
+    }
+
+
+def _mono_sat_seconds(miter, conflict_limit, time_limit):
+    """Single-solver proof of every raw miter PO — the cube race's
+    baseline: same queries, one CDCL instance, no splitting, no
+    parallelism."""
+    from repro.aig.literals import CONST0, lit_is_const
+    from repro.sat.cnf import CnfBuilder
+    from repro.sat.solver import SatSolver, SolveStatus
+
+    start = time.perf_counter()
+    deadline = start + time_limit if time_limit is not None else None
+    live_pos = [po for po in miter.pos if po != CONST0]
+    if not live_pos:
+        return "equivalent", time.perf_counter() - start
+    if any(lit_is_const(po) for po in live_pos):
+        return "nonequivalent", time.perf_counter() - start
+    status = "equivalent"
+    for po in live_pos:
+        solver = SatSolver()
+        cnf = CnfBuilder(miter, solver)
+        solver.add_clause([cnf.literal(po)])
+        verdict = solver.solve(
+            conflict_limit=conflict_limit, deadline=deadline
+        )
+        if verdict is SolveStatus.SAT:
+            status = "nonequivalent"
+            break
+        if verdict is not SolveStatus.UNSAT:
+            status = "unknown"
+            break
+    return status, time.perf_counter() - start
+
+
+def _cube_stats(
+    miter, conflict_limit, time_limit=None, workers=None
+) -> Dict[str, object]:
+    """Distributed cube race vs the single-solver monolith on the raw
+    miter POs (no sweeping front end on either side, so the comparison
+    isolates what splitting + racing buys on the identical queries).
+
+    Returns the row's ``cube`` dict: both wall-clocks, the speedup
+    (mono / race), both statuses, and the race counters (splits, races,
+    first-winner cancellations).  Conclusive verdicts must agree — the
+    comparison doubles as a soundness cross-check.
+    """
+    from repro.cubes.checker import CubeChecker
+
+    checker = CubeChecker(
+        time_limit=time_limit, conflict_limit=conflict_limit,
+        workers=workers,
+    )
+    tracer = Tracer(process_name="bench-cube")
+    start = time.perf_counter()
+    with use_tracer(tracer):
+        race_result = checker.check_miter(miter)
+    race_seconds = time.perf_counter() - start
+    mono_status, mono_seconds = _mono_sat_seconds(
+        miter, conflict_limit, time_limit
+    )
+    race_status = race_result.status.value
+    conclusive = {"equivalent", "nonequivalent"}
+    if race_status in conclusive and mono_status in conclusive:
+        assert race_status == mono_status, (
+            f"cube race disagrees with the single-solver monolith: "
+            f"race={race_status}, mono={mono_status}"
+        )
+    counters = tracer.metrics.counters
+    return {
+        "race_seconds": race_seconds,
+        "mono_seconds": mono_seconds,
+        "speedup": mono_seconds / race_seconds if race_seconds else 0.0,
+        "race_status": race_status,
+        "mono_status": mono_status,
+        "splits": int(counters.get("cubes.split", 0)),
+        "races": int(counters.get("cubes.races", 0)),
+        "cancelled": int(counters.get("cubes.cancelled", 0)),
     }
 
 
@@ -219,6 +303,7 @@ def run_table2_case(
     run_portfolio: bool = True,
     parallel_portfolio: bool = False,
     cache: Optional[SweepCache] = None,
+    run_cubes: bool = True,
 ) -> Table2Row:
     """Run all three checkers of Table II on one case.
 
@@ -226,6 +311,8 @@ def run_table2_case(
     multiprocess :class:`ParallelPortfolioChecker` instead of the inline
     cascade; the stage is traced so the row's ``shm`` dict reports the
     data-plane traffic (segments, bytes shared vs pickled).
+    ``run_cubes`` adds the distributed cube race vs single-solver
+    monolith comparison (the row's ``cube`` dict).
 
     Raises ``AssertionError`` if any conclusive verdicts disagree — the
     harness doubles as an end-to-end cross-check of every engine.
@@ -345,6 +432,12 @@ def run_table2_case(
         }
     )
 
+    cube_stats: Dict[str, object] = {}
+    if run_cubes:
+        cube_stats = _cube_stats(
+            miter, sat_conflict_limit, time_limit=baseline_time_limit
+        )
+
     verdicts = {
         v
         for v in (
@@ -383,6 +476,7 @@ def run_table2_case(
         trace=tracer.summary(),
         shm={**cfm_shm, **_shm_stats(tracer)},
         sched=sched_stats,
+        cube=cube_stats,
         **_carry_stats(tracer),
     )
 
@@ -758,6 +852,13 @@ def bench_payload(
                     if r.sched
                 ]
             ),
+            "cube_speedup": geomean(
+                [
+                    float(r.cube.get("speedup", 0.0))
+                    for r in rows
+                    if r.cube
+                ]
+            ),
         }
         # The acceptance headline (adaptive vs fixed pipeline, identical
         # verdicts) also lives at the top level for easy grepping.
@@ -833,6 +934,10 @@ def main(argv=None) -> int:
         help="skip the portfolio baseline in table2 (faster smoke runs)",
     )
     parser.add_argument(
+        "--no-cubes", action="store_true",
+        help="skip the cube race vs monolith comparison in table2",
+    )
+    parser.add_argument(
         "--workers", type=int, default=2,
         help="serve-mode daemon worker count",
     )
@@ -849,6 +954,7 @@ def main(argv=None) -> int:
             cache_dir=args.cache_dir,
             json_out=args.json_out,
             run_portfolio=not args.no_portfolio,
+            run_cubes=not args.no_cubes,
         )
         print(format_table2(rows))
     elif args.experiment == "fig6":

@@ -5,7 +5,8 @@ Subcommands
 ``cec A.aig B.aig``
     Check two AIGER files for equivalence.  ``--engine`` selects the
     checker: ``combined`` (default, the paper's flow), ``sim`` (the
-    simulation engine alone), ``sat``, ``bdd``, ``portfolio`` (staged
+    simulation engine alone), ``sat``, ``bdd``, ``cube`` (distributed
+    cube-and-conquer racing every miter PO), ``portfolio`` (staged
     engines) or ``parallel`` (process-per-engine portfolio racing).
 ``stats X.aig``
     Print size/depth/interface statistics of a network.
@@ -40,6 +41,7 @@ through the :mod:`repro.obs.logging` structured logger on *stderr*, so
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, Optional
 
@@ -50,6 +52,7 @@ from repro.bdd.cec import BddChecker
 from repro.bench import generators as gen
 from repro.cache.config import CacheConfig
 from repro.cache.knowledge import SweepCache
+from repro.cubes.lane import THRESHOLD_ENV, WORKERS_ENV
 from repro.obs import (
     Tracer,
     configure_logging,
@@ -133,6 +136,10 @@ def _make_checker(
         return SatSweepChecker(time_limit=time_limit, cache=knowledge_cache())
     if engine == "bdd":
         return BddChecker(time_limit=time_limit)
+    if engine == "cube":
+        from repro.cubes.checker import CubeChecker
+
+        return CubeChecker(time_limit=time_limit, cache=knowledge_cache())
     if engine == "portfolio":
         cache = knowledge_cache()
         return PortfolioChecker(
@@ -148,6 +155,12 @@ def _make_checker(
 
 def cmd_cec(args: argparse.Namespace) -> int:
     log = get_logger("cli")
+    # The cube knobs travel by environment so they reach the dispatcher
+    # through every engine path (combined residue, sched, serve).
+    if getattr(args, "cube_threshold", None) is not None:
+        os.environ[THRESHOLD_ENV] = str(args.cube_threshold)
+    if getattr(args, "cube_workers", None) is not None:
+        os.environ[WORKERS_ENV] = str(args.cube_workers)
     aig_a = read_aiger(args.a)
     aig_b = read_aiger(args.b)
     checker = _make_checker(
@@ -390,7 +403,9 @@ def build_parser() -> argparse.ArgumentParser:
     cec.add_argument(
         "--engine",
         default="combined",
-        choices=["combined", "sim", "sat", "bdd", "portfolio", "parallel"],
+        choices=[
+            "combined", "sim", "sat", "bdd", "cube", "portfolio", "parallel",
+        ],
     )
     cec.add_argument("--time-limit", type=float, default=None)
     cec.add_argument(
@@ -399,6 +414,18 @@ def build_parser() -> argparse.ArgumentParser:
         "candidate pair to the predicted-cheapest engine lane "
         "(sim/cuts/BDD/batched SAT); 'fixed' is the kill switch for the "
         "original P-G-L-SAT pipeline",
+    )
+    cec.add_argument(
+        "--cube-threshold", type=float, default=None, metavar="SECONDS",
+        help="enable the cube lane: final residue POs whose predicted "
+        "SAT latency is at or above SECONDS are cofactor-split and "
+        "raced on a cancellable worker fan-out (0 races every final "
+        "PO; default: off; equivalent to REPRO_CUBE_THRESHOLD)",
+    )
+    cec.add_argument(
+        "--cube-workers", type=int, default=None, metavar="N",
+        help="worker count of the cube race pool (default 3; "
+        "equivalent to REPRO_CUBE_WORKERS)",
     )
     cec.add_argument(
         "--cache", metavar="DIR", default=None,

@@ -1,0 +1,120 @@
+"""Cofactor/cube splitting of a miter cone.
+
+A *cube* is a partial assignment to a few PIs.  Splitting a query on
+``k`` PIs produces the ``2^k`` cubes of every assignment combination —
+by construction pairwise disjoint (two distinct assignments differ in
+some PI) and jointly exhaustive (every full input pattern extends
+exactly one of them).  That is the entire soundness argument of the
+cube race: the original query is SAT iff some cube is SAT, and UNSAT
+iff every cube is UNSAT.
+
+Split-PI selection is a pure heuristic (it affects speed, never the
+verdict): PIs are ranked by fanout count in the cone, on the intuition
+that fixing a high-fanout input propagates the most constants through
+:func:`cofactor` and therefore shrinks the sub-problems the most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.aig.literals import CONST0, CONST1
+from repro.aig.network import Aig
+from repro.aig.transform import rebuild_with_replacements
+
+
+@dataclass(frozen=True)
+class Cube:
+    """One partial PI assignment: ``((pi_node, value), ...)``.
+
+    The empty cube (no assignments) denotes the monolithic, unsplit
+    query; :meth:`is_monolith` names that case at call sites.
+    """
+
+    assignments: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def is_monolith(self) -> bool:
+        return not self.assignments
+
+    def as_list(self) -> List[List[int]]:
+        """JSON/pickle-friendly view for job payloads."""
+        return [[pi, value] for pi, value in self.assignments]
+
+    @classmethod
+    def from_list(cls, data: Sequence[Sequence[int]]) -> "Cube":
+        return cls(tuple((int(pi), int(v)) for pi, v in data))
+
+    def __str__(self) -> str:
+        if self.is_monolith:
+            return "monolith"
+        return ",".join(f"pi{pi}={v}" for pi, v in self.assignments)
+
+
+def choose_split_pis(aig: Aig, k: int) -> List[int]:
+    """Pick up to ``k`` split PIs, highest fanout first.
+
+    Ties break towards the smaller node id so the choice — and with it
+    the whole cube decomposition — is deterministic for a given
+    network.  PIs with zero fanout are never picked: cofactoring them
+    cannot simplify anything.
+    """
+    if k <= 0:
+        return []
+    fanouts = aig.fanout_counts()
+    ranked = sorted(
+        (pi for pi in aig.pis() if fanouts[pi] > 0),
+        key=lambda pi: (-int(fanouts[pi]), pi),
+    )
+    return ranked[:k]
+
+
+def enumerate_cubes(pis: Sequence[int]) -> List[Cube]:
+    """All ``2^len(pis)`` cubes over the given PIs.
+
+    The enumeration order is the binary count of the assignment word,
+    so cube ``i`` assigns PI ``j`` the value of bit ``j`` of ``i`` —
+    deterministic, and trivially exhaustive and pairwise disjoint.
+    """
+    pis = list(pis)
+    if not pis:
+        return [Cube()]
+    return [
+        Cube(tuple((pi, (word >> j) & 1) for j, pi in enumerate(pis)))
+        for word in range(1 << len(pis))
+    ]
+
+
+def cofactor(aig: Aig, cube: Cube) -> Aig:
+    """The cofactor of ``aig`` under a cube's assignments.
+
+    Each assigned PI is replaced by the corresponding constant and the
+    network is rebuilt with constant propagation and strashing — the
+    structural simplification that makes cube jobs cheaper than the
+    monolith.  The PI *interface is preserved* (assigned PIs remain as
+    now-dangling inputs), so PI indices — and therefore counter-example
+    patterns — mean the same thing in every cofactor.
+    """
+    if cube.is_monolith:
+        return aig
+    replacements: Dict[int, int] = {
+        pi: CONST1 if value else CONST0 for pi, value in cube.assignments
+    }
+    reduced, _ = rebuild_with_replacements(aig, replacements, name=aig.name)
+    return reduced
+
+
+def patch_pattern(pattern: Sequence[int], aig: Aig, cube: Cube) -> List[int]:
+    """Overlay a cube's assignments onto a cofactor's cex pattern.
+
+    A model of a cofactored network leaves the assigned PIs
+    unconstrained (they are dangling there); forcing them back to the
+    cube's values turns the model into a counter-example of the
+    *original* network.
+    """
+    patched = list(pattern)
+    first_pi = 1  # PIs occupy node ids 1..num_pis
+    for pi, value in cube.assignments:
+        patched[pi - first_pi] = value
+    return patched

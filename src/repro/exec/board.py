@@ -1,0 +1,130 @@
+"""A parent-side work-stealing job backlog.
+
+Loop-mode pools used to push every job straight onto a worker's inbox
+queue at submit time, which made two things impossible: cancelling a
+queued job without killing the worker it was bound to, and letting an
+idle worker pick up a job queued on a busy sibling.  The
+:class:`JobBoard` fixes both by keeping the backlog in the parent — a
+job commits to a worker's inbox only when that worker goes idle, so
+
+- revoking a cancelled job (a losing cube whose sibling already won) is
+  a free list removal, never a kill;
+- an idle worker first drains its own affinity queue, then the shared
+  queue, then *steals from the tail* of the longest sibling queue, so a
+  burst of submissions to one worker spreads across the pool.
+
+The board is plain single-threaded bookkeeping: the pools drive it from
+their one polling thread, so no locking is needed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.exec.cancel import CancelToken
+
+
+class BoardJob:
+    """One queued unit of work: an opaque payload plus scheduling tags."""
+
+    __slots__ = ("job_id", "payload", "token", "affinity")
+
+    def __init__(
+        self,
+        job_id: int,
+        payload: Dict,
+        token: Optional[CancelToken] = None,
+        affinity: Optional[int] = None,
+    ) -> None:
+        self.job_id = job_id
+        self.payload = payload
+        self.token = token
+        #: Preferred worker index (load-balance hint, not a pin — any
+        #: idle worker may steal this job).
+        self.affinity = affinity
+
+    @property
+    def cancelled(self) -> bool:
+        return self.token is not None and self.token.cancelled
+
+    def __repr__(self) -> str:
+        return f"BoardJob({self.job_id}, affinity={self.affinity})"
+
+
+class JobBoard:
+    """Per-worker affinity queues plus a shared overflow queue."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[int, Deque[BoardJob]] = {}
+        self._shared: Deque[BoardJob] = deque()
+
+    def __len__(self) -> int:
+        return len(self._shared) + sum(
+            len(q) for q in self._queues.values()
+        )
+
+    def add(
+        self,
+        job_id: int,
+        payload: Dict,
+        token: Optional[CancelToken] = None,
+        affinity: Optional[int] = None,
+    ) -> BoardJob:
+        """Queue a job, on a worker's affinity queue or the shared one."""
+        job = BoardJob(job_id, payload, token=token, affinity=affinity)
+        if affinity is None:
+            self._shared.append(job)
+        else:
+            self._queues.setdefault(affinity, deque()).append(job)
+        return job
+
+    def queued_for(self, worker_index: int) -> int:
+        """Backlog length credited to one worker (its affinity queue)."""
+        queue = self._queues.get(worker_index)
+        return len(queue) if queue is not None else 0
+
+    def take(self, worker_index: int) -> Optional[BoardJob]:
+        """Claim the next job for an idle worker.
+
+        Own affinity queue head first, then the shared queue head, then
+        the *tail* of the longest sibling queue (stealing from the tail
+        keeps the victim's head — the job it will run next — intact).
+        Cancelled jobs encountered along the way are discarded, never
+        returned.
+        """
+        own = self._queues.get(worker_index)
+        while own:
+            job = own.popleft()
+            if not job.cancelled:
+                return job
+        while self._shared:
+            job = self._shared.popleft()
+            if not job.cancelled:
+                return job
+        victim: Optional[Deque[BoardJob]] = None
+        for index, queue in self._queues.items():
+            if index == worker_index or not queue:
+                continue
+            if victim is None or len(queue) > len(victim):
+                victim = queue
+        while victim:
+            job = victim.pop()
+            if not job.cancelled:
+                return job
+        return None
+
+    def revoke_cancelled(self) -> List[BoardJob]:
+        """Drop every queued job whose token is cancelled; return them.
+
+        This is the cheap half of first-winner cancellation: losers
+        still on the board never cost a kill, only this sweep.
+        """
+        revoked: List[BoardJob] = []
+        for queue in list(self._queues.values()) + [self._shared]:
+            keep = [job for job in queue if not job.cancelled]
+            if len(keep) != len(queue):
+                revoked.extend(job for job in queue if job.cancelled)
+                queue.clear()
+                queue.extend(keep)
+        return revoked

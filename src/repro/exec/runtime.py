@@ -1,0 +1,456 @@
+"""The parent side of the job runtime: registry, spawn, stop, absorb.
+
+:class:`ExecRuntime` owns everything both pools used to duplicate:
+
+- resolution of the multiprocessing start method and the shared-memory
+  plane (:func:`resolve_start_method`, :func:`resolve_use_shm`);
+- the run's :class:`~repro.shm.SegmentRegistry` (parent = reaper) and
+  the orphan sweep that precedes it;
+- worker spawn in one-shot or loop mode, each with a
+  :class:`~repro.exec.cancel.CancelToken`, staged SIGTERM → SIGKILL
+  stops (:func:`stop_process_staged`), and warm respawn;
+- the result queue with bounded polling, reference resolution
+  (:func:`~repro.exec.transport.unpack_message`), worker-trace
+  re-basing, per-worker flight rings, and the late-message /
+  spill-file drain;
+- leak-free teardown: registry reap, queue close, spill-dir removal.
+
+Policies hold :class:`WorkerHandle` records (or subclasses carrying
+their own bookkeeping) and decide *what* to spawn and *when* to stop
+it; the runtime is the only code that touches processes, queues and
+segments.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_module
+import shutil
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.obs import FlightRecorder, get_tracer
+from repro.shm import (
+    SegmentDescriptor,
+    SegmentRegistry,
+    aig_shm_arrays,
+    reap_orphans,
+    shm_available,
+)
+from repro.sweep.classes import SharedPool
+
+from repro.exec.cancel import CancelGroup, CancelToken
+from repro.exec.transport import (
+    collect_spilled_messages,
+    stamp_pool,
+    unpack_message,
+)
+from repro.exec.worker import exec_worker_main
+
+#: Environment variable overriding the multiprocessing start method
+#: (used by CI to run the suite under ``spawn``).
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
+
+#: Environment variable disabling the shared-memory data plane
+#: (``REPRO_SHM=0`` forces the legacy pickled-queue payload path).
+SHM_ENV = "REPRO_SHM"
+
+
+def resolve_use_shm(requested: Optional[bool] = None) -> bool:
+    """Decide whether a run uses the shared-memory data plane.
+
+    Resolution order: explicit ``requested`` argument, then the
+    ``REPRO_SHM`` environment variable (``0``/``false``/``off``/``no``
+    disables), then on-by-default.  Either way the plane is only used
+    when the platform actually offers POSIX shared memory.
+    """
+    if requested is not None:
+        return bool(requested) and shm_available()
+    flag = os.environ.get(SHM_ENV, "").strip().lower()
+    if flag in ("0", "false", "off", "no"):
+        return False
+    return shm_available()
+
+
+def resolve_start_method(requested: Optional[str] = None) -> str:
+    """Pick the multiprocessing start method for a pool.
+
+    Resolution order: explicit ``requested`` argument, then the
+    ``REPRO_MP_START_METHOD`` environment variable, then a per-platform
+    default — ``spawn`` on platforms where ``fork`` is unsafe or absent
+    (macOS, Windows), the interpreter's default elsewhere.  ``fork`` is
+    therefore never forced: it remains an opt-in.
+    """
+    if requested is not None:
+        method = requested
+    else:
+        method = os.environ.get(START_METHOD_ENV) or ""
+        if not method:
+            if sys.platform in ("win32", "darwin"):
+                method = "spawn"
+            else:
+                method = mp.get_start_method()
+    if method not in mp.get_all_start_methods():
+        raise ValueError(
+            f"start method {method!r} is not available on this platform "
+            f"(choices: {mp.get_all_start_methods()})"
+        )
+    return method
+
+
+def stop_process_staged(
+    process: "mp.process.BaseProcess", grace: float, engine: str = ""
+) -> None:
+    """Staged termination: SIGTERM, join grace, then SIGKILL.
+
+    The one stop path for every orchestrator — the portfolio racer, the
+    serve daemon's worker reaper and the cube fan-out all funnel through
+    here, so the escalation policy (and its ``portfolio.terminate``
+    span) stays uniform.
+    """
+    if process is None or not process.is_alive():
+        return
+    with get_tracer().span(
+        "portfolio.terminate", category="portfolio", engine=engine
+    ) as span:
+        process.terminate()
+        process.join(grace)
+        if process.is_alive():
+            span.set("escalated", "SIGKILL")
+            process.kill()
+            process.join(grace)
+
+
+@dataclass
+class WorkerHandle:
+    """Parent-side bookkeeping for one worker process.
+
+    Policies subclass this with their own fields (engine record, budget,
+    assignment list, …); the runtime only reads/writes the ones below.
+    """
+
+    index: int
+    name: str = ""
+    process: Optional["mp.process.BaseProcess"] = None
+    #: Loop-mode job inbox (``None`` for one-shot workers).
+    inbox: Optional["mp.Queue"] = None
+    token: Optional[CancelToken] = None
+    spill_path: Optional[str] = None
+    mode: str = "oneshot"
+    #: Monotonic spawn time.
+    started: float = 0.0
+    jobs_done: int = 0
+    respawns: int = 0
+    #: Job ids queued on this worker, oldest first (the head is the one
+    #: the worker is executing) — loop-mode policies only.
+    assigned: List[int] = field(default_factory=list)
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+
+class ExecRuntime:
+    """One run's (or one daemon's) process/segment/queue plane.
+
+    Parameters
+    ----------
+    start_method / use_shm:
+        See :func:`resolve_start_method` / :func:`resolve_use_shm`.
+    trace:
+        Workers record their own span timelines and ship them for the
+        parent tracer to re-base.
+    terminate_grace:
+        SIGTERM → SIGKILL escalation grace in seconds.
+    spill:
+        Give each one-shot worker a spill file for results that can no
+        longer reach the queue (parent torn down mid-grace).
+    flight / flight_capacity:
+        Run per-worker flight recorders: a ring in each worker process
+        (shipped incrementally on results) plus a parent-side ring per
+        worker index that folds worker events in with parent milestones.
+    """
+
+    def __init__(
+        self,
+        start_method: Optional[str] = None,
+        use_shm: Optional[bool] = None,
+        trace: bool = False,
+        terminate_grace: float = 1.0,
+        spill: bool = False,
+        flight: bool = False,
+        flight_capacity: int = 256,
+    ) -> None:
+        self.context = mp.get_context(resolve_start_method(start_method))
+        self.start_method = resolve_start_method(start_method)
+        self.use_shm = resolve_use_shm(use_shm)
+        self.trace = trace
+        self.terminate_grace = terminate_grace
+        self.spill = spill
+        self.flight = flight
+        self.flight_capacity = flight_capacity
+        self.registry: Optional[SegmentRegistry] = None
+        self.result_queue: Optional["mp.Queue"] = None
+        self.spill_dir: Optional[str] = None
+        self._flight: Dict[int, FlightRecorder] = {}
+        self._opened = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def open(self) -> "ExecRuntime":
+        """Open the plane: orphan sweep, registry, queue, spill dir."""
+        if self._opened:
+            return self
+        if self.use_shm:
+            try:
+                # Blocks stranded by a long-dead parent (SIGKILL, power
+                # loss) have no reaper left; sweep them opportunistically.
+                reap_orphans()
+            except Exception:
+                pass
+            try:
+                self.registry = SegmentRegistry()
+            except Exception:
+                self.registry = None
+        self.result_queue = self.context.Queue()
+        if self.spill:
+            try:
+                self.spill_dir = tempfile.mkdtemp(prefix="repro-ipc-")
+            except OSError:
+                self.spill_dir = None
+        self._opened = True
+        return self
+
+    def close(self) -> None:
+        """Tear the plane down leak-free (idempotent).
+
+        The registry reap unlinks every segment of the run — including
+        those of SIGKILLed workers — whatever state they died in.
+        """
+        if self.registry is not None:
+            self.registry.reap()
+            self.registry = None
+        if self.result_queue is not None:
+            self.result_queue.close()
+            self.result_queue.cancel_join_thread()
+            self.result_queue = None
+        if self.spill_dir is not None:
+            shutil.rmtree(self.spill_dir, ignore_errors=True)
+            self.spill_dir = None
+        self._opened = False
+
+    def publish_aig(
+        self,
+        aig,
+        pool: Optional[SharedPool] = None,
+        disable_on_error: bool = False,
+    ) -> Optional[SegmentDescriptor]:
+        """Publish a miter (plus optional pattern pool) as a segment.
+
+        Returns ``None`` when the plane is off or publishing fails; with
+        ``disable_on_error`` a failure also reaps and drops the registry
+        (the portfolio's all-or-nothing posture — one payload for every
+        worker), without it the caller just falls back to shipping this
+        one payload inline (the serve per-job posture).
+        """
+        if self.registry is None:
+            return None
+        try:
+            arrays, meta = aig_shm_arrays(aig)
+            stamp_pool(arrays, meta, pool)
+            return self.registry.publish(arrays=arrays, meta=meta)
+        except Exception:
+            if disable_on_error:
+                self.registry.reap()
+                self.registry = None
+            return None
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+
+    def _worker_cfg(self, handle: WorkerHandle, trace_name: str) -> Dict:
+        return {
+            "trace": self.trace,
+            "trace_name": trace_name,
+            "shm_token": (
+                self.registry.token if self.registry is not None else None
+            ),
+            "run_pid": os.getpid(),
+            "spill_path": handle.spill_path,
+            "flight": self.flight,
+            "flight_capacity": min(self.flight_capacity, 128),
+        }
+
+    def spawn(
+        self,
+        handle: WorkerHandle,
+        handler: Callable,
+        payload: Optional[Dict] = None,
+        mode: str = "oneshot",
+        trace_name: str = "",
+        group: Optional[CancelGroup] = None,
+        start: bool = True,
+    ) -> WorkerHandle:
+        """Spawn a worker onto ``handle`` (one-shot job or warm loop).
+
+        ``handler`` must be a module-level callable
+        ``(payload, ctx) -> message`` (picklable under ``spawn``).  In
+        one-shot mode ``payload`` is the single job; in loop mode the
+        worker reads jobs from a fresh ``handle.inbox`` queue until the
+        ``None`` sentinel.  Every spawn mints a fresh
+        :class:`CancelToken` (joined to ``group`` when given).
+        """
+        handle.mode = mode
+        handle.token = CancelToken(handle.name or f"w{handle.index}")
+        if group is not None:
+            group.add(handle.token)
+        if self.spill_dir is not None:
+            handle.spill_path = os.path.join(
+                self.spill_dir, f"worker{handle.index}.msg"
+            )
+        if mode == "oneshot":
+            inbox = payload
+        else:
+            handle.inbox = self.context.Queue()
+            inbox = handle.inbox
+        process = self.context.Process(
+            target=exec_worker_main,
+            args=(
+                handle.index,
+                mode,
+                handler,
+                inbox,
+                self.result_queue,
+                self._worker_cfg(
+                    handle, trace_name or f"worker:{handle.name}"
+                ),
+            ),
+            daemon=False,
+        )
+        handle.process = process
+        if start:
+            process.start()
+            handle.started = time.monotonic()
+        return handle
+
+    def stop(self, handle: WorkerHandle, reason: Optional[str] = None) -> str:
+        """Cancel a worker's token and staged-stop its process.
+
+        Returns the canonical reason recorded on the token ("timeout" or
+        "cancelled") — the string policies surface on run records and
+        :class:`~repro.sweep.report.EngineFailure.reason`.
+        """
+        recorded = ""
+        if handle.token is not None:
+            recorded = handle.token.cancel(reason)
+        if handle.process is not None:
+            stop_process_staged(
+                handle.process,
+                self.terminate_grace,
+                engine=handle.name or f"w{handle.index}",
+            )
+        return recorded
+
+    def respawn(
+        self,
+        handle: WorkerHandle,
+        handler: Callable,
+        trace_name: str = "",
+        reason: Optional[str] = None,
+    ) -> WorkerHandle:
+        """Stop a loop worker and restart it fresh on the same handle.
+
+        The respawn starts warm at the policy layer (it reloads merged
+        caches from disk); here it just gets a fresh inbox, token,
+        process and parent-side flight ring.
+        """
+        self.stop(handle, reason)
+        if handle.inbox is not None:
+            handle.inbox.close()
+            handle.inbox.cancel_join_thread()
+            handle.inbox = None
+        self._flight.pop(handle.index, None)
+        respawns = handle.respawns + 1
+        self.spawn(handle, handler, mode="loop", trace_name=trace_name)
+        handle.respawns = respawns
+        return handle
+
+    # ------------------------------------------------------------------
+    # Result absorption
+    # ------------------------------------------------------------------
+
+    def poll(self, timeout: float) -> Optional[Dict]:
+        """One bounded wait on the result queue (raw message or None)."""
+        if self.result_queue is None:
+            return None
+        try:
+            return self.result_queue.get(timeout=max(timeout, 0.0))
+        except (queue_module.Empty, OSError, ValueError):
+            return None
+
+    def absorb(self, message: Dict) -> Dict:
+        """Resolve a raw message's segment references (see transport)."""
+        return unpack_message(message, self.registry)
+
+    def merge_trace(self, message: Dict) -> None:
+        """Re-base a worker's span timeline onto the parent tracer."""
+        payload = message.get("trace")
+        if payload is None:
+            return
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.merge_child(payload)
+
+    def flight_ring(self, index: int) -> FlightRecorder:
+        """The parent-side flight ring for one worker index."""
+        ring = self._flight.get(index)
+        if ring is None:
+            ring = FlightRecorder(capacity=self.flight_capacity)
+            self._flight[index] = ring
+        return ring
+
+    def fold_flight(self, message: Dict) -> None:
+        """Fold a message's shipped worker flight events into the ring."""
+        events = message.get("flight")
+        index = message.get("index")
+        if events and index is not None:
+            self.flight_ring(int(index)).extend(events)
+
+    def drain_late(
+        self, callback: Callable[[Dict], None], max_wait: float = 2.0
+    ) -> None:
+        """Absorb messages still in flight after all workers stopped.
+
+        Runs on teardown, before the queue is closed: cancelled workers
+        post partial traces (and cache deltas) from the SIGTERM handler
+        after the main loop has stopped reading, and a late loser's
+        cache delta matters even without tracing.  Messages a worker had
+        to spill to disk (queue already torn down on its side) are
+        collected afterwards from the spill dir.  ``callback`` receives
+        each raw message and must tolerate malformed ones.
+        """
+        deadline = time.monotonic() + max_wait
+        while time.monotonic() < deadline:
+            message = self.poll(0.05)
+            if message is None:
+                break
+            try:
+                callback(message)
+            except (KeyError, IndexError, TypeError):
+                continue  # malformed late payload: drop it, keep draining
+        for message in collect_spilled_messages(self.spill_dir):
+            try:
+                callback(message)
+            except (KeyError, IndexError, TypeError):
+                continue

@@ -3,36 +3,21 @@
 The paper describes commercial checkers as running "different engines
 simultaneously and early stop when an engine finishes" (§IV-A) on up to
 16 CPU threads.  :class:`ParallelPortfolioChecker` reproduces that
-architecture with one OS process per engine — and hardens it into the
-orchestration layer the rest of the system builds on:
+architecture with one OS process per engine, racing to the first
+conclusive answer.
 
-- **spawn-safe process management** — the multiprocessing start method
-  is resolved per platform (``spawn`` on macOS/Windows, the interpreter
-  default elsewhere); ``fork`` is an explicit opt-in via the
-  ``start_method`` argument or the ``REPRO_MP_START_METHOD`` environment
-  variable.  Workers are non-daemonic so engines may parallelise
-  internally.
-- **budgets with staged termination** — each engine may carry its own
-  wall-clock budget on top of the global deadline; an over-budget worker
-  receives SIGTERM, a join grace period, then SIGKILL.
-- **crash surfacing** — a worker exception or abnormal exit becomes a
-  structured :class:`~repro.sweep.report.EngineFailure` on the run's
-  :class:`~repro.sweep.report.PortfolioReport` instead of being dropped;
-  the run raises :class:`PortfolioError` only when *every* engine fails.
-- **residue hand-off** — on global timeout the smallest residue
-  collected so far is re-checked by a configurable finisher engine
-  before the run settles for UNDECIDED; when the residue came with a
-  carried :class:`~repro.sweep.state.SweepState`, the finisher adopts it
-  and starts from the carried signatures instead of re-simulating.
-- **zero-copy data plane** — with shared memory available (the default;
-  opt out per instance via ``use_shm=False`` or globally via
-  ``REPRO_SHM=0``), the big arrays move through :mod:`repro.shm`
-  segments: workers receive a descriptor of the published miter instead
-  of a pickled copy, and ship residues, sweep state and sideband
-  payloads (report/trace/cache deltas) back the same way.  Queue
-  messages shrink to descriptor size, and the parent registry reaps
-  every segment of the run — including those of SIGKILLed workers — in
-  the teardown path.
+The process/segment/queue machinery — spawn-safe start-method
+resolution, staged SIGTERM → SIGKILL budgets, the zero-copy
+shared-memory data plane, late-message spill drains — lives in
+:mod:`repro.exec`; this module is the *policy*: which engines to race,
+how to score their messages into a
+:class:`~repro.sweep.report.PortfolioReport`, when to cancel the rest,
+and the residue hand-off to a finisher engine after a global timeout.
+Crash surfacing is structural: a worker exception or abnormal exit
+becomes an :class:`~repro.sweep.report.EngineFailure` on the report
+(with the kill reason, "timeout" vs "cancelled", normalised through the
+runtime's cancellation tokens), and the run raises
+:class:`PortfolioError` only when *every* engine fails.
 
 Engines are named specs so they pickle cleanly:
 
@@ -51,17 +36,9 @@ budget in seconds: ``("sat", {}, 10.0)``.
 from __future__ import annotations
 
 import inspect
-import multiprocessing as mp
-import os
-import pickle
-import queue as queue_module
-import shutil
-import signal
-import sys
-import tempfile
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.aig.miter import build_miter
@@ -69,17 +46,29 @@ from repro.aig.network import Aig
 from repro.cache.config import CacheConfig
 from repro.cache.counters import CacheCounters
 from repro.cache.knowledge import SweepCache
-from repro.obs import Tracer, get_tracer, set_tracer
-from repro.shm import (
-    SegmentDescriptor,
-    SegmentRegistry,
-    adopt_aig,
-    aig_shm_arrays,
-    detach_aig,
-    reap_orphans,
-    set_active_registry,
-    shm_available,
+from repro.exec import (
+    REASON_TIMEOUT,
+    ExecRuntime,
+    WorkerHandle,
+    normalize_reason,
 )
+from repro.exec import (  # noqa: F401  (re-exported compat surface)
+    SHM_ENV,
+    START_METHOD_ENV,
+    pool_from_adoption,
+    resolve_start_method,
+    resolve_use_shm,
+    stop_process_staged,
+)
+from repro.exec.transport import (  # noqa: F401  (compat aliases)
+    attach_sideband as _attach_sideband,
+    collect_spilled_messages,
+    pack_residue as _pack_residue,
+    post_message as _post_message,
+)
+from repro.exec.worker import WorkerTerminated as _WorkerTerminated  # noqa: F401
+from repro.obs import get_tracer
+from repro.shm import SegmentDescriptor, adopt_aig, detach_aig
 from repro.sweep.classes import SharedPool
 from repro.sweep.engine import CecResult, CecStatus
 from repro.sweep.report import (
@@ -99,32 +88,8 @@ DEFAULT_ENGINES: List[EngineSpec] = [
     ("bdd", {"node_limit": 500_000}),
 ]
 
-#: Environment variable overriding the multiprocessing start method
-#: (used by CI to run the suite under ``spawn``).
-START_METHOD_ENV = "REPRO_MP_START_METHOD"
-
 #: Default finisher: a conflict-limited SAT sweep over the best residue.
 DEFAULT_FINISHER: EngineSpec = ("sat", {"conflict_limit": 20_000})
-
-#: Environment variable disabling the shared-memory data plane
-#: (``REPRO_SHM=0`` forces the legacy pickled-queue payload path).
-SHM_ENV = "REPRO_SHM"
-
-
-def resolve_use_shm(requested: Optional[bool] = None) -> bool:
-    """Decide whether a portfolio run uses the shared-memory data plane.
-
-    Resolution order: explicit ``requested`` argument, then the
-    ``REPRO_SHM`` environment variable (``0``/``false``/``off``/``no``
-    disables), then on-by-default.  Either way the plane is only used
-    when the platform actually offers POSIX shared memory.
-    """
-    if requested is not None:
-        return bool(requested) and shm_available()
-    flag = os.environ.get(SHM_ENV, "").strip().lower()
-    if flag in ("0", "false", "off", "no"):
-        return False
-    return shm_available()
 
 
 class PortfolioError(RuntimeError):
@@ -143,32 +108,6 @@ class PortfolioError(RuntimeError):
         super().__init__(
             f"all {len(self.failures)} portfolio engines failed: {details}"
         )
-
-
-def resolve_start_method(requested: Optional[str] = None) -> str:
-    """Pick the multiprocessing start method for a portfolio run.
-
-    Resolution order: explicit ``requested`` argument, then the
-    ``REPRO_MP_START_METHOD`` environment variable, then a per-platform
-    default — ``spawn`` on platforms where ``fork`` is unsafe or absent
-    (macOS, Windows), the interpreter's default elsewhere.  ``fork`` is
-    therefore never forced: it remains an opt-in.
-    """
-    if requested is not None:
-        method = requested
-    else:
-        method = os.environ.get(START_METHOD_ENV) or ""
-        if not method:
-            if sys.platform in ("win32", "darwin"):
-                method = "spawn"
-            else:
-                method = mp.get_start_method()
-    if method not in mp.get_all_start_methods():
-        raise ValueError(
-            f"start method {method!r} is not available on this platform "
-            f"(choices: {mp.get_all_start_methods()})"
-        )
-    return method
 
 
 def build_checker(
@@ -256,29 +195,6 @@ def build_checker(
     raise ValueError(f"unknown engine spec {kind!r}")
 
 
-def stop_process_staged(
-    process: "mp.process.BaseProcess", grace: float, engine: str = ""
-) -> None:
-    """Staged termination: SIGTERM, join grace, then SIGKILL.
-
-    The one stop path for every orchestrator — the portfolio racer and
-    the serve daemon's worker reaper both funnel through here, so the
-    escalation policy (and its ``portfolio.terminate`` span) stays
-    uniform.
-    """
-    if not process.is_alive():
-        return
-    with get_tracer().span(
-        "portfolio.terminate", category="portfolio", engine=engine
-    ) as span:
-        process.terminate()
-        process.join(grace)
-        if process.is_alive():
-            span.set("escalated", "SIGKILL")
-            process.kill()
-            process.join(grace)
-
-
 def shared_pool_for_specs(
     specs: Sequence[EngineSpec], num_pis: int
 ) -> Optional[SharedPool]:
@@ -308,257 +224,58 @@ def shared_pool_for_specs(
     return None
 
 
-def pool_from_adoption(adoption) -> Optional[SharedPool]:
-    """Rebuild the shared pool from an adopted miter segment, if present.
+def run_engine_job(payload: Dict, ctx) -> Dict:
+    """One-shot job handler: run one engine on the miter, report once.
 
-    The pool words stay a read-only view of the segment — safe because
-    :meth:`~repro.sweep.classes.SimulationState.add_cex_patterns`
-    replaces the matrix wholesale instead of writing it in place.
+    Runs inside an :func:`repro.exec.worker.exec_worker_main` child.
+    With a segment-descriptor miter the worker adopts it zero-copy off
+    the run registry (pattern pool included); the checker gets a
+    *read-only* snapshot of the knowledge cache (no mid-run disk
+    contention) and ships the verdicts it accumulated back in the
+    sideband, so the parent can merge and persist them.  UNDECIDED
+    residues (and the carried sweep state, when it still owns them) are
+    published back as segments by :func:`~repro.exec.transport.pack_residue`.
     """
-    words = adoption.arrays.get("pi_words")
-    info = adoption.meta.get("pool")
-    if words is None or not info:
-        return None
-    try:
-        return SharedPool(
-            pi_words=words,
-            num_pis=int(adoption.meta["num_pis"]),
-            num_random_words=int(info["num_random_words"]),
-            seed=int(info["seed"]),
-            strategy=str(info["strategy"]),
-            num_cex=int(info.get("num_cex", 0)),
-        )
-    except (KeyError, TypeError, ValueError):
-        return None
-
-
-class _WorkerTerminated(BaseException):
-    """Raised by the worker's SIGTERM handler (tracing runs only).
-
-    Derives from :class:`BaseException` so engine-level ``except
-    Exception`` blocks cannot swallow the termination request on its way
-    to the worker's top-level handler.
-    """
-
-
-def _raise_worker_terminated(signum, frame) -> None:
-    raise _WorkerTerminated()
-
-
-def _pack_residue(message: Dict, result: CecResult, registry) -> None:
-    """Attach an UNDECIDED result's residue to the outbound message.
-
-    On the data plane the residue is published as a segment — together
-    with the engine's carried :class:`SweepState` when the state still
-    owns that residue, so the parent (and the SAT finisher after it) can
-    adopt signatures, pattern pool and origin map without re-simulating.
-    Without a registry (or if publishing fails) the residue rides the
-    queue pickled, as it always has.
-    """
-    residue = result.reduced_miter
-    if residue is None or result.status is not CecStatus.UNDECIDED:
-        return
-    if registry is not None:
-        state = result.sim_state
-        try:
-            if isinstance(state, SweepState) and state.matches(residue):
-                arrays, meta = state.to_shm_arrays()
-            else:
-                arrays, meta = aig_shm_arrays(residue)
-            message["state_ref"] = registry.publish(arrays=arrays, meta=meta)
-            return
-        except Exception:
-            pass  # segment allocation failed: fall back to pickling
-    message["residue"] = residue
-
-
-def _attach_sideband(message: Dict, sideband: Dict, registry) -> None:
-    """Ship the bulky message parts (report/trace/cache) out of band.
-
-    On the data plane the sideband is pickled once into a blob segment
-    and the message carries only its descriptor; otherwise the entries
-    are inlined into the queue message (the legacy layout — the parent
-    accepts both).
-    """
-    if not sideband:
-        return
-    if registry is not None:
-        try:
-            blob = pickle.dumps(sideband, protocol=pickle.HIGHEST_PROTOCOL)
-            message["sideband_ref"] = registry.publish(blob=blob)
-            return
-        except Exception:
-            pass  # fall back to the inline layout
-    message.update(sideband)
-
-
-def _post_message(
-    queue: "mp.Queue", message: Dict, spill_path: Optional[str]
-) -> None:
-    """Post a worker message; spill it to disk when the queue is gone.
-
-    A cancelled loser can reach this after the parent's queue is already
-    torn down (e.g. the parent process itself was killed mid-grace).
-    The message — span buffer and cache delta included — is then written
-    to the per-worker spill file the parent collects in
-    ``_drain_late_messages``, instead of being silently dropped.
-    """
-    try:
-        queue.put(message)
-        return
-    except BaseException:
-        pass
-    if spill_path is None:
-        return
-    try:
-        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
-        staging = spill_path + ".tmp"
-        with open(staging, "wb") as handle:
-            handle.write(payload)
-        os.replace(staging, spill_path)
-    except Exception:
-        pass  # no queue and no spill target: the message is lost
-
-
-def _engine_worker(
-    index: int,
-    spec: EngineSpec,
-    miter: Union[Aig, SegmentDescriptor],
-    queue: "mp.Queue",
-    cache_dir: Optional[str] = None,
-    trace: bool = False,
-    shm_token: Optional[str] = None,
-    spill_path: Optional[str] = None,
-    run_pid: Optional[int] = None,
-) -> None:
-    """Run one engine in a child process and post its result.
-
-    Every exit path posts exactly one message; a worker that dies
-    without posting (killed, segfault) is detected by the parent via its
-    exit code.  With ``cache_dir`` the worker gets a *read-only* snapshot
-    of the knowledge cache (no mid-run disk contention) and ships the
-    verdicts it accumulated back in its result message, so the parent
-    can merge and persist them.
-
-    With ``trace`` the worker records its own span timeline and ships it
-    in the result message for the parent tracer to re-base.  A SIGTERM
-    handler turns the parent's staged termination into
-    :class:`_WorkerTerminated`, so even a cancelled loser posts its
-    partial trace during the terminate-grace window.
-
-    With ``shm_token`` the worker joins the run's shared-memory data
-    plane: ``miter`` arrives as a :class:`SegmentDescriptor` and is
-    adopted zero-copy, and outbound residues/sideband payloads are
-    published as segments under the run token.  The worker never unlinks
-    anything — the parent registry reaps every segment of the run,
-    which is what makes a SIGKILL at any point here leak-free.
-    """
-    start = time.perf_counter()
-    tracer: Optional[Tracer] = None
-    if trace:
-        tracer = Tracer(process_name=f"worker:{spec[0]}")
-        set_tracer(tracer)
-        try:
-            signal.signal(signal.SIGTERM, _raise_worker_terminated)
-        except (ValueError, OSError):
-            pass  # non-main thread or unsupported platform: spans on
-            # normal completion still ship, cancelled ones are lost
-    registry = None
-    if shm_token is not None and shm_available():
-        # Segments this worker creates are stamped with the *parent's*
-        # pid: the parent registry is the reaper, so another daemon's
-        # orphan sweep must key liveness off the parent, not the worker.
-        registry = SegmentRegistry(
-            token=shm_token,
-            suffix=f"w{index}",
-            owner_pid=run_pid if run_pid is not None else os.getppid(),
-        )
-        set_active_registry(registry)
+    spec = payload["spec"]
+    miter = payload["miter"]
     initial_pool: Optional[SharedPool] = None
-    try:
-        if isinstance(miter, SegmentDescriptor):
-            if registry is None:
-                raise RuntimeError(
-                    "received a segment descriptor without a registry"
-                )
-            adoption = registry.adopt(miter)
-            initial_pool = pool_from_adoption(adoption)
-            miter = adopt_aig(adoption)
-        checker = build_checker(
-            spec,
-            cache_dir=cache_dir,
-            cache_readonly=True,
-            initial_pool=initial_pool,
-        )
-        with get_tracer().span(
-            f"engine:{spec[0]}", category="engine", engine=spec[0]
-        ):
-            result = checker.check_miter(miter)
-        message = {
-            "index": index,
-            "status": result.status.value,
-            "cex": result.cex,
-            "seconds": time.perf_counter() - start,
-        }
-        sideband: Dict = {}
-        if isinstance(result.report, EngineReport):
-            sideband["report"] = result.report.as_dict()
-        cache = getattr(checker, "cache", None)
-        if cache is not None:
-            sideband["cache"] = cache.counters.as_dict()
-            sideband["cache_delta"] = list(cache.store.pending)
-        _pack_residue(message, result, registry)
-        if tracer is not None:
-            sideband["trace"] = tracer.export_payload()
-        _attach_sideband(message, sideband, registry)
-        _post_message(queue, message, spill_path)
-    except _WorkerTerminated:
-        message = {
-            "index": index,
-            "status": "terminated",
-            "seconds": time.perf_counter() - start,
-        }
-        sideband = {}
-        if tracer is not None:
-            sideband["trace"] = tracer.export_payload()
-        _attach_sideband(message, sideband, registry)
-        _post_message(queue, message, spill_path)
-    except BaseException as error:  # surface crashes as structured data
-        message = {
-            "index": index,
-            "status": "error",
-            "message": repr(error),
-            "traceback": traceback.format_exc(),
-            "seconds": time.perf_counter() - start,
-        }
-        sideband = {}
-        if tracer is not None:
-            sideband["trace"] = tracer.export_payload()
-        _attach_sideband(message, sideband, registry)
-        _post_message(queue, message, spill_path)
-    finally:
-        if registry is not None:
-            set_active_registry(None)
-            registry.close()
-        try:
-            # The message (or spill file) is out: a SIGTERM landing while
-            # the interpreter flushes queue feeder threads at exit must
-            # not re-raise _WorkerTerminated inside the finalizers.
-            signal.signal(signal.SIGTERM, signal.SIG_DFL)
-        except (ValueError, OSError):
-            pass
+    if isinstance(miter, SegmentDescriptor):
+        if ctx.registry is None:
+            raise RuntimeError(
+                "received a segment descriptor without a registry"
+            )
+        adoption = ctx.registry.adopt(miter)
+        initial_pool = pool_from_adoption(adoption)
+        miter = adopt_aig(adoption)
+    checker = build_checker(
+        spec,
+        cache_dir=payload.get("cache_dir"),
+        cache_readonly=True,
+        initial_pool=initial_pool,
+    )
+    with get_tracer().span(
+        f"engine:{spec[0]}", category="engine", engine=spec[0]
+    ):
+        result = checker.check_miter(miter)
+    message: Dict = {"status": result.status.value, "cex": result.cex}
+    sideband: Dict = {}
+    if isinstance(result.report, EngineReport):
+        sideband["report"] = result.report.as_dict()
+    cache = getattr(checker, "cache", None)
+    if cache is not None:
+        sideband["cache"] = cache.counters.as_dict()
+        sideband["cache_delta"] = list(cache.store.pending)
+    _pack_residue(message, result, ctx.registry)
+    message["_sideband"] = sideband
+    return message
 
 
 @dataclass
-class _WorkerState:
+class _WorkerState(WorkerHandle):
     """Parent-side bookkeeping for one engine worker."""
 
-    index: int
-    name: str
-    process: "mp.process.BaseProcess"
-    record: EngineRunRecord
-    budget: Optional[float]
-    started: float = 0.0
+    record: Optional[EngineRunRecord] = None
+    budget: Optional[float] = None
     deadline: Optional[float] = None
     done: bool = False
     #: Monotonic time the process was first observed dead without having
@@ -586,8 +303,8 @@ class ParallelPortfolioChecker:
         Default per-engine budget for specs without their own.
     start_method:
         Multiprocessing start method (``"fork"``, ``"spawn"``,
-        ``"forkserver"``); see :func:`resolve_start_method` for the
-        default resolution.
+        ``"forkserver"``); see :func:`repro.exec.resolve_start_method`
+        for the default resolution.
     finisher:
         Engine spec run in-process on the smallest residue after a
         global timeout.  Defaults to a conflict-limited SAT sweep;
@@ -606,7 +323,8 @@ class ParallelPortfolioChecker:
         Whether to run the zero-copy shared-memory data plane
         (:mod:`repro.shm`).  ``None`` (the default) resolves via the
         ``REPRO_SHM`` environment variable, then defaults to on where
-        POSIX shared memory exists; see :func:`resolve_use_shm`.
+        POSIX shared memory exists; see
+        :func:`repro.exec.resolve_use_shm`.
 
     Raises
     ------
@@ -662,8 +380,13 @@ class ParallelPortfolioChecker:
         #: when the finisher made partial progress).
         self._finisher_residue: Optional[Aig] = None
         self.use_shm = resolve_use_shm(use_shm)
-        #: Live segment registry of the current run (parent = reaper).
-        self._registry: Optional[SegmentRegistry] = None
+        #: Live job runtime of the current run (parent = segment reaper).
+        self._runtime: Optional[ExecRuntime] = None
+
+    @property
+    def _registry(self):
+        runtime = self._runtime
+        return runtime.registry if runtime is not None else None
 
     def check(self, aig_a: Aig, aig_b: Aig) -> CecResult:
         """Check two networks for equivalence (builds the miter)."""
@@ -671,86 +394,57 @@ class ParallelPortfolioChecker:
 
     def check_miter(self, miter: Aig) -> CecResult:
         """Race the configured engines on a miter."""
-        method = resolve_start_method(self.start_method)
-        context = mp.get_context(method)
-        result_queue: "mp.Queue" = context.Queue()
-        started_at = time.monotonic()
-        report = PortfolioReport(start_method=method)
-        self.report = report
-        self.winner = None
         tracer = get_tracer()
         trace = tracer.enabled
+        runtime = ExecRuntime(
+            start_method=self.start_method,
+            use_shm=self.use_shm,
+            trace=trace,
+            terminate_grace=self.terminate_grace,
+            spill=True,
+        ).open()
+        self._runtime = runtime
+        started_at = time.monotonic()
+        report = PortfolioReport(start_method=runtime.start_method)
+        self.report = report
+        self.winner = None
 
-        registry: Optional[SegmentRegistry] = None
         worker_payload: Union[Aig, SegmentDescriptor] = miter
-        if self.use_shm:
-            try:
-                # Blocks stranded by a long-dead parent (SIGKILL, power
-                # loss) have no reaper left; sweep them opportunistically.
-                reap_orphans()
-            except Exception:
-                pass
-            try:
-                registry = SegmentRegistry()
-                arrays, meta = aig_shm_arrays(miter)
-                pool = shared_pool_for_specs(self.engines, miter.num_pis)
-                if pool is not None:
-                    # Satellite of ROADMAP item 2: generate the initial
-                    # PI pattern pool once and ship it read-only with
-                    # the miter instead of regenerating it per worker.
-                    arrays["pi_words"] = pool.pi_words
-                    meta["pool"] = {
-                        "num_random_words": pool.num_random_words,
-                        "seed": pool.seed,
-                        "strategy": pool.strategy,
-                        "num_cex": pool.num_cex,
-                    }
-                worker_payload = registry.publish(arrays=arrays, meta=meta)
-            except Exception:
-                if registry is not None:
-                    registry.reap()
-                registry = None
-                worker_payload = miter
-        self._registry = registry
-        try:
-            spill_dir: Optional[str] = tempfile.mkdtemp(prefix="repro-ipc-")
-        except OSError:
-            spill_dir = None
+        if runtime.registry is not None:
+            # Generate the initial PI pattern pool once and ship it
+            # read-only with the miter instead of regenerating it per
+            # worker.  Publish failure drops the whole plane: one
+            # payload layout for every worker.
+            descriptor = runtime.publish_aig(
+                miter,
+                pool=shared_pool_for_specs(self.engines, miter.num_pis),
+                disable_on_error=True,
+            )
+            if descriptor is not None:
+                worker_payload = descriptor
 
         workers: List[_WorkerState] = []
         for index, spec in enumerate(self.engines):
             record = EngineRunRecord(name=spec[0], status="running")
             report.engines.append(record)
-            budget = spec[2] if len(spec) > 2 else self.engine_time_limit
-            spill_path = (
-                os.path.join(spill_dir, f"worker{index}.msg")
-                if spill_dir is not None
-                else None
+            state = _WorkerState(
+                index=index,
+                name=spec[0],
+                record=record,
+                budget=spec[2] if len(spec) > 2 else self.engine_time_limit,
             )
-            process = context.Process(
-                target=_engine_worker,
-                args=(
-                    index,
-                    spec,
-                    worker_payload,
-                    result_queue,
-                    self.cache_dir,
-                    trace,
-                    registry.token if registry is not None else None,
-                    spill_path,
-                    os.getpid(),
-                ),
-                daemon=False,
+            runtime.spawn(
+                state,
+                run_engine_job,
+                payload={
+                    "spec": spec,
+                    "miter": worker_payload,
+                    "cache_dir": self.cache_dir,
+                },
+                trace_name=f"worker:{spec[0]}",
+                start=False,
             )
-            workers.append(
-                _WorkerState(
-                    index=index,
-                    name=spec[0],
-                    process=process,
-                    record=record,
-                    budget=budget,
-                )
-            )
+            workers.append(state)
 
         best_residue: Optional[Aig] = None
         best_state: Optional[SweepState] = None
@@ -760,7 +454,7 @@ class ParallelPortfolioChecker:
             "portfolio.run",
             category="portfolio",
             engines=len(self.engines),
-            start_method=method,
+            start_method=runtime.start_method,
         )
         run_span.__enter__()
         sampler = None
@@ -776,7 +470,7 @@ class ParallelPortfolioChecker:
                 from repro.obs.telemetry import ResourceSampler
 
                 sampler = ResourceSampler(
-                    lambda: [w.process.pid for w in workers],
+                    lambda: [w.pid for w in workers],
                     tracer.metrics,
                     prefix="portfolio.worker",
                     interval=0.25,
@@ -793,8 +487,8 @@ class ParallelPortfolioChecker:
                 if global_deadline is not None and now >= global_deadline:
                     timed_out = True
                     break
-                message = self._poll_queue(
-                    result_queue, workers, now, global_deadline
+                message = runtime.poll(
+                    self._poll_timeout(workers, now, global_deadline)
                 )
                 if message is not None:
                     residue = self._record_message(
@@ -862,50 +556,44 @@ class ParallelPortfolioChecker:
             if sampler is not None:
                 sampler.stop()
             for state in workers:
-                self._stop_process(state.process, engine=state.name)
+                if state.process is not None:
+                    stop_process_staged(
+                        state.process, self.terminate_grace, engine=state.name
+                    )
             # Cancelled losers post their traces and cache deltas during
             # the terminate-grace window; drain the queue to exhaustion
             # (and collect any spill files) *before* closing it —
             # cancel_join_thread after close would discard whatever the
             # feeder threads still had in flight.
-            self._drain_late_messages(
-                result_queue,
-                workers,
-                spill_dir=spill_dir,
+            runtime.drain_late(
+                lambda message: self._record_message(
+                    workers[message["index"]], message
+                ),
                 max_wait=2.0 if trace else 0.5,
             )
-            if registry is not None:
-                registry.reap()
-                self._registry = None
             if trace:
                 run_span.set("winner", self.winner or "")
             run_span.__exit__(None, None, None)
             if trace:
                 report.metrics = tracer.metrics.as_dict()
-            result_queue.close()
-            result_queue.cancel_join_thread()
             if self.cache is not None:
                 self.cache.flush()
-            if spill_dir is not None:
-                shutil.rmtree(spill_dir, ignore_errors=True)
+            runtime.close()
+            self._runtime = None
 
     # ------------------------------------------------------------------
     # Orchestration internals
     # ------------------------------------------------------------------
 
-    def _poll_queue(
+    def _poll_timeout(
         self,
-        result_queue: "mp.Queue",
         workers: List[_WorkerState],
         now: float,
         global_deadline: Optional[float],
-    ) -> Optional[Dict]:
-        """One bounded wait on the result queue.
-
-        The wait is capped by the poll interval and by the nearest
-        deadline (global or per-engine) so budget enforcement and dead
-        worker detection stay responsive.
-        """
+    ) -> float:
+        """Bound one queue wait by the poll interval and the nearest
+        deadline (global or per-engine), so budget enforcement and dead
+        worker detection stay responsive."""
         timeout = self._POLL_INTERVAL
         deadlines = [
             w.deadline for w in workers if not w.done and w.deadline is not None
@@ -914,59 +602,7 @@ class ParallelPortfolioChecker:
             deadlines.append(global_deadline)
         if deadlines:
             timeout = min(timeout, max(0.0, min(deadlines) - now))
-        try:
-            return result_queue.get(timeout=timeout)
-        except queue_module.Empty:
-            return None
-
-    def _unpack_message(self, message: Dict) -> Dict:
-        """Resolve a message's segment references into domain objects.
-
-        On the data plane a worker message carries descriptors instead
-        of payloads: ``sideband_ref`` (pickled report/trace/cache blob)
-        and ``state_ref`` (residue arrays, optionally a full carried
-        :class:`SweepState`).  Both are adopted here — the state by
-        mapping, not copying — and folded back into the message under
-        the legacy keys, so everything downstream sees one layout.
-        Traced runs also account the message's queue-borne size under
-        ``ipc.bytes_pickled``.
-        """
-        tracer = get_tracer()
-        if tracer.enabled:
-            try:
-                tracer.metrics.counter_add(
-                    "ipc.bytes_pickled",
-                    len(
-                        pickle.dumps(
-                            message, protocol=pickle.HIGHEST_PROTOCOL
-                        )
-                    ),
-                )
-            except Exception:
-                pass
-        registry = self._registry
-        ref = message.pop("sideband_ref", None)
-        if ref is not None and registry is not None:
-            try:
-                adoption = registry.adopt(ref)
-                sideband = pickle.loads(adoption.blob.tobytes())
-                registry.release(adoption)
-                message.update(sideband)
-            except Exception:
-                pass  # worker died mid-publish: sideband is lost
-        ref = message.pop("state_ref", None)
-        if ref is not None and registry is not None:
-            try:
-                adoption = registry.adopt(ref)
-                if ref.meta.get("kind") == "sweep_state":
-                    sweep = SweepState.attach(adoption.arrays, ref.meta)
-                    message["residue"] = sweep.network()
-                    message["sim_state"] = sweep
-                else:
-                    message["residue"] = adopt_aig(adoption)
-            except Exception:
-                pass  # worker died mid-publish: residue is lost
-        return message
+        return timeout
 
     def _detach_result(self, result: CecResult) -> CecResult:
         """Copy a result off the data plane before the registry reaps.
@@ -997,13 +633,31 @@ class ParallelPortfolioChecker:
         Returns a :class:`CecResult` for a conclusive verdict, the
         residue network for an UNDECIDED report, ``None`` otherwise.
         """
-        message = self._unpack_message(message)
+        runtime = self._runtime
+        if runtime is not None:
+            message = runtime.absorb(message)
+            runtime.merge_trace(message)
         # A worker posts at most one message, so trace and cache deltas
         # are safe to fold in even when the record is already settled
         # (late post from a worker the parent timed out or cancelled).
-        self._merge_worker_trace(message)
         if state.done or message["status"] == "terminated":
             self._merge_worker_cache(message)
+            record = state.record
+            if (
+                message["status"] == "error"
+                and record is not None
+                and record.failure is None
+                and state.token is not None
+                and state.token.cancelled
+            ):
+                # A killed worker that crashed on its way out: surface
+                # the crash with the kill reason instead of dropping it.
+                record.failure = EngineFailure(
+                    engine=state.name,
+                    message=message.get("message", ""),
+                    traceback=message.get("traceback", ""),
+                    reason=state.token.reason,
+                )
             return None
         state.done = True
         record = state.record
@@ -1019,6 +673,11 @@ class ParallelPortfolioChecker:
                 engine=state.name,
                 message=message["message"],
                 traceback=message.get("traceback", ""),
+                reason=(
+                    state.token.reason
+                    if state.token is not None and state.token.cancelled
+                    else ""
+                ),
             )
             return None
         if status == "undecided":
@@ -1034,61 +693,11 @@ class ParallelPortfolioChecker:
             return CecResult(CecStatus.EQUIVALENT)
         return CecResult(CecStatus.NONEQUIVALENT, cex=message.get("cex"))
 
-    def _merge_worker_trace(self, message: Dict) -> None:
-        """Re-base a worker's span timeline onto the parent tracer."""
-        payload = message.get("trace")
-        if payload is None:
-            return
-        tracer = get_tracer()
-        if tracer.enabled:
-            tracer.merge_child(payload)
-
-    def _drain_late_messages(
-        self,
-        result_queue: "mp.Queue",
-        workers: List[_WorkerState],
-        spill_dir: Optional[str] = None,
-        max_wait: float = 2.0,
-    ) -> None:
-        """Absorb messages still in flight after all workers stopped.
-
-        Runs on every teardown, before the queue is closed: cancelled
-        workers post their partial traces (and cache deltas) from the
-        SIGTERM handler after the main loop has stopped reading, and a
-        late loser's cache delta matters even without tracing.  Messages
-        a worker had to spill to disk (queue already torn down on its
-        side) are collected afterwards from ``spill_dir``.
-        """
-        deadline = time.monotonic() + max_wait
-        while time.monotonic() < deadline:
-            try:
-                message = result_queue.get(timeout=0.05)
-            except (queue_module.Empty, OSError, ValueError):
-                break
-            try:
-                self._record_message(workers[message["index"]], message)
-            except (KeyError, IndexError, TypeError):
-                continue  # malformed late payload: drop it, keep draining
-        self._collect_spilled_messages(spill_dir, workers)
-
     def _collect_spilled_messages(
         self, spill_dir: Optional[str], workers: List[_WorkerState]
     ) -> None:
-        """Fold in messages workers spilled to disk (see _post_message)."""
-        if spill_dir is None:
-            return
-        try:
-            names = sorted(os.listdir(spill_dir))
-        except OSError:
-            return
-        for name in names:
-            if not name.endswith(".msg"):
-                continue
-            try:
-                with open(os.path.join(spill_dir, name), "rb") as handle:
-                    message = pickle.load(handle)
-            except Exception:
-                continue  # truncated or foreign file: skip it
+        """Fold in messages workers spilled to disk (see transport)."""
+        for message in collect_spilled_messages(spill_dir):
             try:
                 self._record_message(workers[message["index"]], message)
             except (KeyError, IndexError, TypeError):
@@ -1113,12 +722,12 @@ class ParallelPortfolioChecker:
             if state.done:
                 continue
             if state.deadline is not None and now >= state.deadline:
-                self._stop_process(state.process, engine=state.name)
+                reason = self._stop_worker(state, REASON_TIMEOUT)
                 state.done = True
-                state.record.status = "timeout"
+                state.record.status = reason
                 state.record.seconds = now - state.started
                 continue
-            if not state.process.is_alive():
+            if not state.alive:
                 if state.dead_since is None:
                     # Allow in-flight queue messages to drain before
                     # declaring the exit abnormal.
@@ -1131,26 +740,41 @@ class ParallelPortfolioChecker:
                         engine=state.name,
                         message="worker exited without reporting a result",
                         exit_code=state.process.exitcode,
+                        reason=(
+                            state.token.reason
+                            if state.token is not None
+                            and state.token.cancelled
+                            else ""
+                        ),
                     )
 
     def _cancel_remaining(
         self, workers: List[_WorkerState], status: str
     ) -> None:
-        """Stop every still-running worker and record why."""
+        """Stop every still-running worker and record the reason why.
+
+        ``status`` is normalised through each worker's cancellation
+        token, so records (and any :class:`EngineFailure` attached to a
+        late crash) always read one of the canonical "timeout" /
+        "cancelled" strings.
+        """
         now = time.monotonic()
         for state in workers:
             if state.done:
                 continue
-            self._stop_process(state.process, engine=state.name)
+            reason = self._stop_worker(state, status)
             state.done = True
-            state.record.status = status
+            state.record.status = reason
             state.record.seconds = now - state.started
 
-    def _stop_process(
-        self, process: "mp.process.BaseProcess", engine: str = ""
-    ) -> None:
-        """Staged termination: SIGTERM, join grace, then SIGKILL."""
-        stop_process_staged(process, self.terminate_grace, engine=engine)
+    def _stop_worker(self, state: _WorkerState, reason: str) -> str:
+        """Cancel-and-stop one worker; returns the canonical reason."""
+        runtime = self._runtime
+        if runtime is not None:
+            return runtime.stop(state, reason)
+        if state.token is not None:
+            return state.token.cancel(reason)
+        return normalize_reason(reason)
 
     def _run_finisher(
         self,

@@ -26,6 +26,7 @@ from repro.aig.miter import build_miter, miter_is_trivially_unsat
 from repro.aig.network import Aig
 from repro.aig.transform import cleanup
 from repro.cache.knowledge import SweepCache
+from repro.cubes.lane import CubeLane, prove_pos_with_cubes
 from repro.obs import get_tracer
 from repro.sat.sweeping import _po_disproof
 from repro.sched.cost import LANES, CostModel
@@ -101,6 +102,10 @@ class AdaptiveSweeper:
             "sim": SimLane(self.config),
             "cut": CutLane(self.config),
             "bdd": BddLane(node_limit=bdd_node_limit),
+            "cube": CubeLane(
+                self.config,
+                conflict_budget=max(200, conflict_limit // 100),
+            ),
             "sat": SatBatchLane(
                 conflict_budget=max(200, conflict_limit // 100)
             ),
@@ -283,7 +288,7 @@ class AdaptiveSweeper:
                     routed[lane].append(
                         RoutedPair(repr_node, node, phase, features)
                     )
-                for lane_name in ("sim", "cut", "bdd"):
+                for lane_name in ("sim", "cut", "bdd", "cube"):
                     lane_pairs = routed[lane_name]
                     if not lane_pairs:
                         continue
@@ -362,6 +367,9 @@ class AdaptiveSweeper:
             if not merges and not cex_patterns:
                 break
 
-        return prove_pos_batched(
+        # Final PO proof.  With the cube knob on, predicted-hard POs are
+        # raced as distributed cofactor fan-outs first (the fifth lane's
+        # out-of-process half); the batched backstop always concludes.
+        return prove_pos_with_cubes(
             sweep, self.cache, self.conflict_limit, deadline, record
         )

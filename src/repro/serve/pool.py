@@ -2,20 +2,26 @@
 
 One-shot portfolio runs pay fork/spawn, module import, cache load and
 pattern-pool generation on *every* query.  The pool amortises all four:
-worker processes are spawned once and stay resident, keeping per-tenant
-knowledge caches, engine structures and PI pattern pools hot across
-queries.  Miters travel to workers zero-copy through the
+worker processes are spawned once (loop mode of
+:func:`repro.exec.worker.exec_worker_main`) and stay resident, keeping
+per-tenant knowledge caches, engine structures and PI pattern pools hot
+across queries.  Miters travel to workers zero-copy through the
 :mod:`repro.shm` data plane (one published segment per job, unpublished
 as soon as its result lands), and verdict deltas travel back on the
 result queue for the parent to merge into the tenant caches and persist
 — exactly the parent-merges ownership model of the parallel portfolio.
 
-Fault tolerance mirrors PR 1's orchestration layer: a worker that
-crashes or blows its per-job deadline is stopped with the staged
-SIGTERM → SIGKILL machinery (:func:`repro.portfolio.parallel.stop_process_staged`)
-and respawned; the respawn starts *warm* because it reloads the merged
-tenant caches from disk.  The in-flight job is reported as an error —
-the daemon never hangs on a wedged engine.
+Process lifecycle, flight rings and queue plumbing live in
+:mod:`repro.exec`; this module is the serving *policy*.  Jobs queue on
+a parent-side work-stealing :class:`~repro.exec.board.JobBoard` and
+commit to a worker's inbox only when it goes idle, so an idle worker
+steals backlog from a busy sibling and a cancelled queued job (a losing
+cube, an expired deadline) costs a list removal, never a kill.  A
+worker that crashes or blows its per-job deadline is stopped with the
+staged SIGTERM → SIGKILL machinery and respawned; the respawn starts
+*warm* because it reloads the merged tenant caches from disk.  The
+in-flight job is reported as an error — the daemon never hangs on a
+wedged engine.
 
 :class:`WorkerPool` is deliberately synchronous (blocking queue I/O,
 explicit :meth:`poll`); the asyncio front end in
@@ -25,9 +31,7 @@ explicit :meth:`poll`); the asyncio front end in
 from __future__ import annotations
 
 import json
-import multiprocessing as mp
 import os
-import queue as queue_module
 import tempfile
 import time
 from dataclasses import dataclass, field
@@ -36,31 +40,19 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.aig.network import Aig
 from repro.cache.config import CacheConfig
 from repro.cache.knowledge import SweepCache
-from repro.obs import (
-    FlightRecorder,
-    FlightRecorderHandler,
-    MetricsRegistry,
-    ResourceSampler,
-    Tracer,
-    get_logger,
-    get_tracer,
-    set_tracer,
-)
-from repro.portfolio.parallel import (
-    build_checker,
+from repro.cubes.runner import MONOLITH, run_cube_job
+from repro.cubes.split import Cube, choose_split_pis, enumerate_cubes
+from repro.exec import (
+    CancelGroup,
+    CancelToken,
+    ExecRuntime,
+    JobBoard,
+    WorkerHandle,
     pool_from_adoption,
-    resolve_start_method,
-    resolve_use_shm,
-    stop_process_staged,
 )
-from repro.shm import (
-    SegmentDescriptor,
-    SegmentRegistry,
-    adopt_aig,
-    aig_shm_arrays,
-    reap_orphans,
-    shm_available,
-)
+from repro.obs import MetricsRegistry, ResourceSampler, get_tracer
+from repro.portfolio.parallel import build_checker
+from repro.shm import adopt_aig
 from repro.sweep.classes import SharedPool
 from repro.sweep.config import EngineConfig
 from repro.serve.tenants import DEFAULT_TENANT, TenantManager
@@ -121,7 +113,7 @@ class ServeResult:
 
 
 # ----------------------------------------------------------------------
-# Worker process
+# Worker-side policy (runs inside repro.exec loop workers)
 # ----------------------------------------------------------------------
 
 
@@ -192,158 +184,81 @@ def _resident_pool(
     return resident
 
 
-def _serve_worker_main(
-    index: int,
-    job_queue: "mp.Queue",
-    result_queue: "mp.Queue",
-    shm_token: Optional[str],
-    run_pid: int,
-    trace: bool,
-) -> None:
-    """Long-lived worker loop: adopt, check, report, stay warm.
+def run_serve_job(message: Dict, ctx) -> Dict:
+    """Loop-mode job handler: adopt, check, report, stay warm.
 
-    The process exits only on the ``None`` sentinel (drain) or a kill
-    signal.  Per-job failures are reported and survived — one malformed
-    miter must not cost the pool a warm worker.  Every segment the
-    worker creates (none today, but the active registry makes engine
-    internals free to publish) is stamped with the daemon's pid, so a
-    foreign daemon's orphan sweep leaves this run alone.
+    Runs inside an :func:`repro.exec.worker.exec_worker_main` loop
+    worker.  Resident state (per-tenant caches and cost models, pattern
+    pools per miter shape) lives in ``ctx.resident`` and survives across
+    jobs — that is what makes a warm worker warm.  Per-job failures
+    raise; the worker main reports and survives them: one malformed
+    miter must not cost the pool a warm worker.
     """
-    tracer: Optional[Tracer] = None
-    if trace:
-        # The "worker:" prefix matches the portfolio convention and is
-        # what tools/check_trace.py --require-workers keys on.
-        tracer = Tracer(process_name=f"worker:serve{index}")
-        set_tracer(tracer)
-    # The worker's half of the flight recorder: job milestones plus any
-    # repro.* log lines, shipped incrementally on every result so the
-    # parent's ring stays current even if this process is SIGKILLed next.
-    recorder = FlightRecorder(capacity=128)
-    flight_handler = FlightRecorderHandler(recorder)
-    get_logger().addHandler(flight_handler)
-    registry = None
-    if shm_token is not None and shm_available():
-        registry = SegmentRegistry(
-            token=shm_token, suffix=f"w{index}", owner_pid=run_pid
-        )
-    caches: Dict[Tuple[str, int], SweepCache] = {}
-    pools: Dict[Tuple, SharedPool] = {}
+    if message.get("cube_group") is not None:
+        # A cube sub-job of a hard query: same warm worker, but the
+        # work is one cofactor solve (see repro.cubes.runner).
+        return run_cube_job(message, ctx)
+    resident = ctx.resident
+    caches: Dict[Tuple[str, int], SweepCache] = resident.setdefault(
+        "caches", {}
+    )
+    pools: Dict[Tuple, SharedPool] = resident.setdefault("pools", {})
     # Per-tenant adaptive-scheduler cost models: lane latency histograms
     # calibrated on one tenant's workload stay warm across its jobs, so
     # repeat submissions dispatch with a trained model from pair one.
-    cost_models: Dict[str, object] = {}
-    jobs_done = 0
+    cost_models: Dict[str, object] = resident.setdefault("cost_models", {})
+    adoption = None
+    registry = ctx.registry
     try:
-        while True:
-            message = job_queue.get()
-            if message is None:
-                break
-            job_id = message.get("job")
-            started = time.perf_counter()
-            adoption = None
-            recorder.record(
-                "job",
-                "start",
-                job=job_id,
-                tenant=message.get("tenant"),
-                engine=(message.get("spec") or ["?"])[0],
-            )
-            try:
-                ref = message.get("miter_ref")
-                if ref is not None:
-                    if registry is None:
-                        raise RuntimeError(
-                            "segment descriptor without a registry"
-                        )
-                    adoption = registry.adopt(ref)
-                    shipped_pool = pool_from_adoption(adoption)
-                    miter = adopt_aig(adoption)
-                else:
-                    shipped_pool = None
-                    miter = message["miter"]
-                spec = tuple(message["spec"])
-                cache = _load_worker_cache(caches, message.get("cache"))
-                pool = _resident_pool(
-                    pools, shipped_pool, spec, miter.num_pis
-                )
-                snapshot = cache.snapshot() if cache is not None else None
-                cost_model = None
-                if spec[0] == "combined":
-                    from repro.sched import CostModel
+        ref = message.get("miter_ref")
+        if ref is not None:
+            if registry is None:
+                raise RuntimeError("segment descriptor without a registry")
+            adoption = registry.adopt(ref)
+            shipped_pool = pool_from_adoption(adoption)
+            miter = adopt_aig(adoption)
+        else:
+            shipped_pool = None
+            miter = message["miter"]
+        spec = tuple(message["spec"])
+        cache = _load_worker_cache(caches, message.get("cache"))
+        pool = _resident_pool(pools, shipped_pool, spec, miter.num_pis)
+        snapshot = cache.snapshot() if cache is not None else None
+        cost_model = None
+        if spec[0] == "combined":
+            from repro.sched import CostModel
 
-                    tenant = message.get("tenant", DEFAULT_TENANT)
-                    cost_model = cost_models.get(tenant)
-                    if cost_model is None:
-                        cost_model = CostModel()
-                        cost_models[tenant] = cost_model
-                checker = build_checker(
-                    spec, cache=cache, initial_pool=pool,
-                    cost_model=cost_model,
-                )
-                with get_tracer().span(
-                    "serve.job", category="serve", job=job_id, engine=spec[0]
-                ):
-                    result = checker.check_miter(miter)
-                reply = {
-                    "kind": "result",
-                    "job": job_id,
-                    "index": index,
-                    "status": result.status.value,
-                    "cex": result.cex,
-                    "seconds": time.perf_counter() - started,
-                }
-                if cache is not None:
-                    delta = cache.counters.diff(snapshot)
-                    reply["hits"] = delta.hits
-                    reply["lookups"] = delta.lookups
-                    reply["cache_delta"] = list(cache.store.pending)
-                    # The delta now belongs to the parent; keep only the
-                    # in-memory entries (they are what makes us warm).
-                    cache.store.clear_pending()
-                recorder.record(
-                    "job",
-                    "done",
-                    job=job_id,
-                    status=reply["status"],
-                    seconds=round(reply["seconds"], 6),
-                )
-                reply["flight"] = recorder.take_new()
-                result_queue.put(reply)
-                jobs_done += 1
-            except Exception as error:
-                recorder.record(
-                    "job", "error", job=job_id, error=repr(error)
-                )
-                result_queue.put(
-                    {
-                        "kind": "result",
-                        "job": job_id,
-                        "index": index,
-                        "status": "error",
-                        "error": repr(error),
-                        "seconds": time.perf_counter() - started,
-                        "flight": recorder.take_new(),
-                    }
-                )
-            finally:
-                if adoption is not None:
-                    registry.release(adoption)
-    finally:
-        bye = {
-            "kind": "bye",
-            "index": index,
-            "jobs_done": jobs_done,
-            "flight": recorder.take_new(),
+            tenant = message.get("tenant", DEFAULT_TENANT)
+            cost_model = cost_models.get(tenant)
+            if cost_model is None:
+                cost_model = CostModel()
+                cost_models[tenant] = cost_model
+        checker = build_checker(
+            spec, cache=cache, initial_pool=pool, cost_model=cost_model
+        )
+        with get_tracer().span(
+            "serve.job",
+            category="serve",
+            job=message.get("job"),
+            engine=spec[0],
+        ):
+            result = checker.check_miter(miter)
+        reply: Dict[str, object] = {
+            "status": result.status.value,
+            "cex": result.cex,
         }
-        if tracer is not None:
-            bye["trace"] = tracer.export_payload()
-        get_logger().removeHandler(flight_handler)
-        try:
-            result_queue.put(bye)
-        except BaseException:
-            pass
-        if registry is not None:
-            registry.close()
+        if cache is not None:
+            delta = cache.counters.diff(snapshot)
+            reply["hits"] = delta.hits
+            reply["lookups"] = delta.lookups
+            reply["cache_delta"] = list(cache.store.pending)
+            # The delta now belongs to the parent; keep only the
+            # in-memory entries (they are what makes us warm).
+            cache.store.clear_pending()
+        return reply
+    finally:
+        if adoption is not None:
+            registry.release(adoption)
 
 
 # ----------------------------------------------------------------------
@@ -352,28 +267,46 @@ def _serve_worker_main(
 
 
 @dataclass
-class _WorkerHandle:
-    """Parent-side bookkeeping for one persistent worker."""
-
-    index: int
-    process: "mp.process.BaseProcess"
-    job_queue: "mp.Queue"
-    #: Job ids queued on this worker, oldest first (the head is the one
-    #: the worker is executing).
-    assigned: List[int] = field(default_factory=list)
-    jobs_done: int = 0
-    respawns: int = 0
-
-
-@dataclass
 class _Inflight:
     """One submitted-but-unresolved job."""
 
     job: ServeJob
+    #: Worker index once dispatched off the board (-1 while queued).
     worker: int
     submitted: float
     deadline_at: Optional[float]
-    descriptor: Optional[SegmentDescriptor] = None
+    descriptor: Optional[object] = None
+    token: Optional[CancelToken] = None
+
+
+@dataclass
+class _CubeGroup:
+    """One ``engine="cubes"`` query fanned out as sibling sub-jobs.
+
+    The group owns the published miter segment (sub-jobs share it) and
+    the :class:`~repro.exec.cancel.CancelGroup` implementing the
+    first-winner protocol: the first conclusive sibling settles the
+    parent job, queued losers are revoked off the board for free, and
+    busy losers finish into the void (their results are discarded — a
+    warm serve worker is never killed over a lost race).
+    """
+
+    job_id: int
+    job: ServeJob
+    submitted: float
+    deadline_at: Optional[float]
+    descriptor: Optional[object]
+    num_cubes: int
+    cancel: CancelGroup = field(default_factory=CancelGroup)
+    #: Sub-job ids still racing.
+    pending: set = field(default_factory=set)
+    #: Sub-job id → human label ("monolith" / "pi3=1,pi7=0").
+    labels: Dict[int, str] = field(default_factory=dict)
+    unsat_cubes: int = 0
+    #: Some sibling ended unknown/error — "all cubes UNSAT" is then the
+    #: only equivalence path left.
+    unknown: bool = False
+    settled: bool = False
 
 
 class WorkerPool:
@@ -431,8 +364,8 @@ class WorkerPool:
         self.tenants = tenants if tenants is not None else TenantManager(None)
         self.job_deadline = job_deadline
         self.terminate_grace = terminate_grace
-        self._context = mp.get_context(resolve_start_method(start_method))
-        self.use_shm = resolve_use_shm(use_shm)
+        self.start_method = start_method
+        self.use_shm = use_shm
         self.trace = trace
         # With tracing on, pool counters land in the ambient tracer's
         # registry (one merged timeline+metrics dump).  Without it the
@@ -445,18 +378,21 @@ class WorkerPool:
         self.slo = slo
         self.postmortem_dir = postmortem_dir
         self.sample_interval = sample_interval
-        self.registry: Optional[SegmentRegistry] = None
-        self._result_queue: Optional[mp.Queue] = None
-        self._workers: List[_WorkerHandle] = []
+        self._runtime: Optional[ExecRuntime] = None
+        self._board = JobBoard()
+        self._workers: List[WorkerHandle] = []
         self._inflight: Dict[int, _Inflight] = {}
         self._results: Dict[int, ServeResult] = {}
+        #: Live cube-group races, by parent job id.
+        self._cube_groups: Dict[int, _CubeGroup] = {}
+        #: Cube sub-job id → parent job id (kept until the sub-job's
+        #: result — or corpse — is absorbed, so late losers are
+        #: recognised and dropped).
+        self._cube_subjobs: Dict[int, int] = {}
         self._next_job_id = 0
         #: Parent-side pools generated once per miter shape and shipped
         #: read-only with every job segment.
         self._pools: Dict[Tuple, SharedPool] = {}
-        #: Parent-side flight ring per worker index: shipped worker
-        #: events folded in with parent milestones (submit, kill).
-        self._flight: Dict[int, FlightRecorder] = {}
         self._sampler: Optional[ResourceSampler] = None
         #: Paths of postmortem artifacts written this run.
         self.postmortems: List[str] = []
@@ -465,6 +401,10 @@ class WorkerPool:
         #: sentinel are orderly, not crashes to respawn and postmortem.
         self._draining = False
 
+    @property
+    def registry(self):
+        return self._runtime.registry if self._runtime is not None else None
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -472,18 +412,23 @@ class WorkerPool:
     def start(self) -> None:
         if self.started:
             return
-        if self.use_shm:
-            try:
-                reap_orphans()
-            except Exception:
-                pass
-            try:
-                self.registry = SegmentRegistry()
-            except Exception:
-                self.registry = None
-        self._result_queue = self._context.Queue()
+        self._runtime = ExecRuntime(
+            start_method=self.start_method,
+            use_shm=self.use_shm,
+            trace=self.trace,
+            terminate_grace=self.terminate_grace,
+            flight=True,
+            flight_capacity=self._FLIGHT_CAPACITY,
+        ).open()
         for index in range(self.num_workers):
-            self._workers.append(self._spawn(index))
+            handle = WorkerHandle(index=index, name=f"serve-w{index}")
+            self._runtime.spawn(
+                handle,
+                run_serve_job,
+                mode="loop",
+                trace_name=f"worker:serve{index}",
+            )
+            self._workers.append(handle)
         if self.sample_interval > 0:
             self._sampler = ResourceSampler(
                 self._worker_pids,
@@ -496,45 +441,16 @@ class WorkerPool:
         self.started = True
 
     def _worker_pids(self) -> List[Optional[int]]:
-        return [w.process.pid for w in self._workers]
-
-    def _flight_ring(self, index: int) -> FlightRecorder:
-        ring = self._flight.get(index)
-        if ring is None:
-            ring = FlightRecorder(capacity=self._FLIGHT_CAPACITY)
-            self._flight[index] = ring
-        return ring
-
-    def _spawn(self, index: int, respawns: int = 0) -> _WorkerHandle:
-        job_queue: "mp.Queue" = self._context.Queue()
-        process = self._context.Process(
-            target=_serve_worker_main,
-            args=(
-                index,
-                job_queue,
-                self._result_queue,
-                self.registry.token if self.registry is not None else None,
-                os.getpid(),
-                self.trace,
-            ),
-            daemon=False,
-        )
-        process.start()
-        return _WorkerHandle(
-            index=index,
-            process=process,
-            job_queue=job_queue,
-            respawns=respawns,
-        )
+        return [w.pid for w in self._workers]
 
     def shutdown(self, drain: bool = True, timeout: float = 30.0) -> None:
         """Stop the pool: optionally drain, then stop every worker.
 
         With ``drain`` the pool first waits (up to ``timeout``) for
         in-flight jobs; workers then get the sentinel and a join grace
-        before the staged SIGTERM → SIGKILL path runs.  The registry
-        reap at the end guarantees zero leaked segments, whatever state
-        the workers died in.
+        before the staged SIGTERM → SIGKILL path runs.  The runtime's
+        registry reap at the end guarantees zero leaked segments,
+        whatever state the workers died in.
         """
         if not self.started:
             return
@@ -548,7 +464,7 @@ class WorkerPool:
                 self.poll(self._POLL_INTERVAL)
         for worker in self._workers:
             try:
-                worker.job_queue.put(None)
+                worker.inbox.put(None)
             except BaseException:
                 pass
         join_grace = max(0.5, min(5.0, deadline - time.monotonic()))
@@ -557,19 +473,11 @@ class WorkerPool:
         # Collect the byes (worker trace payloads ride on them).
         self.poll(0.2)
         for worker in self._workers:
-            stop_process_staged(
-                worker.process,
-                self.terminate_grace,
-                engine=f"serve-w{worker.index}",
-            )
-            worker.job_queue.close()
-            worker.job_queue.cancel_join_thread()
-        if self._result_queue is not None:
-            self._result_queue.close()
-            self._result_queue.cancel_join_thread()
-        if self.registry is not None:
-            self.registry.reap()
-            self.registry = None
+            self._runtime.stop(worker)
+            worker.inbox.close()
+            worker.inbox.cancel_join_thread()
+        self._runtime.close()
+        self._runtime = None
         self.tenants.flush()
         self._workers.clear()
         self.started = False
@@ -579,51 +487,51 @@ class WorkerPool:
     # ------------------------------------------------------------------
 
     def submit(self, job: ServeJob) -> int:
-        """Queue one job on the least-loaded worker; returns its id."""
+        """Board one job (affinity: least-loaded worker); returns its id.
+
+        The job is dispatched immediately when any worker is idle;
+        otherwise it waits on the board, from which the next worker to
+        go idle — not necessarily the affinity one — will claim it.
+        """
         if not self.started:
             self.start()
+        if job.engine in ("cubes", "cube"):
+            return self._submit_cube_group(job)
         job_id = self._next_job_id
         self._next_job_id += 1
-        worker = min(self._workers, key=lambda w: len(w.assigned))
+        worker = min(
+            self._workers,
+            key=lambda w: len(w.assigned) + self._board.queued_for(w.index),
+        )
         payload: Dict[str, object] = {
             "job": job_id,
             "spec": (job.engine, dict(job.engine_kwargs)),
             "cache": self.tenants.worker_config(job.tenant),
             "tenant": job.tenant,
+            "meta": {"tenant": job.tenant, "engine": job.engine},
         }
-        descriptor = None
-        if self.registry is not None:
-            try:
-                arrays, meta = aig_shm_arrays(job.miter)
-                pool = self._shared_pool(job)
-                if pool is not None:
-                    arrays["pi_words"] = pool.pi_words
-                    meta["pool"] = {
-                        "num_random_words": pool.num_random_words,
-                        "seed": pool.seed,
-                        "strategy": pool.strategy,
-                        "num_cex": pool.num_cex,
-                    }
-                descriptor = self.registry.publish(arrays=arrays, meta=meta)
-                payload["miter_ref"] = descriptor
-            except Exception:
-                descriptor = None
-        if descriptor is None:
+        descriptor = self._runtime.publish_aig(
+            job.miter, pool=self._shared_pool(job)
+        )
+        if descriptor is not None:
+            payload["miter_ref"] = descriptor
+        else:
             payload["miter"] = job.miter
         deadline = job.deadline if job.deadline is not None else self.job_deadline
+        token = CancelToken(f"job{job_id}")
         self._inflight[job_id] = _Inflight(
             job=job,
-            worker=worker.index,
+            worker=-1,
             submitted=time.monotonic(),
             deadline_at=(
                 time.monotonic() + deadline if deadline is not None else None
             ),
             descriptor=descriptor,
+            token=token,
         )
-        worker.assigned.append(job_id)
-        worker.job_queue.put(payload)
+        self._board.add(job_id, payload, token=token, affinity=worker.index)
         self.metrics.counter_add("serve.jobs_submitted")
-        self._flight_ring(worker.index).record(
+        self._runtime.flight_ring(worker.index).record(
             "job",
             "submitted",
             job=job_id,
@@ -631,7 +539,81 @@ class WorkerPool:
             engine=job.engine,
             name=job.name or None,
         )
+        self._dispatch()
         return job_id
+
+    def _submit_cube_group(self, job: ServeJob) -> int:
+        """Fan one hard query out as a monolith + 2^k cube siblings.
+
+        One published segment serves every sibling; the sub-jobs spread
+        across the pool round-robin, so a single hard query occupies
+        multiple warm workers at once.  ``engine_kwargs``: ``split_k``
+        (split width, default 2) and ``conflict_limit``.
+        """
+        parent_id = self._next_job_id
+        self._next_job_id += 1
+        kwargs = dict(job.engine_kwargs)
+        split_k = int(kwargs.get("split_k", 2))
+        conflict_limit = kwargs.get("conflict_limit")
+        cubes = enumerate_cubes(choose_split_pis(job.miter, split_k))
+        deadline = (
+            job.deadline if job.deadline is not None else self.job_deadline
+        )
+        now = time.monotonic()
+        descriptor = self._runtime.publish_aig(job.miter)
+        group = _CubeGroup(
+            job_id=parent_id,
+            job=job,
+            submitted=now,
+            deadline_at=(now + deadline if deadline is not None else None),
+            descriptor=descriptor,
+            num_cubes=len(cubes),
+        )
+        self._cube_groups[parent_id] = group
+        self.metrics.counter_add("serve.jobs_submitted")
+        self.metrics.counter_add("serve.cube_groups")
+        self.metrics.counter_add("cubes.split", len(cubes))
+        base: Dict[str, object] = {"cube_group": parent_id}
+        if descriptor is not None:
+            base["aig_ref"] = descriptor
+        else:
+            base["aig"] = job.miter
+        if conflict_limit is not None:
+            base["conflict_limit"] = int(conflict_limit)
+        if deadline is not None:
+            base["deadline_epoch"] = time.time() + deadline
+        if kwargs.get("cube_delay"):  # test knob: slow cube siblings
+            base["cube_delay"] = float(kwargs["cube_delay"])
+        siblings: List[Tuple[str, Optional[Cube]]] = [(MONOLITH, None)]
+        siblings.extend((str(cube), cube) for cube in cubes)
+        for offset, (label, cube) in enumerate(siblings):
+            sub_id = self._next_job_id
+            self._next_job_id += 1
+            token = group.cancel.new_token(label)
+            payload = dict(base)
+            payload["job"] = sub_id
+            payload["meta"] = {
+                "tenant": job.tenant, "engine": "cubes", "cube": label,
+            }
+            if cube is not None:
+                payload["cube"] = cube.as_list()
+                if "cube_delay" in base:
+                    payload["delay"] = base["cube_delay"]
+            self._inflight[sub_id] = _Inflight(
+                job=job,
+                worker=-1,
+                submitted=now,
+                deadline_at=None,  # the *group* deadline governs
+                descriptor=None,  # the group owns the segment
+                token=token,
+            )
+            group.pending.add(sub_id)
+            group.labels[sub_id] = label
+            affinity = self._workers[offset % len(self._workers)].index
+            self._board.add(sub_id, payload, token=token, affinity=affinity)
+            self._cube_subjobs[sub_id] = parent_id
+        self._dispatch()
+        return parent_id
 
     def _shared_pool(self, job: ServeJob) -> Optional[SharedPool]:
         """The once-generated pattern pool for this job's miter shape."""
@@ -662,6 +644,29 @@ class WorkerPool:
             self._pools[key] = pool
         return pool
 
+    def _dispatch(self) -> None:
+        """Commit board jobs to idle workers (own queue, then steal)."""
+        for worker in self._workers:
+            self._dispatch_worker(worker)
+
+    def _dispatch_worker(self, worker: WorkerHandle) -> None:
+        if worker.assigned or not worker.alive or worker.inbox is None:
+            return
+        while True:
+            board_job = self._board.take(worker.index)
+            if board_job is None:
+                return
+            entry = self._inflight.get(board_job.job_id)
+            if entry is None:
+                continue  # already settled (deadline expiry raced it)
+            entry.worker = worker.index
+            worker.assigned.append(board_job.job_id)
+            try:
+                worker.inbox.put(board_job.payload)
+            except BaseException:
+                pass  # dying worker: the dead-worker reap settles it
+            return
+
     # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
@@ -678,14 +683,9 @@ class WorkerPool:
         deadline = time.monotonic() + max(timeout, 0.0)
         first = True
         while True:
-            wait = deadline - time.monotonic()
-            if not first:
-                wait = 0.0
-            if wait < 0:
-                wait = 0.0
-            try:
-                message = self._result_queue.get(timeout=wait)
-            except (queue_module.Empty, OSError, ValueError):
+            wait = deadline - time.monotonic() if first else 0.0
+            message = self._runtime.poll(wait)
+            if message is None:
                 break
             first = False
             result = self._absorb_message(message)
@@ -693,22 +693,20 @@ class WorkerPool:
                 completed.append(result)
         completed.extend(self._enforce_deadlines())
         completed.extend(self._reap_dead_workers())
+        self._dispatch()
         return completed
 
     def _absorb_message(self, message: Dict) -> Optional[ServeResult]:
         kind = message.get("kind")
-        shipped_flight = message.get("flight")
-        if shipped_flight and "index" in message:
-            self._flight_ring(int(message["index"])).extend(shipped_flight)
+        self._runtime.fold_flight(message)
         if kind == "bye":
-            trace_payload = message.get("trace")
-            tracer = get_tracer()
-            if trace_payload is not None and tracer.enabled:
-                tracer.merge_child(trace_payload)
+            self._runtime.merge_trace(message)
             return None
         if kind != "result":
             return None
         job_id = message.get("job")
+        if job_id in self._cube_subjobs:
+            return self._absorb_cube_result(job_id, message)
         entry = self._inflight.pop(job_id, None)
         if entry is None:
             return None  # job already settled (deadline kill raced it)
@@ -742,7 +740,136 @@ class WorkerPool:
                 result.tenant, result.latency, failed=not result.ok
             )
         self._results[job_id] = result
+        self._dispatch_worker(worker)
         return result
+
+    def _absorb_cube_result(
+        self, sub_id: int, message: Dict
+    ) -> Optional[ServeResult]:
+        """Fold one cube sibling's result into its race.
+
+        Returns the *parent* job's result when this sibling settles the
+        race; late losers of an already-settled race only free their
+        worker and bookkeeping.
+        """
+        entry = self._inflight.pop(sub_id, None)
+        parent_id = self._cube_subjobs.pop(sub_id, None)
+        worker = (
+            self._workers[entry.worker]
+            if entry is not None and entry.worker >= 0
+            else None
+        )
+        if worker is not None:
+            if sub_id in worker.assigned:
+                worker.assigned.remove(sub_id)
+            worker.jobs_done += 1
+        group = (
+            self._cube_groups.get(parent_id)
+            if parent_id is not None
+            else None
+        )
+        result: Optional[ServeResult] = None
+        if group is not None and not group.settled:
+            group.pending.discard(sub_id)
+            label = group.labels.get(sub_id, "")
+            status = str(message.get("status", "error"))
+            seconds = float(message.get("seconds", 0.0))
+            if status == "sat":
+                result = self._settle_cube_group(
+                    group, "nonequivalent", message.get("cex"),
+                    winner=label, seconds=seconds,
+                )
+            elif status == "unsat":
+                if label == MONOLITH:
+                    result = self._settle_cube_group(
+                        group, "equivalent", None,
+                        winner=MONOLITH, seconds=seconds,
+                    )
+                else:
+                    group.unsat_cubes += 1
+                    if group.unsat_cubes == group.num_cubes:
+                        result = self._settle_cube_group(
+                            group, "equivalent", None,
+                            winner="all-cubes", seconds=seconds,
+                        )
+            else:
+                group.unknown = True
+            if result is None and not group.pending:
+                # Every sibling reported, none conclusive.
+                result = self._settle_cube_group(
+                    group, "undecided", None, winner=None, seconds=seconds,
+                )
+        if worker is not None:
+            self._dispatch_worker(worker)
+        return result
+
+    def _settle_cube_group(
+        self,
+        group: _CubeGroup,
+        status: str,
+        cex: Optional[List[int]],
+        winner: Optional[str],
+        seconds: float = 0.0,
+        error: str = "",
+    ) -> ServeResult:
+        """First-winner resolution: settle the parent, cancel the rest.
+
+        Siblings still queued on the board are revoked for free; busy
+        losers keep their warm worker and report into the void (the
+        ``settled`` flag plus the sub-job map drop their results).
+        """
+        group.settled = True
+        self._cube_groups.pop(group.job_id, None)
+        group.cancel.cancel_rest(reason="cancelled")
+        revoked = self._board.revoke_cancelled()
+        cancelled = 0
+        for board_job in revoked:
+            if board_job.job_id in group.pending:
+                group.pending.discard(board_job.job_id)
+                self._inflight.pop(board_job.job_id, None)
+                self._cube_subjobs.pop(board_job.job_id, None)
+                cancelled += 1
+        # Whatever is still pending is running on a worker: a discarded
+        # (but not killed) loser.
+        cancelled += len(group.pending)
+        if cancelled:
+            self.metrics.counter_add("cubes.cancelled", cancelled)
+        if group.descriptor is not None and self.registry is not None:
+            try:
+                self.registry.unpublish(group.descriptor)
+            except Exception:
+                pass
+            group.descriptor = None
+        result = ServeResult(
+            job_id=group.job_id,
+            name=group.job.name,
+            tenant=group.job.tenant,
+            status=status,
+            cex=cex,
+            seconds=seconds,
+            latency=time.monotonic() - group.submitted,
+            worker=-1,
+            error=error,
+        )
+        self.metrics.counter_add("serve.jobs_completed")
+        self.metrics.observe("serve.job.latency_seconds", result.latency)
+        if self.slo is not None:
+            if error == "job deadline exceeded":
+                self.slo.record_deadline_miss(result.tenant)
+            else:
+                self.slo.record_job(
+                    result.tenant, result.latency, failed=not result.ok
+                )
+        if winner is not None:
+            self.metrics.counter_add("cubes.races")
+        self._results[group.job_id] = result
+        return result
+
+    def _cube_subjob_failed(self, sub_id: int, reason: str) -> Optional[ServeResult]:
+        """A cube sibling died with its worker: treat it as unknown."""
+        return self._absorb_cube_result(
+            sub_id, {"job": sub_id, "status": "error", "error": reason}
+        )
 
     def _release_segment(self, entry: _Inflight) -> None:
         if entry.descriptor is not None and self.registry is not None:
@@ -752,55 +879,81 @@ class WorkerPool:
                 pass
             entry.descriptor = None
 
+    def _settle_error(
+        self,
+        job_id: int,
+        entry: _Inflight,
+        reason: str,
+        worker_index: int,
+        deadline_miss: bool = False,
+    ) -> ServeResult:
+        """Resolve one job as an error result (kill, crash, expiry)."""
+        self._release_segment(entry)
+        if entry.token is not None:
+            entry.token.cancel(reason)
+        result = ServeResult(
+            job_id=job_id,
+            name=entry.job.name,
+            tenant=entry.job.tenant,
+            status="error",
+            latency=time.monotonic() - entry.submitted,
+            worker=worker_index,
+            error=reason,
+        )
+        if self.slo is not None:
+            if deadline_miss:
+                self.slo.record_deadline_miss(result.tenant)
+            else:
+                self.slo.record_job(
+                    result.tenant, result.latency, failed=True
+                )
+        self._results[job_id] = result
+        return result
+
     def _fail_worker_jobs(
-        self, worker: _WorkerHandle, reason: str, deadline_job: int = -1
+        self, worker: WorkerHandle, reason: str, deadline_job: int = -1
     ) -> List[ServeResult]:
-        """Settle every job assigned to a dead worker as an error.
+        """Settle every job dispatched to a dead worker as an error.
 
         ``deadline_job`` marks the job whose deadline triggered the kill
         — its tenant is charged a deadline miss in the SLO ledger; the
-        rest of the assigned jobs are collateral hard failures.
+        rest of the dispatched jobs are collateral hard failures.
         """
         failed: List[ServeResult] = []
         for job_id in list(worker.assigned):
+            if job_id in self._cube_subjobs:
+                settled = self._cube_subjob_failed(job_id, reason)
+                if settled is not None:
+                    failed.append(settled)
+                continue
             entry = self._inflight.pop(job_id, None)
             if entry is None:
                 continue
-            self._release_segment(entry)
-            result = ServeResult(
-                job_id=job_id,
-                name=entry.job.name,
-                tenant=entry.job.tenant,
-                status="error",
-                latency=time.monotonic() - entry.submitted,
-                worker=worker.index,
-                error=reason,
+            failed.append(
+                self._settle_error(
+                    job_id,
+                    entry,
+                    reason,
+                    worker.index,
+                    deadline_miss=(job_id == deadline_job),
+                )
             )
-            if self.slo is not None:
-                if job_id == deadline_job:
-                    self.slo.record_deadline_miss(result.tenant)
-                else:
-                    self.slo.record_job(
-                        result.tenant, result.latency, failed=True
-                    )
-            self._results[job_id] = result
-            failed.append(result)
         worker.assigned.clear()
         return failed
 
     def _write_postmortem(
         self,
-        worker: _WorkerHandle,
+        worker: WorkerHandle,
         reason: str,
         failed: List[ServeResult],
     ) -> Optional[str]:
         """Dump the worker's flight ring as a postmortem JSON artifact."""
-        ring = self._flight_ring(worker.index)
+        ring = self._runtime.flight_ring(worker.index)
         ring.record(
             "kill",
             reason,
             worker=worker.index,
-            pid=worker.process.pid,
+            pid=worker.pid,
             exitcode=worker.process.exitcode,
             failed_jobs=[r.job_id for r in failed],
         )
@@ -810,7 +963,7 @@ class WorkerPool:
             os.makedirs(self.postmortem_dir, exist_ok=True)
             payload = {
                 "worker": worker.index,
-                "pid": worker.process.pid,
+                "pid": worker.pid,
                 "reason": reason,
                 "exitcode": worker.process.exitcode,
                 "respawns": worker.respawns,
@@ -845,36 +998,27 @@ class WorkerPool:
 
     def _respawn(
         self,
-        worker: _WorkerHandle,
+        worker: WorkerHandle,
         reason: str = "crash",
         failed: Optional[List[ServeResult]] = None,
     ) -> None:
         """Replace a dead worker in place (same index, fresh process)."""
         self._write_postmortem(worker, reason, failed or [])
-        stop_process_staged(
-            worker.process,
-            self.terminate_grace,
-            engine=f"serve-w{worker.index}",
-        )
-        try:
-            worker.job_queue.close()
-            worker.job_queue.cancel_join_thread()
-        except BaseException:
-            pass
+        self._runtime.stop(worker, reason)
         # Persist merged knowledge first so the replacement loads it and
-        # comes up warm, not cold.
+        # comes up warm, not cold.  (The runtime respawn gives it a
+        # fresh inbox, token, process and flight ring — the old ring is
+        # in the postmortem, or gone with nothing to tell.)
         self.tenants.flush()
-        fresh = self._spawn(worker.index, respawns=worker.respawns + 1)
-        fresh.jobs_done = worker.jobs_done
-        self._workers[worker.index] = fresh
-        # Fresh process, fresh black box — the old ring is in the
-        # postmortem (or gone with nothing to tell).
-        self._flight[worker.index] = FlightRecorder(
-            capacity=self._FLIGHT_CAPACITY
+        self._runtime.respawn(
+            worker,
+            run_serve_job,
+            trace_name=f"worker:serve{worker.index}",
         )
         self.metrics.counter_add("serve.workers_respawned")
         if self.slo is not None:
             self.slo.record_respawn()
+        self._dispatch_worker(worker)
 
     def _enforce_deadlines(self) -> List[ServeResult]:
         now = time.monotonic()
@@ -896,12 +1040,45 @@ class WorkerPool:
             )
             completed.extend(failed)
             self._respawn(worker, reason="deadline", failed=failed)
+        # Cube races run under a *group* deadline (the sub-jobs carry
+        # none of their own): an expired race settles as one error and
+        # revokes its queued siblings — busy ones stay on their warm
+        # workers, their late results are dropped.
+        for group in list(self._cube_groups.values()):
+            if group.deadline_at is None or now < group.deadline_at:
+                continue
+            completed.append(
+                self._settle_cube_group(
+                    group, "error", None, winner=None,
+                    error="job deadline exceeded",
+                )
+            )
+        # Jobs whose deadline expired while still queued on the board
+        # settle for free: cancel the token, no worker to kill.
+        for job_id, entry in list(self._inflight.items()):
+            if (
+                entry.worker >= 0
+                or entry.deadline_at is None
+                or now < entry.deadline_at
+            ):
+                continue
+            del self._inflight[job_id]
+            completed.append(
+                self._settle_error(
+                    job_id,
+                    entry,
+                    "job deadline exceeded",
+                    -1,
+                    deadline_miss=True,
+                )
+            )
+        self._board.revoke_cancelled()
         return completed
 
     def _reap_dead_workers(self) -> List[ServeResult]:
         completed: List[ServeResult] = []
         for worker in list(self._workers):
-            if worker.process.is_alive():
+            if worker.alive:
                 continue
             failed: List[ServeResult] = []
             if worker.assigned:
@@ -957,9 +1134,12 @@ class WorkerPool:
 
     def stats(self) -> Dict[str, object]:
         sampled_rss = self._sampler.last_rss if self._sampler else {}
+        runtime = self._runtime
         return {
             "workers": self.num_workers,
             "inflight": len(self._inflight),
+            "board": len(self._board),
+            "cube_groups": len(self._cube_groups),
             "jobs_done": sum(w.jobs_done for w in self._workers),
             "respawns": sum(w.respawns for w in self._workers),
             "jobs_submitted": int(
@@ -976,14 +1156,19 @@ class WorkerPool:
             "per_worker": [
                 {
                     "index": w.index,
-                    "pid": w.process.pid,
-                    "alive": w.process.is_alive(),
-                    "queued": len(w.assigned),
+                    "pid": w.pid,
+                    "alive": w.alive,
+                    "queued": len(w.assigned)
+                    + self._board.queued_for(w.index),
                     "assigned": len(w.assigned),
                     "jobs_done": w.jobs_done,
                     "respawns": w.respawns,
-                    "rss_bytes": sampled_rss.get(w.process.pid),
-                    "flight_events": len(self._flight.get(w.index) or ()),
+                    "rss_bytes": sampled_rss.get(w.pid),
+                    "flight_events": (
+                        len(runtime.flight_ring(w.index))
+                        if runtime is not None
+                        else 0
+                    ),
                 }
                 for w in self._workers
             ],

@@ -152,9 +152,17 @@ class EngineFailure:
     #: Process exit code for abnormal exits (``None`` when the worker
     #: reported its own exception).
     exit_code: Optional[int] = None
+    #: Canonical kill reason when the orchestrator stopped this worker
+    #: before (or while) it failed: ``"timeout"`` (budget/deadline) or
+    #: ``"cancelled"`` (another engine won); empty for organic crashes.
+    #: Always one of the :mod:`repro.exec.cancel` canonical strings —
+    #: normalised through the worker's cancellation token.
+    reason: str = ""
 
     def __str__(self) -> str:
         suffix = f" (exit code {self.exit_code})" if self.exit_code is not None else ""
+        if self.reason:
+            suffix += f" [{self.reason}]"
         return f"{self.engine}: {self.message}{suffix}"
 
 

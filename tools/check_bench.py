@@ -30,6 +30,12 @@ Three families of regressions are caught:
   most ``--max-respawns`` worker respawns (default 0: a healthy bench
   run never crashes or deadline-kills a worker).
 
+Fresh rows with no baseline counterpart pass with a named ``note:``
+line — new coverage is not a regression — and ``--write-baseline``
+regenerates the baseline file from the fresh payload (the hygiene
+gates still apply, so a leaking or crashing run can never become the
+new reference).
+
 Exit status: 0 when the payload passes, 1 otherwise (errors listed on
 stderr, one per line).
 """
@@ -163,6 +169,17 @@ def check_bench(
     if compared == 0:
         errors.append("no baseline row matched the fresh payload")
 
+    # Fresh rows the baseline has never seen are *new coverage* (a bench
+    # suite gaining a circuit, a row gaining a round), not a regression:
+    # they pass with a named note so the log says exactly what appeared,
+    # and `--write-baseline` is the intended follow-up to adopt them.
+    baseline_keys = {
+        row_key(experiment, row) for row in baseline.get("rows", [])
+    }
+    new_rows = [
+        ":".join(key) for key in fresh_rows if key not in baseline_keys
+    ]
+
     ratio = _geomean(ratios)
     if ratio and ratio > max_ratio:
         errors.append(
@@ -194,6 +211,7 @@ def check_bench(
             "ratio": ratio,
             "leaked_segments": leaked,
             "respawns": respawns,
+            "new_rows": sorted(new_rows),
         },
     )
 
@@ -225,6 +243,12 @@ def main(argv=None) -> int:
         help="allowed daemon worker respawns in a serve payload "
         "(default 0)",
     )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="regenerate the baseline from the fresh payload instead of "
+        "diffing: the hygiene gates (leaked segments, respawns) still "
+        "apply so a broken run cannot become the new reference",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -235,6 +259,41 @@ def main(argv=None) -> int:
         return 1
     experiment = fresh.get("experiment", "")
     baseline_path = resolve_baseline(args.baseline, str(experiment))
+
+    if args.write_baseline:
+        if not isinstance(experiment, str) or not experiment:
+            print(
+                f"error: {args.fresh} is not a BENCH_*.json object",
+                file=sys.stderr,
+            )
+            return 1
+        hygiene: List[str] = []
+        leaked = _leaked_segments(fresh)
+        if leaked:
+            hygiene.append(
+                f"fresh payload leaked {leaked:.0f} shared-memory "
+                "segment(s); refusing to adopt it as the baseline"
+            )
+        respawns = _daemon_respawns(fresh)
+        if respawns > args.max_respawns:
+            hygiene.append(
+                f"daemon respawned {respawns} worker(s), allowed "
+                f"{args.max_respawns}; refusing to adopt it as the baseline"
+            )
+        if hygiene:
+            for error in hygiene:
+                print(f"error: {error}", file=sys.stderr)
+            return 1
+        os.makedirs(os.path.dirname(baseline_path) or ".", exist_ok=True)
+        with open(baseline_path, "w", encoding="utf-8") as handle:
+            json.dump(fresh, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"ok: wrote baseline {baseline_path} from {args.fresh} "
+            f"({len(fresh.get('rows', []))} row(s))"
+        )
+        return 0
+
     try:
         with open(baseline_path, "r", encoding="utf-8") as handle:
             baseline = json.load(handle)
@@ -255,6 +314,11 @@ def main(argv=None) -> int:
         for error in errors:
             print(f"error: {error}", file=sys.stderr)
         return 1
+    for label in summary.get("new_rows", []):
+        print(
+            f"note: new row {label!r} absent from baseline — not gated "
+            "(run --write-baseline to adopt it)"
+        )
     print(
         f"ok: {args.fresh} vs {baseline_path} — "
         f"{summary['rows_compared']} row(s), "

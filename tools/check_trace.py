@@ -40,7 +40,13 @@ the rules below *are* the schema):
   present (pre-registered at zero, so absence means the dispatcher
   never ran), ``sched.mispredict`` is recorded, and the batched SAT
   lane actually batched — ``sat.batch.pairs > sat.batch.solves`` with
-  at least one solve, i.e. many pairs shared each solver instance.
+  at least one solve, i.e. many pairs shared each solver instance;
+- ``--require-cubes``: the run must have raced cofactor cubes for at
+  least one hard residue query: the ``cubes.split``/``cubes.races``/
+  ``cubes.cancelled`` counters are present, a ``cubes.race`` span
+  appears, and at least one losing sibling was cancelled after the
+  first winner (``cubes.cancelled >= 1``) — i.e. first-winner
+  cancellation really fired instead of every cube running to the end.
 
 Exit status: 0 when the trace validates, 1 otherwise (errors listed on
 stderr).
@@ -65,8 +71,13 @@ SHM_REQUIRED_COUNTERS = (
     "shm.bytes_shared",
 )
 
-#: The adaptive scheduler's dispatch lanes (``--require-sched``).
+#: The adaptive scheduler's dispatch lanes (``--require-sched``).  The
+#: "cube" lane is deliberately absent: it only exists when the cube knob
+#: is on, and its evidence is gated separately by ``--require-cubes``.
 SCHED_LANES = ("sim", "cut", "bdd", "sat")
+
+#: Counters that must be present under ``--require-cubes``.
+CUBE_REQUIRED_COUNTERS = ("cubes.split", "cubes.races", "cubes.cancelled")
 
 
 def validate_trace(
@@ -76,6 +87,7 @@ def validate_trace(
     require_rebuild: bool = False,
     require_shm: bool = False,
     require_sched: bool = False,
+    require_cubes: bool = False,
 ) -> List[str]:
     """Check one parsed trace payload; returns a list of error strings."""
     errors: List[str] = []
@@ -232,6 +244,35 @@ def validate_trace(
                 f"({solves:.0f}): SAT queries were not batched — each "
                 "solver instance should serve many pairs"
             )
+
+    if require_cubes:
+        for counter in CUBE_REQUIRED_COUNTERS:
+            if counter not in counters:
+                errors.append(
+                    f"counter {counter!r} missing: the run never entered "
+                    "the cube-and-conquer path (set REPRO_CUBE_THRESHOLD "
+                    "to route hard final POs through it)"
+                )
+        if counters.get("cubes.split", 0) < 1:
+            errors.append(
+                "cubes.split < 1: no residue query was ever cofactor-split"
+            )
+        if counters.get("cubes.races", 0) < 1:
+            errors.append(
+                "cubes.races < 1: no cube race reached a verdict"
+            )
+        if counters.get("cubes.cancelled", 0) < 1:
+            errors.append(
+                "cubes.cancelled < 1: no losing sibling was cancelled "
+                "after the first winner — first-winner cancellation was "
+                "never observed"
+            )
+        if "cubes.race" not in span_names:
+            errors.append(
+                "no 'cubes.race' span found: the distributed cube race "
+                "never ran (counters without the span would mean the "
+                "in-process lane only)"
+            )
     return errors
 
 
@@ -264,6 +305,12 @@ def main(argv=None) -> int:
         "lanes present, sched.mispredict recorded, sat.batch.pairs > "
         "sat.batch.solves)",
     )
+    parser.add_argument(
+        "--require-cubes", action="store_true",
+        help="require cube-and-conquer evidence (cubes.split/races/"
+        "cancelled counters, a 'cubes.race' span, and at least one "
+        "loser cancelled after the first winner)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -280,6 +327,7 @@ def main(argv=None) -> int:
         require_rebuild=args.require_rebuild,
         require_shm=args.require_shm,
         require_sched=args.require_sched,
+        require_cubes=args.require_cubes,
     )
     if errors:
         for error in errors:
